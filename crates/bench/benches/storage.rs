@@ -1,0 +1,88 @@
+//! Micro-benchmarks of the storage substrate: each one isolates the
+//! mechanism behind one LegoBase optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use legobase::storage::dict::{DictKind, StringDictionary};
+use legobase::storage::partition::ForeignKeyPartition;
+use legobase::storage::specialized::{ChainedArrayMap, ChainedMultiMap};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+/// Generic SipHash map vs. the lowered chained-array map (Fig. 11).
+fn hashmap_lowering(c: &mut Criterion) {
+    let keys: Vec<u64> = (0..N as u64).map(|i| (i * 2654435761) % 4096).collect();
+    let mut group = c.benchmark_group("agg-store");
+    group.bench_function("std-hashmap", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u64, f64> = HashMap::new();
+            for &k in &keys {
+                *m.entry(k).or_insert(0.0) += 1.0;
+            }
+            black_box(m.len())
+        })
+    });
+    group.bench_function("chained-array (lowered)", |b| {
+        b.iter(|| {
+            let mut m: ChainedArrayMap<f64> = ChainedArrayMap::with_capacity(4096);
+            for &k in &keys {
+                *m.get_or_insert_with(k, || 0.0) += 1.0;
+            }
+            black_box(m.len())
+        })
+    });
+    group.finish();
+}
+
+/// Hash-table join probe vs. partitioned-array dereference (Fig. 10).
+fn partitioned_join(c: &mut Criterion) {
+    let fk: Vec<i64> = (0..N as i64).map(|i| (i * 7) % 10_000).collect();
+    let probes: Vec<i64> = (0..N as i64).map(|i| (i * 13) % 10_000).collect();
+    let part = ForeignKeyPartition::build(&fk);
+    let mut mm = ChainedMultiMap::with_capacity(N);
+    for (row, &k) in fk.iter().enumerate() {
+        mm.insert(k as u64, row as u32);
+    }
+    let mut group = c.benchmark_group("join-probe");
+    group.bench_function("chained-multimap", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &p in &probes {
+                mm.for_each_match(p as u64, |_| hits += 1);
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("fk-partition (Fig. 10)", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &p in &probes {
+                hits += part.bucket(p).len() as u64;
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+/// strcmp-style comparison vs. dictionary-code comparison (Table II).
+fn string_dictionary(c: &mut Criterion) {
+    let modes = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+    let values: Vec<String> =
+        (0..N).map(|i| modes[i % modes.len()].to_string()).collect();
+    let dict = StringDictionary::build(DictKind::Normal, values.iter().map(String::as_str));
+    let codes: Vec<u32> = values.iter().map(|v| dict.code(v).unwrap()).collect();
+    let target_code = dict.code("MAIL").unwrap();
+    let mut group = c.benchmark_group("string-eq");
+    group.bench_function("strcmp", |b| {
+        b.iter(|| black_box(values.iter().filter(|v| v.as_str() == "MAIL").count()))
+    });
+    group.bench_function("dict-code (Table II)", |b| {
+        b.iter(|| black_box(codes.iter().filter(|&&c| c == target_code).count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hashmap_lowering, partitioned_join, string_dictionary);
+criterion_main!(benches);

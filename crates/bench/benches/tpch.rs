@@ -1,0 +1,138 @@
+//! Criterion benchmarks over representative TPC-H queries and engine
+//! configurations (the statistically robust companion to the `figures`
+//! binary, which covers every query).
+//!
+//! Query choice mirrors the paper's discussion: Q1 (scan-heavy grouped
+//! aggregation), Q3 (join + top-k), Q6 (selective global aggregate, the
+//! flagship compilation example), Q12 (the running example of Section 3),
+//! and Q14 (string-heavy CASE aggregation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use legobase::{Config, LegoBase};
+use legobase_bench::scale_factor;
+use std::hint::black_box;
+
+fn tpch_configs(c: &mut Criterion) {
+    let system = LegoBase::generate(scale_factor());
+    let configs = [
+        Config::Dbx,
+        Config::NaiveC,
+        Config::HyPerLike,
+        Config::TpchC,
+        Config::StrDictC,
+        Config::OptC,
+        Config::OptScala,
+    ];
+    for q in [1usize, 3, 6, 12, 14] {
+        let mut group = c.benchmark_group(format!("Q{q}"));
+        group.sample_size(10);
+        for config in configs {
+            let loaded = system.load(&system.plan(q), &config.settings());
+            group.bench_with_input(
+                BenchmarkId::from_parameter(config.name()),
+                &loaded,
+                |b, loaded| b.iter(|| black_box(loaded.execute().len())),
+            );
+        }
+        group.finish();
+    }
+}
+
+fn ablations(c: &mut Criterion) {
+    let system = LegoBase::generate(scale_factor());
+    let mut group = c.benchmark_group("Q6-ablation");
+    group.sample_size(10);
+    type Tweak = fn(&mut legobase::Settings);
+    let cases: [(&str, Tweak); 4] = [
+        ("all-on", |_| {}),
+        ("no-date-index", |s| s.date_indices = false),
+        ("no-ds-specialization", |s| {
+            s.partitioning = false;
+            s.hashmap_lowering = false;
+        }),
+        ("no-column-layout", |s| s.column_store = false),
+    ];
+    for (name, tweak) in cases {
+        let mut settings = legobase::Settings::optimized();
+        tweak(&mut settings);
+        let loaded = system.load(&system.plan(6), &settings);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &loaded, |b, loaded| {
+            b.iter(|| black_box(loaded.execute().len()))
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9 inter-operator fusion ablation on the Fig. 2 query shape
+/// (aggregate orders per customer, join with customers). Partitioning is
+/// disabled so the join genuinely needs a hash structure — with it on, the
+/// Fig. 10 partition dereference already removes the table fusion would
+/// remove.
+fn interop_fusion(c: &mut Criterion) {
+    use legobase::engine::expr::{AggKind, Expr};
+    use legobase::engine::plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
+
+    let agg = Plan::Agg {
+        input: Box::new(Plan::scan("orders")),
+        group_by: vec![1],
+        aggs: vec![
+            AggSpec::new(AggKind::Sum, Expr::col(3), "total_spent"),
+            AggSpec::new(AggKind::Count, Expr::lit(1i64), "n_orders"),
+        ],
+    };
+    let join = Plan::HashJoin {
+        left: Box::new(agg),
+        right: Box::new(Plan::Select {
+            input: Box::new(Plan::scan("customer")),
+            predicate: Expr::gt(Expr::col(5), Expr::lit(0.0)),
+        }),
+        left_keys: vec![0],
+        right_keys: vec![0],
+        kind: JoinKind::Inner,
+        residual: None,
+    };
+    let agg2 = Plan::Agg {
+        input: Box::new(join),
+        group_by: vec![6],
+        aggs: vec![AggSpec::new(AggKind::Sum, Expr::col(1), "nation_total")],
+    };
+    let query = QueryPlan::new(
+        "fig2",
+        Plan::Sort { input: Box::new(agg2), keys: vec![(0, SortOrder::Asc)] },
+    );
+
+    let system = LegoBase::generate(scale_factor());
+    let mut group = c.benchmark_group("fig9-fusion");
+    group.sample_size(10);
+    for (name, fused) in [("fused", true), ("unfused", false)] {
+        let settings = legobase::Settings::optimized().with(|s| {
+            s.partitioning = false;
+            s.interop_fusion = fused;
+        });
+        let loaded = system.load(&query, &settings);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &loaded, |b, loaded| {
+            b.iter(|| black_box(loaded.execute().len()))
+        });
+    }
+    group.finish();
+}
+
+/// SC compilation cost per query (the statistical companion to Fig. 22's
+/// per-query optimization-time bars).
+fn compilation(c: &mut Criterion) {
+    let system = LegoBase::generate(0.001); // compilation doesn't touch data
+    let settings = legobase::Settings::optimized();
+    let mut group = c.benchmark_group("fig22-compile");
+    for q in [1usize, 6, 12, 21] {
+        let plan = system.plan(q);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("Q{q}")), &plan, |b, plan| {
+            b.iter(|| {
+                black_box(legobase::sc::compile(plan, &system.data.catalog, &settings).c_source.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tpch_configs, ablations, interop_fusion, compilation);
+criterion_main!(benches);

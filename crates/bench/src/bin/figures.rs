@@ -1,0 +1,341 @@
+//! Regenerates every table and figure of the paper's evaluation section.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p legobase-bench --release --bin figures -- [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|all]
+//! ```
+//! Environment: `LEGOBASE_SF` (scale factor, default 0.02), `LEGOBASE_RUNS`
+//! (timed repetitions, default 3). Fig. 18's proxy counters require building
+//! with `--features metrics`.
+//!
+//! Absolute numbers differ from the paper (different machine, scale factor,
+//! and generated-code substrate — see DESIGN.md); the *shapes* (who wins, by
+//! roughly what factor) are the reproduction target, recorded side by side
+//! in EXPERIMENTS.md.
+
+use legobase::engine::settings::EngineKind;
+use legobase::{Config, LegoBase, Settings};
+use legobase_bench::{geomean, ms, scale_factor, time_query};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let sf = scale_factor();
+    eprintln!("# scale factor {sf}, {} timed runs per cell", legobase_bench::runs());
+    let system = LegoBase::generate(sf);
+    match arg.as_str() {
+        "fig16" => fig16(&system),
+        "fig17" => fig17(&system),
+        "fig18" => fig18(&system),
+        "fig19" => fig19(&system),
+        "fig20" => fig20(&system),
+        "fig21" => fig21(&system),
+        "fig22" => fig22(&system),
+        "table4" => table4(),
+        "all" => {
+            fig16(&system);
+            fig17(&system);
+            fig18(&system);
+            fig19(&system);
+            fig20(&system);
+            fig21(&system);
+            fig22(&system);
+            table4();
+        }
+        other => {
+            eprintln!("unknown figure `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Fig. 16: slowdown of the naive engine relative to the optimal code.
+fn fig16(system: &LegoBase) {
+    println!("\n== Figure 16: naive push engine slowdown vs LegoBase(Opt) ==");
+    println!("{:<5} {:>12} {:>12} {:>10}", "query", "naive (ms)", "opt (ms)", "slowdown");
+    let mut slowdowns = Vec::new();
+    for n in 1..=22 {
+        let naive = time_query(system, n, &Config::NaiveC.settings());
+        let opt = time_query(system, n, &Config::OptC.settings());
+        let slow = ms(naive) / ms(opt).max(1e-6);
+        slowdowns.push(slow);
+        println!("Q{n:<4} {:>12.2} {:>12.2} {:>9.1}x", ms(naive), ms(opt), slow);
+    }
+    println!("geometric mean slowdown: {:.1}x", geomean(&slowdowns));
+}
+
+/// Fig. 17 / Table V: speedup over the DBX baseline for every configuration.
+fn fig17(system: &LegoBase) {
+    let configs = [
+        Config::NaiveC,
+        Config::NaiveScala,
+        Config::HyPerLike,
+        Config::TpchC,
+        Config::StrDictC,
+        Config::OptC,
+        Config::OptScala,
+    ];
+    println!("\n== Figure 17 / Table V: execution time (ms) and speedup over DBX ==");
+    print!("{:<5} {:>10}", "query", "DBX");
+    for c in configs {
+        print!(" {:>16}", short(c));
+    }
+    println!();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    for n in 1..=22 {
+        let base = ms(time_query(system, n, &Config::Dbx.settings()));
+        print!("Q{n:<4} {base:>10.2}");
+        for (i, c) in configs.iter().enumerate() {
+            let t = ms(time_query(system, n, &c.settings()));
+            let s = base / t.max(1e-6);
+            speedups[i].push(s);
+            print!(" {t:>9.2} {s:>5.1}x");
+        }
+        println!();
+    }
+    print!("{:<5} {:>10}", "geo", "1.0x");
+    for sp in &speedups {
+        print!(" {:>15.1}x", geomean(sp));
+    }
+    println!();
+}
+
+fn short(c: Config) -> &'static str {
+    match c {
+        Config::Dbx => "DBX",
+        Config::HyPerLike => "HyPer",
+        Config::NaiveC => "Naive/C",
+        Config::NaiveScala => "Naive/Sc",
+        Config::TpchC => "TPC-H/C",
+        Config::StrDictC => "StrDict",
+        Config::OptC => "Opt/C",
+        Config::OptScala => "Opt/Sc",
+    }
+}
+
+/// Fig. 18: proxy counters standing in for cache misses / branch
+/// mispredictions (see DESIGN.md for the substitution).
+fn fig18(system: &LegoBase) {
+    println!("\n== Figure 18: proxy counters (chain steps ≈ cache misses, branch evals ≈ mispredictions) ==");
+    if cfg!(not(feature = "metrics")) {
+        println!("(build with `--features metrics` to collect counters; skipping)");
+        return;
+    }
+    println!(
+        "{:<5} {:<10} {:>14} {:>14} {:>14} {:>12}",
+        "query", "config", "hash probes", "chain steps", "branch evals", "allocations"
+    );
+    for n in [1usize, 3, 6, 12, 18] {
+        for config in [Config::Dbx, Config::HyPerLike, Config::OptC] {
+            let settings = config.settings();
+            let loaded = system.load(&system.plan(n), &settings);
+            let (_, counters) = legobase::storage::metrics::measure(|| loaded.execute());
+            println!(
+                "Q{n:<4} {:<10} {:>14} {:>14} {:>14} {:>12}",
+                short(config),
+                counters.hash_probes,
+                counters.chain_steps,
+                counters.branch_evals,
+                counters.allocations
+            );
+        }
+    }
+}
+
+/// Fig. 19 / Table VI: per-optimization ablation over the Opt configuration.
+fn fig19(system: &LegoBase) {
+    type Tweak = fn(&mut Settings);
+    let ablations: [(&str, Tweak); 6] = [
+        ("Data-Structure Specialization", |s| {
+            s.partitioning = false;
+            s.hashmap_lowering = false;
+        }),
+        ("Date Indices", |s| s.date_indices = false),
+        ("String Dictionaries", |s| s.string_dict = false),
+        ("Domain-Specific Code Motion", |s| s.code_motion = false),
+        ("Struct Field Removal", |s| s.field_removal = false),
+        ("Column Layout", |s| s.column_store = false),
+    ];
+    println!("\n== Figure 19 / Table VI: speedup contributed by each optimization (t_without / t_with) ==");
+    print!("{:<5}", "query");
+    for (name, _) in &ablations {
+        print!(" {:>14}", &name[..name.len().min(14)]);
+    }
+    println!();
+    let mut per_opt: Vec<Vec<f64>> = vec![Vec::new(); ablations.len()];
+    for n in 1..=22 {
+        let with_all = ms(time_query(system, n, &Settings::optimized()));
+        print!("Q{n:<4}");
+        for (i, (_, disable)) in ablations.iter().enumerate() {
+            let mut s = Settings::optimized();
+            disable(&mut s);
+            let without = ms(time_query(system, n, &s));
+            let speedup = without / with_all.max(1e-6);
+            per_opt[i].push(speedup);
+            print!(" {speedup:>13.2}x");
+        }
+        println!();
+    }
+    print!("{:<5}", "geo");
+    for sp in &per_opt {
+        print!(" {:>13.2}x", geomean(sp));
+    }
+    println!();
+}
+
+/// Fig. 20: memory consumption of the specialized database per query.
+fn fig20(system: &LegoBase) {
+    println!("\n== Figure 20: memory consumption of LegoBase(Opt/C) per query ==");
+    let raw = system.data.approx_bytes();
+    println!("raw input data: {:.1} MB", raw as f64 / 1e6);
+    println!("{:<5} {:>12} {:>16}", "query", "loaded (MB)", "ratio to input");
+    for n in 1..=22 {
+        let out = system.run_with_settings(n, &Settings::optimized());
+        let mb = out.memory_bytes as f64 / 1e6;
+        println!("Q{n:<4} {mb:>12.1} {:>15.2}x", out.memory_bytes as f64 / raw as f64);
+    }
+}
+
+/// Fig. 21: loading-time slowdown caused by the load-time optimizations
+/// (partitioning, dictionaries, date indices) relative to a plain columnar
+/// load of the same representation.
+fn fig21(system: &LegoBase) {
+    println!("\n== Figure 21: data-loading slowdown, optimized vs plain load ==");
+    println!("{:<5} {:>12} {:>12} {:>10}", "query", "plain (ms)", "opt (ms)", "slowdown");
+    // Same column set in both loads (field removal on), so the delta is
+    // exactly the auxiliary structures the optimizations add: partitions,
+    // date indices, and dictionaries.
+    let mut plain_settings = Settings::optimized();
+    plain_settings.partitioning = false;
+    plain_settings.date_indices = false;
+    plain_settings.string_dict = false;
+    for n in 1..=22 {
+        let plain = system.load(&system.plan(n), &plain_settings);
+        let opt = system.load(&system.plan(n), &Settings::optimized());
+        let a = ms(plain.load_report().duration);
+        let b = ms(opt.load_report().duration);
+        println!("Q{n:<4} {a:>12.1} {b:>12.1} {:>9.2}x", b / a.max(1e-6));
+    }
+}
+
+/// Fig. 22: compilation overhead per query.
+fn fig22(system: &LegoBase) {
+    println!("\n== Figure 22: compilation time per query (ms) ==");
+    println!(
+        "{:<5} {:>14} {:>10} {:>12} {:>10}",
+        "query", "SC optimize", "C gen", "cc compile", "IR size"
+    );
+    let cc = ["cc", "gcc", "clang"].iter().find(|c| {
+        std::process::Command::new(c)
+            .arg("--version")
+            .output()
+            .map(|o| o.status.success())
+            .unwrap_or(false)
+    });
+    let dir = std::env::temp_dir().join("legobase_figures_c");
+    let _ = std::fs::create_dir_all(&dir);
+    for n in 1..=22 {
+        let settings = Settings::optimized();
+        let result = legobase::sc::compile(&system.plan(n), &system.data.catalog, &settings);
+        let cc_ms = cc
+            .map(|cc| {
+                let path = dir.join(format!("Q{n}.c"));
+                std::fs::write(&path, &result.c_source).unwrap();
+                let t0 = std::time::Instant::now();
+                let ok = std::process::Command::new(cc)
+                    .args(["-O2", "-c", "-o"])
+                    .arg(dir.join(format!("Q{n}.o")))
+                    .arg(&path)
+                    .status()
+                    .map(|s| s.success())
+                    .unwrap_or(false);
+                if ok {
+                    ms(t0.elapsed())
+                } else {
+                    f64::NAN
+                }
+            })
+            .unwrap_or(f64::NAN);
+        println!(
+            "Q{n:<4} {:>14.2} {:>10.2} {:>12.1} {:>10}",
+            ms(result.optimize_time),
+            ms(result.cgen_time),
+            cc_ms,
+            result.program.size()
+        );
+    }
+}
+
+/// Table IV: lines of code per transformer/component.
+fn table4() {
+    println!("\n== Table IV: lines of code of the SC transformers and engine components ==");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    // One row per transformer (the paper's Table IV granularity), each with
+    // the storage structures it lowers to, followed by the framework rows.
+    let entries = [
+        ("Data-structure partitioning + date indices", vec![
+            "crates/sc/src/transform/partition.rs",
+            "crates/storage/src/partition.rs",
+            "crates/storage/src/dateindex.rs",
+        ]),
+        ("Hash-map lowering + singleton-to-value", vec![
+            "crates/sc/src/transform/hashmap.rs",
+            "crates/sc/src/transform/singleton.rs",
+            "crates/storage/src/specialized.rs",
+        ]),
+        ("String dictionaries", vec![
+            "crates/sc/src/transform/strdict.rs",
+            "crates/storage/src/dict.rs",
+        ]),
+        ("Column store transformer", vec![
+            "crates/sc/src/transform/column.rs",
+            "crates/storage/src/column.rs",
+        ]),
+        ("Memory-allocation + DS-init hoisting", vec![
+            "crates/sc/src/transform/hoist.rs",
+            "crates/storage/src/pool.rs",
+        ]),
+        ("Horizontal fusion", vec!["crates/sc/src/transform/fusion.rs"]),
+        ("Flattening nested structs (field promotion)", vec![
+            "crates/sc/src/transform/promote.rs",
+        ]),
+        ("Loop tiling + fine-grained opts", vec![
+            "crates/sc/src/transform/tiling.rs",
+            "crates/sc/src/transform/finegrained.rs",
+        ]),
+        ("Generic cleanups (PE, CSE, DCE, scalar repl.)", vec![
+            "crates/sc/src/transform/cleanup.rs",
+        ]),
+        ("Plan provenance analysis", vec!["crates/sc/src/transform/plan_info.rs"]),
+        ("Scala constructs to C (code generation)", vec!["crates/sc/src/cgen.rs"]),
+        ("SC IR + rule framework + pipeline", vec![
+            "crates/sc/src/ir.rs",
+            "crates/sc/src/rules.rs",
+            "crates/sc/src/pipeline.rs",
+        ]),
+        ("Operator inlining (plan → IR)", vec!["crates/sc/src/build.rs"]),
+        ("Specialized executor", vec!["crates/engine/src/specialized.rs"]),
+        ("Generic engines (Volcano + push)", vec![
+            "crates/engine/src/volcano.rs",
+            "crates/engine/src/push.rs",
+        ]),
+    ];
+    let mut total = 0usize;
+    for (label, files) in entries {
+        let mut loc = 0usize;
+        for f in files {
+            if let Ok(src) = std::fs::read_to_string(root.join(f)) {
+                loc += src
+                    .lines()
+                    .filter(|l| {
+                        let t = l.trim();
+                        !t.is_empty() && !t.starts_with("//")
+                    })
+                    .count();
+            }
+        }
+        total += loc;
+        println!("{label:<36} {loc:>6}");
+    }
+    println!("{:<36} {total:>6}", "Total");
+    let _ = EngineKind::Volcano; // keep the import used in all build modes
+}

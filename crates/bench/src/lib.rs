@@ -1,0 +1,68 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The `figures` binary (`src/bin/figures.rs`) regenerates every table and
+//! figure of the paper's evaluation section; the Criterion benches under
+//! `benches/` provide statistically robust timings for representative
+//! queries and for the storage substrate's micro-operations.
+
+use legobase::{LegoBase, Settings};
+use std::time::{Duration, Instant};
+
+/// Scale factor used by the harness; override with `LEGOBASE_SF`.
+pub fn scale_factor() -> f64 {
+    std::env::var("LEGOBASE_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02)
+}
+
+/// Number of timed repetitions; override with `LEGOBASE_RUNS`.
+pub fn runs() -> usize {
+    std::env::var("LEGOBASE_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
+}
+
+/// Loads once, executes `runs()+1` times, returns the median-of-timed
+/// execution duration (first run is warm-up).
+pub fn time_query(system: &LegoBase, n: usize, settings: &Settings) -> Duration {
+    let loaded = system.load(&system.plan(n), settings);
+    let _ = loaded.execute(); // warm-up
+    let mut times: Vec<Duration> = (0..runs())
+        .map(|_| {
+            let t0 = Instant::now();
+            let r = loaded.execute();
+            let dt = t0.elapsed();
+            std::hint::black_box(r.len());
+            dt
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Milliseconds with two decimals.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Geometric mean of positive ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn env_defaults() {
+        assert!(scale_factor() > 0.0);
+        assert!(runs() >= 1);
+    }
+}

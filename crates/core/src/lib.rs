@@ -1,0 +1,169 @@
+#![warn(missing_docs)]
+//! # LegoBase-rs
+//!
+//! A Rust reproduction of *“Building Efficient Query Engines in a High-Level
+//! Language”* (Shaikhha, Klonatos, Koch — VLDB 2014): an in-memory analytical
+//! query engine whose optimizations are expressed as transformation passes of
+//! an optimizing compiler (SC), evaluated on the TPC-H workload.
+//!
+//! ```no_run
+//! use legobase::{Config, LegoBase};
+//!
+//! // Generate TPC-H data (dbgen substitute) and run Q6 under two
+//! // configurations of Table III.
+//! let system = LegoBase::generate(0.01);
+//! let baseline = system.run(6, Config::Dbx);
+//! let optimized = system.run(6, Config::OptC);
+//! assert!(optimized.result.approx_eq(&baseline.result, 1e-6));
+//! println!("{}", optimized.result.display(10));
+//! println!("generated C:\n{}", optimized.compilation.c_source);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the substitutions made for
+//! artifacts that are not reproducible in this environment, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use legobase_engine as engine;
+pub use legobase_queries as queries;
+pub use legobase_sc as sc;
+pub use legobase_storage as storage;
+pub use legobase_tpch as tpch;
+
+pub use legobase_engine::{Config, ResultTable, Settings, Specialization};
+pub use legobase_sc::CompileResult;
+pub use legobase_tpch::TpchData;
+
+use legobase_engine::settings::EngineKind;
+use legobase_engine::{GenericDb, QueryPlan, SpecializedDb};
+use std::time::Duration;
+
+/// The outcome of compiling, loading, and executing one query.
+pub struct RunOutcome {
+    /// The query result.
+    pub result: ResultTable,
+    /// SC pipeline output: specialization report, IR trace, generated C.
+    pub compilation: CompileResult,
+    /// Wall-clock duration of data loading (including partitioning,
+    /// dictionaries, and indexing — Fig. 21).
+    pub load_time: Duration,
+    /// Approximate memory held by the loaded database (Fig. 20).
+    pub memory_bytes: usize,
+    /// Wall-clock duration of query execution.
+    pub exec_time: Duration,
+}
+
+/// The LegoBase system façade: data plus the compile→load→execute path.
+pub struct LegoBase {
+    /// The generated TPC-H database.
+    pub data: TpchData,
+}
+
+impl LegoBase {
+    /// Generates a TPC-H database at the given scale factor.
+    pub fn generate(scale_factor: f64) -> LegoBase {
+        LegoBase { data: TpchData::generate(scale_factor) }
+    }
+
+    /// Wraps pre-generated TPC-H data.
+    pub fn from_data(data: TpchData) -> LegoBase {
+        LegoBase { data }
+    }
+
+    /// Builds the physical plan of TPC-H query `n` (1–22).
+    pub fn plan(&self, n: usize) -> QueryPlan {
+        legobase_queries::query(&self.data.catalog, n)
+    }
+
+    /// Compiles, loads, and executes TPC-H query `n` under a named
+    /// configuration of Table III.
+    pub fn run(&self, n: usize, config: Config) -> RunOutcome {
+        self.run_plan(&self.plan(n), &config.settings())
+    }
+
+    /// Same as [`LegoBase::run`] with explicit settings (ablations).
+    pub fn run_with_settings(&self, n: usize, settings: &Settings) -> RunOutcome {
+        self.run_plan(&self.plan(n), settings)
+    }
+
+    /// The full paper pipeline for an arbitrary plan: SC compilation derives
+    /// the specialization, the loader builds the physical database, the
+    /// matching executor runs the query.
+    pub fn run_plan(&self, query: &QueryPlan, settings: &Settings) -> RunOutcome {
+        let compilation = legobase_sc::compile(query, &self.data.catalog, settings);
+        let (result, load_time, memory_bytes, exec_time) = match settings.engine {
+            EngineKind::Volcano => {
+                let db = GenericDb::load(&self.data, &compilation.spec, settings);
+                let t0 = std::time::Instant::now();
+                let r = legobase_engine::volcano::execute(query, &db);
+                (r, db.report.duration, db.report.approx_bytes, t0.elapsed())
+            }
+            EngineKind::Push => {
+                let db = GenericDb::load(&self.data, &compilation.spec, settings);
+                let t0 = std::time::Instant::now();
+                let r = legobase_engine::push::execute(query, &db, settings);
+                (r, db.report.duration, db.report.approx_bytes, t0.elapsed())
+            }
+            EngineKind::Specialized => {
+                let db = SpecializedDb::load(&self.data, &compilation.spec, settings);
+                let t0 = std::time::Instant::now();
+                let r = legobase_engine::specialized::execute(query, &db, settings);
+                (r, db.report.duration, db.report.approx_bytes, t0.elapsed())
+            }
+        };
+        RunOutcome { result, compilation, load_time, memory_bytes, exec_time }
+    }
+
+    /// Loads the database for a configuration once (for benchmarks that
+    /// execute repeatedly against the same load).
+    pub fn load(&self, query: &QueryPlan, settings: &Settings) -> LoadedQuery {
+        let compilation = legobase_sc::compile(query, &self.data.catalog, settings);
+        let db = match settings.engine {
+            EngineKind::Volcano | EngineKind::Push => {
+                Db::Generic(GenericDb::load(&self.data, &compilation.spec, settings))
+            }
+            EngineKind::Specialized => {
+                Db::Specialized(SpecializedDb::load(&self.data, &compilation.spec, settings))
+            }
+        };
+        LoadedQuery { query: query.clone(), settings: *settings, compilation, db }
+    }
+}
+
+enum Db {
+    Generic(GenericDb),
+    Specialized(SpecializedDb),
+}
+
+/// A query compiled and loaded, ready for repeated execution.
+pub struct LoadedQuery {
+    /// The compiled plan.
+    pub query: QueryPlan,
+    /// The configuration it was compiled under.
+    pub settings: Settings,
+    /// SC pipeline output.
+    pub compilation: CompileResult,
+    db: Db,
+}
+
+impl LoadedQuery {
+    /// Executes the loaded query once.
+    pub fn execute(&self) -> ResultTable {
+        match (&self.db, self.settings.engine) {
+            (Db::Generic(db), EngineKind::Volcano) => {
+                legobase_engine::volcano::execute(&self.query, db)
+            }
+            (Db::Generic(db), _) => legobase_engine::push::execute(&self.query, db, &self.settings),
+            (Db::Specialized(db), _) => {
+                legobase_engine::specialized::execute(&self.query, db, &self.settings)
+            }
+        }
+    }
+
+    /// Load timing and memory accounting for this configuration.
+    pub fn load_report(&self) -> legobase_engine::db::LoadReport {
+        match &self.db {
+            Db::Generic(db) => db.report,
+            Db::Specialized(db) => db.report,
+        }
+    }
+}

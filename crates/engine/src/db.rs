@@ -1,0 +1,274 @@
+//! Data loading for both representation families.
+//!
+//! Loading is where LegoBase pays for its optimizations (Fig. 21): building
+//! partitions, date indices, and dictionaries all happen here, off the query
+//! critical path. Both loaders report wall-clock duration and approximate
+//! memory footprint so the bench harness can regenerate Figs. 20 and 21.
+
+use crate::settings::Settings;
+use crate::spec::Specialization;
+use legobase_storage::column::{ColumnSpec, ColumnTable};
+use legobase_storage::dateindex::DateYearIndex;
+use legobase_storage::partition::{ForeignKeyPartition, PrimaryKeyIndex};
+use legobase_storage::stats::TableStats;
+use legobase_storage::{Catalog, RowTable, Value};
+use legobase_tpch::TpchData;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Loading outcome metadata.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoadReport {
+    /// Wall-clock load duration (Fig. 21).
+    pub duration: Duration,
+    /// Approximate resident bytes of the loaded form (Fig. 20).
+    pub approx_bytes: usize,
+}
+
+/// The generic (row-layout) database used by the Volcano and push engines.
+pub struct GenericDb {
+    /// Schema catalog.
+    pub catalog: Catalog,
+    /// Row-layout relations (generic engines).
+    pub tables: HashMap<String, RowTable>,
+    /// Foreign-key partitions over raw rows, keyed by `(table, column)`.
+    pub fk_partitions: HashMap<(String, usize), ForeignKeyPartition>,
+    /// Primary-key 1D indexes, keyed by `(table, column)`.
+    pub pk_indexes: HashMap<(String, usize), PrimaryKeyIndex>,
+    /// Load timing and memory accounting.
+    pub report: LoadReport,
+}
+
+fn int_column(table: &RowTable, col: usize) -> Vec<i64> {
+    table.rows.iter().map(|r| r[col].as_int()).collect()
+}
+
+impl GenericDb {
+    /// Loads the TPC-H data as row tables; builds row-level partitions when
+    /// `settings.partitioning` requests them (the TPC-H/C configuration).
+    pub fn load(data: &TpchData, spec: &Specialization, settings: &Settings) -> GenericDb {
+        let start = Instant::now();
+        let mut tables = HashMap::new();
+        for (name, table) in data.tables() {
+            tables.insert(name.to_string(), table.clone());
+        }
+        let mut fk_partitions = HashMap::new();
+        let mut pk_indexes = HashMap::new();
+        if settings.partitioning {
+            for p in &spec.fk_partitions {
+                let keys = int_column(&tables[&p.table], p.column);
+                fk_partitions
+                    .insert((p.table.clone(), p.column), ForeignKeyPartition::build(&keys));
+            }
+            for p in &spec.pk_indexes {
+                let keys = int_column(&tables[&p.table], p.column);
+                pk_indexes.insert((p.table.clone(), p.column), PrimaryKeyIndex::build(&keys));
+            }
+        }
+        let duration = start.elapsed();
+        let approx_bytes = tables.values().map(RowTable::approx_bytes).sum::<usize>()
+            + fk_partitions.values().map(ForeignKeyPartition::approx_bytes).sum::<usize>()
+            + pk_indexes.values().map(PrimaryKeyIndex::approx_bytes).sum::<usize>();
+        GenericDb {
+            catalog: data.catalog.clone(),
+            tables,
+            fk_partitions,
+            pk_indexes,
+            report: LoadReport { duration, approx_bytes },
+        }
+    }
+
+    /// Looks a loaded relation up by name (panics if absent).
+    pub fn table(&self, name: &str) -> &RowTable {
+        self.tables.get(name).unwrap_or_else(|| panic!("unknown table `{name}`"))
+    }
+}
+
+/// The specialized (columnar) database used by the specialized executor.
+pub struct SpecializedDb {
+    /// Schema catalog.
+    pub catalog: Catalog,
+    /// Column-layout relations (specialized engine).
+    pub tables: HashMap<String, ColumnTable>,
+    /// Foreign-key partitions built at load time (Section 3.2.1).
+    pub fk_partitions: HashMap<(String, usize), ForeignKeyPartition>,
+    /// Primary-key 1D indexes (Section 3.2.1).
+    pub pk_indexes: HashMap<(String, usize), PrimaryKeyIndex>,
+    /// Date-year indexes (Section 3.2.3).
+    pub date_indexes: HashMap<(String, usize), DateYearIndex>,
+    /// Per-table statistics collected during loading.
+    pub stats: HashMap<String, TableStats>,
+    /// Load timing and memory accounting.
+    pub report: LoadReport,
+}
+
+impl SpecializedDb {
+    /// Loads the TPC-H data in columnar layout, applying the query's
+    /// specialization report under the given settings:
+    ///
+    /// * `string_dict` → dictionary-encode the attributes the report lists;
+    /// * `field_removal` → only materialize referenced attributes;
+    /// * `partitioning` → build FK partitions and PK 1D arrays;
+    /// * `date_indices` → build year indices.
+    pub fn load(data: &TpchData, spec: &Specialization, settings: &Settings) -> SpecializedDb {
+        let start = Instant::now();
+        let mut tables = HashMap::new();
+        let mut stats = HashMap::new();
+        for (name, table) in data.tables() {
+            let mut cspec = ColumnSpec::default();
+            if settings.string_dict {
+                cspec.dictionaries = spec
+                    .dictionaries
+                    .iter()
+                    .filter(|d| d.table == name)
+                    .map(|d| (d.column, d.kind))
+                    .collect();
+            }
+            if settings.field_removal {
+                if let Some(used) = spec.used_columns.get(name) {
+                    cspec.used = Some(used.clone());
+                } else {
+                    // Table not referenced by the query: keep nothing.
+                    cspec.used = Some(Vec::new());
+                }
+            }
+            let ct = ColumnTable::from_rows(table, &cspec);
+            stats.insert(name.to_string(), TableStats::of_columns(&ct));
+            tables.insert(name.to_string(), ct);
+        }
+
+        // Structures whose key column was removed as unused are skipped: a
+        // query that never references an attribute cannot join or filter
+        // through it either.
+        let loaded = |table: &str, column: usize| {
+            !matches!(tables[table].column(column), legobase_storage::Column::Absent)
+        };
+        let mut fk_partitions = HashMap::new();
+        let mut pk_indexes = HashMap::new();
+        if settings.partitioning {
+            for p in &spec.fk_partitions {
+                if !loaded(&p.table, p.column) {
+                    continue;
+                }
+                let keys = tables[&p.table].column(p.column).as_i64();
+                fk_partitions
+                    .insert((p.table.clone(), p.column), ForeignKeyPartition::build(keys));
+            }
+            for p in &spec.pk_indexes {
+                if !loaded(&p.table, p.column) {
+                    continue;
+                }
+                let keys = tables[&p.table].column(p.column).as_i64();
+                pk_indexes.insert((p.table.clone(), p.column), PrimaryKeyIndex::build(keys));
+            }
+        }
+        let mut date_indexes = HashMap::new();
+        if settings.date_indices {
+            for p in &spec.date_indexes {
+                if !loaded(&p.table, p.column) {
+                    continue;
+                }
+                let days = tables[&p.table].column(p.column).as_date();
+                date_indexes.insert((p.table.clone(), p.column), DateYearIndex::build(days));
+            }
+        }
+
+        let duration = start.elapsed();
+        let approx_bytes = tables.values().map(ColumnTable::approx_bytes).sum::<usize>()
+            + fk_partitions.values().map(ForeignKeyPartition::approx_bytes).sum::<usize>()
+            + pk_indexes.values().map(PrimaryKeyIndex::approx_bytes).sum::<usize>()
+            + date_indexes.values().map(DateYearIndex::approx_bytes).sum::<usize>();
+        SpecializedDb {
+            catalog: data.catalog.clone(),
+            tables,
+            fk_partitions,
+            pk_indexes,
+            date_indexes,
+            stats,
+            report: LoadReport { duration, approx_bytes },
+        }
+    }
+
+    /// Looks a loaded relation up by name (panics if absent).
+    pub fn table(&self, name: &str) -> &ColumnTable {
+        self.tables.get(name).unwrap_or_else(|| panic!("unknown table `{name}`"))
+    }
+}
+
+/// Converts a columnar intermediate back to rows (used at result boundaries).
+pub fn column_table_to_rows(ct: &ColumnTable) -> RowTable {
+    let mut out = RowTable::with_capacity(ct.schema.clone(), ct.len);
+    for r in 0..ct.len {
+        let row: Vec<Value> = ct.columns.iter().map(|c| c.value_at(r)).collect();
+        out.push(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::settings::Config;
+    use legobase_storage::DictKind;
+
+    fn data() -> TpchData {
+        TpchData::generate(0.002)
+    }
+
+    fn sample_spec() -> Specialization {
+        let mut s = Specialization::default();
+        s.add_fk_partition("lineitem", 0);
+        s.add_pk_index("orders", 0);
+        s.add_date_index("lineitem", 10);
+        s.add_dictionary("lineitem", 14, DictKind::Normal);
+        s.used_columns.insert("lineitem".into(), vec![0, 5, 6, 10, 14]);
+        s.used_columns.insert("orders".into(), vec![0, 4]);
+        s
+    }
+
+    #[test]
+    fn generic_load_respects_partitioning_flag() {
+        let d = data();
+        let spec = sample_spec();
+        let no_part = GenericDb::load(&d, &spec, &Config::Dbx.settings());
+        assert!(no_part.fk_partitions.is_empty() && no_part.pk_indexes.is_empty());
+        let part = GenericDb::load(&d, &spec, &Config::TpchC.settings());
+        assert_eq!(part.fk_partitions.len(), 1);
+        assert_eq!(part.pk_indexes.len(), 1);
+        assert!(part.report.approx_bytes > no_part.report.approx_bytes);
+        assert_eq!(part.table("orders").len(), d.table("orders").len());
+    }
+
+    #[test]
+    fn specialized_load_builds_requested_structures() {
+        let d = data();
+        let spec = sample_spec();
+        let db = SpecializedDb::load(&d, &spec, &Config::OptC.settings());
+        assert!(db.fk_partitions.contains_key(&("lineitem".to_string(), 0)));
+        assert!(db.pk_indexes.contains_key(&("orders".to_string(), 0)));
+        assert!(db.date_indexes.contains_key(&("lineitem".to_string(), 10)));
+        // Field removal: unreferenced lineitem columns absent.
+        let li = db.table("lineitem");
+        assert!(matches!(li.column(1), legobase_storage::Column::Absent));
+        assert!(matches!(li.column(14), legobase_storage::Column::Dict(..)));
+        // Unreferenced tables keep no columns at all.
+        assert!(db.table("region").columns.iter().all(|c| matches!(c, legobase_storage::Column::Absent)));
+    }
+
+    #[test]
+    fn field_removal_shrinks_memory() {
+        let d = data();
+        let spec = sample_spec();
+        let full = SpecializedDb::load(&d, &spec, &Config::StrDictC.settings());
+        let pruned = SpecializedDb::load(&d, &spec, &Config::OptC.settings());
+        assert!(pruned.report.approx_bytes < full.report.approx_bytes);
+    }
+
+    #[test]
+    fn roundtrip_columns_to_rows() {
+        let d = data();
+        let db = SpecializedDb::load(&d, &Specialization::default(), &Config::HyPerLike.settings());
+        let rt = column_table_to_rows(db.table("nation"));
+        assert_eq!(rt.rows, d.table("nation").rows);
+    }
+}

@@ -1,0 +1,606 @@
+//! Typed execution kernels: the Rust rendering of the paper's generated C.
+//!
+//! The specialized executor works on [`Chunk`]s — columnar intermediates that
+//! share base-table columns by reference. Expressions are compiled *against
+//! the actual physical representation of their input* (plain strings vs.
+//! dictionary codes, dates as raw day counts, …): this is where the string
+//! dictionary lowering of Table II and the type-specialized comparisons of
+//! the generated code happen. Each kernel captures the exact vectors it
+//! reads, so per-row evaluation is an indexed load plus a primitive op —
+//! no `Value` boxing, no enum dispatch on types.
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::interp;
+use legobase_storage::{Column, Schema, Value};
+use std::sync::Arc;
+
+/// A columnar intermediate result.
+///
+/// `sel` maps logical row positions to physical indices in the columns
+/// (`None` = identity). `base` records the base table this chunk is a
+/// selection of, if any — partitioned joins and date indices only apply to
+/// base-table accesses.
+#[derive(Clone)]
+pub struct Chunk {
+    /// Output schema of the operator that produced this chunk.
+    pub schema: Schema,
+    /// One column per schema field.
+    pub cols: Vec<Column>,
+    /// Validity masks parallel to `cols`; `None` = no NULLs in that column.
+    pub nulls: Vec<Option<Arc<Vec<bool>>>>,
+    /// Optional selection vector (surviving physical row ids).
+    pub sel: Option<Arc<Vec<u32>>>,
+    /// Physical row count of the columns.
+    pub total: usize,
+    /// Name of the base table these columns belong to, when the chunk is a
+    /// (possibly filtered) base-table scan.
+    pub base: Option<String>,
+}
+
+impl Chunk {
+    /// Logical row count.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.total,
+        }
+    }
+
+    /// True when no rows survive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical index of logical row `i`.
+    #[inline(always)]
+    pub fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Iterates physical indices in logical order.
+    pub fn physical_rows(&self) -> Box<dyn Iterator<Item = usize> + '_> {
+        match &self.sel {
+            Some(s) => Box::new(s.iter().map(|&r| r as usize)),
+            None => Box::new(0..self.total),
+        }
+    }
+
+    /// Reads one cell (by *physical* row) back into the generic form.
+    pub fn value_at(&self, col: usize, phys: usize) -> Value {
+        if let Some(mask) = &self.nulls[col] {
+            if mask[phys] {
+                return Value::Null;
+            }
+        }
+        self.cols[col].value_at(phys)
+    }
+
+    /// Materializes logical row `i` as a generic tuple (interpreted mode and
+    /// result extraction).
+    pub fn row_values(&self, i: usize) -> Vec<Value> {
+        let p = self.phys(i);
+        (0..self.cols.len())
+            .map(|c| {
+                if matches!(self.cols[c], Column::Absent) {
+                    Value::Null
+                } else {
+                    self.value_at(c, p)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Kernels over physical row indices.
+pub type BoolK = Box<dyn Fn(usize) -> bool>;
+/// A compiled row → `f64` kernel.
+pub type F64K = Box<dyn Fn(usize) -> f64>;
+/// A compiled row → `i64` (key code) kernel.
+pub type I64K = Box<dyn Fn(usize) -> i64>;
+/// A compiled row → [`Value`] kernel (generic fallback).
+pub type ValK = Box<dyn Fn(usize) -> Value>;
+
+/// Compiles a predicate against a chunk's physical representation.
+pub fn compile_bool(e: &Expr, chunk: &Chunk) -> BoolK {
+    match e {
+        Expr::Lit(Value::Bool(b)) => {
+            let b = *b;
+            Box::new(move |_| b)
+        }
+        Expr::And(a, b) => {
+            let (fa, fb) = (compile_bool(a, chunk), compile_bool(b, chunk));
+            Box::new(move |r| fa(r) && fb(r))
+        }
+        Expr::Or(a, b) => {
+            let (fa, fb) = (compile_bool(a, chunk), compile_bool(b, chunk));
+            Box::new(move |r| fa(r) || fb(r))
+        }
+        Expr::Not(a) => {
+            let fa = compile_bool(a, chunk);
+            Box::new(move |r| !fa(r))
+        }
+        Expr::Cmp(op, a, b) => compile_cmp(*op, a, b, chunk),
+        Expr::StartsWith(a, p) => compile_str_pred(a, chunk, p.clone(), StrOp::StartsWith),
+        Expr::EndsWith(a, p) => compile_str_pred(a, chunk, p.clone(), StrOp::EndsWith),
+        Expr::Contains(a, p) => compile_str_pred(a, chunk, p.clone(), StrOp::Contains),
+        Expr::ContainsWordSeq(a, w1, w2) => compile_word_seq(a, chunk, w1.clone(), w2.clone()),
+        Expr::InList(a, vals) => compile_in_list(a, vals, chunk),
+        Expr::IsNull(a) => match a.as_ref() {
+            Expr::Col(i) => match chunk.nulls[*i].clone() {
+                Some(mask) => Box::new(move |r| mask[r]),
+                None => Box::new(|_| false),
+            },
+            _ => {
+                let f = compile_value(a, chunk);
+                Box::new(move |r| f(r).is_null())
+            }
+        },
+        _ => {
+            let f = compile_value(e, chunk);
+            Box::new(move |r| f(r).as_bool())
+        }
+    }
+}
+
+/// A unified numeric kernel: integers, floats, and dates all lower to `f64`
+/// comparisons/arithmetic without loss for TPC-H's value ranges (|v| < 2^53).
+fn numeric(e: &Expr, chunk: &Chunk) -> Option<F64K> {
+    match e {
+        Expr::Col(i) => {
+            if chunk.nulls[*i].is_some() {
+                return None; // nullable columns take the generic path
+            }
+            match chunk.cols[*i].clone() {
+                Column::I64(v) => Some(Box::new(move |r| v[r] as f64)),
+                Column::F64(v) => Some(Box::new(move |r| v[r])),
+                Column::Date(v) => Some(Box::new(move |r| v[r] as f64)),
+                Column::Bool(v) => Some(Box::new(move |r| v[r] as i64 as f64)),
+                _ => None,
+            }
+        }
+        Expr::Lit(Value::Int(v)) => {
+            let v = *v as f64;
+            Some(Box::new(move |_| v))
+        }
+        Expr::Lit(Value::Float(v)) => {
+            let v = *v;
+            Some(Box::new(move |_| v))
+        }
+        Expr::Lit(Value::Date(d)) => {
+            let v = d.0 as f64;
+            Some(Box::new(move |_| v))
+        }
+        Expr::Arith(op, a, b) => {
+            let (fa, fb) = (numeric(a, chunk)?, numeric(b, chunk)?);
+            Some(match op {
+                ArithOp::Add => Box::new(move |r| fa(r) + fb(r)),
+                ArithOp::Sub => Box::new(move |r| fa(r) - fb(r)),
+                ArithOp::Mul => Box::new(move |r| fa(r) * fb(r)),
+                ArithOp::Div => Box::new(move |r| fa(r) / fb(r)),
+            })
+        }
+        Expr::Year(a) => {
+            let fa = date_kernel(a, chunk)?;
+            Some(Box::new(move |r| legobase_storage::Date(fa(r)).year() as f64))
+        }
+        Expr::Case(c, t, f) => {
+            let fc = compile_bool(c, chunk);
+            let (ft, ff) = (numeric(t, chunk)?, numeric(f, chunk)?);
+            Some(Box::new(move |r| if fc(r) { ft(r) } else { ff(r) }))
+        }
+        _ => None,
+    }
+}
+
+fn date_kernel(e: &Expr, chunk: &Chunk) -> Option<Box<dyn Fn(usize) -> i32>> {
+    match e {
+        Expr::Col(i) => match chunk.cols[*i].clone() {
+            Column::Date(v) => Some(Box::new(move |r| v[r])),
+            _ => None,
+        },
+        Expr::Lit(Value::Date(d)) => {
+            let v = d.0;
+            Some(Box::new(move |_| v))
+        }
+        _ => None,
+    }
+}
+
+fn compile_cmp(op: CmpOp, a: &Expr, b: &Expr, chunk: &Chunk) -> BoolK {
+    // Numeric fast path (ints, floats, dates).
+    if let (Some(fa), Some(fb)) = (numeric(a, chunk), numeric(b, chunk)) {
+        return match op {
+            CmpOp::Eq => Box::new(move |r| fa(r) == fb(r)),
+            CmpOp::Ne => Box::new(move |r| fa(r) != fb(r)),
+            CmpOp::Lt => Box::new(move |r| fa(r) < fb(r)),
+            CmpOp::Le => Box::new(move |r| fa(r) <= fb(r)),
+            CmpOp::Gt => Box::new(move |r| fa(r) > fb(r)),
+            CmpOp::Ge => Box::new(move |r| fa(r) >= fb(r)),
+        };
+    }
+    // String column vs. literal.
+    if let (Expr::Col(i), Expr::Lit(Value::Str(s))) = (a, b) {
+        let s = s.clone();
+        match chunk.cols[*i].clone() {
+            Column::Dict(codes, dict) => {
+                // Table II: equality becomes an integer comparison.
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    let target = dict.code(&s);
+                    let eq = op == CmpOp::Eq;
+                    return match target {
+                        Some(t) => Box::new(move |r| (codes[r] == t) == eq),
+                        None => Box::new(move |_| !eq),
+                    };
+                }
+                // Ordering against a literal: one flag per distinct value,
+                // then a single indexed load per tuple.
+                let flags = dict.matching_flags(|v| str_cmp(op, v, &s));
+                return Box::new(move |r| flags[codes[r] as usize]);
+            }
+            Column::Str(v) => {
+                return Box::new(move |r| str_cmp(op, &v[r], &s));
+            }
+            _ => {}
+        }
+    }
+    // Generic fallback (string-string column comparisons etc.).
+    let fa = compile_value(a, chunk);
+    let fb = compile_value(b, chunk);
+    Box::new(move |r| {
+        let (va, vb) = (fa(r), fb(r));
+        if va.is_null() || vb.is_null() {
+            return false;
+        }
+        let ord = va.cmp(&vb);
+        match op {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Ge => ord.is_ge(),
+        }
+    })
+}
+
+fn str_cmp(op: CmpOp, a: &str, b: &str) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+enum StrOp {
+    StartsWith,
+    EndsWith,
+    Contains,
+}
+
+impl StrOp {
+    fn test(&self, s: &str, p: &str) -> bool {
+        match self {
+            StrOp::StartsWith => s.starts_with(p),
+            StrOp::EndsWith => s.ends_with(p),
+            StrOp::Contains => s.contains(p),
+        }
+    }
+}
+
+fn compile_str_pred(a: &Expr, chunk: &Chunk, pattern: String, op: StrOp) -> BoolK {
+    if let Expr::Col(i) = a {
+        match chunk.cols[*i].clone() {
+            Column::Dict(codes, dict) => {
+                // Ordered dictionaries answer startsWith with a code range
+                // (Table II); everything else via per-distinct-value flags.
+                if matches!(op, StrOp::StartsWith)
+                    && dict.kind() == legobase_storage::DictKind::Ordered
+                {
+                    return match dict.prefix_range(&pattern) {
+                        Some((lo, hi)) => Box::new(move |r| {
+                            let c = codes[r];
+                            c >= lo && c <= hi
+                        }),
+                        None => Box::new(|_| false),
+                    };
+                }
+                let flags = dict.matching_flags(|v| op.test(v, &pattern));
+                return Box::new(move |r| flags[codes[r] as usize]);
+            }
+            Column::Str(v) => {
+                return Box::new(move |r| op.test(&v[r], &pattern));
+            }
+            _ => {}
+        }
+    }
+    let f = compile_value(a, chunk);
+    Box::new(move |r| {
+        let v = f(r);
+        !v.is_null() && op.test(v.as_str(), &pattern)
+    })
+}
+
+fn compile_word_seq(a: &Expr, chunk: &Chunk, w1: String, w2: String) -> BoolK {
+    if let Expr::Col(i) = a {
+        match chunk.cols[*i].clone() {
+            Column::Dict(codes, dict) => {
+                // Word-token dictionaries scan integer token lists
+                // (Section 3.4); other kinds fall back to per-distinct flags.
+                if dict.kind() == legobase_storage::DictKind::WordToken {
+                    let (c1, c2) = (dict.word_code(&w1), dict.word_code(&w2));
+                    return match (c1, c2) {
+                        (Some(c1), Some(c2)) => {
+                            Box::new(move |r| dict.contains_word_seq(codes[r], c1, c2))
+                        }
+                        _ => Box::new(|_| false),
+                    };
+                }
+                let flags = dict.matching_flags(|v| interp::word_seq(v, &w1, &w2));
+                return Box::new(move |r| flags[codes[r] as usize]);
+            }
+            Column::Str(v) => {
+                return Box::new(move |r| interp::word_seq(&v[r], &w1, &w2));
+            }
+            _ => {}
+        }
+    }
+    let f = compile_value(a, chunk);
+    Box::new(move |r| {
+        let v = f(r);
+        !v.is_null() && interp::word_seq(v.as_str(), &w1, &w2)
+    })
+}
+
+fn compile_in_list(a: &Expr, vals: &[Value], chunk: &Chunk) -> BoolK {
+    if let Expr::Col(i) = a {
+        match chunk.cols[*i].clone() {
+            Column::Dict(codes, dict) => {
+                let mut flags = vec![false; dict.len()];
+                for v in vals {
+                    if let Value::Str(s) = v {
+                        if let Some(c) = dict.code(s) {
+                            flags[c as usize] = true;
+                        }
+                    }
+                }
+                return Box::new(move |r| flags[codes[r] as usize]);
+            }
+            Column::Str(v) => {
+                let set: Vec<String> = vals
+                    .iter()
+                    .filter_map(|x| match x {
+                        Value::Str(s) => Some(s.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                return Box::new(move |r| set.iter().any(|s| *s == v[r]));
+            }
+            Column::I64(v) => {
+                let set: Vec<i64> = vals
+                    .iter()
+                    .filter_map(|x| match x {
+                        Value::Int(n) => Some(*n),
+                        _ => None,
+                    })
+                    .collect();
+                return Box::new(move |r| set.contains(&v[r]));
+            }
+            _ => {}
+        }
+    }
+    let f = compile_value(a, chunk);
+    let vals = vals.to_vec();
+    Box::new(move |r| {
+        let v = f(r);
+        !v.is_null() && vals.contains(&v)
+    })
+}
+
+/// Compiles a numeric expression to an `f64` kernel (aggregation inputs).
+pub fn compile_f64(e: &Expr, chunk: &Chunk) -> F64K {
+    if let Some(k) = numeric(e, chunk) {
+        return k;
+    }
+    let f = compile_value(e, chunk);
+    Box::new(move |r| f(r).as_float())
+}
+
+/// Compiles a groupable column to an `i64` code kernel: integers verbatim,
+/// dates as day counts, dictionary strings as codes, booleans as 0/1.
+/// Returns `None` for plain strings (the caller falls back to generic keys).
+pub fn code_kernel(col: usize, chunk: &Chunk) -> Option<I64K> {
+    if chunk.nulls[col].is_some() {
+        return None;
+    }
+    match chunk.cols[col].clone() {
+        Column::I64(v) => Some(Box::new(move |r| v[r])),
+        Column::Date(v) => Some(Box::new(move |r| v[r] as i64)),
+        Column::Dict(codes, _) => Some(Box::new(move |r| codes[r] as i64)),
+        Column::Bool(v) => Some(Box::new(move |r| v[r] as i64)),
+        _ => None,
+    }
+}
+
+/// Generic value kernel: the universal fallback.
+pub fn compile_value(e: &Expr, chunk: &Chunk) -> ValK {
+    // Column and literal leaves read storage directly; everything composite
+    // is interpreted over a gathered mini-tuple.
+    match e {
+        Expr::Col(i) => {
+            let col = chunk.cols[*i].clone();
+            let mask = chunk.nulls[*i].clone();
+            Box::new(move |r| {
+                if let Some(m) = &mask {
+                    if m[r] {
+                        return Value::Null;
+                    }
+                }
+                col.value_at(r)
+            })
+        }
+        Expr::Lit(v) => {
+            let v = v.clone();
+            Box::new(move |_| v.clone())
+        }
+        _ => {
+            let mut cols = Vec::new();
+            e.collect_cols(&mut cols);
+            let leaves: Vec<(usize, ValK)> =
+                cols.iter().map(|&c| (c, compile_value(&Expr::Col(c), chunk))).collect();
+            let arity = chunk.cols.len();
+            let e = e.clone();
+            Box::new(move |r| {
+                let mut row = vec![Value::Null; arity];
+                for (c, k) in &leaves {
+                    row[*c] = k(r);
+                }
+                interp::eval(&e, &row)
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legobase_storage::column::{ColumnSpec, ColumnTable};
+    use legobase_storage::{Date, DictKind, RowTable, Type};
+
+    fn chunk(dict: Option<DictKind>) -> Chunk {
+        let schema = Schema::of(&[
+            ("k", Type::Int),
+            ("p", Type::Float),
+            ("mode", Type::Str),
+            ("d", Type::Date),
+        ]);
+        let mut rt = RowTable::new(schema.clone());
+        let modes = ["MAIL", "SHIP", "AIR", "REG AIR"];
+        for i in 0..8i64 {
+            rt.push(vec![
+                Value::Int(i),
+                Value::Float(i as f64 / 2.0),
+                Value::from(modes[i as usize % 4]),
+                Value::Date(Date::from_ymd(1993 + (i % 3) as i32, 1, 1)),
+            ]);
+        }
+        let spec = ColumnSpec {
+            dictionaries: dict.map(|k| vec![(2, k)]).unwrap_or_default(),
+            used: None,
+        };
+        let ct = ColumnTable::from_rows(&rt, &spec);
+        Chunk {
+            schema,
+            nulls: vec![None; ct.columns.len()],
+            cols: ct.columns,
+            sel: None,
+            total: ct.len,
+            base: None,
+        }
+    }
+
+    /// Kernels must agree with the interpreter on every row, with and
+    /// without dictionary encoding.
+    #[test]
+    fn kernels_agree_with_interpreter() {
+        let exprs = vec![
+            Expr::and(
+                Expr::ge(Expr::col(0), Expr::lit(2i64)),
+                Expr::lt(Expr::col(1), Expr::lit(3.0)),
+            ),
+            Expr::eq(Expr::col(2), Expr::lit("SHIP")),
+            Expr::ne(Expr::col(2), Expr::lit("MAIL")),
+            Expr::eq(Expr::col(2), Expr::lit("NOPE")),
+            Expr::starts_with(Expr::col(2), "REG"),
+            Expr::ends_with(Expr::col(2), "AIR"),
+            Expr::contains(Expr::col(2), "HI"),
+            Expr::in_list(Expr::col(2), vec!["AIR".into(), "SHIP".into()]),
+            Expr::in_list(Expr::col(0), vec![Value::Int(1), Value::Int(5)]),
+            Expr::lt(Expr::col(3), Expr::lit(Date::from_ymd(1994, 6, 1))),
+            Expr::ge(Expr::col(2), Expr::lit("MAIL")),
+            Expr::word_seq(Expr::col(2), "REG", "AIR"),
+            Expr::or(
+                Expr::not(Expr::eq(Expr::col(2), Expr::lit("AIR"))),
+                Expr::eq(Expr::col(0), Expr::lit(2i64)),
+            ),
+        ];
+        for dict in
+            [None, Some(DictKind::Normal), Some(DictKind::Ordered), Some(DictKind::WordToken)]
+        {
+            let ch = chunk(dict);
+            for e in &exprs {
+                let k = compile_bool(e, &ch);
+                for r in 0..ch.total {
+                    let row = ch.row_values(r);
+                    assert_eq!(
+                        k(r),
+                        interp::eval_pred(e, &row),
+                        "expr {e} row {r} dict {dict:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_kernels() {
+        let ch = chunk(None);
+        let e = Expr::mul(Expr::col(1), Expr::sub(Expr::lit(1.0), Expr::col(1)));
+        let k = compile_f64(&e, &ch);
+        for r in 0..ch.total {
+            let x = r as f64 / 2.0;
+            assert!((k(r) - x * (1.0 - x)).abs() < 1e-12);
+        }
+        let y = compile_f64(&Expr::year(Expr::col(3)), &ch);
+        assert_eq!(y(0), 1993.0);
+        assert_eq!(y(1), 1994.0);
+        let c = compile_f64(
+            &Expr::case(Expr::lt(Expr::col(0), Expr::lit(4i64)), Expr::lit(1.0), Expr::lit(0.0)),
+            &ch,
+        );
+        assert_eq!(c(0), 1.0);
+        assert_eq!(c(7), 0.0);
+    }
+
+    #[test]
+    fn code_kernels_cover_groupable_kinds() {
+        let ch = chunk(Some(DictKind::Normal));
+        assert_eq!(code_kernel(0, &ch).unwrap()(3), 3);
+        let dk = code_kernel(2, &ch).unwrap();
+        assert_eq!(dk(0), 0); // first distinct value gets code 0
+        assert_eq!(dk(4), 0); // same mode repeats
+        assert!(code_kernel(2, &chunk(None)).is_none()); // plain strings
+        assert!(code_kernel(3, &ch).is_some()); // dates
+    }
+
+    #[test]
+    fn null_masks_respected() {
+        let mut ch = chunk(None);
+        let mask = vec![false, true, false, true, false, true, false, true];
+        ch.nulls[0] = Some(Arc::new(mask));
+        let is_null = compile_bool(&Expr::is_null(Expr::col(0)), &ch);
+        assert!(!is_null(0) && is_null(1));
+        // Comparison with a NULL operand is false.
+        let cmp = compile_bool(&Expr::eq(Expr::col(0), Expr::lit(1i64)), &ch);
+        assert!(!cmp(1) && !cmp(0));
+        let v = compile_value(&Expr::col(0), &ch);
+        assert!(v(1).is_null());
+        assert_eq!(v(2), Value::Int(2));
+    }
+
+    #[test]
+    fn selection_mapping() {
+        let mut ch = chunk(None);
+        ch.sel = Some(Arc::new(vec![6, 2, 4]));
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch.phys(1), 2);
+        assert_eq!(ch.row_values(0)[0], Value::Int(6));
+        let phys: Vec<usize> = ch.physical_rows().collect();
+        assert_eq!(phys, vec![6, 2, 4]);
+    }
+}

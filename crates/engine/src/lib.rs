@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! The LegoBase query engine.
+//!
+//! The paper's engine is written once at a high level of abstraction and then
+//! specialized by the SC compiler. This crate contains both ends of that
+//! spectrum plus everything in between (see DESIGN.md for the substitution
+//! rationale):
+//!
+//! * [`expr`] / [`plan`] — the engine-independent physical algebra: every
+//!   TPC-H query is written once as a [`plan::QueryPlan`] and can run under
+//!   any configuration.
+//! * [`interp`] — a tree-walking expression interpreter over generic tuples
+//!   (the "no compilation" execution mode of the DBX baseline and the
+//!   `*Scala` configurations).
+//! * [`closure`] — expressions compiled to nested Rust closures (the
+//!   "operator inlining" analog of query compilers).
+//! * [`volcano`] — the classical pull-based iterator engine (DBX baseline).
+//! * [`push`] — the push-style engine of Neumann-style compilers and of
+//!   LegoBase's naive configuration, with optional row-level partitioned
+//!   joins (the TPC-H-compliant configuration).
+//! * [`kernel`] / [`specialized`] — the specialized executor standing in for
+//!   the paper's generated C: typed column access, partitioned joins, lowered
+//!   hash maps, dictionary integers, date-index scans, hoisted allocations.
+//! * [`settings`] — the optimization toggles and the named configurations of
+//!   Table III.
+//! * [`spec`] — the per-query specialization report produced by the SC
+//!   transformation pipeline and consumed at load/execution time.
+//! * [`db`] — data loading for both representation families, with timing and
+//!   memory accounting (Figs. 20–21).
+//! * [`interop`] — the inter-operator optimization of Fig. 9 (aggregation
+//!   merged into the join's materialization).
+
+pub mod closure;
+pub mod db;
+pub mod expr;
+pub mod interop;
+pub mod interp;
+pub mod kernel;
+pub mod plan;
+pub mod push;
+pub mod result;
+pub mod settings;
+pub mod spec;
+pub mod specialized;
+pub mod volcano;
+
+pub use db::{GenericDb, SpecializedDb};
+pub use expr::{AggKind, ArithOp, CmpOp, Expr};
+pub use plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
+pub use result::ResultTable;
+pub use settings::{Config, Settings};
+pub use spec::Specialization;

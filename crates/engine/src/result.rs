@@ -1,0 +1,247 @@
+//! Query results and result comparison.
+//!
+//! Cross-engine result equality is the correctness oracle of this repo: every
+//! TPC-H query must produce the same rows under every configuration, modulo
+//! floating-point rounding introduced by different aggregation orders.
+
+use legobase_storage::{RowTable, Tuple, Value};
+
+/// Shared aggregation accumulators used by the generic engines.
+#[derive(Clone, Debug)]
+pub enum Acc {
+    /// `SUM` (NULL until the first non-NULL input).
+    Sum(Option<Value>),
+    /// `COUNT`.
+    Count(i64),
+    /// `AVG` as (sum, count).
+    Avg(f64, i64),
+    /// `MIN`.
+    Min(Option<Value>),
+    /// `MAX`.
+    Max(Option<Value>),
+}
+
+impl Acc {
+    /// Creates the zero accumulator for an aggregate kind.
+    pub fn new(kind: &crate::expr::AggKind) -> Acc {
+        use crate::expr::AggKind;
+        match kind {
+            AggKind::Sum => Acc::Sum(None),
+            AggKind::Count => Acc::Count(0),
+            AggKind::Avg => Acc::Avg(0.0, 0),
+            AggKind::Min => Acc::Min(None),
+            AggKind::Max => Acc::Max(None),
+        }
+    }
+
+    /// Folds one input value into the accumulator. NULLs are skipped (SQL
+    /// aggregate semantics).
+    pub fn update(&mut self, v: Value) {
+        if v.is_null() {
+            return;
+        }
+        match self {
+            Acc::Sum(acc) => {
+                *acc = Some(match acc.take() {
+                    None => v,
+                    Some(Value::Int(a)) => match v {
+                        Value::Int(b) => Value::Int(a + b),
+                        other => Value::Float(a as f64 + other.as_float()),
+                    },
+                    Some(a) => Value::Float(a.as_float() + v.as_float()),
+                });
+            }
+            Acc::Count(n) => *n += 1,
+            Acc::Avg(s, n) => {
+                *s += v.as_float();
+                *n += 1;
+            }
+            Acc::Min(acc) => {
+                if acc.as_ref().is_none_or(|cur| v < *cur) {
+                    *acc = Some(v);
+                }
+            }
+            Acc::Max(acc) => {
+                if acc.as_ref().is_none_or(|cur| v > *cur) {
+                    *acc = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Produces the final aggregate value.
+    pub fn finish(self) -> Value {
+        match self {
+            Acc::Sum(acc) => acc.unwrap_or(Value::Null),
+            Acc::Count(n) => Value::Int(n),
+            Acc::Avg(_, 0) => Value::Null,
+            Acc::Avg(s, n) => Value::Float(s / n as f64),
+            Acc::Min(acc) | Acc::Max(acc) => acc.unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// A query result with comparison utilities.
+#[derive(Clone, Debug)]
+pub struct ResultTable(pub RowTable);
+
+impl ResultTable {
+    /// The result rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.0.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Rows in a canonical order (for order-insensitive comparison).
+    pub fn sorted_rows(&self) -> Vec<Tuple> {
+        let mut rows = self.0.rows.clone();
+        rows.sort();
+        rows
+    }
+
+    /// Order-insensitive equality with relative float tolerance `eps`.
+    pub fn approx_eq(&self, other: &ResultTable, eps: f64) -> bool {
+        self.diff(other, eps).is_none()
+    }
+
+    /// Returns a human-readable description of the first difference, if any.
+    pub fn diff(&self, other: &ResultTable, eps: f64) -> Option<String> {
+        if self.len() != other.len() {
+            return Some(format!("row counts differ: {} vs {}", self.len(), other.len()));
+        }
+        let (a, b) = (self.sorted_rows(), other.sorted_rows());
+        for (i, (ra, rb)) in a.iter().zip(&b).enumerate() {
+            if ra.len() != rb.len() {
+                return Some(format!("row {i}: arity {} vs {}", ra.len(), rb.len()));
+            }
+            for (c, (va, vb)) in ra.iter().zip(rb).enumerate() {
+                if !value_approx_eq(va, vb, eps) {
+                    return Some(format!("row {i} col {c}: {va:?} vs {vb:?}"));
+                }
+            }
+        }
+        None
+    }
+
+    /// Renders the result like the paper's `PrintOp` (pipe-separated rows).
+    pub fn display(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let header: Vec<&str> = self.0.schema.fields.iter().map(|f| f.name.as_str()).collect();
+        out.push_str(&header.join("|"));
+        out.push('\n');
+        for row in self.0.rows.iter().take(limit) {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            out.push_str(&cells.join("|"));
+            out.push('\n');
+        }
+        if self.len() > limit {
+            out.push_str(&format!("… ({} rows total)\n", self.len()));
+        }
+        out
+    }
+}
+
+fn value_approx_eq(a: &Value, b: &Value, eps: f64) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= eps * scale
+        }
+        (Value::Float(x), Value::Int(y)) | (Value::Int(y), Value::Float(x)) => {
+            let y = *y as f64;
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= eps * scale
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggKind;
+    use legobase_storage::{Schema, Type};
+
+    #[test]
+    fn accumulator_semantics() {
+        let mut sum = Acc::new(&AggKind::Sum);
+        sum.update(Value::Int(2));
+        sum.update(Value::Null);
+        sum.update(Value::Int(3));
+        assert_eq!(sum.finish(), Value::Int(5));
+
+        let mut sum_f = Acc::new(&AggKind::Sum);
+        sum_f.update(Value::Int(2));
+        sum_f.update(Value::Float(0.5));
+        assert_eq!(sum_f.finish(), Value::Float(2.5));
+
+        let mut count = Acc::new(&AggKind::Count);
+        count.update(Value::Int(1));
+        count.update(Value::Null);
+        assert_eq!(count.finish(), Value::Int(1));
+
+        let mut avg = Acc::new(&AggKind::Avg);
+        avg.update(Value::Float(1.0));
+        avg.update(Value::Float(3.0));
+        assert_eq!(avg.finish(), Value::Float(2.0));
+
+        let mut min = Acc::new(&AggKind::Min);
+        min.update(Value::Str("b".into()));
+        min.update(Value::Str("a".into()));
+        assert_eq!(min.finish(), Value::from("a"));
+
+        assert_eq!(Acc::new(&AggKind::Sum).finish(), Value::Null);
+        assert_eq!(Acc::new(&AggKind::Count).finish(), Value::Int(0));
+        assert_eq!(Acc::new(&AggKind::Avg).finish(), Value::Null);
+    }
+
+    fn table(rows: Vec<Tuple>) -> ResultTable {
+        let mut t = RowTable::new(Schema::of(&[("a", Type::Int), ("b", Type::Float)]));
+        for r in rows {
+            t.push(r);
+        }
+        ResultTable(t)
+    }
+
+    #[test]
+    fn approx_comparison() {
+        let a = table(vec![
+            vec![Value::Int(1), Value::Float(100.0)],
+            vec![Value::Int(2), Value::Float(1.0)],
+        ]);
+        // Same rows in different order, with tiny float noise.
+        let b = table(vec![
+            vec![Value::Int(2), Value::Float(1.0 + 1e-12)],
+            vec![Value::Int(1), Value::Float(100.0 - 1e-9)],
+        ]);
+        assert!(a.approx_eq(&b, 1e-9));
+        let c = table(vec![
+            vec![Value::Int(1), Value::Float(100.0)],
+            vec![Value::Int(2), Value::Float(2.0)],
+        ]);
+        assert!(!a.approx_eq(&c, 1e-9));
+        assert!(a.diff(&c, 1e-9).unwrap().contains("col 1"));
+        let d = table(vec![vec![Value::Int(1), Value::Float(100.0)]]);
+        assert!(a.diff(&d, 1e-9).unwrap().contains("row counts"));
+    }
+
+    #[test]
+    fn display_truncates() {
+        let a = table(vec![
+            vec![Value::Int(1), Value::Float(1.0)],
+            vec![Value::Int(2), Value::Float(2.0)],
+        ]);
+        let s = a.display(1);
+        assert!(s.starts_with("a|b\n"));
+        assert!(s.contains("2 rows total"));
+    }
+}

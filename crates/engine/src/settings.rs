@@ -1,0 +1,199 @@
+//! Optimization toggles and the named system configurations of Table III.
+//!
+//! Each field of [`Settings`] corresponds to one entry of the SC
+//! transformation pipeline (Fig. 5b); the named [`Config`]s reproduce the
+//! systems compared in the paper's evaluation (see DESIGN.md for the mapping
+//! rationale).
+
+/// Which executor family runs the plan.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// Pull-based iterator engine over generic tuples (the DBX baseline).
+    Volcano,
+    /// Push-style engine over generic tuples (naive LegoBase / HyPer-style
+    /// data flow).
+    Push,
+    /// The specialized executor standing in for LegoBase's generated C.
+    Specialized,
+}
+
+/// The full optimization flag set.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Settings {
+    /// Which executor family runs the plan.
+    pub engine: EngineKind,
+    /// Expressions compiled to closures/kernels (operator inlining analog);
+    /// `false` = per-tuple interpretation (DBX and the `*Scala` variants).
+    pub compiled_exprs: bool,
+    /// Data partitioning on primary/foreign keys (Section 3.2.1).
+    pub partitioning: bool,
+    /// Automatically inferred date indices (Section 3.2.3).
+    pub date_indices: bool,
+    /// Hash maps lowered to native chained arrays (Section 3.2.2).
+    pub hashmap_lowering: bool,
+    /// String dictionaries (Section 3.4).
+    pub string_dict: bool,
+    /// Column layout with late materialization (Section 3.3). When off, every
+    /// intermediate result materializes all of its attributes.
+    pub column_store: bool,
+    /// Domain-specific code motion: hoisted allocations and pre-initialized
+    /// aggregation stores (Section 3.5).
+    pub code_motion: bool,
+    /// Unused relational attributes are never loaded (Section 3.6.1).
+    pub field_removal: bool,
+    /// Inter-operator optimization: aggregation materialized directly inside
+    /// the join hash table (Section 3.1, Fig. 9).
+    pub interop_fusion: bool,
+}
+
+impl Settings {
+    /// Everything off, Volcano engine: the interpreted row-store baseline.
+    pub fn baseline() -> Settings {
+        Settings {
+            engine: EngineKind::Volcano,
+            compiled_exprs: false,
+            partitioning: false,
+            date_indices: false,
+            hashmap_lowering: false,
+            string_dict: false,
+            column_store: false,
+            code_motion: false,
+            field_removal: false,
+            interop_fusion: false,
+        }
+    }
+
+    /// Everything on, specialized engine: LegoBase(Opt/C).
+    pub fn optimized() -> Settings {
+        Settings {
+            engine: EngineKind::Specialized,
+            compiled_exprs: true,
+            partitioning: true,
+            date_indices: true,
+            hashmap_lowering: true,
+            string_dict: true,
+            column_store: true,
+            code_motion: true,
+            field_removal: true,
+            interop_fusion: true,
+        }
+    }
+
+    /// Functional-update helper for ablations.
+    pub fn with(mut self, f: impl FnOnce(&mut Settings)) -> Settings {
+        f(&mut self);
+        self
+    }
+}
+
+/// The named system configurations of Table III.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Config {
+    /// Commercial in-memory row store, no compilation.
+    Dbx,
+    /// HyPer's query compiler: push engine, operator inlining, partitioning.
+    HyPerLike,
+    /// LegoBase(Naive/C): push engine + inlining only.
+    NaiveC,
+    /// LegoBase(Naive/Scala): naive engine with interpreted dispatch.
+    NaiveScala,
+    /// LegoBase(TPC-H/C): naive + TPC-H-compliant data partitioning.
+    TpchC,
+    /// LegoBase(StrDict/C): TPC-H/C + string dictionaries.
+    StrDictC,
+    /// LegoBase(Opt/C): all optimizations.
+    OptC,
+    /// LegoBase(Opt/Scala): all optimizations, interpreted dispatch.
+    OptScala,
+}
+
+impl Config {
+    /// Every configuration, in Table III order.
+    pub const ALL: [Config; 8] = [
+        Config::Dbx,
+        Config::HyPerLike,
+        Config::NaiveC,
+        Config::NaiveScala,
+        Config::TpchC,
+        Config::StrDictC,
+        Config::OptC,
+        Config::OptScala,
+    ];
+
+    /// The paper's display name for this configuration.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Config::Dbx => "DBX",
+            Config::HyPerLike => "Compiler of HyPer",
+            Config::NaiveC => "LegoBase(Naive/C)",
+            Config::NaiveScala => "LegoBase(Naive/Scala)",
+            Config::TpchC => "LegoBase(TPC-H/C)",
+            Config::StrDictC => "LegoBase(StrDict/C)",
+            Config::OptC => "LegoBase(Opt/C)",
+            Config::OptScala => "LegoBase(Opt/Scala)",
+        }
+    }
+
+    /// The optimization flag set of this configuration.
+    pub fn settings(&self) -> Settings {
+        use EngineKind::*;
+        match self {
+            Config::Dbx => Settings::baseline(),
+            Config::NaiveC => Settings::baseline().with(|s| {
+                s.engine = Push;
+                s.compiled_exprs = true;
+            }),
+            Config::NaiveScala => Settings::baseline().with(|s| s.engine = Push),
+            Config::TpchC => Settings::baseline().with(|s| {
+                s.engine = Push;
+                s.compiled_exprs = true;
+                s.partitioning = true;
+            }),
+            Config::HyPerLike => Settings::baseline().with(|s| {
+                s.engine = Specialized;
+                s.compiled_exprs = true;
+                s.partitioning = true;
+                s.hashmap_lowering = true;
+            }),
+            Config::StrDictC => Settings::baseline().with(|s| {
+                s.engine = Specialized;
+                s.compiled_exprs = true;
+                s.partitioning = true;
+                s.hashmap_lowering = true;
+                s.string_dict = true;
+            }),
+            Config::OptC => Settings::optimized(),
+            Config::OptScala => Settings::optimized().with(|s| s.compiled_exprs = false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_follow_table_iii() {
+        assert_eq!(Config::Dbx.settings().engine, EngineKind::Volcano);
+        assert!(!Config::Dbx.settings().compiled_exprs);
+        let naive = Config::NaiveC.settings();
+        assert_eq!(naive.engine, EngineKind::Push);
+        assert!(naive.compiled_exprs && !naive.partitioning);
+        assert!(!Config::NaiveScala.settings().compiled_exprs);
+        let tpch = Config::TpchC.settings();
+        assert!(tpch.partitioning && !tpch.string_dict);
+        let strdict = Config::StrDictC.settings();
+        assert!(strdict.string_dict && !strdict.column_store);
+        let opt = Config::OptC.settings();
+        assert!(opt.column_store && opt.date_indices && opt.code_motion && opt.field_removal);
+        let opt_scala = Config::OptScala.settings();
+        assert!(opt_scala.column_store && !opt_scala.compiled_exprs);
+    }
+
+    #[test]
+    fn all_configs_named() {
+        for c in Config::ALL {
+            assert!(!c.name().is_empty());
+        }
+    }
+}

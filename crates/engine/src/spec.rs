@@ -1,0 +1,142 @@
+//! The per-query specialization report.
+//!
+//! In the paper, the SC transformation pipeline decides — per query — which
+//! data structures to materialize at load time: which relations to partition
+//! on which keys, which date attributes to index, which string attributes to
+//! dictionary-encode (and with which dictionary kind), and which attributes
+//! can be dropped entirely. [`Specialization`] is that decision record; the
+//! `legobase-sc` crate produces it by running the transformation pipeline
+//! over the plan-derived IR, and [`crate::db`] consumes it when loading.
+
+use legobase_storage::DictKind;
+use std::collections::HashMap;
+
+/// A dictionary-encoding decision for one string attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DictSpec {
+    /// Relation owning the attribute.
+    pub table: String,
+    /// Attribute index.
+    pub column: usize,
+    /// Dictionary flavor (Table II).
+    pub kind: DictKind,
+}
+
+/// One partitioned structure to build at load time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Relation to partition/index.
+    pub table: String,
+    /// Key attribute index.
+    pub column: usize,
+}
+
+/// Everything the loader needs to specialize the physical database for one
+/// query.
+#[derive(Clone, Debug, Default)]
+pub struct Specialization {
+    /// Foreign-key (or composite-primary-key) 2D partitions.
+    pub fk_partitions: Vec<PartitionSpec>,
+    /// Single-attribute primary-key 1D arrays.
+    pub pk_indexes: Vec<PartitionSpec>,
+    /// Date attributes to index by year.
+    pub date_indexes: Vec<PartitionSpec>,
+    /// String attributes to dictionary-encode.
+    pub dictionaries: Vec<DictSpec>,
+    /// Attributes referenced per base table (unused-field removal); tables
+    /// absent from the map are not used by the query at all.
+    pub used_columns: HashMap<String, Vec<usize>>,
+}
+
+impl Specialization {
+    /// True when an FK partition on `(table, column)` was requested.
+    pub fn has_fk_partition(&self, table: &str, column: usize) -> bool {
+        self.fk_partitions.iter().any(|p| p.table == table && p.column == column)
+    }
+
+    /// True when a PK index on `(table, column)` was requested.
+    pub fn has_pk_index(&self, table: &str, column: usize) -> bool {
+        self.pk_indexes.iter().any(|p| p.table == table && p.column == column)
+    }
+
+    /// True when a date index on `(table, column)` was requested.
+    pub fn has_date_index(&self, table: &str, column: usize) -> bool {
+        self.date_indexes.iter().any(|p| p.table == table && p.column == column)
+    }
+
+    /// The dictionary kind chosen for `(table, column)`, if any.
+    pub fn dict_kind(&self, table: &str, column: usize) -> Option<DictKind> {
+        self.dictionaries
+            .iter()
+            .find(|d| d.table == table && d.column == column)
+            .map(|d| d.kind)
+    }
+
+    fn push_unique(list: &mut Vec<PartitionSpec>, table: &str, column: usize) {
+        if !list.iter().any(|p| p.table == table && p.column == column) {
+            list.push(PartitionSpec { table: table.to_string(), column });
+        }
+    }
+
+    /// Requests a foreign-key partition (Section 3.2.1).
+    pub fn add_fk_partition(&mut self, table: &str, column: usize) {
+        Self::push_unique(&mut self.fk_partitions, table, column);
+    }
+
+    /// Requests a primary-key 1D index (Section 3.2.1).
+    pub fn add_pk_index(&mut self, table: &str, column: usize) {
+        Self::push_unique(&mut self.pk_indexes, table, column);
+    }
+
+    /// Requests a date-year index (Section 3.2.3).
+    pub fn add_date_index(&mut self, table: &str, column: usize) {
+        Self::push_unique(&mut self.date_indexes, table, column);
+    }
+
+    /// Registers (or upgrades) a dictionary decision. Kind upgrades follow
+    /// capability order: `Normal < Ordered` and `Normal < WordToken` — a
+    /// column needing both equality and prefix operations gets `Ordered`.
+    pub fn add_dictionary(&mut self, table: &str, column: usize, kind: DictKind) {
+        if let Some(existing) =
+            self.dictionaries.iter_mut().find(|d| d.table == table && d.column == column)
+        {
+            if existing.kind == DictKind::Normal {
+                existing.kind = kind;
+            }
+        } else {
+            self.dictionaries.push(DictSpec { table: table.to_string(), column, kind });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_lookup() {
+        let mut s = Specialization::default();
+        s.add_fk_partition("lineitem", 0);
+        s.add_fk_partition("lineitem", 0);
+        s.add_pk_index("orders", 0);
+        s.add_date_index("lineitem", 10);
+        assert_eq!(s.fk_partitions.len(), 1);
+        assert!(s.has_fk_partition("lineitem", 0));
+        assert!(!s.has_fk_partition("lineitem", 1));
+        assert!(s.has_pk_index("orders", 0));
+        assert!(s.has_date_index("lineitem", 10));
+    }
+
+    #[test]
+    fn dictionary_kind_upgrade() {
+        let mut s = Specialization::default();
+        s.add_dictionary("part", 4, DictKind::Normal);
+        assert_eq!(s.dict_kind("part", 4), Some(DictKind::Normal));
+        s.add_dictionary("part", 4, DictKind::Ordered);
+        assert_eq!(s.dict_kind("part", 4), Some(DictKind::Ordered));
+        // An Ordered dictionary is not downgraded.
+        s.add_dictionary("part", 4, DictKind::Normal);
+        assert_eq!(s.dict_kind("part", 4), Some(DictKind::Ordered));
+        assert_eq!(s.dict_kind("part", 5), None);
+    }
+}

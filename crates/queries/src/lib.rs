@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! Physical plans for the full TPC-H workload (Q1–Q22).
+//!
+//! As in the paper (Section 2.1), traditional query optimization — join
+//! ordering in particular — is treated as an orthogonal problem: each query
+//! is written directly as the physical plan a conventional optimizer would
+//! produce, using the plan-builder DSL in [`builder`]. Scalar and correlated
+//! subqueries are flattened into materialized stages, which is what the
+//! commercial optimizer the paper borrows plans from does as well.
+//!
+//! Every query runs unmodified under every engine configuration; the
+//! cross-engine equality tests in `tests/` use this property as the
+//! correctness oracle.
+
+pub mod builder;
+mod queries;
+
+pub use queries::{all_queries, query, QUERY_NAMES};

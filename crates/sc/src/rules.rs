@@ -1,0 +1,142 @@
+//! The transformer framework: SC's `analysis += rule` / `rewrite += rule`
+//! API (Fig. 5a), in Rust.
+//!
+//! A [`Transformer`] is a black box over [`Program`]s (Section 2.2: "SC
+//! transformers act as black boxes, which can be plugged in at any stage in
+//! the pipeline"). Rules are closures pattern-matching on IR nodes; the
+//! framework owns the traversal so optimization authors never touch
+//! scheduling or code-generation internals.
+
+use crate::ir::{Expr, Program, Stmt};
+use legobase_engine::{Settings, Specialization};
+use legobase_storage::Catalog;
+
+/// Shared compilation context: schema annotations in, specialization
+/// decisions out.
+pub struct TransformCtx<'a> {
+    /// Schema catalog (annotations in).
+    pub catalog: &'a Catalog,
+    /// The optimization flag set being compiled under.
+    pub settings: &'a Settings,
+    /// The physical plan being compiled (plan-level analyses read it; the
+    /// paper's transformers read the same information from operator objects
+    /// still present at the higher IR levels).
+    pub query: &'a legobase_engine::QueryPlan,
+    /// Decision record consumed by the loader/executor.
+    pub spec: Specialization,
+}
+
+/// A pipeline stage.
+pub trait Transformer {
+    /// Display name, shown in the pipeline trace.
+    fn name(&self) -> &'static str;
+    /// Transforms the program, optionally recording decisions in `ctx.spec`.
+    fn run(&self, prog: Program, ctx: &mut TransformCtx<'_>) -> Program;
+}
+
+/// Applies a statement rewriter bottom-up over the whole program. The rule
+/// returns `Some(replacement)` to rewrite a statement (possibly to several
+/// statements, possibly to none) or `None` to keep it.
+pub fn rewrite_stmts(prog: Program, rule: &impl Fn(&Stmt) -> Option<Vec<Stmt>>) -> Program {
+    fn rec(stmts: &[Stmt], rule: &impl Fn(&Stmt) -> Option<Vec<Stmt>>) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            let rebuilt = s.map_bodies(&|b| rec(b, rule));
+            match rule(&rebuilt) {
+                Some(replacement) => out.extend(replacement),
+                None => out.push(rebuilt),
+            }
+        }
+        out
+    }
+    Program { stmts: rec(&prog.stmts, rule), ..prog }
+}
+
+/// Applies an expression rewriter to every expression in the program
+/// (bottom-up within each expression).
+pub fn rewrite_exprs(prog: Program, rule: &impl Fn(&Expr) -> Option<Expr>) -> Program {
+    rewrite_stmts(prog, &|s| Some(vec![s.map_exprs(rule)]))
+}
+
+/// Runs an analysis visitor over every statement.
+pub fn analyze(prog: &Program, mut visit: impl FnMut(&Stmt)) {
+    prog.walk(&mut visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BinOp, Sym, Ty};
+
+    fn prog() -> Program {
+        Program {
+            name: "t".into(),
+            next_sym: 3,
+            stmts: vec![
+                Stmt::Var { sym: Sym(0), ty: Ty::I64, init: Expr::Int(0) },
+                Stmt::ScanLoop {
+                    row: Sym(1),
+                    table: "r".into(),
+                    body: vec![Stmt::If {
+                        cond: Expr::Bool(true),
+                        then_b: vec![Stmt::Assign {
+                            sym: Sym(0),
+                            value: Expr::bin(BinOp::Add, Expr::sym(Sym(0)), Expr::Int(1)),
+                        }],
+                        else_b: vec![],
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stmt_rewriter_reaches_nested_bodies() {
+        // Drop every Assign, wherever it is.
+        let out = rewrite_stmts(prog(), &|s| match s {
+            Stmt::Assign { .. } => Some(vec![]),
+            _ => None,
+        });
+        assert_eq!(out.count(|s| matches!(s, Stmt::Assign { .. })), 0);
+        assert_eq!(out.count(|s| matches!(s, Stmt::ScanLoop { .. })), 1);
+    }
+
+    #[test]
+    fn stmt_rewriter_can_expand() {
+        let out = rewrite_stmts(prog(), &|s| match s {
+            Stmt::Var { sym, ty, init } => Some(vec![
+                Stmt::Comment("hoisted".into()),
+                Stmt::Var { sym: *sym, ty: ty.clone(), init: init.clone() },
+            ]),
+            _ => None,
+        });
+        assert_eq!(out.count(|s| matches!(s, Stmt::Comment(_))), 1);
+        assert_eq!(out.stmts.len(), 3);
+    }
+
+    #[test]
+    fn expr_rewriter_reaches_nested_exprs() {
+        let out = rewrite_exprs(prog(), &|e| match e {
+            Expr::Int(1) => Some(Expr::Int(42)),
+            _ => None,
+        });
+        let mut found = false;
+        out.walk(&mut |s| {
+            if let Stmt::Assign { value, .. } = s {
+                value.visit(&mut |e| {
+                    if *e == Expr::Int(42) {
+                        found = true;
+                    }
+                });
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn analyze_visits_all() {
+        let mut n = 0;
+        analyze(&prog(), |_| n += 1);
+        assert_eq!(n, prog().size());
+    }
+}

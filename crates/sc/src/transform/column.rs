@@ -1,0 +1,73 @@
+//! ColumnStore (Section 3.3) + unused-field removal (Section 3.6.1):
+//! array-of-records becomes record-of-arrays; unreferenced attributes are
+//! never loaded.
+use crate::ir::*;
+use crate::rules::{Transformer, TransformCtx};
+use std::collections::HashMap;
+
+// --------------------------------------------------------------------------
+// ColumnStore (Section 3.3) + unused-field removal (Section 3.6.1)
+// --------------------------------------------------------------------------
+
+/// Row→column layout change (Section 3.3, Fig. 13) plus unused-field
+/// removal (Section 3.6.1): field accesses on base rows become direct
+/// column-vector loads, and unreferenced attributes are never loaded.
+pub struct ColumnStore;
+
+impl Transformer for ColumnStore {
+    fn name(&self) -> &'static str {
+        "ColumnStore"
+    }
+
+    fn run(&self, prog: Program, ctx: &mut TransformCtx<'_>) -> Program {
+        // ---- analysis: referenced attributes per base table (the same
+        // analysis powers unused-field removal).
+        let used = legobase_engine::plan::used_base_columns(ctx.query, &|t: &str| {
+            ctx.catalog.table(t).schema.clone()
+        });
+        for (table, cols) in used {
+            ctx.spec.used_columns.entry(table).or_default().extend(cols.iter().copied());
+        }
+        for cols in ctx.spec.used_columns.values_mut() {
+            cols.sort_unstable();
+            cols.dedup();
+        }
+
+        // ---- IR rewriting: row-field access on base rows becomes a direct
+        // column-vector load (array of records → record of arrays, Fig. 13).
+        fn rewrite_with_env(
+            stmts: &[Stmt],
+            env: &mut HashMap<Sym, String>,
+        ) -> Vec<Stmt> {
+            let mut out = Vec::with_capacity(stmts.len());
+            for s in stmts {
+                // Extend the environment for loops that bind base rows.
+                let bound = match s {
+                    Stmt::ScanLoop { row, table, .. } if !table.starts_with('#') => {
+                        Some((*row, table.clone()))
+                    }
+                    Stmt::DateIndexLoop { row, table, .. } => Some((*row, table.clone())),
+                    Stmt::PartitionLookupLoop { row, table, .. } => Some((*row, table.clone())),
+                    _ => None,
+                };
+                if let Some((r, t)) = &bound {
+                    env.insert(*r, t.clone());
+                }
+                let s2 = s.map_bodies(&|b| rewrite_with_env(b, &mut env.clone()));
+                let env2 = env.clone();
+                let s3 = s2.map_exprs(&|e| match e {
+                    Expr::Field(r, f) => env2.get(r).map(|t| Expr::ColumnLoad {
+                        table: t.clone(),
+                        column: f.clone(),
+                        idx: *r,
+                    }),
+                    _ => None,
+                });
+                out.push(s3);
+            }
+            out
+        }
+        let stmts = rewrite_with_env(&prog.stmts, &mut HashMap::new());
+        Program { stmts, ..prog }
+    }
+}

@@ -1,0 +1,219 @@
+//! HorizontalFusion (Table IV; footnote 18): adjacent loops over the same
+//! range fuse into one loop when their bodies are independent.
+use crate::ir::*;
+use crate::rules::{Transformer, TransformCtx};
+
+// --------------------------------------------------------------------------
+// HorizontalFusion (Table IV; footnote 18)
+// --------------------------------------------------------------------------
+
+/// Fuses adjacent loops that iterate the same range into one loop
+/// ("horizontal loop fusion, in which different loops iterating over the
+/// same range are fused into one loop", footnote 18). Two adjacent
+/// `ScanLoop`s over the same relation — or two `DateIndexLoop`s over the
+/// same index with identical bounds — are merged when their bodies are
+/// independent: neither body reads or writes scalar state or collections
+/// the other writes, and at most one of them emits result tuples (so the
+/// output order is preserved).
+pub struct HorizontalFusion;
+
+impl Transformer for HorizontalFusion {
+    fn name(&self) -> &'static str {
+        "HorizontalFusion"
+    }
+
+    fn run(&self, prog: Program, _ctx: &mut TransformCtx<'_>) -> Program {
+        horizontal_fuse(prog)
+    }
+}
+
+/// The fusion pass as a plain function (it is purely structural and needs no
+/// compilation context) — used by the semantics property tests.
+pub fn horizontal_fuse(prog: Program) -> Program {
+    Program { stmts: fuse_block(&prog.stmts), ..prog }
+}
+
+fn fuse_block(stmts: &[Stmt]) -> Vec<Stmt> {
+    // Bottom-up: fuse inside nested bodies first, then adjacent siblings.
+    let mut out: Vec<Stmt> =
+        stmts.iter().map(|s| s.map_bodies(&|b| fuse_block(b))).collect();
+    let mut i = 0;
+    while i + 1 < out.len() {
+        match try_fuse(&out[i], &out[i + 1]) {
+            Some(fused) => {
+                out[i] = fused;
+                out.remove(i + 1);
+                // Stay at i: the fused loop may merge with the next one too.
+            }
+            None => i += 1,
+        }
+    }
+    out
+}
+
+fn try_fuse(a: &Stmt, b: &Stmt) -> Option<Stmt> {
+    match (a, b) {
+        (
+            Stmt::ScanLoop { row: r1, table: t1, body: b1 },
+            Stmt::ScanLoop { row: r2, table: t2, body: b2 },
+        ) if t1 == t2 => fuse_bodies(*r1, b1, *r2, b2).map(|body| Stmt::ScanLoop {
+            row: *r1,
+            table: t1.clone(),
+            body,
+        }),
+        (
+            Stmt::DateIndexLoop { row: r1, table: t1, column: c1, lo: l1, hi: h1, body: b1 },
+            Stmt::DateIndexLoop { row: r2, table: t2, column: c2, lo: l2, hi: h2, body: b2 },
+        ) if t1 == t2 && c1 == c2 && l1 == l2 && h1 == h2 => {
+            fuse_bodies(*r1, b1, *r2, b2).map(|body| Stmt::DateIndexLoop {
+                row: *r1,
+                table: t1.clone(),
+                column: c1.clone(),
+                lo: *l1,
+                hi: *h1,
+                body,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn fuse_bodies(r1: Sym, b1: &[Stmt], r2: Sym, b2: &[Stmt]) -> Option<Vec<Stmt>> {
+    let e1 = body_effects(b1);
+    let e2 = body_effects(b2);
+    if !fusable(&e1, &e2) {
+        return None;
+    }
+    let mut fused = b1.to_vec();
+    fused.extend(subst_sym(b2, r2, r1));
+    Some(fused)
+}
+
+/// Read/write footprint of a loop body, used as the fusion safety check.
+#[derive(Default)]
+struct Effects {
+    /// Scalar symbols read (free uses; locally-bound symbols are unique
+    /// program-wide so cross-body aliasing through locals is impossible).
+    reads: Vec<Sym>,
+    /// Scalar symbols assigned.
+    writes: Vec<Sym>,
+    /// Collections probed.
+    map_reads: Vec<Sym>,
+    /// Collections inserted into / updated.
+    map_writes: Vec<Sym>,
+    /// Emits result tuples (or sorts/limits the emit buffer).
+    emits: bool,
+    /// Contains an opaque call — treated as arbitrary effects.
+    opaque: bool,
+}
+
+fn body_effects(stmts: &[Stmt]) -> Effects {
+    let mut e = Effects::default();
+    fn expr_effects(x: &Expr, e: &mut Effects) {
+        x.syms(&mut e.reads);
+        x.visit(&mut |sub| {
+            if matches!(sub, Expr::Call(..)) {
+                e.opaque = true;
+            }
+        });
+    }
+    fn rec(stmts: &[Stmt], e: &mut Effects) {
+        for s in stmts {
+            match s {
+                Stmt::Comment(_) => {}
+                Stmt::Let { value, .. } | Stmt::Var { init: value, .. } => {
+                    expr_effects(value, e);
+                }
+                Stmt::Assign { sym, value } => {
+                    e.writes.push(*sym);
+                    expr_effects(value, e);
+                }
+                Stmt::If { cond, .. } => expr_effects(cond, e),
+                Stmt::ScanLoop { .. } | Stmt::TiledScanLoop { .. } | Stmt::DateIndexLoop { .. } => {}
+                Stmt::MultiMapNew { .. } | Stmt::BucketArrayNew { .. } | Stmt::AggMapNew { .. } => {}
+                Stmt::MultiMapInsert { map, key, row } => {
+                    e.map_writes.push(*map);
+                    expr_effects(key, e);
+                    e.reads.push(*row);
+                }
+                Stmt::MultiMapLookup { map, key, .. } => {
+                    e.map_reads.push(*map);
+                    expr_effects(key, e);
+                }
+                Stmt::PartitionLookupLoop { key, .. } => expr_effects(key, e), // load-time data: immutable
+                Stmt::BucketArrayInsert { arr, key, row } => {
+                    e.map_writes.push(*arr);
+                    expr_effects(key, e);
+                    e.reads.push(*row);
+                }
+                Stmt::BucketArrayLookup { arr, key, .. } => {
+                    e.map_reads.push(*arr);
+                    expr_effects(key, e);
+                }
+                Stmt::AggUpdate { map, key, updates } => {
+                    e.map_writes.push(*map);
+                    expr_effects(key, e);
+                    for (_, u) in updates {
+                        expr_effects(u, e);
+                    }
+                }
+                Stmt::AggForeach { map, .. } => e.map_reads.push(*map),
+                Stmt::Emit { values } => {
+                    e.emits = true;
+                    for v in values {
+                        expr_effects(v, e);
+                    }
+                }
+                Stmt::SortEmitted { .. } | Stmt::LimitEmitted { .. } => e.emits = true,
+            }
+            for b in s.bodies() {
+                rec(b, e);
+            }
+        }
+    }
+    rec(stmts, &mut e);
+    e
+}
+
+fn fusable(a: &Effects, b: &Effects) -> bool {
+    let disjoint = |x: &[Sym], y: &[Sym]| x.iter().all(|s| !y.contains(s));
+    if a.opaque || b.opaque || (a.emits && b.emits) {
+        return false;
+    }
+    disjoint(&a.writes, &b.reads)
+        && disjoint(&b.writes, &a.reads)
+        && disjoint(&a.writes, &b.writes)
+        && disjoint(&a.map_writes, &b.map_reads)
+        && disjoint(&b.map_writes, &a.map_reads)
+        && disjoint(&a.map_writes, &b.map_writes)
+}
+
+/// Renames every free use of `from` to `to` in a statement list (loop-row
+/// substitution for fusion). Binders are never renamed: symbols are unique
+/// program-wide, so `from` cannot be re-bound inside `stmts`.
+fn subst_sym(stmts: &[Stmt], from: Sym, to: Sym) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| {
+            let s = s.map_bodies(&|b| subst_sym(b, from, to));
+            let mut s = s.map_exprs(&|e| match e {
+                Expr::Sym(x) if *x == from => Some(Expr::Sym(to)),
+                Expr::Field(x, f) if *x == from => Some(Expr::Field(to, f.clone())),
+                Expr::ColumnLoad { table, column, idx } if *idx == from => {
+                    Some(Expr::ColumnLoad { table: table.clone(), column: column.clone(), idx: to })
+                }
+                _ => None,
+            });
+            // Row-valued statement operands are symbols outside expressions.
+            match &mut s {
+                Stmt::MultiMapInsert { row, .. } | Stmt::BucketArrayInsert { row, .. }
+                    if *row == from =>
+                {
+                    *row = to;
+                }
+                _ => {}
+            }
+            s
+        })
+        .collect()
+}

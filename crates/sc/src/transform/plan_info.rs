@@ -1,0 +1,101 @@
+//! Plan-level provenance shared by the analysis phases: which base
+//! (table, column) feeds each output column of an operator. The paper's
+//! transformers read the same information from the operator objects still
+//! present at high IR levels.
+use crate::rules::TransformCtx;
+use legobase_engine::expr::Expr as PExpr;
+use legobase_engine::plan::{JoinKind, Plan};
+use std::collections::HashMap;
+
+// --------------------------------------------------------------------------
+// Plan-level provenance: which base (table, column) feeds each output column
+// of an operator. The paper's transformers read the same information from
+// the operator objects still present at high IR levels.
+// --------------------------------------------------------------------------
+
+pub(crate) type Prov = Vec<Option<(String, usize)>>;
+
+pub(crate) fn provenance(
+    plan: &Plan,
+    ctx: &TransformCtx<'_>,
+    stage_prov: &HashMap<String, Prov>,
+) -> Prov {
+    match plan {
+        Plan::Scan { table } => {
+            if let Some(p) = stage_prov.get(table) {
+                p.clone()
+            } else {
+                let schema = &ctx.catalog.table(table).schema;
+                (0..schema.len()).map(|i| Some((table.clone(), i))).collect()
+            }
+        }
+        Plan::Select { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::Distinct { input } => provenance(input, ctx, stage_prov),
+        Plan::Project { input, exprs } => {
+            let inner = provenance(input, ctx, stage_prov);
+            exprs
+                .iter()
+                .map(|(e, _)| match e {
+                    PExpr::Col(i) => inner[*i].clone(),
+                    _ => None,
+                })
+                .collect()
+        }
+        Plan::HashJoin { left, right, kind, .. } => {
+            let mut l = provenance(left, ctx, stage_prov);
+            match kind {
+                JoinKind::Inner | JoinKind::LeftOuter => {
+                    l.extend(provenance(right, ctx, stage_prov));
+                }
+                JoinKind::Semi | JoinKind::Anti => {}
+            }
+            l
+        }
+        Plan::Agg { input, group_by, aggs } => {
+            let inner = provenance(input, ctx, stage_prov);
+            let mut out: Prov = group_by.iter().map(|&g| inner[g].clone()).collect();
+            out.extend(std::iter::repeat_n(None, aggs.len()));
+            out
+        }
+    }
+}
+
+/// Runs `visit(plan, prov_of_its_input(s))` over every operator of the query.
+pub(crate) fn walk_plans(
+    ctx: &TransformCtx<'_>,
+    mut visit: impl FnMut(&Plan, &dyn Fn(&Plan) -> Prov),
+) {
+    let mut stage_prov: HashMap<String, Prov> = HashMap::new();
+    let mut all: Vec<&Plan> = Vec::new();
+    for (name, plan) in &ctx.query.stages {
+        // Record the stage output provenance before the later plans run.
+        all.push(plan);
+        let resolver_map = stage_prov.clone();
+        let p = provenance(plan, ctx, &resolver_map);
+        stage_prov.insert(format!("#{name}"), p);
+    }
+    all.push(&ctx.query.root);
+    let resolver_map = stage_prov;
+    for plan in all {
+        let resolve = |p: &Plan| provenance(p, ctx, &resolver_map);
+        fn rec(plan: &Plan, visit: &mut impl FnMut(&Plan, &dyn Fn(&Plan) -> Prov), resolve: &dyn Fn(&Plan) -> Prov) {
+            visit(plan, resolve);
+            for c in plan.children() {
+                rec(c, visit, resolve);
+            }
+        }
+        rec(plan, &mut visit, &resolve);
+    }
+}
+
+/// The base table a plan node scans, seen through filters (the executor's
+/// `chunk.base` propagation).
+pub(crate) fn base_table(plan: &Plan) -> Option<&str> {
+    match plan {
+        Plan::Scan { table } if !table.starts_with('#') => Some(table),
+        Plan::Select { input, .. } => base_table(input),
+        _ => None,
+    }
+}

@@ -1,0 +1,174 @@
+//! FieldPromotion — "Flattening Nested Structs" / parameter promotion on
+//! records (Table IV; Section 3.6.2): repeatedly-read row fields become
+//! locals loaded once per iteration.
+use crate::ir::*;
+use crate::rules::{Transformer, TransformCtx};
+use legobase_storage::Type;
+use std::collections::HashMap;
+
+// --------------------------------------------------------------------------
+// FieldPromotion — "Flattening Nested Structs" / parameter promotion on
+// records (Table IV; Section 3.6.2)
+// --------------------------------------------------------------------------
+
+/// Promotes repeatedly-accessed row fields to local variables: a field of a
+/// loop row that is read two or more times inside the loop body is loaded
+/// once into a local at the top of the body, and every use refers to the
+/// local. This is the record flavor of the paper's parameter promotion: the
+/// struct access (one memory dereference per use) is flattened to a local
+/// variable the C compiler can keep in a register.
+pub struct FieldPromotion;
+
+impl Transformer for FieldPromotion {
+    fn name(&self) -> &'static str {
+        "FieldPromotion"
+    }
+
+    fn run(&self, mut prog: Program, ctx: &mut TransformCtx<'_>) -> Program {
+        let next = std::cell::Cell::new(prog.next_sym);
+        let stmts = promote_block(&prog.stmts, ctx.catalog, &next);
+        prog.stmts = stmts;
+        prog.next_sym = next.get();
+        prog
+    }
+}
+
+fn promote_block(
+    stmts: &[Stmt],
+    catalog: &legobase_storage::Catalog,
+    next: &std::cell::Cell<u32>,
+) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| {
+            let s = s.map_bodies(&|b| promote_block(b, catalog, next));
+            // Loops binding a base-table row are promotion sites.
+            let (row, table) = match &s {
+                Stmt::ScanLoop { row, table, .. }
+                | Stmt::TiledScanLoop { row, table, .. }
+                | Stmt::DateIndexLoop { row, table, .. }
+                | Stmt::PartitionLookupLoop { row, table, .. } => (*row, table.clone()),
+                _ => return s,
+            };
+            let Some(meta) = catalog.get(&table) else { return s };
+            // Count field reads of this row in the whole body (both the
+            // row-layout `Field` form and the columnar `ColumnLoad` form,
+            // remembering which form the body uses so the hoisted load
+            // keeps the same layout).
+            let mut counts: HashMap<String, (usize, bool)> = HashMap::new();
+            for b in s.bodies() {
+                for st in b.iter() {
+                    count_field_reads(st, row, &mut counts);
+                }
+            }
+            let mut promoted: Vec<(String, Sym, bool)> = Vec::new();
+            for (field, (n, columnar)) in &counts {
+                if *n >= 2 && meta.schema.index_of(field).is_some() {
+                    let sym = Sym(next.get());
+                    next.set(next.get() + 1);
+                    promoted.push((field.clone(), sym, *columnar));
+                }
+            }
+            if promoted.is_empty() {
+                return s;
+            }
+            promoted.sort(); // deterministic output order
+            let renames: Vec<(String, Sym)> =
+                promoted.iter().map(|(f, sym, _)| (f.clone(), *sym)).collect();
+            s.map_bodies(&|b| {
+                let mut out: Vec<Stmt> = Vec::with_capacity(b.len() + promoted.len());
+                for (field, sym, columnar) in &promoted {
+                    let i = meta.schema.index_of(field).expect("checked above");
+                    let ty = match meta.schema.ty(i) {
+                        Type::Int => crate::ir::Ty::I64,
+                        Type::Float => crate::ir::Ty::F64,
+                        // Columnar string vectors hold dictionary codes
+                        // (integers) by this stage; row-layout strings stay
+                        // pointers.
+                        Type::Str if *columnar => crate::ir::Ty::I64,
+                        Type::Str => crate::ir::Ty::Str,
+                        Type::Date => crate::ir::Ty::Date,
+                        Type::Bool => crate::ir::Ty::Bool,
+                    };
+                    let init = if *columnar {
+                        Expr::ColumnLoad {
+                            table: table.clone(),
+                            column: field.clone(),
+                            idx: row,
+                        }
+                    } else {
+                        Expr::Field(row, field.clone())
+                    };
+                    // `Var`, not `Let`: scalar replacement substitutes
+                    // trivial `Let`s back into their uses, which would undo
+                    // the promotion.
+                    out.push(Stmt::Var { sym: *sym, ty, init });
+                }
+                for st in b {
+                    out.push(replace_field_reads(st, row, &renames));
+                }
+                out
+            })
+        })
+        .collect()
+}
+
+/// Visits every expression of a statement (not descending into bodies).
+pub(crate) fn stmt_exprs(s: &Stmt, f: &mut impl FnMut(&Expr)) {
+    match s {
+        Stmt::Let { value, .. } | Stmt::Var { init: value, .. } | Stmt::Assign { value, .. } => {
+            f(value)
+        }
+        Stmt::If { cond, .. } => f(cond),
+        Stmt::MultiMapInsert { key, .. }
+        | Stmt::MultiMapLookup { key, .. }
+        | Stmt::PartitionLookupLoop { key, .. }
+        | Stmt::BucketArrayInsert { key, .. }
+        | Stmt::BucketArrayLookup { key, .. } => f(key),
+        Stmt::AggUpdate { key, updates, .. } => {
+            f(key);
+            for (_, e) in updates {
+                f(e);
+            }
+        }
+        Stmt::Emit { values } => {
+            for v in values {
+                f(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn count_field_reads(s: &Stmt, row: Sym, counts: &mut HashMap<String, (usize, bool)>) {
+    stmt_exprs(s, &mut |e| {
+        e.visit(&mut |x| match x {
+            Expr::Field(r, f) if *r == row => counts.entry(f.clone()).or_default().0 += 1,
+            Expr::ColumnLoad { column, idx, .. } if *idx == row => {
+                let entry = counts.entry(column.clone()).or_default();
+                entry.0 += 1;
+                entry.1 = true;
+            }
+            _ => {}
+        });
+    });
+    for b in s.bodies() {
+        for st in b {
+            count_field_reads(st, row, counts);
+        }
+    }
+}
+
+fn replace_field_reads(s: &Stmt, row: Sym, promoted: &[(String, Sym)]) -> Stmt {
+    let s = s.map_bodies(&|b| {
+        b.iter().map(|st| replace_field_reads(st, row, promoted)).collect()
+    });
+    s.map_exprs(&|e| {
+        let field = match e {
+            Expr::Field(r, f) if *r == row => f,
+            Expr::ColumnLoad { idx, column, .. } if *idx == row => column,
+            _ => return None,
+        };
+        promoted.iter().find(|(f, _)| f == field).map(|(_, sym)| Expr::Sym(*sym))
+    })
+}

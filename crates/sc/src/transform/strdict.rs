@@ -1,0 +1,134 @@
+//! StringDictionary (Section 3.4, Table II): string operations become
+//! integer operations through per-attribute dictionaries.
+use crate::ir::*;
+use crate::rules::{rewrite_exprs, Transformer, TransformCtx};
+use legobase_engine::expr::{CmpOp, Expr as PExpr};
+use legobase_engine::plan::{JoinKind, Plan};
+use legobase_storage::{DictKind, Type};
+use super::plan_info::*;
+
+// --------------------------------------------------------------------------
+// StringDictionary (Section 3.4, Table II)
+// --------------------------------------------------------------------------
+
+/// String-dictionary lowering (Section 3.4, Table II): decides a
+/// dictionary kind per string attribute and rewrites string operations to
+/// integer operations on codes.
+pub struct StringDictionary;
+
+impl Transformer for StringDictionary {
+    fn name(&self) -> &'static str {
+        "StringDictionary"
+    }
+
+    fn run(&self, prog: Program, ctx: &mut TransformCtx<'_>) -> Program {
+        // ---- analysis: find string operations over base attributes and
+        // string-typed group keys; decide dictionary kinds.
+        let mut dicts: Vec<(String, usize, DictKind)> = Vec::new();
+        walk_plans(ctx, |plan, resolve| {
+            let mut scan_expr = |e: &PExpr, prov: &Prov| collect_string_ops(e, prov, &mut dicts);
+            match plan {
+                Plan::Select { input, predicate } => scan_expr(predicate, &resolve(input)),
+                Plan::Project { input, exprs } => {
+                    let p = resolve(input);
+                    for (e, _) in exprs {
+                        scan_expr(e, &p);
+                    }
+                }
+                Plan::HashJoin { left, right, residual: Some(r), kind, .. } => {
+                    let mut p = resolve(left);
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => p.extend(resolve(right)),
+                        // Residuals of semi/anti joins see the concatenated
+                        // schema too.
+                        JoinKind::Semi | JoinKind::Anti => p.extend(resolve(right)),
+                    }
+                    scan_expr(r, &p);
+                }
+                Plan::Agg { input, group_by, aggs } => {
+                    let p = resolve(input);
+                    for a in aggs {
+                        scan_expr(&a.expr, &p);
+                    }
+                    // String-typed group keys become dictionary codes so the
+                    // executor can pack them (Q1's return flag / line status).
+                    for &g in group_by {
+                        if let Some((t, c)) = &p[g] {
+                            if ctx.catalog.table(t).schema.ty(*c) == Type::Str {
+                                dicts.push((t.clone(), *c, DictKind::Normal));
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        });
+        for (t, c, k) in dicts {
+            ctx.spec.add_dictionary(&t, c, k);
+        }
+
+        // ---- IR rewriting: string ops become integer ops (Table II).
+        rewrite_exprs(prog, &|e| match e {
+            Expr::StrOp(op, arg, lit) => Some(Expr::DictOp {
+                op: *op,
+                code: arg.clone(),
+                lit: lit.clone(),
+            }),
+            _ => None,
+        })
+    }
+}
+
+fn collect_string_ops(e: &PExpr, prov: &Prov, out: &mut Vec<(String, usize, DictKind)>) {
+    let mut record = |inner: &PExpr, kind: DictKind| {
+        if let PExpr::Col(i) = inner {
+            if let Some(Some((t, c))) = prov.get(*i) {
+                out.push((t.clone(), *c, kind));
+            }
+        }
+    };
+    match e {
+        PExpr::Cmp(op, a, b) => {
+            if let PExpr::Lit(legobase_storage::Value::Str(_)) = b.as_ref() {
+                let kind = match op {
+                    CmpOp::Eq | CmpOp::Ne => DictKind::Normal,
+                    _ => DictKind::Ordered,
+                };
+                record(a, kind);
+            }
+            collect_string_ops(a, prov, out);
+            collect_string_ops(b, prov, out);
+        }
+        PExpr::StartsWith(a, _) | PExpr::EndsWith(a, _) => {
+            record(a, DictKind::Ordered);
+            collect_string_ops(a, prov, out);
+        }
+        PExpr::Contains(a, _) => {
+            record(a, DictKind::Normal);
+            collect_string_ops(a, prov, out);
+        }
+        PExpr::ContainsWordSeq(a, _, _) => {
+            record(a, DictKind::WordToken);
+            collect_string_ops(a, prov, out);
+        }
+        PExpr::InList(a, vals) => {
+            if vals.iter().any(|v| matches!(v, legobase_storage::Value::Str(_))) {
+                record(a, DictKind::Normal);
+            }
+            collect_string_ops(a, prov, out);
+        }
+        PExpr::And(a, b) | PExpr::Or(a, b) | PExpr::Arith(_, a, b) => {
+            collect_string_ops(a, prov, out);
+            collect_string_ops(b, prov, out);
+        }
+        PExpr::Case(c, t, f) => {
+            collect_string_ops(c, prov, out);
+            collect_string_ops(t, prov, out);
+            collect_string_ops(f, prov, out);
+        }
+        PExpr::Not(a) | PExpr::Substr(a, _, _) | PExpr::IsNull(a) | PExpr::Year(a) => {
+            collect_string_ops(a, prov, out);
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,294 @@
+//! Columnar layout: the result of the `ColumnStore` transformer (Section 3.3).
+//!
+//! The transformer converts an *array of records* (row layout) into a *record
+//! of arrays* (column layout). [`ColumnTable`] is that record of arrays:
+//! every attribute is a dense native vector, string attributes optionally
+//! dictionary-encoded. Unused attributes can simply be dropped at conversion
+//! time (unused-field removal, Section 3.6.1) — the corresponding column is
+//! never materialized.
+
+use crate::date::Date;
+use crate::dict::{DictKind, StringDictionary};
+use crate::row::RowTable;
+use crate::schema::{Schema, Type};
+use crate::value::Value;
+use std::sync::Arc;
+
+/// One attribute stored as a dense native vector.
+///
+/// The payload vectors are reference-counted so that query intermediates
+/// (chunks in the specialized executor) can share base-table columns without
+/// copying, and so compiled kernels can capture exactly the vector they read.
+#[derive(Clone, Debug)]
+pub enum Column {
+    /// Integer column.
+    I64(Arc<Vec<i64>>),
+    /// Float column.
+    F64(Arc<Vec<f64>>),
+    /// Dates stored as raw day counts so scans compare plain `i32`s.
+    Date(Arc<Vec<i32>>),
+    /// Plain (non-dictionary) strings.
+    Str(Arc<Vec<String>>),
+    /// Dictionary-encoded strings: per-row codes plus the shared dictionary.
+    Dict(Arc<Vec<u32>>, Arc<StringDictionary>),
+    /// Boolean column.
+    Bool(Arc<Vec<bool>>),
+    /// A dropped column (unused-field removal): schema position is kept so
+    /// attribute indices remain stable, but no data is materialized.
+    Absent,
+}
+
+impl Column {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::I64(v) => v.len(),
+            Column::F64(v) => v.len(),
+            Column::Date(v) => v.len(),
+            Column::Str(v) => v.len(),
+            Column::Dict(v, _) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Absent => 0,
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Typed accessors: the optimized engine works on these slices directly,
+    /// which is the Rust rendering of the paper's generated C loops.
+    pub fn as_i64(&self) -> &[i64] {
+        match self {
+            Column::I64(v) => v,
+            other => panic!("expected I64 column, found {}", other.kind_name()),
+        }
+    }
+
+    /// The float data (panics on other layouts).
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            Column::F64(v) => v,
+            other => panic!("expected F64 column, found {}", other.kind_name()),
+        }
+    }
+
+    /// The date day-counts (panics on other layouts).
+    pub fn as_date(&self) -> &[i32] {
+        match self {
+            Column::Date(v) => v,
+            other => panic!("expected Date column, found {}", other.kind_name()),
+        }
+    }
+
+    /// The raw strings (panics on other layouts).
+    pub fn as_str(&self) -> &[String] {
+        match self {
+            Column::Str(v) => v,
+            other => panic!("expected Str column, found {}", other.kind_name()),
+        }
+    }
+
+    /// The dictionary codes and their dictionary (panics otherwise).
+    pub fn as_dict(&self) -> (&[u32], &StringDictionary) {
+        match self {
+            Column::Dict(v, d) => (v, d),
+            other => panic!("expected Dict column, found {}", other.kind_name()),
+        }
+    }
+
+    fn kind_name(&self) -> &'static str {
+        match self {
+            Column::I64(_) => "I64",
+            Column::F64(_) => "F64",
+            Column::Date(_) => "Date",
+            Column::Str(_) => "Str",
+            Column::Dict(..) => "Dict",
+            Column::Bool(_) => "Bool",
+            Column::Absent => "Absent",
+        }
+    }
+
+    /// Reads one cell back into the generic representation (used at pipeline
+    /// boundaries, e.g. when producing final results).
+    pub fn value_at(&self, row: usize) -> Value {
+        match self {
+            Column::I64(v) => Value::Int(v[row]),
+            Column::F64(v) => Value::Float(v[row]),
+            Column::Date(v) => Value::Date(Date(v[row])),
+            Column::Str(v) => Value::Str(v[row].clone()),
+            Column::Dict(v, d) => Value::Str(d.decode(v[row]).to_string()),
+            Column::Bool(v) => Value::Bool(v[row]),
+            Column::Absent => panic!("access to a column removed by unused-field elimination"),
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Column::I64(v) => v.capacity() * 8,
+            Column::F64(v) => v.capacity() * 8,
+            Column::Date(v) => v.capacity() * 4,
+            Column::Str(v) => v.iter().map(|s| s.capacity() + 24).sum(),
+            Column::Dict(v, d) => v.capacity() * 4 + d.approx_bytes(),
+            Column::Bool(v) => v.capacity(),
+            Column::Absent => 0,
+        }
+    }
+}
+
+/// Per-attribute conversion policy when building a [`ColumnTable`].
+#[derive(Clone, Debug, Default)]
+pub struct ColumnSpec {
+    /// Attributes to dictionary-encode, with the dictionary kind chosen by the
+    /// `StringDictionary` transformer.
+    pub dictionaries: Vec<(usize, DictKind)>,
+    /// Attributes referenced by the query; everything else becomes
+    /// [`Column::Absent`]. `None` keeps all attributes.
+    pub used: Option<Vec<usize>>,
+}
+
+/// A table in columnar layout (record of arrays).
+#[derive(Clone, Debug)]
+pub struct ColumnTable {
+    /// Relation schema (absent columns keep their field entry).
+    pub schema: Schema,
+    /// Row count.
+    pub len: usize,
+    /// One column per schema field (`Absent` when pruned).
+    pub columns: Vec<Column>,
+}
+
+impl ColumnTable {
+    /// Converts a row-layout table, applying dictionary encoding and
+    /// unused-field removal according to `spec`.
+    pub fn from_rows(table: &RowTable, spec: &ColumnSpec) -> ColumnTable {
+        let n = table.len();
+        let keep = |idx: usize| spec.used.as_ref().is_none_or(|u| u.contains(&idx));
+        let mut columns = Vec::with_capacity(table.schema.len());
+        for (idx, field) in table.schema.fields.iter().enumerate() {
+            if !keep(idx) {
+                columns.push(Column::Absent);
+                continue;
+            }
+            let dict_kind = spec.dictionaries.iter().find(|(i, _)| *i == idx).map(|(_, k)| *k);
+            let col = match (field.ty, dict_kind) {
+                (Type::Int, _) => {
+                    Column::I64(Arc::new(table.rows.iter().map(|r| r[idx].as_int()).collect()))
+                }
+                (Type::Float, _) => {
+                    Column::F64(Arc::new(table.rows.iter().map(|r| r[idx].as_float()).collect()))
+                }
+                (Type::Date, _) => {
+                    Column::Date(Arc::new(table.rows.iter().map(|r| r[idx].as_date().0).collect()))
+                }
+                (Type::Bool, _) => {
+                    Column::Bool(Arc::new(table.rows.iter().map(|r| r[idx].as_bool()).collect()))
+                }
+                (Type::Str, None) => {
+                    Column::Str(Arc::new(table.rows.iter().map(|r| r[idx].as_str().to_string()).collect()))
+                }
+                (Type::Str, Some(kind)) => {
+                    let dict = StringDictionary::build(
+                        kind,
+                        table.rows.iter().map(|r| r[idx].as_str()),
+                    );
+                    let codes = table
+                        .rows
+                        .iter()
+                        .map(|r| dict.code(r[idx].as_str()).expect("value seen during build"))
+                        .collect();
+                    Column::Dict(Arc::new(codes), Arc::new(dict))
+                }
+            };
+            columns.push(col);
+        }
+        ColumnTable { schema: table.schema.clone(), len: n, columns }
+    }
+
+    /// The column at `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column lookup by attribute name.
+    pub fn by_name(&self, name: &str) -> &Column {
+        &self.columns[self.schema.col(name)]
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn sample() -> RowTable {
+        let schema = Schema::new(vec![
+            Field::new("k", Type::Int),
+            Field::new("p", Type::Float),
+            Field::new("mode", Type::Str),
+            Field::new("d", Type::Date),
+        ]);
+        let mut t = RowTable::new(schema);
+        for i in 0..10i64 {
+            t.push(vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 1.5),
+                Value::from(if i % 2 == 0 { "MAIL" } else { "SHIP" }),
+                Value::Date(Date::from_ymd(1995, 1, 1 + i as u32)),
+            ]);
+        }
+        t
+    }
+
+    #[test]
+    fn conversion_roundtrip() {
+        let rows = sample();
+        let ct = ColumnTable::from_rows(&rows, &ColumnSpec::default());
+        assert_eq!(ct.len, 10);
+        for (r, row) in rows.rows.iter().enumerate() {
+            for (c, expected) in row.iter().enumerate().take(rows.schema.len()) {
+                assert_eq!(&ct.columns[c].value_at(r), expected);
+            }
+        }
+        assert_eq!(ct.by_name("k").as_i64()[3], 3);
+        assert_eq!(ct.by_name("d").as_date().len(), 10);
+    }
+
+    #[test]
+    fn dictionary_encoding() {
+        let rows = sample();
+        let spec = ColumnSpec { dictionaries: vec![(2, DictKind::Normal)], used: None };
+        let ct = ColumnTable::from_rows(&rows, &spec);
+        let (codes, dict) = ct.by_name("mode").as_dict();
+        assert_eq!(dict.len(), 2);
+        for (r, row) in rows.rows.iter().enumerate() {
+            assert_eq!(dict.decode(codes[r]), row[2].as_str());
+        }
+    }
+
+    #[test]
+    fn unused_field_removal() {
+        let rows = sample();
+        let spec = ColumnSpec { dictionaries: vec![], used: Some(vec![0, 3]) };
+        let ct = ColumnTable::from_rows(&rows, &spec);
+        assert!(matches!(ct.columns[1], Column::Absent));
+        assert!(matches!(ct.columns[2], Column::Absent));
+        assert!(ct.approx_bytes() < ColumnTable::from_rows(&rows, &ColumnSpec::default()).approx_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "unused-field elimination")]
+    fn absent_access_panics() {
+        let rows = sample();
+        let spec = ColumnSpec { dictionaries: vec![], used: Some(vec![0]) };
+        let ct = ColumnTable::from_rows(&rows, &spec);
+        ct.columns[1].value_at(0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Calendar dates.
+//!
+//! TPC-H date attributes span 1992-01-01 … 1998-12-31. LegoBase's date
+//! indices (Section 3.2.3) group tuples by *year*, so the representation must
+//! make year extraction cheap. We store a date as the number of days since
+//! 1970-01-01 (`i32`), with conversions based on the standard civil-calendar
+//! algorithms, and cache nothing else: ordering on the raw day count is
+//! exactly date ordering.
+
+use std::fmt;
+
+/// A calendar date, stored as days since the Unix epoch (1970-01-01).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Builds a date from a `(year, month, day)` civil triple.
+    ///
+    /// # Panics
+    /// Panics if the triple is not a valid civil date.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Date {
+        assert!((1..=12).contains(&m), "month out of range: {m}");
+        assert!(
+            d >= 1 && d <= days_in_month(y, m),
+            "day out of range: {y}-{m}-{d}"
+        );
+        Date(days_from_civil(y, m, d))
+    }
+
+    /// Parses a `YYYY-MM-DD` string.
+    pub fn parse(s: &str) -> Option<Date> {
+        let mut it = s.split('-');
+        let y: i32 = it.next()?.parse().ok()?;
+        let m: u32 = it.next()?.parse().ok()?;
+        let d: u32 = it.next()?.parse().ok()?;
+        if it.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+            return None;
+        }
+        Some(Date(days_from_civil(y, m, d)))
+    }
+
+    /// Returns the `(year, month, day)` civil triple.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// Returns the year, used by the automatically inferred date indices.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Adds (or subtracts) a number of days.
+    pub fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Adds a number of months, clamping the day to the target month length
+    /// (`1992-01-31 + 1 month = 1992-02-29`).
+    pub fn add_months(self, months: i32) -> Date {
+        let (y, m, d) = self.ymd();
+        let total = y * 12 + (m as i32 - 1) + months;
+        let ny = total.div_euclid(12);
+        let nm = (total.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm));
+        Date::from_ymd(ny, nm, nd)
+    }
+
+    /// Adds a number of years (clamping Feb 29 to Feb 28 when needed).
+    pub fn add_years(self, years: i32) -> Date {
+        self.add_months(years * 12)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+fn is_leap(y: i32) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(y) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("invalid month {m}"),
+    }
+}
+
+// Howard Hinnant's `days_from_civil` / `civil_from_days` algorithms.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m as i32 + 9) % 12; // Mar=0 … Feb=11
+    let doy = (153 * mp as u32 + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_epoch() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).0, 0);
+        assert_eq!(Date(0).ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn roundtrip_tpch_range() {
+        // Every day of the TPC-H date range must round-trip.
+        let start = Date::from_ymd(1992, 1, 1);
+        let end = Date::from_ymd(1998, 12, 31);
+        let mut prev = None;
+        for day in start.0..=end.0 {
+            let (y, m, d) = Date(day).ymd();
+            assert_eq!(Date::from_ymd(y, m, d).0, day);
+            assert!((1992..=1998).contains(&y));
+            if let Some(p) = prev {
+                assert!(Date(day) > Date(p));
+            }
+            prev = Some(day);
+        }
+        assert_eq!(end.0 - start.0 + 1, 2557); // 7 years, 2 leap days
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d = Date::parse("1996-01-01").unwrap();
+        assert_eq!(d.to_string(), "1996-01-01");
+        assert_eq!(d.ymd(), (1996, 1, 1));
+        assert!(Date::parse("1996-13-01").is_none());
+        assert!(Date::parse("1996-02-30").is_none());
+        assert!(Date::parse("nope").is_none());
+    }
+
+    #[test]
+    fn month_arithmetic() {
+        let d = Date::from_ymd(1995, 12, 31);
+        assert_eq!(d.add_months(1), Date::from_ymd(1996, 1, 31));
+        assert_eq!(d.add_months(2), Date::from_ymd(1996, 2, 29)); // leap clamp
+        assert_eq!(d.add_months(-12), Date::from_ymd(1994, 12, 31));
+        assert_eq!(d.add_years(3), Date::from_ymd(1998, 12, 31));
+        assert_eq!(Date::from_ymd(1998, 12, 1).add_days(-90), Date::from_ymd(1998, 9, 2));
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap(1992));
+        assert!(is_leap(1996));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2000));
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1995, 2), 28);
+    }
+}

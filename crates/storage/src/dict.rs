@@ -1,0 +1,251 @@
+//! String dictionaries (Section 3.4 of the paper, Table II).
+//!
+//! Each string attribute gets one dictionary. At load time every distinct
+//! string is mapped to a `u32` code; at query time string operations are
+//! mapped to integer operations:
+//!
+//! | string operation | integer counterpart | dictionary kind |
+//! |---|---|---|
+//! | `equals` / `notEquals`  | `x == y` / `x != y`     | [`DictKind::Normal`] |
+//! | `startsWith`            | `x >= start && x <= end`| [`DictKind::Ordered`] |
+//! | `indexOfSlice` (word)   | token scan              | [`DictKind::WordToken`] |
+//!
+//! Operations with no contiguous code range (e.g. `endsWith`) are answered by
+//! evaluating the predicate once per *distinct* value and testing a per-code
+//! flag afterwards ([`StringDictionary::matching_flags`]) — a generalization of
+//! the paper's two-phase ordered dictionary that preserves the key property:
+//! the per-tuple cost is a single integer lookup instead of a string loop.
+
+use std::collections::HashMap;
+
+/// The three dictionary variants of Section 3.4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DictKind {
+    /// Codes assigned in first-appearance order; supports equality only.
+    Normal,
+    /// Codes assigned in lexicographic order (two-pass construction);
+    /// additionally supports ordered operations such as `startsWith`.
+    Ordered,
+    /// Like `Normal`, but every value is additionally tokenized into words so
+    /// that `%word1%word2%` patterns become integer scans.
+    WordToken,
+}
+
+/// A dictionary for one string attribute.
+#[derive(Clone, Debug)]
+pub struct StringDictionary {
+    kind: DictKind,
+    /// code → string.
+    strings: Vec<String>,
+    /// string → code.
+    index: HashMap<String, u32>,
+    /// word → word code (WordToken only).
+    word_index: HashMap<String, u32>,
+    /// code → word codes of the value, in order (WordToken only).
+    tokens: Vec<Vec<u32>>,
+}
+
+impl StringDictionary {
+    /// Builds a dictionary over all values of an attribute. The full value
+    /// set must be available up front: the ordered variant needs a first pass
+    /// to sort the distinct values (the paper exploits that LegoBase
+    /// materializes all input data at load time).
+    pub fn build<'a, I>(kind: DictKind, values: I) -> StringDictionary
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut distinct: Vec<&str> = Vec::new();
+        let mut seen: HashMap<&str, ()> = HashMap::new();
+        for v in values {
+            if seen.insert(v, ()).is_none() {
+                distinct.push(v);
+            }
+        }
+        if kind == DictKind::Ordered {
+            distinct.sort_unstable();
+        }
+        let mut dict = StringDictionary {
+            kind,
+            strings: Vec::with_capacity(distinct.len()),
+            index: HashMap::with_capacity(distinct.len()),
+            word_index: HashMap::new(),
+            tokens: Vec::new(),
+        };
+        for s in distinct {
+            let code = dict.strings.len() as u32;
+            dict.strings.push(s.to_string());
+            dict.index.insert(s.to_string(), code);
+            if kind == DictKind::WordToken {
+                let toks = s
+                    .split(|c: char| !c.is_alphanumeric())
+                    .filter(|w| !w.is_empty())
+                    .map(|w| {
+                        let next = dict.word_index.len() as u32;
+                        *dict.word_index.entry(w.to_string()).or_insert(next)
+                    })
+                    .collect();
+                dict.tokens.push(toks);
+            }
+        }
+        dict
+    }
+
+    /// The dictionary flavor this was built as.
+    pub fn kind(&self) -> DictKind {
+        self.kind
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no distinct value was seen.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// The integer code of a string, if it occurs in the attribute.
+    pub fn code(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string for a code.
+    pub fn decode(&self, code: u32) -> &str {
+        &self.strings[code as usize]
+    }
+
+    /// `startsWith` lowered to an inclusive code range (ordered dictionaries
+    /// only, Table II). Returns `None` when no value has the prefix.
+    pub fn prefix_range(&self, prefix: &str) -> Option<(u32, u32)> {
+        assert_eq!(self.kind, DictKind::Ordered, "prefix_range requires an ordered dictionary");
+        let start = self.strings.partition_point(|s| s.as_str() < prefix);
+        let end = self.strings.partition_point(|s| s.starts_with(prefix) || s.as_str() < prefix);
+        if start < end {
+            Some((start as u32, end as u32 - 1))
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates an arbitrary string predicate once per distinct value and
+    /// returns a per-code flag vector; per-tuple evaluation then becomes a
+    /// single indexed load. Used for `endsWith`, `contains`, and other
+    /// operations without a contiguous code range.
+    pub fn matching_flags(&self, pred: impl Fn(&str) -> bool) -> Vec<bool> {
+        self.strings.iter().map(|s| pred(s)).collect()
+    }
+
+    /// Word code lookup (word-token dictionaries only).
+    pub fn word_code(&self, word: &str) -> Option<u32> {
+        self.word_index.get(word).copied()
+    }
+
+    /// `indexOfSlice` on a single word, lowered to an integer scan over the
+    /// value's token list. This is the only dictionary operation that still
+    /// contains a loop (Section 3.4), but over integers rather than bytes.
+    pub fn contains_word(&self, code: u32, word_code: u32) -> bool {
+        self.tokens[code as usize].contains(&word_code)
+    }
+
+    /// `%w1%w2%` patterns (e.g. TPC-H Q13's `special … requests`): does `w1`
+    /// occur strictly before some later occurrence of `w2`?
+    pub fn contains_word_seq(&self, code: u32, w1: u32, w2: u32) -> bool {
+        let toks = &self.tokens[code as usize];
+        match toks.iter().position(|&t| t == w1) {
+            Some(p) => toks[p + 1..].contains(&w2),
+            None => false,
+        }
+    }
+
+    /// Approximate memory footprint of the dictionary in bytes (Fig. 20:
+    /// dictionaries trade memory for speed).
+    pub fn approx_bytes(&self) -> usize {
+        let strings: usize = self.strings.iter().map(|s| s.capacity() + 24).sum();
+        let index: usize = self.index.keys().map(|s| s.capacity() + 32).sum();
+        let tokens: usize = self.tokens.iter().map(|t| t.capacity() * 4 + 24).sum();
+        strings + index + tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn values() -> Vec<&'static str> {
+        vec!["MAIL", "SHIP", "AIR", "MAIL", "RAIL", "AIR", "REG AIR"]
+    }
+
+    #[test]
+    fn normal_assigns_first_appearance_codes() {
+        let d = StringDictionary::build(DictKind::Normal, values());
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.code("MAIL"), Some(0));
+        assert_eq!(d.code("SHIP"), Some(1));
+        assert_eq!(d.code("nope"), None);
+        assert_eq!(d.decode(d.code("RAIL").unwrap()), "RAIL");
+    }
+
+    #[test]
+    fn ordered_preserves_lexicographic_order() {
+        let d = StringDictionary::build(DictKind::Ordered, values());
+        let codes: Vec<u32> = ["AIR", "MAIL", "RAIL", "REG AIR", "SHIP"]
+            .iter()
+            .map(|s| d.code(s).unwrap())
+            .collect();
+        assert_eq!(codes, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn prefix_range_matches_starts_with() {
+        let d = StringDictionary::build(
+            DictKind::Ordered,
+            vec!["PROMO ANODIZED", "PROMO BURNISHED", "STANDARD TIN", "ECONOMY BRASS"],
+        );
+        let (lo, hi) = d.prefix_range("PROMO").unwrap();
+        for code in 0..d.len() as u32 {
+            let in_range = code >= lo && code <= hi;
+            assert_eq!(in_range, d.decode(code).starts_with("PROMO"));
+        }
+        assert!(d.prefix_range("ZZZ").is_none());
+        // Prefix equal to a full value.
+        let (lo2, hi2) = d.prefix_range("STANDARD TIN").unwrap();
+        assert_eq!(lo2, hi2);
+    }
+
+    #[test]
+    fn matching_flags_general_predicates() {
+        let d = StringDictionary::build(DictKind::Ordered, vec!["LARGE BRASS", "SMALL TIN", "MEDIUM BRASS"]);
+        let flags = d.matching_flags(|s| s.ends_with("BRASS"));
+        for code in 0..d.len() as u32 {
+            assert_eq!(flags[code as usize], d.decode(code).ends_with("BRASS"));
+        }
+    }
+
+    #[test]
+    fn word_token_sequences() {
+        let d = StringDictionary::build(
+            DictKind::WordToken,
+            vec![
+                "carefully special packages requests",
+                "special requests sleep",
+                "requests before special",
+                "nothing here",
+            ],
+        );
+        let special = d.word_code("special").unwrap();
+        let requests = d.word_code("requests").unwrap();
+        let check = |s: &str| d.contains_word_seq(d.code(s).unwrap(), special, requests);
+        assert!(check("carefully special packages requests"));
+        assert!(check("special requests sleep"));
+        assert!(!check("requests before special"));
+        assert!(!check("nothing here"));
+        assert!(d.contains_word(d.code("nothing here").unwrap(), d.word_code("here").unwrap()));
+    }
+
+    #[test]
+    fn footprint_nonzero() {
+        let d = StringDictionary::build(DictKind::WordToken, values());
+        assert!(d.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! Storage substrate for the LegoBase-rs query engine.
+//!
+//! This crate provides every data-structure the paper's generated code relies
+//! on, each one corresponding to a specific LegoBase optimization:
+//!
+//! * [`value`] / [`schema`] / [`row`] — the generic, high-level representation
+//!   used by the unoptimized engines (tuples of boxed [`value::Value`]s).
+//! * [`column`](mod@column) — the columnar layout produced by the `ColumnStore`
+//!   transformer (Section 3.3 of the paper).
+//! * [`dict`] — string dictionaries (normal, ordered, word-tokenizing;
+//!   Section 3.4, Table II).
+//! * [`partition`] — primary-key 1D arrays and foreign-key 2D partitions
+//!   (Section 3.2.1, Fig. 10).
+//! * [`dateindex`] — automatically inferred year indices on date attributes
+//!   (Section 3.2.3, Fig. 12).
+//! * [`specialized`] — hash maps lowered to native arrays with intrusive
+//!   chaining (Section 3.2.2, Fig. 11), single-value stores and dense
+//!   direct-array aggregation stores (data-structure-initialization hoisting,
+//!   Section 3.5.2).
+//! * [`pool`] — hoisted memory pools (Section 3.5.1).
+//! * [`metrics`] — portable proxy counters standing in for the paper's CPU
+//!   performance counters (Fig. 18).
+//! * [`stats`] — the loading-time statistics LegoBase uses to size
+//!   preallocated structures.
+
+pub mod column;
+pub mod date;
+pub mod dateindex;
+pub mod dict;
+pub mod metrics;
+pub mod partition;
+pub mod pool;
+pub mod row;
+pub mod schema;
+pub mod specialized;
+pub mod stats;
+pub mod value;
+
+pub use column::{Column, ColumnTable};
+pub use date::Date;
+pub use dict::{DictKind, StringDictionary};
+pub use row::RowTable;
+pub use schema::{Catalog, Field, ForeignKey, Schema, TableMeta, Type};
+pub use value::{Tuple, Value};

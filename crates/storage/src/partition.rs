@@ -1,0 +1,184 @@
+//! Data partitioning on primary and foreign keys (Section 3.2.1).
+//!
+//! At load time LegoBase builds, per annotated key:
+//!
+//! * a **1D array** indexed by single-attribute integer primary keys
+//!   ([`PrimaryKeyIndex`]) — sparse ranges trade memory for direct access;
+//! * a **2D partitioned table** for foreign keys (and composite primary keys):
+//!   one bucket of row ids per key value ([`ForeignKeyPartition`], stored in
+//!   CSR form so bucket access is two loads, exactly the
+//!   `lineitem_table[O_ORDERKEY]` access of Fig. 10).
+
+use crate::metrics;
+
+/// 1D array over a single-attribute integer primary key.
+///
+/// `lookup(key)` returns the unique row holding that key, in O(1) and without
+/// hashing. Keys outside `[min, max]` simply miss.
+#[derive(Clone, Debug)]
+pub struct PrimaryKeyIndex {
+    min: i64,
+    /// `slot[key - min]` is `row + 1`, or 0 when the key is absent.
+    slots: Vec<u32>,
+}
+
+impl PrimaryKeyIndex {
+    /// Builds the index from the key column.
+    ///
+    /// # Panics
+    /// Panics on duplicate keys — the schema annotation promised a primary key.
+    pub fn build(keys: &[i64]) -> PrimaryKeyIndex {
+        let (&min, &max) = match (keys.iter().min(), keys.iter().max()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return PrimaryKeyIndex { min: 0, slots: Vec::new() },
+        };
+        // The sparse trade-off of the paper: allocate the full value range.
+        let mut slots = vec![0u32; (max - min + 1) as usize];
+        for (row, &k) in keys.iter().enumerate() {
+            let slot = &mut slots[(k - min) as usize];
+            assert_eq!(*slot, 0, "duplicate primary key {k}");
+            *slot = row as u32 + 1;
+        }
+        PrimaryKeyIndex { min, slots }
+    }
+
+    /// Returns the row id holding `key`, if present.
+    #[inline(always)]
+    pub fn lookup(&self, key: i64) -> Option<u32> {
+        let idx = key.checked_sub(self.min)? as usize;
+        match self.slots.get(idx) {
+            Some(&slot) if slot != 0 => Some(slot - 1),
+            _ => None,
+        }
+    }
+
+    /// Fraction of allocated slots actually used (memory-trade-off metric).
+    pub fn density(&self) -> f64 {
+        if self.slots.is_empty() {
+            return 1.0;
+        }
+        let used = self.slots.iter().filter(|&&s| s != 0).count();
+        used as f64 / self.slots.len() as f64
+    }
+
+    /// Approximate resident bytes (Fig. 20 accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.slots.capacity() * 4
+    }
+}
+
+/// 2D partitioned table over an integer foreign key, in CSR layout.
+#[derive(Clone, Debug)]
+pub struct ForeignKeyPartition {
+    min: i64,
+    /// `offsets[k - min] .. offsets[k - min + 1]` delimits the bucket of `k`.
+    offsets: Vec<u32>,
+    /// Row ids, grouped by key value.
+    rows: Vec<u32>,
+}
+
+impl ForeignKeyPartition {
+    /// Builds the partition from the foreign-key column with a two-pass
+    /// counting sort (the repartitioning step of data loading).
+    pub fn build(keys: &[i64]) -> ForeignKeyPartition {
+        let (&min, &max) = match (keys.iter().min(), keys.iter().max()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return ForeignKeyPartition { min: 0, offsets: vec![0], rows: Vec::new() },
+        };
+        let nbuckets = (max - min + 1) as usize;
+        let mut offsets = vec![0u32; nbuckets + 1];
+        for &k in keys {
+            offsets[(k - min) as usize + 1] += 1;
+        }
+        for i in 0..nbuckets {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut rows = vec![0u32; keys.len()];
+        for (row, &k) in keys.iter().enumerate() {
+            let b = (k - min) as usize;
+            rows[cursor[b] as usize] = row as u32;
+            cursor[b] += 1;
+        }
+        ForeignKeyPartition { min, offsets, rows }
+    }
+
+    /// All rows whose foreign key equals `key` — the partitioned join access
+    /// path of Fig. 10.
+    #[inline(always)]
+    pub fn bucket(&self, key: i64) -> &[u32] {
+        metrics::hash_probe();
+        let idx = match key.checked_sub(self.min) {
+            Some(i) if (i as usize) < self.offsets.len() - 1 => i as usize,
+            _ => return &[],
+        };
+        let lo = self.offsets[idx] as usize;
+        let hi = self.offsets[idx + 1] as usize;
+        &self.rows[lo..hi]
+    }
+
+    /// Number of distinct key slots allocated.
+    pub fn bucket_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Approximate resident bytes (Fig. 20 accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.offsets.capacity() * 4 + self.rows.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn pk_index_direct_access() {
+        let keys = vec![5i64, 3, 9, 4];
+        let idx = PrimaryKeyIndex::build(&keys);
+        assert_eq!(idx.lookup(5), Some(0));
+        assert_eq!(idx.lookup(3), Some(1));
+        assert_eq!(idx.lookup(9), Some(2));
+        assert_eq!(idx.lookup(6), None); // hole in the sparse range
+        assert_eq!(idx.lookup(2), None); // below min
+        assert_eq!(idx.lookup(100), None); // above max
+        assert!((idx.density() - 4.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate primary key")]
+    fn pk_duplicates_rejected() {
+        PrimaryKeyIndex::build(&[1, 2, 1]);
+    }
+
+    #[test]
+    fn pk_empty() {
+        let idx = PrimaryKeyIndex::build(&[]);
+        assert_eq!(idx.lookup(0), None);
+    }
+
+    #[test]
+    fn fk_partition_matches_hash_grouping() {
+        let keys = vec![2i64, 7, 2, 9, 7, 2, 11];
+        let part = ForeignKeyPartition::build(&keys);
+        let mut model: HashMap<i64, Vec<u32>> = HashMap::new();
+        for (row, &k) in keys.iter().enumerate() {
+            model.entry(k).or_default().push(row as u32);
+        }
+        for key in 0..=12i64 {
+            let mut got = part.bucket(key).to_vec();
+            got.sort_unstable();
+            let want = model.get(&key).cloned().unwrap_or_default();
+            assert_eq!(got, want, "bucket mismatch for key {key}");
+        }
+        assert_eq!(part.bucket_count(), 10); // range [2, 11]
+        assert!(part.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn fk_empty() {
+        let part = ForeignKeyPartition::build(&[]);
+        assert_eq!(part.bucket(0), &[] as &[u32]);
+    }
+}

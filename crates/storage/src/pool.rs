@@ -1,0 +1,120 @@
+//! Hoisted memory pools (Section 3.5.1).
+//!
+//! LegoBase collects the `malloc` sites of a query at compilation time and
+//! replaces them with references into per-type memory pools allocated during
+//! data loading. In Rust the analogue of a critical-path `malloc` is a `Vec`
+//! growth event; [`PooledVec`] is a vector whose capacity is reserved up-front
+//! from worst-case statistics and which *records* any growth that happens
+//! afterwards, so tests and the Fig. 18 proxy metrics can verify that the
+//! optimized engine performs no allocation on the critical path.
+
+use crate::metrics;
+
+/// A vector with pre-reserved capacity that tracks critical-path growth.
+#[derive(Clone, Debug, Default)]
+pub struct PooledVec<T> {
+    items: Vec<T>,
+    initial_capacity: usize,
+    growth_events: usize,
+}
+
+impl<T> PooledVec<T> {
+    /// Creates a pool sized for `capacity` elements (the hoisted allocation).
+    pub fn with_capacity(capacity: usize) -> PooledVec<T> {
+        PooledVec { items: Vec::with_capacity(capacity), initial_capacity: capacity, growth_events: 0 }
+    }
+
+    /// Appends an element; if the pre-sizing was insufficient this counts as
+    /// a critical-path allocation (the thing the optimization removes).
+    #[inline]
+    pub fn push(&mut self, item: T) {
+        if self.items.len() == self.items.capacity() {
+            self.growth_events += 1;
+            metrics::allocation();
+        }
+        self.items.push(item);
+    }
+
+    /// Number of times the pool had to grow past its initial reservation.
+    pub fn growth_events(&self) -> usize {
+        self.growth_events
+    }
+
+    /// Capacity reserved at construction (worst-case analysis).
+    pub fn initial_capacity(&self) -> usize {
+        self.initial_capacity
+    }
+
+    /// Records drawn so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing was drawn.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The drawn records.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consumes the pool into its backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T> std::ops::Deref for PooledVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.items
+    }
+}
+
+impl<T> std::ops::Index<usize> for PooledVec<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.items[i]
+    }
+}
+
+/// Sizes a pool from table statistics with the paper's worst-case policy:
+/// allocate for every input tuple (statistics may later tighten this).
+pub fn worst_case_capacity(input_rows: usize) -> usize {
+    input_rows.max(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_growth_within_reservation() {
+        let mut p = PooledVec::with_capacity(100);
+        for i in 0..100 {
+            p.push(i);
+        }
+        assert_eq!(p.growth_events(), 0);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.as_slice()[99], 99);
+    }
+
+    #[test]
+    fn growth_detected_past_reservation() {
+        let mut p = PooledVec::with_capacity(4);
+        for i in 0..10 {
+            p.push(i);
+        }
+        assert!(p.growth_events() >= 1);
+        assert_eq!(p.initial_capacity(), 4);
+        assert_eq!(p[9], 9);
+    }
+
+    #[test]
+    fn worst_case_floor() {
+        assert_eq!(worst_case_capacity(0), 16);
+        assert_eq!(worst_case_capacity(1000), 1000);
+    }
+}

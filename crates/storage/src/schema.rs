@@ -1,0 +1,267 @@
+//! Relational schemas and the catalog.
+//!
+//! LegoBase's data partitioning (Section 3.2.1) is driven by primary/foreign
+//! key annotations developers supply *at schema definition time*. [`TableMeta`]
+//! carries those annotations; the `PartitioningAndDateIndices` transformer in
+//! the `legobase-sc` crate reads them to decide which 1D/2D partitioned
+//! structures to build at load time.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Static SQL types supported by the engine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Type {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string.
+    Str,
+    /// Calendar date (stored as a day count).
+    Date,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Int => "INT",
+            Type::Float => "FLOAT",
+            Type::Str => "STRING",
+            Type::Date => "DATE",
+            Type::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed attribute.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub ty: Type,
+}
+
+impl Field {
+    /// Creates a named, typed field.
+    pub fn new(name: &str, ty: Type) -> Field {
+        Field { name: name.to_string(), ty }
+    }
+}
+
+/// An ordered list of attributes.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// Ordered attribute list.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from a field list.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, Type)]) -> Schema {
+        Schema { fields: cols.iter().map(|(n, t)| Field::new(n, *t)).collect() }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Resolves an attribute name to its position.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Like [`Schema::index_of`] but panics with a readable message; plan
+    /// builders use this since attribute names are static.
+    pub fn col(&self, name: &str) -> usize {
+        self.index_of(name)
+            .unwrap_or_else(|| panic!("no attribute `{name}` in schema {self:?}"))
+    }
+
+    /// Type of the attribute at `idx`.
+    pub fn ty(&self, idx: usize) -> Type {
+        self.fields[idx].ty
+    }
+
+    /// Concatenates two schemas (the output of a join).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Keeps only the given positions (projection / unused-field removal,
+    /// Section 3.6.1).
+    pub fn project(&self, keep: &[usize]) -> Schema {
+        Schema { fields: keep.iter().map(|&i| self.fields[i].clone()).collect() }
+    }
+}
+
+/// A foreign-key annotation: `table.column → referenced_table.referenced_column`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Position of the referencing column in the owning table.
+    pub column: usize,
+    /// Name of the referenced table.
+    pub references: String,
+    /// Position of the referenced (primary-key) column.
+    pub referenced_column: usize,
+}
+
+/// Schema plus physical-design annotations for one base table.
+#[derive(Clone, Debug)]
+pub struct TableMeta {
+    /// Relation name.
+    pub name: String,
+    /// Relation schema.
+    pub schema: Schema,
+    /// Primary-key column positions. A single-column integer primary key in a
+    /// contiguous range enables the 1D-array optimization; composite keys are
+    /// partitioned like foreign keys (Section 3.2.1).
+    pub primary_key: Vec<usize>,
+    /// Foreign keys: referencing column → referenced table/column.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableMeta {
+    /// Creates table metadata with no keys declared.
+    pub fn new(name: &str, schema: Schema) -> TableMeta {
+        TableMeta {
+            name: name.to_string(),
+            schema,
+            primary_key: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Declares the primary key (the paper's schema annotations).
+    pub fn with_primary_key(mut self, cols: &[&str]) -> TableMeta {
+        self.primary_key = cols.iter().map(|c| self.schema.col(c)).collect();
+        self
+    }
+
+    /// Declares a foreign key (column referencing `references.ref_col`).
+    pub fn with_foreign_key(mut self, col: &str, references: &str, ref_col: usize) -> TableMeta {
+        let column = self.schema.col(col);
+        self.foreign_keys.push(ForeignKey {
+            column,
+            references: references.to_string(),
+            referenced_column: ref_col,
+        });
+        self
+    }
+}
+
+/// The database catalog: all table definitions by name.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, TableMeta>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a table.
+    pub fn add(&mut self, meta: TableMeta) {
+        self.tables.insert(meta.name.clone(), meta);
+    }
+
+    /// Looks a table up by name.
+    pub fn get(&self, name: &str) -> Option<&TableMeta> {
+        self.tables.get(name)
+    }
+
+    /// Panicking lookup for statically-known table names.
+    pub fn table(&self, name: &str) -> &TableMeta {
+        self.get(name).unwrap_or_else(|| panic!("unknown table `{name}`"))
+    }
+
+    /// Registered table names, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(|s| s.as_str())
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no table is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[("id", Type::Int), ("name", Type::Str), ("price", Type::Float)])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = schema();
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.col("price"), 2);
+        assert_eq!(s.ty(0), Type::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "no attribute")]
+    fn missing_column_panics() {
+        schema().col("missing");
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let s = schema();
+        let t = Schema::of(&[("x", Type::Date)]);
+        let joined = s.concat(&t);
+        assert_eq!(joined.len(), 4);
+        assert_eq!(joined.col("x"), 3);
+        let proj = joined.project(&[3, 0]);
+        assert_eq!(proj.fields[0].name, "x");
+        assert_eq!(proj.fields[1].name, "id");
+    }
+
+    #[test]
+    fn catalog_annotations() {
+        let mut cat = Catalog::new();
+        cat.add(TableMeta::new("orders", Schema::of(&[("o_orderkey", Type::Int)]))
+            .with_primary_key(&["o_orderkey"]));
+        cat.add(
+            TableMeta::new(
+                "lineitem",
+                Schema::of(&[("l_orderkey", Type::Int), ("l_linenumber", Type::Int)]),
+            )
+            .with_primary_key(&["l_orderkey", "l_linenumber"])
+            .with_foreign_key("l_orderkey", "orders", 0),
+        );
+        assert_eq!(cat.len(), 2);
+        let li = cat.table("lineitem");
+        assert_eq!(li.primary_key, vec![0, 1]);
+        assert_eq!(li.foreign_keys[0].references, "orders");
+        assert_eq!(cat.table("orders").primary_key, vec![0]);
+    }
+}

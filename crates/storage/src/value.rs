@@ -1,0 +1,257 @@
+//! The generic, boxed value representation used by the *unoptimized* engines.
+//!
+//! In the paper, the naive LegoBase engine manipulates generic `Record`s whose
+//! fields live behind Scala's uniform object representation. [`Value`] plays
+//! that role here: every attribute access goes through an enum dispatch and
+//! every tuple is a heap allocation. The optimized configurations eliminate
+//! this representation entirely (columns of native `i64`/`f64`/dictionary
+//! codes) — exactly the abstraction overhead the SC compiler removes.
+
+use crate::date::Date;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically-typed SQL value.
+#[derive(Clone, Debug, Default)]
+pub enum Value {
+    /// SQL NULL (produced by outer joins).
+    #[default]
+    Null,
+    /// 64-bit integer (TPC-H keys, quantities, counts).
+    Int(i64),
+    /// 64-bit float (prices, discounts, aggregates).
+    Float(f64),
+    /// Variable-length string.
+    Str(String),
+    /// Calendar date.
+    Date(Date),
+    /// Boolean (intermediate predicate results).
+    Bool(bool),
+}
+
+/// A generic tuple: the row representation of the unoptimized engines.
+pub type Tuple = Vec<Value>;
+
+impl Value {
+    /// Returns the integer payload.
+    ///
+    /// # Panics
+    /// Panics if the value is not an `Int`; the engines only call this after
+    /// type checking the plan.
+    #[inline]
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// Returns the float payload, widening integers (SQL numeric promotion).
+    #[inline]
+    pub fn as_float(&self) -> f64 {
+        match self {
+            Value::Float(v) => *v,
+            Value::Int(v) => *v as f64,
+            other => panic!("expected Float, found {other:?}"),
+        }
+    }
+
+    /// Returns the string payload.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(v) => v,
+            other => panic!("expected Str, found {other:?}"),
+        }
+    }
+
+    /// Returns the date payload.
+    #[inline]
+    pub fn as_date(&self) -> Date {
+        match self {
+            Value::Date(v) => *v,
+            other => panic!("expected Date, found {other:?}"),
+        }
+    }
+
+    /// Returns the boolean payload.
+    #[inline]
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(v) => *v,
+            other => panic!("expected Bool, found {other:?}"),
+        }
+    }
+
+    /// True iff this is SQL NULL.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Date(_) => 4,
+            Value::Str(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: NULL sorts first; numerics compare cross-type; floats use
+    /// IEEE total ordering so the order is well-defined even for NaN.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => b.hash(state),
+            // Integers and integral floats must hash identically because they
+            // compare equal under `cmp`.
+            Value::Int(v) => (*v as f64).to_bits().hash(state),
+            Value::Float(v) => v.to_bits().hash(state),
+            Value::Date(d) => d.0.hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Date(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn cross_type_numeric_equality_consistent_with_hash() {
+        let a = Value::Int(42);
+        let b = Value::Float(42.0);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(-1),
+            Value::Float(0.5),
+            Value::Date(Date::from_ymd(1995, 6, 1)),
+            Value::Str("abc".into()),
+        ];
+        for a in &vals {
+            assert_eq!(a.cmp(a), Ordering::Equal);
+            for b in &vals {
+                let ab = a.cmp(b);
+                let ba = b.cmp(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), 3);
+        assert_eq!(Value::Int(3).as_float(), 3.0);
+        assert_eq!(Value::Float(2.5).as_float(), 2.5);
+        assert_eq!(Value::Str("x".into()).as_str(), "x");
+        assert!(Value::Null.is_null());
+        assert!(Value::Bool(true).as_bool());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn wrong_accessor_panics() {
+        Value::Str("x".into()).as_int();
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! TPC-H substrate: schema definitions and a deterministic `dbgen` substitute.
+//!
+//! The paper evaluates LegoBase on the TPC-H benchmark at scale factor 8.
+//! The official `dbgen` tool and its 8 GB dataset are not available here, so
+//! this crate implements an in-process generator that reproduces everything
+//! the LegoBase optimizations are sensitive to:
+//!
+//! * the eight relations with their full attribute lists;
+//! * primary-/foreign-key annotations (driving partitioning, Section 3.2.1);
+//! * sparse `O_ORDERKEY` distribution (8 keys per 32-key window, which makes
+//!   the Q18 direct-array specialization fall back to hash lowering, exactly
+//!   the paper's footnote 12);
+//! * date attributes uniformly covering 1992-01-01 … 1998-12-31 (driving the
+//!   automatically inferred date indices, Section 3.2.3);
+//! * the official categorical value lists (ship modes, order priorities,
+//!   market segments, part types, containers, nations/regions) so that query
+//!   selectivities match the spec's shape;
+//! * comment text with the `special … requests` / `Customer … Complaints`
+//!   patterns required by Q13 and Q16.
+//!
+//! Generation is deterministic for a `(scale factor, seed)` pair.
+
+pub mod gen;
+pub mod schema;
+pub mod text;
+
+pub use gen::{TpchData, TpchGenerator};
+pub use schema::{catalog, TABLES};

@@ -1,0 +1,191 @@
+//! The TPC-H catalog with LegoBase's physical-design annotations.
+
+use legobase_storage::{Catalog, Schema, TableMeta, Type};
+
+/// The eight TPC-H relations, in dependency order.
+pub const TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+/// Builds the TPC-H catalog. Primary/foreign keys are annotated at schema
+/// definition time (Section 3.2.1) — these annotations drive partitioning.
+pub fn catalog() -> Catalog {
+    use Type::*;
+    let mut cat = Catalog::new();
+
+    cat.add(
+        TableMeta::new(
+            "region",
+            Schema::of(&[("r_regionkey", Int), ("r_name", Str), ("r_comment", Str)]),
+        )
+        .with_primary_key(&["r_regionkey"]),
+    );
+
+    cat.add(
+        TableMeta::new(
+            "nation",
+            Schema::of(&[
+                ("n_nationkey", Int),
+                ("n_name", Str),
+                ("n_regionkey", Int),
+                ("n_comment", Str),
+            ]),
+        )
+        .with_primary_key(&["n_nationkey"])
+        .with_foreign_key("n_regionkey", "region", 0),
+    );
+
+    cat.add(
+        TableMeta::new(
+            "supplier",
+            Schema::of(&[
+                ("s_suppkey", Int),
+                ("s_name", Str),
+                ("s_address", Str),
+                ("s_nationkey", Int),
+                ("s_phone", Str),
+                ("s_acctbal", Float),
+                ("s_comment", Str),
+            ]),
+        )
+        .with_primary_key(&["s_suppkey"])
+        .with_foreign_key("s_nationkey", "nation", 0),
+    );
+
+    cat.add(
+        TableMeta::new(
+            "customer",
+            Schema::of(&[
+                ("c_custkey", Int),
+                ("c_name", Str),
+                ("c_address", Str),
+                ("c_nationkey", Int),
+                ("c_phone", Str),
+                ("c_acctbal", Float),
+                ("c_mktsegment", Str),
+                ("c_comment", Str),
+            ]),
+        )
+        .with_primary_key(&["c_custkey"])
+        .with_foreign_key("c_nationkey", "nation", 0),
+    );
+
+    cat.add(
+        TableMeta::new(
+            "part",
+            Schema::of(&[
+                ("p_partkey", Int),
+                ("p_name", Str),
+                ("p_mfgr", Str),
+                ("p_brand", Str),
+                ("p_type", Str),
+                ("p_size", Int),
+                ("p_container", Str),
+                ("p_retailprice", Float),
+                ("p_comment", Str),
+            ]),
+        )
+        .with_primary_key(&["p_partkey"]),
+    );
+
+    cat.add(
+        TableMeta::new(
+            "partsupp",
+            Schema::of(&[
+                ("ps_partkey", Int),
+                ("ps_suppkey", Int),
+                ("ps_availqty", Int),
+                ("ps_supplycost", Float),
+                ("ps_comment", Str),
+            ]),
+        )
+        .with_primary_key(&["ps_partkey", "ps_suppkey"])
+        .with_foreign_key("ps_partkey", "part", 0)
+        .with_foreign_key("ps_suppkey", "supplier", 0),
+    );
+
+    cat.add(
+        TableMeta::new(
+            "orders",
+            Schema::of(&[
+                ("o_orderkey", Int),
+                ("o_custkey", Int),
+                ("o_orderstatus", Str),
+                ("o_totalprice", Float),
+                ("o_orderdate", Date),
+                ("o_orderpriority", Str),
+                ("o_clerk", Str),
+                ("o_shippriority", Int),
+                ("o_comment", Str),
+            ]),
+        )
+        .with_primary_key(&["o_orderkey"])
+        .with_foreign_key("o_custkey", "customer", 0),
+    );
+
+    cat.add(
+        TableMeta::new(
+            "lineitem",
+            Schema::of(&[
+                ("l_orderkey", Int),
+                ("l_partkey", Int),
+                ("l_suppkey", Int),
+                ("l_linenumber", Int),
+                ("l_quantity", Float),
+                ("l_extendedprice", Float),
+                ("l_discount", Float),
+                ("l_tax", Float),
+                ("l_returnflag", Str),
+                ("l_linestatus", Str),
+                ("l_shipdate", Date),
+                ("l_commitdate", Date),
+                ("l_receiptdate", Date),
+                ("l_shipinstruct", Str),
+                ("l_shipmode", Str),
+                ("l_comment", Str),
+            ]),
+        )
+        // Composite primary key: no 1D array possible, partitioned instead
+        // (Section 3.2.1's LINEITEM discussion).
+        .with_primary_key(&["l_orderkey", "l_linenumber"])
+        .with_foreign_key("l_orderkey", "orders", 0)
+        .with_foreign_key("l_partkey", "part", 0)
+        .with_foreign_key("l_suppkey", "supplier", 0),
+    );
+
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_present_with_keys() {
+        let cat = catalog();
+        assert_eq!(cat.len(), 8);
+        for name in TABLES {
+            let t = cat.table(name);
+            assert!(!t.primary_key.is_empty(), "{name} must have a primary key");
+        }
+        assert_eq!(cat.table("lineitem").schema.len(), 16);
+        assert_eq!(cat.table("lineitem").foreign_keys.len(), 3);
+        assert_eq!(cat.table("orders").primary_key, vec![0]);
+        assert_eq!(cat.table("partsupp").primary_key.len(), 2);
+    }
+
+    #[test]
+    fn foreign_keys_reference_existing_tables() {
+        let cat = catalog();
+        for name in TABLES {
+            for fk in &cat.table(name).foreign_keys {
+                let referenced = cat.table(&fk.references);
+                assert_eq!(
+                    referenced.primary_key.first().copied(),
+                    Some(fk.referenced_column),
+                    "{name} FK must target the referenced primary key"
+                );
+            }
+        }
+    }
+}

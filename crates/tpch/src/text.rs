@@ -1,0 +1,214 @@
+//! TPC-H categorical value lists and comment text.
+//!
+//! The lists follow Clause 4.2.2.13 of the TPC-H specification; comment text
+//! is sampled from a compact lexicon rather than the spec's full grammar,
+//! but injects the phrase patterns the workload queries filter on.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// `L_SHIPMODE` value list (TPC-H 4.2.2.13).
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// `O_ORDERPRIORITY` value list.
+pub const ORDER_PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// `L_SHIPINSTRUCT` value list.
+pub const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+
+/// `C_MKTSEGMENT` value list.
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// First syllable of `P_TYPE`.
+pub const TYPE_SYLLABLE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Second syllable of `P_TYPE`.
+pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Third syllable of `P_TYPE`.
+pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// First syllable of `P_CONTAINER`.
+pub const CONTAINER_SYLLABLE_1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// Second syllable of `P_CONTAINER`.
+pub const CONTAINER_SYLLABLE_2: [&str; 8] =
+    ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Part-name color words (subset of the spec's 92 colors — enough distinct
+/// values for realistic Q9/Q20 selectivity).
+pub const COLORS: [&str; 32] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
+    "forest", "frosted", "gainsboro", "ghost", "green",
+];
+
+/// The 25 nations with their region assignment (Clause 4.2.3).
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// `R_NAME` value list.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Lexicon for free-text comments.
+const WORDS: [&str; 40] = [
+    "carefully", "furiously", "quickly", "slyly", "blithely", "ironic", "final", "bold",
+    "regular", "express", "unusual", "even", "silent", "pending", "fluffy", "ruthless",
+    "accounts", "packages", "deposits", "instructions", "foxes", "pinto", "beans", "theodolites",
+    "dependencies", "platelets", "ideas", "asymptotes", "courts", "dolphins", "multipliers",
+    "sauternes", "warhorses", "sheaves", "sentiments", "wake", "sleep", "nag", "haggle", "cajole",
+];
+
+/// A random comment of `lo..=hi` words. With probability `special_p`, injects
+/// the `special … requests` pattern Q13 filters on.
+pub fn comment(rng: &mut SmallRng, lo: usize, hi: usize, special_p: f64) -> String {
+    let n = rng.gen_range(lo..=hi);
+    let mut words: Vec<&str> = (0..n).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect();
+    if rng.gen_bool(special_p) && words.len() >= 2 {
+        let i = rng.gen_range(0..words.len() - 1);
+        let j = rng.gen_range(i + 1..words.len());
+        words[i] = "special";
+        words[j] = "requests";
+    }
+    words.join(" ")
+}
+
+/// A supplier comment; with probability `complaint_p` it contains the
+/// `Customer … Complaints` pattern Q16 excludes.
+pub fn supplier_comment(rng: &mut SmallRng, complaint_p: f64) -> String {
+    let mut c = comment(rng, 4, 10, 0.0);
+    if rng.gen_bool(complaint_p) {
+        c = format!("take Customer notice Complaints {c}");
+    }
+    c
+}
+
+/// A part name: five distinct color words (spec Clause 4.2.3).
+pub fn part_name(rng: &mut SmallRng) -> String {
+    let mut picks: Vec<&str> = Vec::with_capacity(5);
+    while picks.len() < 5 {
+        let c = COLORS[rng.gen_range(0..COLORS.len())];
+        if !picks.contains(&c) {
+            picks.push(c);
+        }
+    }
+    picks.join(" ")
+}
+
+/// A part type: three syllables.
+pub fn part_type(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {} {}",
+        TYPE_SYLLABLE_1[rng.gen_range(0..6)],
+        TYPE_SYLLABLE_2[rng.gen_range(0..5)],
+        TYPE_SYLLABLE_3[rng.gen_range(0..5)]
+    )
+}
+
+/// A container: two syllables.
+pub fn container(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {}",
+        CONTAINER_SYLLABLE_1[rng.gen_range(0..5)],
+        CONTAINER_SYLLABLE_2[rng.gen_range(0..8)]
+    )
+}
+
+/// A phone number whose country code encodes the nation (Clause 4.2.2.9),
+/// which Q22 relies on.
+pub fn phone(rng: &mut SmallRng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        nationkey + 10,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn value_list_sizes_match_spec() {
+        assert_eq!(SHIP_MODES.len(), 7);
+        assert_eq!(ORDER_PRIORITIES.len(), 5);
+        assert_eq!(SEGMENTS.len(), 5);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        // 150 part types, 40 containers (spec counts).
+        assert_eq!(TYPE_SYLLABLE_1.len() * TYPE_SYLLABLE_2.len() * TYPE_SYLLABLE_3.len(), 150);
+        assert_eq!(CONTAINER_SYLLABLE_1.len() * CONTAINER_SYLLABLE_2.len(), 40);
+    }
+
+    #[test]
+    fn nation_regions_valid() {
+        for (_, r) in NATIONS {
+            assert!((0..5).contains(&r));
+        }
+    }
+
+    #[test]
+    fn special_pattern_injected() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let c = comment(&mut rng, 6, 10, 1.0);
+        let words: Vec<&str> = c.split(' ').collect();
+        let i = words.iter().position(|&w| w == "special").unwrap();
+        assert!(words[i + 1..].contains(&"requests"));
+    }
+
+    #[test]
+    fn part_name_has_five_distinct_colors() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let name = part_name(&mut rng);
+            let words: Vec<&str> = name.split(' ').collect();
+            assert_eq!(words.len(), 5);
+            let mut sorted = words.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 5);
+        }
+    }
+
+    #[test]
+    fn phone_encodes_nation() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let p = phone(&mut rng, 13);
+        assert!(p.starts_with("23-"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = comment(&mut SmallRng::seed_from_u64(42), 4, 8, 0.1);
+        let b = comment(&mut SmallRng::seed_from_u64(42), 4, 8, 0.1);
+        assert_eq!(a, b);
+    }
+}

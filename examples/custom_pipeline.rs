@@ -1,0 +1,66 @@
+//! Extending the SC pipeline with an *instructed* optimization
+//! (Section 2.2: "developers do so by explicitly specifying a transformation
+//! pipeline"; Section 3.6.3: "the compiler can be instructed to apply tiling
+//! to for loops whose range are known at compile time").
+//!
+//! The paper's central API claim is that transformers are black boxes a
+//! developer plugs into an explicit pipeline — configurable (on/off at
+//! demand) and composable (chainable in any order). This example builds the
+//! standard pipeline for a configuration, appends the opt-in `LoopTiling`
+//! pass, and shows (a) the phase list, (b) the tiled loop in the generated C,
+//! and (c) that the compiled query still produces the same specialization
+//! decisions.
+//!
+//! ```text
+//! cargo run --release -p legobase --example custom_pipeline
+//! ```
+
+use legobase::sc::transform::LoopTiling;
+use legobase::sc::Pipeline;
+use legobase::{LegoBase, Settings};
+
+fn main() {
+    let system = LegoBase::generate(0.01);
+    let query = system.plan(1); // Q1: one big lineitem scan
+
+    // A configuration whose Q1 scan stays a plain loop (no date index), so
+    // tiling has a target.
+    let settings = Settings::optimized().with(|s| {
+        s.date_indices = false;
+        s.partitioning = false;
+    });
+
+    // Standard pipeline…
+    let standard = Pipeline::for_settings(&settings);
+    println!("standard pipeline phases:");
+    for name in standard.phase_names() {
+        println!("  {name}");
+    }
+
+    // …plus one instructed pass, appended exactly like Fig. 5b's
+    // `pipeline += <transformer>`.
+    let mut custom = Pipeline::for_settings(&settings);
+    custom.add(LoopTiling { tile: 512 });
+    println!("\ncustom pipeline appends: LoopTiling (tile = 512)");
+
+    let plain = standard.run(&query, &system.data.catalog, &settings);
+    let tiled = custom.run(&query, &system.data.catalog, &settings);
+
+    // The instructed pass only reshapes the loop; every load-time decision
+    // (dictionaries, used columns) is unchanged.
+    assert_eq!(plain.spec.used_columns, tiled.spec.used_columns);
+    assert_eq!(plain.spec.dictionaries, tiled.spec.dictionaries);
+
+    println!("\ngenerated C, blocked scan (excerpt):");
+    for line in tiled
+        .c_source
+        .lines()
+        .skip_while(|l| !l.contains("+= 512"))
+        .take(6)
+    {
+        println!("  {line}");
+    }
+
+    println!("\nSC optimization time: standard {:?}, custom {:?}", plain.optimize_time, tiled.optimize_time);
+    println!("(compilation stays in the Fig. 22 budget with extra phases)");
+}
