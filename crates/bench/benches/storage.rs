@@ -69,8 +69,7 @@ fn partitioned_join(c: &mut Criterion) {
 /// strcmp-style comparison vs. dictionary-code comparison (Table II).
 fn string_dictionary(c: &mut Criterion) {
     let modes = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-    let values: Vec<String> =
-        (0..N).map(|i| modes[i % modes.len()].to_string()).collect();
+    let values: Vec<String> = (0..N).map(|i| modes[i % modes.len()].to_string()).collect();
     let dict = StringDictionary::build(DictKind::Normal, values.iter().map(String::as_str));
     let codes: Vec<u32> = values.iter().map(|v| dict.code(v).unwrap()).collect();
     let target_code = dict.code("MAIL").unwrap();

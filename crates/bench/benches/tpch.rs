@@ -127,7 +127,9 @@ fn compilation(c: &mut Criterion) {
         let plan = system.plan(q);
         group.bench_with_input(BenchmarkId::from_parameter(format!("Q{q}")), &plan, |b, plan| {
             b.iter(|| {
-                black_box(legobase::sc::compile(plan, &system.data.catalog, &settings).c_source.len())
+                black_box(
+                    legobase::sc::compile(plan, &system.data.catalog, &settings).c_source.len(),
+                )
             })
         });
     }

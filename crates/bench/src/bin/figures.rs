@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p legobase-bench --release --bin figures -- [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|all]
+//! cargo run -p legobase_bench --release --bin figures -- [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|all]
 //! ```
 //! Environment: `LEGOBASE_SF` (scale factor, default 0.02), `LEGOBASE_RUNS`
 //! (timed repetitions, default 3). Fig. 18's proxy counters require building
@@ -272,52 +272,56 @@ fn table4() {
     // One row per transformer (the paper's Table IV granularity), each with
     // the storage structures it lowers to, followed by the framework rows.
     let entries = [
-        ("Data-structure partitioning + date indices", vec![
-            "crates/sc/src/transform/partition.rs",
-            "crates/storage/src/partition.rs",
-            "crates/storage/src/dateindex.rs",
-        ]),
-        ("Hash-map lowering + singleton-to-value", vec![
-            "crates/sc/src/transform/hashmap.rs",
-            "crates/sc/src/transform/singleton.rs",
-            "crates/storage/src/specialized.rs",
-        ]),
-        ("String dictionaries", vec![
-            "crates/sc/src/transform/strdict.rs",
-            "crates/storage/src/dict.rs",
-        ]),
-        ("Column store transformer", vec![
-            "crates/sc/src/transform/column.rs",
-            "crates/storage/src/column.rs",
-        ]),
-        ("Memory-allocation + DS-init hoisting", vec![
-            "crates/sc/src/transform/hoist.rs",
-            "crates/storage/src/pool.rs",
-        ]),
+        (
+            "Data-structure partitioning + date indices",
+            vec![
+                "crates/sc/src/transform/partition.rs",
+                "crates/storage/src/partition.rs",
+                "crates/storage/src/dateindex.rs",
+            ],
+        ),
+        (
+            "Hash-map lowering + singleton-to-value",
+            vec![
+                "crates/sc/src/transform/hashmap.rs",
+                "crates/sc/src/transform/singleton.rs",
+                "crates/storage/src/specialized.rs",
+            ],
+        ),
+        (
+            "String dictionaries",
+            vec!["crates/sc/src/transform/strdict.rs", "crates/storage/src/dict.rs"],
+        ),
+        (
+            "Column store transformer",
+            vec!["crates/sc/src/transform/column.rs", "crates/storage/src/column.rs"],
+        ),
+        (
+            "Memory-allocation + DS-init hoisting",
+            vec!["crates/sc/src/transform/hoist.rs", "crates/storage/src/pool.rs"],
+        ),
         ("Horizontal fusion", vec!["crates/sc/src/transform/fusion.rs"]),
-        ("Flattening nested structs (field promotion)", vec![
-            "crates/sc/src/transform/promote.rs",
-        ]),
-        ("Loop tiling + fine-grained opts", vec![
-            "crates/sc/src/transform/tiling.rs",
-            "crates/sc/src/transform/finegrained.rs",
-        ]),
-        ("Generic cleanups (PE, CSE, DCE, scalar repl.)", vec![
-            "crates/sc/src/transform/cleanup.rs",
-        ]),
+        ("Flattening nested structs (field promotion)", vec!["crates/sc/src/transform/promote.rs"]),
+        (
+            "Loop tiling + fine-grained opts",
+            vec!["crates/sc/src/transform/tiling.rs", "crates/sc/src/transform/finegrained.rs"],
+        ),
+        (
+            "Generic cleanups (PE, CSE, DCE, scalar repl.)",
+            vec!["crates/sc/src/transform/cleanup.rs"],
+        ),
         ("Plan provenance analysis", vec!["crates/sc/src/transform/plan_info.rs"]),
         ("Scala constructs to C (code generation)", vec!["crates/sc/src/cgen.rs"]),
-        ("SC IR + rule framework + pipeline", vec![
-            "crates/sc/src/ir.rs",
-            "crates/sc/src/rules.rs",
-            "crates/sc/src/pipeline.rs",
-        ]),
+        (
+            "SC IR + rule framework + pipeline",
+            vec!["crates/sc/src/ir.rs", "crates/sc/src/rules.rs", "crates/sc/src/pipeline.rs"],
+        ),
         ("Operator inlining (plan → IR)", vec!["crates/sc/src/build.rs"]),
         ("Specialized executor", vec!["crates/engine/src/specialized.rs"]),
-        ("Generic engines (Volcano + push)", vec![
-            "crates/engine/src/volcano.rs",
-            "crates/engine/src/push.rs",
-        ]),
+        (
+            "Generic engines (Volcano + push)",
+            vec!["crates/engine/src/volcano.rs", "crates/engine/src/push.rs"],
+        ),
     ];
     let mut total = 0usize;
     for (label, files) in entries {

@@ -148,11 +148,7 @@ pub fn compile_pred(expr: &Expr) -> CompiledPred {
     Box::new(move |row| f(row).as_bool())
 }
 
-fn str_pred(
-    a: &Expr,
-    pattern: String,
-    test: impl Fn(&str, &str) -> bool + 'static,
-) -> Compiled {
+fn str_pred(a: &Expr, pattern: String, test: impl Fn(&str, &str) -> bool + 'static) -> Compiled {
     let fa = compile(a);
     Box::new(move |row| {
         let v = fa(row);

@@ -151,8 +151,7 @@ impl SpecializedDb {
                     continue;
                 }
                 let keys = tables[&p.table].column(p.column).as_i64();
-                fk_partitions
-                    .insert((p.table.clone(), p.column), ForeignKeyPartition::build(keys));
+                fk_partitions.insert((p.table.clone(), p.column), ForeignKeyPartition::build(keys));
             }
             for p in &spec.pk_indexes {
                 if !loaded(&p.table, p.column) {
@@ -252,7 +251,11 @@ mod tests {
         assert!(matches!(li.column(1), legobase_storage::Column::Absent));
         assert!(matches!(li.column(14), legobase_storage::Column::Dict(..)));
         // Unreferenced tables keep no columns at all.
-        assert!(db.table("region").columns.iter().all(|c| matches!(c, legobase_storage::Column::Absent)));
+        assert!(db
+            .table("region")
+            .columns
+            .iter()
+            .all(|c| matches!(c, legobase_storage::Column::Absent)));
     }
 
     #[test]

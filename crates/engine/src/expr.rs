@@ -363,18 +363,13 @@ mod tests {
         assert_eq!(Expr::eq(Expr::col(0), Expr::lit(1i64)).ty(&s), Type::Bool);
         assert_eq!(Expr::substr(Expr::col(2), 1, 2).ty(&s), Type::Str);
         assert_eq!(Expr::year(Expr::col(3)).ty(&s), Type::Int);
-        assert_eq!(
-            Expr::case(Expr::lit(true), Expr::lit(1.0), Expr::lit(0.0)).ty(&s),
-            Type::Float
-        );
+        assert_eq!(Expr::case(Expr::lit(true), Expr::lit(1.0), Expr::lit(0.0)).ty(&s), Type::Float);
     }
 
     #[test]
     fn collect_and_map_cols() {
-        let e = Expr::and(
-            Expr::eq(Expr::col(2), Expr::lit("x")),
-            Expr::lt(Expr::col(0), Expr::col(2)),
-        );
+        let e =
+            Expr::and(Expr::eq(Expr::col(2), Expr::lit("x")), Expr::lt(Expr::col(0), Expr::col(2)));
         let mut cols = Vec::new();
         e.collect_cols(&mut cols);
         cols.sort_unstable();

@@ -174,11 +174,8 @@ mod tests {
     #[test]
     fn case_in_year() {
         let r = row();
-        let c = Expr::case(
-            Expr::eq(Expr::col(0), Expr::lit(10i64)),
-            Expr::lit(1i64),
-            Expr::lit(0i64),
-        );
+        let c =
+            Expr::case(Expr::eq(Expr::col(0), Expr::lit(10i64)), Expr::lit(1i64), Expr::lit(0i64));
         assert_eq!(eval(&c, &r), Value::Int(1));
         assert_eq!(eval(&Expr::year(Expr::col(3)), &r), Value::Int(1995));
         assert!(eval_pred(

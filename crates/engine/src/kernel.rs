@@ -489,10 +489,8 @@ mod tests {
                 Value::Date(Date::from_ymd(1993 + (i % 3) as i32, 1, 1)),
             ]);
         }
-        let spec = ColumnSpec {
-            dictionaries: dict.map(|k| vec![(2, k)]).unwrap_or_default(),
-            used: None,
-        };
+        let spec =
+            ColumnSpec { dictionaries: dict.map(|k| vec![(2, k)]).unwrap_or_default(), used: None };
         let ct = ColumnTable::from_rows(&rt, &spec);
         Chunk {
             schema,
@@ -537,11 +535,7 @@ mod tests {
                 let k = compile_bool(e, &ch);
                 for r in 0..ch.total {
                     let row = ch.row_values(r);
-                    assert_eq!(
-                        k(r),
-                        interp::eval_pred(e, &row),
-                        "expr {e} row {r} dict {dict:?}"
-                    );
+                    assert_eq!(k(r), interp::eval_pred(e, &row), "expr {e} row {r} dict {dict:?}");
                 }
             }
         }

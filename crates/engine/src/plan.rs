@@ -167,12 +167,7 @@ impl Plan {
             | Plan::Distinct { input } => input.schema(lookup),
             Plan::Project { input, exprs } => {
                 let inner = input.schema(lookup);
-                Schema::new(
-                    exprs
-                        .iter()
-                        .map(|(e, name)| Field::new(name, e.ty(&inner)))
-                        .collect(),
-                )
+                Schema::new(exprs.iter().map(|(e, name)| Field::new(name, e.ty(&inner))).collect())
             }
             Plan::HashJoin { left, right, kind, .. } => {
                 let l = left.schema(lookup);
@@ -245,7 +240,11 @@ impl QueryPlan {
     }
 }
 
-fn resolve(table: &str, base: &impl Fn(&str) -> Schema, stages: &HashMap<String, Schema>) -> Schema {
+fn resolve(
+    table: &str,
+    base: &impl Fn(&str) -> Schema,
+    stages: &HashMap<String, Schema>,
+) -> Schema {
     if let Some(s) = stages.get(table) {
         s.clone()
     } else {

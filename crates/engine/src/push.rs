@@ -87,9 +87,7 @@ struct BaseAccess<'p> {
 
 fn as_base_access(plan: &Plan) -> Option<BaseAccess<'_>> {
     match plan {
-        Plan::Scan { table } if !table.starts_with('#') => {
-            Some(BaseAccess { table, filter: None })
-        }
+        Plan::Scan { table } if !table.starts_with('#') => Some(BaseAccess { table, filter: None }),
         Plan::Select { input, predicate } => match input.as_ref() {
             Plan::Scan { table } if !table.starts_with('#') => {
                 Some(BaseAccess { table, filter: Some(predicate) })
@@ -138,9 +136,7 @@ impl<'a> Exec<'a> {
             Plan::HashJoin { left, right, left_keys, right_keys, kind, residual } => {
                 self.join(left, right, left_keys, right_keys, *kind, residual.as_ref())
             }
-            Plan::Agg { input, group_by, aggs } => {
-                self.aggregate(self.run(input), group_by, aggs)
-            }
+            Plan::Agg { input, group_by, aggs } => self.aggregate(self.run(input), group_by, aggs),
             Plan::Sort { input, keys } => {
                 let mut rows = self.run(input);
                 sort_rows(&mut rows, keys);
@@ -226,7 +222,13 @@ impl<'a> Exec<'a> {
         if kind == JoinKind::Inner && left_keys.len() == 1 {
             if let Some(access) = as_base_access(left) {
                 if let Some(part) = self.partition_of(access.table, left_keys[0]) {
-                    return self.join_partitioned_left(access, right, part, right_keys[0], residual);
+                    return self.join_partitioned_left(
+                        access,
+                        right,
+                        part,
+                        right_keys[0],
+                        residual,
+                    );
                 }
             }
         }

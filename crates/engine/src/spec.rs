@@ -66,10 +66,7 @@ impl Specialization {
 
     /// The dictionary kind chosen for `(table, column)`, if any.
     pub fn dict_kind(&self, table: &str, column: usize) -> Option<DictKind> {
-        self.dictionaries
-            .iter()
-            .find(|d| d.table == table && d.column == column)
-            .map(|d| d.kind)
+        self.dictionaries.iter().find(|d| d.table == table && d.column == column).map(|d| d.kind)
     }
 
     fn push_unique(list: &mut Vec<PartitionSpec>, table: &str, column: usize) {

@@ -23,7 +23,7 @@
 
 use crate::expr::{AggKind, CmpOp, Expr};
 use crate::interp;
-use crate::kernel::{self, BoolK, Chunk, F64K, I64K, ValK};
+use crate::kernel::{self, BoolK, Chunk, ValK, F64K, I64K};
 use crate::plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
 use crate::result::ResultTable;
 use crate::settings::Settings;
@@ -209,14 +209,17 @@ impl<'a> Exec<'a> {
             let lo = lo.unwrap_or(Date(i32::MIN / 2));
             let hi = hi.unwrap_or(Date(i32::MAX / 2));
             // Residual = conjuncts not fully captured by the range.
-            let residual: Vec<&Expr> =
-                conjuncts.iter().enumerate().filter(|(i, _)| !covered.contains(i)).map(|(_, e)| *e).collect();
+            let residual: Vec<&Expr> = conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !covered.contains(i))
+                .map(|(_, e)| *e)
+                .collect();
             let res_pred: Option<BoolK> = if residual.is_empty() {
                 None
             } else {
-                let combined = residual.iter().fold(Expr::lit(true), |acc, e| {
-                    Expr::and(acc, (*e).clone())
-                });
+                let combined =
+                    residual.iter().fold(Expr::lit(true), |acc, e| Expr::and(acc, (*e).clone()));
                 Some(self.pred(&combined, &chunk))
             };
             let days = chunk.cols[col_idx].as_date();
@@ -278,7 +281,12 @@ impl<'a> Exec<'a> {
     }
 
     /// Materializes a computed expression as an owned column.
-    fn compute_column(&self, e: &Expr, chunk: &Chunk, n: usize) -> (Column, Option<Arc<Vec<bool>>>) {
+    fn compute_column(
+        &self,
+        e: &Expr,
+        chunk: &Chunk,
+        n: usize,
+    ) -> (Column, Option<Arc<Vec<bool>>>) {
         use legobase_storage::Type;
         let ty = e.ty(&chunk.schema);
         // NULLs flow through expressions (outer joins, empty aggregates), so
@@ -347,19 +355,26 @@ impl<'a> Exec<'a> {
                     mask.push(v.is_null());
                     vals.push(v);
                 }
-                let col = match ty {
-                    Type::Str => Column::Str(Arc::new(
-                        vals.into_iter()
-                            .map(|v| if v.is_null() { String::new() } else { v.as_str().to_string() })
-                            .collect(),
-                    )),
-                    Type::Date => Column::Date(Arc::new(
-                        vals.into_iter()
-                            .map(|v| if v.is_null() { 0 } else { v.as_date().0 })
-                            .collect(),
-                    )),
-                    _ => unreachable!("typed paths handled above"),
-                };
+                let col =
+                    match ty {
+                        Type::Str => Column::Str(Arc::new(
+                            vals.into_iter()
+                                .map(|v| {
+                                    if v.is_null() {
+                                        String::new()
+                                    } else {
+                                        v.as_str().to_string()
+                                    }
+                                })
+                                .collect(),
+                        )),
+                        Type::Date => Column::Date(Arc::new(
+                            vals.into_iter()
+                                .map(|v| if v.is_null() { 0 } else { v.as_date().0 })
+                                .collect(),
+                        )),
+                        _ => unreachable!("typed paths handled above"),
+                    };
                 (col, any_null.then(|| Arc::new(mask)))
             }
         }
@@ -853,10 +868,8 @@ impl<'a> Exec<'a> {
                             }
                         }
                         if group_by.len() == 1 {
-                            group_index = Some(GroupIndex::Direct {
-                                min: packer.kernels_mins[0],
-                                slots,
-                            });
+                            group_index =
+                                Some(GroupIndex::Direct { min: packer.kernels_mins[0], slots });
                         }
                     } else if self.settings.hashmap_lowering {
                         // Lowered chained-array map (Fig. 11).
@@ -1023,12 +1036,7 @@ impl<'a> Exec<'a> {
 }
 
 /// Reads one value out of a column set (residual evaluation helper).
-fn value_from(
-    cols: &[Column],
-    nulls: &[Option<Arc<Vec<bool>>>],
-    c: usize,
-    p: usize,
-) -> Value {
+fn value_from(cols: &[Column], nulls: &[Option<Arc<Vec<bool>>>], c: usize, p: usize) -> Value {
     if let Some(m) = &nulls[c] {
         if m[p] {
             return Value::Null;
@@ -1287,9 +1295,9 @@ impl AggStore {
 
 /// Gathers `chunk.cols[c]` at the given physical rows into an owned column.
 fn gather_column(chunk: &Chunk, c: usize, rows: &[u32]) -> (Column, Option<Arc<Vec<bool>>>) {
-    let mask = chunk.nulls[c].as_ref().map(|m| {
-        Arc::new(rows.iter().map(|&p| m[p as usize]).collect::<Vec<bool>>())
-    });
+    let mask = chunk.nulls[c]
+        .as_ref()
+        .map(|m| Arc::new(rows.iter().map(|&p| m[p as usize]).collect::<Vec<bool>>()));
     let col = match &chunk.cols[c] {
         Column::I64(v) => Column::I64(Arc::new(rows.iter().map(|&p| v[p as usize]).collect())),
         Column::F64(v) => Column::F64(Arc::new(rows.iter().map(|&p| v[p as usize]).collect())),
@@ -1298,10 +1306,9 @@ fn gather_column(chunk: &Chunk, c: usize, rows: &[u32]) -> (Column, Option<Arc<V
         Column::Str(v) => {
             Column::Str(Arc::new(rows.iter().map(|&p| v[p as usize].clone()).collect()))
         }
-        Column::Dict(codes, dict) => Column::Dict(
-            Arc::new(rows.iter().map(|&p| codes[p as usize]).collect()),
-            dict.clone(),
-        ),
+        Column::Dict(codes, dict) => {
+            Column::Dict(Arc::new(rows.iter().map(|&p| codes[p as usize]).collect()), dict.clone())
+        }
         Column::Absent => Column::Absent,
     };
     (col, mask)
@@ -1318,10 +1325,8 @@ fn gather_column_nullable(
         return gather_column(chunk, c, rows);
     }
     let base_mask = chunk.nulls[c].as_deref();
-    let mask: Vec<bool> = rows
-        .iter()
-        .map(|&p| p == u32::MAX || base_mask.is_some_and(|m| m[p as usize]))
-        .collect();
+    let mask: Vec<bool> =
+        rows.iter().map(|&p| p == u32::MAX || base_mask.is_some_and(|m| m[p as usize])).collect();
     let col = match &chunk.cols[c] {
         Column::I64(v) => Column::I64(Arc::new(
             rows.iter().map(|&p| if p == u32::MAX { 0 } else { v[p as usize] }).collect(),
@@ -1332,16 +1337,18 @@ fn gather_column_nullable(
         Column::Date(v) => Column::Date(Arc::new(
             rows.iter().map(|&p| if p == u32::MAX { 0 } else { v[p as usize] }).collect(),
         )),
-        Column::Bool(v) => Column::Bool(Arc::new(
-            rows.iter().map(|&p| p != u32::MAX && v[p as usize]).collect(),
-        )),
+        Column::Bool(v) => {
+            Column::Bool(Arc::new(rows.iter().map(|&p| p != u32::MAX && v[p as usize]).collect()))
+        }
         Column::Str(v) => Column::Str(Arc::new(
             rows.iter()
                 .map(|&p| if p == u32::MAX { String::new() } else { v[p as usize].clone() })
                 .collect(),
         )),
         Column::Dict(codes, dict) => Column::Dict(
-            Arc::new(rows.iter().map(|&p| if p == u32::MAX { 0 } else { codes[p as usize] }).collect()),
+            Arc::new(
+                rows.iter().map(|&p| if p == u32::MAX { 0 } else { codes[p as usize] }).collect(),
+            ),
             dict.clone(),
         ),
         Column::Absent => Column::Absent,
@@ -1566,10 +1573,7 @@ mod tests {
             group_by: vec![],
             aggs: vec![AggSpec::new(
                 AggKind::Sum,
-                Expr::mul(
-                    Expr::col(li.col("l_extendedprice")),
-                    Expr::col(li.col("l_discount")),
-                ),
+                Expr::mul(Expr::col(li.col("l_extendedprice")), Expr::col(li.col("l_discount"))),
                 "revenue",
             )],
         };
@@ -1649,10 +1653,7 @@ mod tests {
                         AggSpec::new(AggKind::Sum, Expr::col(5), "bal"),
                     ],
                 ),
-                _ => (
-                    vec![3usize],
-                    vec![AggSpec::new(AggKind::Count, Expr::lit(1i64), "n")],
-                ),
+                _ => (vec![3usize], vec![AggSpec::new(AggKind::Count, Expr::lit(1i64), "n")]),
             };
             let plan = Plan::Sort {
                 input: Box::new(Plan::Agg { input: Box::new(join), group_by: gcols, aggs }),

@@ -294,10 +294,9 @@ impl<'a> Exec<'a> {
                 };
                 Box::new(ScanOp { rows: rows.into_iter() })
             }
-            Plan::Select { input, predicate } => Box::new(SelectOp {
-                child: self.build(input),
-                predicate: predicate.clone(),
-            }),
+            Plan::Select { input, predicate } => {
+                Box::new(SelectOp { child: self.build(input), predicate: predicate.clone() })
+            }
             Plan::Project { input, exprs } => Box::new(ProjectOp {
                 child: self.build(input),
                 exprs: exprs.iter().map(|(e, _)| e.clone()).collect(),
@@ -326,7 +325,9 @@ impl<'a> Exec<'a> {
                 sort_rows(&mut rows, keys);
                 Box::new(DrainedOp { rows: rows.into_iter() })
             }
-            Plan::Limit { input, n } => Box::new(LimitOp { child: self.build(input), remaining: *n }),
+            Plan::Limit { input, n } => {
+                Box::new(LimitOp { child: self.build(input), remaining: *n })
+            }
             Plan::Distinct { input } => Box::new(DistinctOp {
                 child: self.build(input),
                 seen: std::collections::HashSet::new(),

@@ -196,10 +196,7 @@ impl Node {
             .map(|(e, n)| legobase_storage::Field::new(n, e.ty(&joined.schema)))
             .collect();
         joined = Node {
-            plan: Plan::Project {
-                input: Box::new(joined.plan),
-                exprs: keep,
-            },
+            plan: Plan::Project { input: Box::new(joined.plan), exprs: keep },
             schema: Schema::new(fields),
         };
         joined
@@ -273,9 +270,7 @@ mod tests {
     fn cross_join_drops_helper_key() {
         let c = ctx();
         let l = c.scan("region");
-        let r = c
-            .scan("nation")
-            .agg(&[], vec![(AggKind::Count, Expr::lit(1i64), "n_nations")]);
+        let r = c.scan("nation").agg(&[], vec![(AggKind::Count, Expr::lit(1i64), "n_nations")]);
         let x = l.cross_join(r);
         assert_eq!(x.schema.len(), 4);
         assert!(x.schema.index_of("__k").is_none());
@@ -293,4 +288,3 @@ mod tests {
         assert_eq!(q.stages.len(), 1);
     }
 }
-

@@ -4,15 +4,15 @@
 use crate::builder::{jcol, Ctx, Node};
 use legobase_engine::expr::AggKind::{Avg, Count, Max, Min, Sum};
 use legobase_engine::plan::JoinKind::{Anti, Inner, LeftOuter, Semi};
-use legobase_engine::plan::SortOrder::{Asc, Desc};
 use legobase_engine::plan::QueryPlan;
+use legobase_engine::plan::SortOrder::{Asc, Desc};
 use legobase_engine::Expr;
 use legobase_storage::{Catalog, Date, Value};
 
 /// The workload's query names, in order.
 pub const QUERY_NAMES: [&str; 22] = [
-    "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11", "Q12", "Q13", "Q14",
-    "Q15", "Q16", "Q17", "Q18", "Q19", "Q20", "Q21", "Q22",
+    "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11", "Q12", "Q13", "Q14", "Q15",
+    "Q16", "Q17", "Q18", "Q19", "Q20", "Q21", "Q22",
 ];
 
 /// Builds one query by number (1–22).
@@ -138,15 +138,16 @@ fn q3(cat: &Catalog) -> QueryPlan {
     let cust = c
         .scan("customer")
         .filter(Expr::eq(c.scan("customer").c("c_mktsegment"), Expr::lit("BUILDING")));
-    let ord = c
-        .scan("orders")
-        .filter(Expr::lt(c.scan("orders").c("o_orderdate"), date(1995, 3, 15)));
-    let li = c
-        .scan("lineitem")
-        .filter(Expr::gt(c.scan("lineitem").c("l_shipdate"), date(1995, 3, 15)));
-    let joined = cust
-        .join(ord, &["c_custkey"], &["o_custkey"], Inner)
-        .join(li, &["o_orderkey"], &["l_orderkey"], Inner);
+    let ord =
+        c.scan("orders").filter(Expr::lt(c.scan("orders").c("o_orderdate"), date(1995, 3, 15)));
+    let li =
+        c.scan("lineitem").filter(Expr::gt(c.scan("lineitem").c("l_shipdate"), date(1995, 3, 15)));
+    let joined = cust.join(ord, &["c_custkey"], &["o_custkey"], Inner).join(
+        li,
+        &["o_orderkey"],
+        &["l_orderkey"],
+        Inner,
+    );
     let out = joined
         .agg(
             &["l_orderkey", "o_orderdate", "o_shippriority"],
@@ -191,18 +192,14 @@ fn q5(cat: &Catalog) -> QueryPlan {
     let co = c.scan("customer").join(ord, &["c_custkey"], &["o_custkey"], Inner);
     let col = co.join(c.scan("lineitem"), &["o_orderkey"], &["l_orderkey"], Inner);
     let su = c.scan("supplier");
-    let residual =
-        Expr::eq(jcol(&col, &su, "c_nationkey"), jcol(&col, &su, "s_nationkey"));
+    let residual = Expr::eq(jcol(&col, &su, "c_nationkey"), jcol(&col, &su, "s_nationkey"));
     let cols = col.join_residual(su, &["l_suppkey"], &["s_suppkey"], Inner, Some(residual));
-    let joined = cols
-        .join(c.scan("nation"), &["s_nationkey"], &["n_nationkey"], Inner)
-        .join(
-            c.scan("region")
-                .filter(Expr::eq(c.scan("region").c("r_name"), Expr::lit("ASIA"))),
-            &["n_regionkey"],
-            &["r_regionkey"],
-            Inner,
-        );
+    let joined = cols.join(c.scan("nation"), &["s_nationkey"], &["n_nationkey"], Inner).join(
+        c.scan("region").filter(Expr::eq(c.scan("region").c("r_name"), Expr::lit("ASIA"))),
+        &["n_regionkey"],
+        &["r_regionkey"],
+        Inner,
+    );
     let out = joined
         .agg(&["n_name"], vec![(Sum, revenue(&joined), "revenue")])
         .sort(&[("revenue", Desc)]);
@@ -222,10 +219,7 @@ fn q6(cat: &Catalog) -> QueryPlan {
             Expr::le(li.c("l_discount"), Expr::lit(0.07)),
             Expr::lt(li.c("l_quantity"), Expr::lit(24.0)),
         ]))
-        .agg(
-            &[],
-            vec![(Sum, Expr::mul(li.c("l_extendedprice"), li.c("l_discount")), "revenue")],
-        );
+        .agg(&[], vec![(Sum, Expr::mul(li.c("l_extendedprice"), li.c("l_discount")), "revenue")]);
     c.build("Q6", out)
 }
 
@@ -257,10 +251,9 @@ fn q7(cat: &Catalog) -> QueryPlan {
             Expr::eq(j.c("cust_nation"), Expr::lit(b)),
         )
     };
-    let filtered = joined.clone().filter(Expr::or(
-        pair("FRANCE", "GERMANY", &joined),
-        pair("GERMANY", "FRANCE", &joined),
-    ));
+    let filtered = joined
+        .clone()
+        .filter(Expr::or(pair("FRANCE", "GERMANY", &joined), pair("GERMANY", "FRANCE", &joined)));
     let shaped = filtered.project(vec![
         (filtered.c("supp_nation"), "supp_nation"),
         (filtered.c("cust_nation"), "cust_nation"),
@@ -268,10 +261,7 @@ fn q7(cat: &Catalog) -> QueryPlan {
         (revenue(&filtered), "volume"),
     ]);
     let out = shaped
-        .agg(
-            &["supp_nation", "cust_nation", "l_year"],
-            vec![(Sum, shaped.c("volume"), "revenue")],
-        )
+        .agg(&["supp_nation", "cust_nation", "l_year"], vec![(Sum, shaped.c("volume"), "revenue")])
         .sort(&[("supp_nation", Asc), ("cust_nation", Asc), ("l_year", Asc)]);
     c.build("Q7", out)
 }
@@ -279,10 +269,9 @@ fn q7(cat: &Catalog) -> QueryPlan {
 /// Q8 — national market share.
 fn q8(cat: &Catalog) -> QueryPlan {
     let c = Ctx::new(cat);
-    let part = c.scan("part").filter(Expr::eq(
-        c.scan("part").c("p_type"),
-        Expr::lit("ECONOMY ANODIZED STEEL"),
-    ));
+    let part = c
+        .scan("part")
+        .filter(Expr::eq(c.scan("part").c("p_type"), Expr::lit("ECONOMY ANODIZED STEEL")));
     let ord = c.scan("orders").filter(Expr::and(
         Expr::ge(c.scan("orders").c("o_orderdate"), date(1995, 1, 1)),
         Expr::le(c.scan("orders").c("o_orderdate"), date(1996, 12, 31)),
@@ -315,10 +304,8 @@ fn q8(cat: &Catalog) -> QueryPlan {
         shaped.c("volume"),
         Expr::lit(0.0),
     );
-    let agg = shaped.agg(
-        &["o_year"],
-        vec![(Sum, brazil_volume, "brazil"), (Sum, shaped.c("volume"), "total")],
-    );
+    let agg = shaped
+        .agg(&["o_year"], vec![(Sum, brazil_volume, "brazil"), (Sum, shaped.c("volume"), "total")]);
     let out = agg
         .project(vec![
             (agg.c("o_year"), "o_year"),
@@ -331,24 +318,15 @@ fn q8(cat: &Catalog) -> QueryPlan {
 /// Q9 — product type profit measure.
 fn q9(cat: &Catalog) -> QueryPlan {
     let c = Ctx::new(cat);
-    let part = c
-        .scan("part")
-        .filter(Expr::contains(c.scan("part").c("p_name"), "green"));
+    let part = c.scan("part").filter(Expr::contains(c.scan("part").c("p_name"), "green"));
     let joined = part
         .join(c.scan("lineitem"), &["p_partkey"], &["l_partkey"], Inner)
         .join(c.scan("supplier"), &["l_suppkey"], &["s_suppkey"], Inner)
-        .join(
-            c.scan("partsupp"),
-            &["l_suppkey", "l_partkey"],
-            &["ps_suppkey", "ps_partkey"],
-            Inner,
-        )
+        .join(c.scan("partsupp"), &["l_suppkey", "l_partkey"], &["ps_suppkey", "ps_partkey"], Inner)
         .join(c.scan("orders"), &["l_orderkey"], &["o_orderkey"], Inner)
         .join(c.scan("nation"), &["s_nationkey"], &["n_nationkey"], Inner);
-    let amount = Expr::sub(
-        revenue(&joined),
-        Expr::mul(joined.c("ps_supplycost"), joined.c("l_quantity")),
-    );
+    let amount =
+        Expr::sub(revenue(&joined), Expr::mul(joined.c("ps_supplycost"), joined.c("l_quantity")));
     let shaped = joined.project(vec![
         (joined.c("n_name"), "nation"),
         (Expr::year(joined.c("o_orderdate")), "o_year"),
@@ -367,9 +345,8 @@ fn q10(cat: &Catalog) -> QueryPlan {
         Expr::ge(c.scan("orders").c("o_orderdate"), date(1993, 10, 1)),
         Expr::lt(c.scan("orders").c("o_orderdate"), date(1994, 1, 1)),
     ));
-    let li = c
-        .scan("lineitem")
-        .filter(Expr::eq(c.scan("lineitem").c("l_returnflag"), Expr::lit("R")));
+    let li =
+        c.scan("lineitem").filter(Expr::eq(c.scan("lineitem").c("l_returnflag"), Expr::lit("R")));
     let joined = c
         .scan("customer")
         .join(ord, &["c_custkey"], &["o_custkey"], Inner)
@@ -441,11 +418,7 @@ fn q12(cat: &Catalog) -> QueryPlan {
                     Expr::case(is_high.clone(), Expr::lit(1i64), Expr::lit(0i64)),
                     "high_line_count",
                 ),
-                (
-                    Sum,
-                    Expr::case(is_high, Expr::lit(0i64), Expr::lit(1i64)),
-                    "low_line_count",
-                ),
+                (Sum, Expr::case(is_high, Expr::lit(0i64), Expr::lit(1i64)), "low_line_count"),
             ],
         )
         .sort(&[("l_shipmode", Asc)]);
@@ -461,9 +434,8 @@ fn q13(cat: &Catalog) -> QueryPlan {
         "requests",
     )));
     let joined = c.scan("customer").join(ord, &["c_custkey"], &["o_custkey"], LeftOuter);
-    let per_cust = joined
-        .clone()
-        .agg(&["c_custkey"], vec![(Count, joined.c("o_orderkey"), "c_count")]);
+    let per_cust =
+        joined.clone().agg(&["c_custkey"], vec![(Count, joined.c("o_orderkey"), "c_count")]);
     let out = per_cust
         .agg(&["c_count"], vec![(Count, Expr::lit(1i64), "custdist")])
         .sort(&[("custdist", Desc), ("c_count", Desc)]);
@@ -479,11 +451,8 @@ fn q14(cat: &Catalog) -> QueryPlan {
     ));
     let joined = li.join(c.scan("part"), &["l_partkey"], &["p_partkey"], Inner);
     let rev = revenue(&joined);
-    let promo = Expr::case(
-        Expr::starts_with(joined.c("p_type"), "PROMO"),
-        rev.clone(),
-        Expr::lit(0.0),
-    );
+    let promo =
+        Expr::case(Expr::starts_with(joined.c("p_type"), "PROMO"), rev.clone(), Expr::lit(0.0));
     let agg = joined.agg(&[], vec![(Sum, promo, "promo"), (Sum, rev, "total")]);
     let out = agg.project(vec![(
         Expr::div(Expr::mul(Expr::lit(100.0), agg.c("promo")), agg.c("total")),
@@ -504,9 +473,8 @@ fn q15(cat: &Catalog) -> QueryPlan {
         ))
         .agg(&["l_suppkey"], vec![(Sum, revenue(&li), "total_revenue")]);
     c.stage("revenue", rev);
-    let max_rev = c
-        .scan("#revenue")
-        .agg(&[], vec![(Max, c.scan("#revenue").c("total_revenue"), "max_rev")]);
+    let max_rev =
+        c.scan("#revenue").agg(&[], vec![(Max, c.scan("#revenue").c("total_revenue"), "max_rev")]);
     c.stage("maxrev", max_rev);
 
     let joined = c
@@ -543,9 +511,12 @@ fn q16(cat: &Catalog) -> QueryPlan {
         "Customer",
         "Complaints",
     ));
-    let joined = part
-        .join(c.scan("partsupp"), &["p_partkey"], &["ps_partkey"], Inner)
-        .join(complainers, &["ps_suppkey"], &["s_suppkey"], Anti);
+    let joined = part.join(c.scan("partsupp"), &["p_partkey"], &["ps_partkey"], Inner).join(
+        complainers,
+        &["ps_suppkey"],
+        &["s_suppkey"],
+        Anti,
+    );
     let out = joined
         .clone()
         .project(vec![
@@ -555,10 +526,7 @@ fn q16(cat: &Catalog) -> QueryPlan {
             (joined.c("ps_suppkey"), "ps_suppkey"),
         ])
         .distinct()
-        .agg(
-            &["p_brand", "p_type", "p_size"],
-            vec![(Count, Expr::lit(1i64), "supplier_cnt")],
-        )
+        .agg(&["p_brand", "p_type", "p_size"], vec![(Count, Expr::lit(1i64), "supplier_cnt")])
         .sort(&[("supplier_cnt", Desc), ("p_brand", Asc), ("p_type", Asc), ("p_size", Asc)]);
     c.build("Q16", out)
 }
@@ -579,10 +547,8 @@ fn q17(cat: &Catalog) -> QueryPlan {
     ));
     let j = part.join(c.scan("lineitem"), &["p_partkey"], &["l_partkey"], Inner);
     let aq = c.scan("#avgq");
-    let residual = Expr::lt(
-        jcol(&j, &aq, "l_quantity"),
-        Expr::mul(Expr::lit(0.2), jcol(&j, &aq, "avg_qty")),
-    );
+    let residual =
+        Expr::lt(jcol(&j, &aq, "l_quantity"), Expr::mul(Expr::lit(0.2), jcol(&j, &aq, "avg_qty")));
     let joined = j.join_residual(aq, &["p_partkey"], &["ap_partkey"], Inner, Some(residual));
     let agg = joined.clone().agg(&[], vec![(Sum, joined.c("l_extendedprice"), "total")]);
     let out = agg.project(vec![(Expr::div(agg.c("total"), Expr::lit(7.0)), "avg_yearly")]);
@@ -600,13 +566,13 @@ fn q18(cat: &Catalog) -> QueryPlan {
         .project(vec![(Expr::Col(0), "big_orderkey")]);
     c.stage("bigorders", big);
 
-    let ord = c
-        .scan("orders")
-        .join(c.scan("#bigorders"), &["o_orderkey"], &["big_orderkey"], Semi);
-    let joined = c
-        .scan("customer")
-        .join(ord, &["c_custkey"], &["o_custkey"], Inner)
-        .join(c.scan("lineitem"), &["o_orderkey"], &["l_orderkey"], Inner);
+    let ord = c.scan("orders").join(c.scan("#bigorders"), &["o_orderkey"], &["big_orderkey"], Semi);
+    let joined = c.scan("customer").join(ord, &["c_custkey"], &["o_custkey"], Inner).join(
+        c.scan("lineitem"),
+        &["o_orderkey"],
+        &["l_orderkey"],
+        Inner,
+    );
     let out = joined
         .clone()
         .agg(
@@ -630,10 +596,7 @@ fn q19(cat: &Catalog) -> QueryPlan {
     let bracket = |j: &Node, brand: &str, containers: [&str; 4], qlo: f64, qhi: f64, smax: i64| {
         Expr::all(vec![
             Expr::eq(j.c("p_brand"), Expr::lit(brand)),
-            Expr::in_list(
-                j.c("p_container"),
-                containers.iter().map(|&s| Value::from(s)).collect(),
-            ),
+            Expr::in_list(j.c("p_container"), containers.iter().map(|&s| Value::from(s)).collect()),
             Expr::ge(j.c("l_quantity"), Expr::lit(qlo)),
             Expr::le(j.c("l_quantity"), Expr::lit(qhi)),
             Expr::ge(j.c("p_size"), Expr::lit(1i64)),
@@ -643,8 +606,22 @@ fn q19(cat: &Catalog) -> QueryPlan {
     let cond = Expr::or(
         bracket(&joined, "Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5),
         Expr::or(
-            bracket(&joined, "Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10.0, 20.0, 10),
-            bracket(&joined, "Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15),
+            bracket(
+                &joined,
+                "Brand#23",
+                ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                10.0,
+                20.0,
+                10,
+            ),
+            bracket(
+                &joined,
+                "Brand#34",
+                ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                20.0,
+                30.0,
+                15,
+            ),
         ),
     );
     let filtered = joined.filter(cond);
@@ -665,17 +642,19 @@ fn q20(cat: &Catalog) -> QueryPlan {
         .agg(&["l_partkey", "l_suppkey"], vec![(Sum, li.c("l_quantity"), "sq")]);
     c.stage("liqty", liqty);
 
-    let forest = c
-        .scan("part")
-        .filter(Expr::starts_with(c.scan("part").c("p_name"), "forest"));
+    let forest = c.scan("part").filter(Expr::starts_with(c.scan("part").c("p_name"), "forest"));
     let ps = c.scan("partsupp").join(forest, &["ps_partkey"], &["p_partkey"], Semi);
     let lq = c.scan("#liqty");
-    let residual = Expr::gt(
-        jcol(&ps, &lq, "ps_availqty"),
-        Expr::mul(Expr::lit(0.5), jcol(&ps, &lq, "sq")),
-    );
+    let residual =
+        Expr::gt(jcol(&ps, &lq, "ps_availqty"), Expr::mul(Expr::lit(0.5), jcol(&ps, &lq, "sq")));
     let eligible = ps
-        .join_residual(lq, &["ps_partkey", "ps_suppkey"], &["l_partkey", "l_suppkey"], Inner, Some(residual))
+        .join_residual(
+            lq,
+            &["ps_partkey", "ps_suppkey"],
+            &["l_partkey", "l_suppkey"],
+            Inner,
+            Some(residual),
+        )
         .project(vec![(Expr::Col(1), "e_suppkey")]);
     c.stage("eligible", eligible);
 
@@ -702,9 +681,8 @@ fn q21(cat: &Catalog) -> QueryPlan {
     };
     let saudi =
         c.scan("nation").filter(Expr::eq(c.scan("nation").c("n_name"), Expr::lit("SAUDI ARABIA")));
-    let orders_f = c
-        .scan("orders")
-        .filter(Expr::eq(c.scan("orders").c("o_orderstatus"), Expr::lit("F")));
+    let orders_f =
+        c.scan("orders").filter(Expr::eq(c.scan("orders").c("o_orderstatus"), Expr::lit("F")));
     let l1 = c
         .scan("supplier")
         .join(saudi, &["s_nationkey"], &["n_nationkey"], Inner)
@@ -757,21 +735,15 @@ fn q22(cat: &Catalog) -> QueryPlan {
         .filter(Expr::in_list(code_of(&cust), codes))
         .join(c.scan("orders"), &["c_custkey"], &["o_custkey"], Anti)
         .cross_join(c.scan("#avgbal"));
-    let filtered = candidates
-        .clone()
-        .filter(Expr::gt(candidates.c("c_acctbal"), candidates.c("avg_bal")));
-    let shaped = filtered.project(vec![
-        (code_of(&filtered), "cntrycode"),
-        (filtered.c("c_acctbal"), "c_acctbal"),
-    ]);
+    let filtered =
+        candidates.clone().filter(Expr::gt(candidates.c("c_acctbal"), candidates.c("avg_bal")));
+    let shaped = filtered
+        .project(vec![(code_of(&filtered), "cntrycode"), (filtered.c("c_acctbal"), "c_acctbal")]);
     let out = shaped
         .clone()
         .agg(
             &["cntrycode"],
-            vec![
-                (Count, Expr::lit(1i64), "numcust"),
-                (Sum, shaped.c("c_acctbal"), "totacctbal"),
-            ],
+            vec![(Count, Expr::lit(1i64), "numcust"), (Sum, shaped.c("c_acctbal"), "totacctbal")],
         )
         .sort(&[("cntrycode", Asc)]);
     c.build("Q22", out)

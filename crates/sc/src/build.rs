@@ -47,10 +47,9 @@ pub fn build_ir(query: &QueryPlan, catalog: &Catalog) -> Program {
         b.prog.stmts.extend(stmts);
     }
     b.prog.stmts.push(Stmt::Comment("main query".to_string()));
-    let root_binding_emit =
-        |_: &mut Builder, binding: &Binding| vec![Stmt::Emit {
-            values: binding.iter().map(|i| i.expr.clone()).collect(),
-        }];
+    let root_binding_emit = |_: &mut Builder, binding: &Binding| {
+        vec![Stmt::Emit { values: binding.iter().map(|i| i.expr.clone()).collect() }]
+    };
     let stmts = b.produce(&query.root, &mut { root_binding_emit });
     b.prog.stmts.extend(stmts);
     b.prog
@@ -122,10 +121,16 @@ impl<'a> Builder<'a> {
                 stmts
             }),
             Plan::HashJoin { left, right, left_keys, right_keys, kind, residual } => self
-                .produce_join(left, right, left_keys, right_keys, *kind, residual.as_ref(), consume),
-            Plan::Agg { input, group_by, aggs } => {
-                self.produce_agg(input, group_by, aggs, consume)
-            }
+                .produce_join(
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    *kind,
+                    residual.as_ref(),
+                    consume,
+                ),
+            Plan::Agg { input, group_by, aggs } => self.produce_agg(input, group_by, aggs, consume),
             Plan::Sort { input, keys } => {
                 let name = self.fresh_buffer();
                 let mut stmts = self.materialize_into(input, &name);
@@ -213,8 +218,7 @@ impl<'a> Builder<'a> {
                 // when the build side *is* a (filtered) base-table binding.
                 let pure_base = binding.iter().all(|i| {
                     i.prov.as_ref().is_some_and(|(t, c)| {
-                        *c == i.name
-                            && Some(t) == binding[0].prov.as_ref().map(|(t0, _)| t0)
+                        *c == i.name && Some(t) == binding[0].prov.as_ref().map(|(t0, _)| t0)
                     })
                 });
                 if pure_base && build_keys.len() == 1 {
@@ -369,7 +373,8 @@ impl<'a> Builder<'a> {
                 match a.kind {
                     AggKind::Sum => {
                         let sch = schema_of_binding(binding);
-                        let op = if a.expr.ty(&sch) == Type::Int { AggOp::SumI } else { AggOp::SumF };
+                        let op =
+                            if a.expr.ty(&sch) == Type::Int { AggOp::SumI } else { AggOp::SumF };
                         updates.push((op, e));
                     }
                     AggKind::Count => updates.push((AggOp::Count, e)),
@@ -501,11 +506,9 @@ impl<'a> Builder<'a> {
             PExpr::Contains(a, p) => {
                 Expr::StrOp(StrFn::Contains, Box::new(self.tr(a, binding)), p.clone())
             }
-            PExpr::ContainsWordSeq(a, w1, w2) => Expr::StrOp(
-                StrFn::WordSeq,
-                Box::new(self.tr(a, binding)),
-                format!("{w1} {w2}"),
-            ),
+            PExpr::ContainsWordSeq(a, w1, w2) => {
+                Expr::StrOp(StrFn::WordSeq, Box::new(self.tr(a, binding)), format!("{w1} {w2}"))
+            }
             PExpr::Substr(a, s, l) => Expr::Call(
                 "substr".into(),
                 vec![self.tr(a, binding), Expr::Int(*s as i64), Expr::Int(*l as i64)],
@@ -515,9 +518,7 @@ impl<'a> Builder<'a> {
                 let parts: Vec<Expr> = vals
                     .iter()
                     .map(|v| match v {
-                        Value::Str(s) => {
-                            Expr::StrOp(StrFn::Eq, Box::new(fa.clone()), s.clone())
-                        }
+                        Value::Str(s) => Expr::StrOp(StrFn::Eq, Box::new(fa.clone()), s.clone()),
                         other => Expr::bin(BinOp::Eq, fa.clone(), lit(other)),
                     })
                     .collect();
@@ -570,12 +571,7 @@ fn ir_ty(t: Type) -> Ty {
 
 /// Reconstructs a schema view of a binding (for plan-expression typing).
 fn schema_of_binding(binding: &Binding) -> Schema {
-    Schema::new(
-        binding
-            .iter()
-            .map(|i| legobase_storage::Field::new(&i.name, i.ty))
-            .collect(),
-    )
+    Schema::new(binding.iter().map(|i| legobase_storage::Field::new(&i.name, i.ty)).collect())
 }
 
 /// Packs one or more key expressions into a single key expression.

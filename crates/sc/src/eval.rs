@@ -175,8 +175,7 @@ fn exec_block_t(
             }
             // A tiled scan visits the same rows in the same order as the
             // plain scan — tiling must be observationally invisible.
-            Stmt::ScanLoop { row, table, body }
-            | Stmt::TiledScanLoop { row, table, body, .. } => {
+            Stmt::ScanLoop { row, table, body } | Stmt::TiledScanLoop { row, table, body, .. } => {
                 let data = tables.get(table)?;
                 for r in data {
                     rows.insert(*row, r.clone());
@@ -224,7 +223,9 @@ fn exec_block(stmts: &[Stmt], env: &mut HashMap<Sym, V>) -> Option<()> {
 mod tests {
     use super::*;
     use crate::ir::Ty;
-    use crate::transform::{common_subexpression_eliminate, constant_fold, dead_code_eliminate, scalar_replace};
+    use crate::transform::{
+        common_subexpression_eliminate, constant_fold, dead_code_eliminate, scalar_replace,
+    };
     use proptest::prelude::*;
 
     fn lit_i(v: i64) -> Expr {
@@ -280,11 +281,7 @@ mod tests {
         proptest::collection::vec((4u32..12, arb_expr(3, 4), any::<bool>()), 1..10).prop_map(
             |defs| {
                 let mut stmts: Vec<Stmt> = (0..4)
-                    .map(|i| Stmt::Var {
-                        sym: Sym(i),
-                        ty: Ty::I64,
-                        init: Expr::Int(i as i64 + 1),
-                    })
+                    .map(|i| Stmt::Var { sym: Sym(i), ty: Ty::I64, init: Expr::Int(i as i64 + 1) })
                     .collect();
                 for (sym, e, cond) in defs {
                     if cond {
@@ -297,9 +294,7 @@ mod tests {
                     stmts.push(Stmt::Let { sym: Sym(sym + 100), ty: Ty::I64, value: e });
                 }
                 // Emit the observable variables so DCE cannot remove them.
-                stmts.push(Stmt::Emit {
-                    values: (0..4).map(|i| Expr::sym(Sym(i))).collect(),
-                });
+                stmts.push(Stmt::Emit { values: (0..4).map(|i| Expr::sym(Sym(i))).collect() });
                 Program { name: "prop".into(), stmts, next_sym: 200 }
             },
         )
@@ -377,11 +372,7 @@ mod tests {
             let acc = Sym(spec.acc);
             let update = Stmt::Assign {
                 sym: acc,
-                value: Expr::bin(
-                    BinOp::Add,
-                    Expr::sym(acc),
-                    Expr::Field(row, spec.field.into()),
-                ),
+                value: Expr::bin(BinOp::Add, Expr::sym(acc), Expr::Field(row, spec.field.into())),
             };
             let mut body = vec![if spec.guarded {
                 Stmt::If {

@@ -628,9 +628,9 @@ impl Stmt {
         let rw = |e: &Expr| e.rewrite(f);
         let mut s = self.clone();
         match &mut s {
-            Stmt::Let { value, .. } | Stmt::Var { init: value, .. } | Stmt::Assign { value, .. } => {
-                *value = rw(value)
-            }
+            Stmt::Let { value, .. }
+            | Stmt::Var { init: value, .. }
+            | Stmt::Assign { value, .. } => *value = rw(value),
             Stmt::If { cond, .. } => *cond = rw(cond),
             Stmt::MultiMapInsert { key, .. }
             | Stmt::MultiMapLookup { key, .. }
@@ -700,7 +700,11 @@ mod tests {
     #[test]
     fn expr_rewrite_bottom_up() {
         // Replace Float(24.0) with Float(25.0) everywhere.
-        let e = Expr::bin(BinOp::Lt, Expr::Float(24.0), Expr::bin(BinOp::Add, Expr::Float(24.0), Expr::Float(1.0)));
+        let e = Expr::bin(
+            BinOp::Lt,
+            Expr::Float(24.0),
+            Expr::bin(BinOp::Add, Expr::Float(24.0), Expr::Float(1.0)),
+        );
         let out = e.rewrite(&|x| match x {
             Expr::Float(v) if *v == 24.0 => Some(Expr::Float(25.0)),
             _ => None,

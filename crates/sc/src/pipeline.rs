@@ -9,7 +9,7 @@
 use crate::build::build_ir;
 use crate::cgen;
 use crate::ir::Program;
-use crate::rules::{Transformer, TransformCtx};
+use crate::rules::{TransformCtx, Transformer};
 use crate::transform::{
     Cleanup, CodeMotionHoisting, ColumnStore, FieldPromotion, FineGrained, HashMapLowering,
     HorizontalFusion, PartitioningAndDateIndices, ScalaToCLowering, SingletonHashMapToValue,
@@ -85,19 +85,9 @@ impl Pipeline {
     }
 
     /// Runs the pipeline over a query.
-    pub fn run(
-        &self,
-        query: &QueryPlan,
-        catalog: &Catalog,
-        settings: &Settings,
-    ) -> CompileResult {
+    pub fn run(&self, query: &QueryPlan, catalog: &Catalog, settings: &Settings) -> CompileResult {
         let start = Instant::now();
-        let mut ctx = TransformCtx {
-            catalog,
-            settings,
-            query,
-            spec: Specialization::default(),
-        };
+        let mut ctx = TransformCtx { catalog, settings, query, spec: Specialization::default() };
         let mut prog = build_ir(query, catalog);
         let mut trace = vec![PhaseTrace {
             name: "OperatorInlining",
@@ -210,10 +200,9 @@ mod tests {
         let result = compile(&q, &cat, &settings);
         // Singleton aggregation collapsed to a single value.
         assert_eq!(
-            result.program.count(|s| matches!(
-                s,
-                Stmt::AggMapNew { store: AggStoreKind::SingleValue, .. }
-            )),
+            result
+                .program
+                .count(|s| matches!(s, Stmt::AggMapNew { store: AggStoreKind::SingleValue, .. })),
             1
         );
         // The shipdate range scan goes through the date index.
@@ -255,7 +244,9 @@ mod tests {
         assert!(result.spec.dict_kind("lineitem", li).is_some());
         assert!(result.spec.dict_kind("orders", op).is_some());
         // The receiptdate range is date-indexed.
-        assert!(result.spec.has_date_index("lineitem", cat.table("lineitem").schema.col("l_receiptdate")));
+        assert!(result
+            .spec
+            .has_date_index("lineitem", cat.table("lineitem").schema.col("l_receiptdate")));
     }
 
     #[test]

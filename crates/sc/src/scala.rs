@@ -12,7 +12,11 @@ use std::fmt::Write;
 /// Renders a program as Scala-like pseudo-code.
 pub fn emit_scala(prog: &Program) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "def {}(): Unit = {{", prog.name.replace(|c: char| !c.is_alphanumeric(), "_"));
+    let _ = writeln!(
+        out,
+        "def {}(): Unit = {{",
+        prog.name.replace(|c: char| !c.is_alphanumeric(), "_")
+    );
     emit_block(&mut out, &prog.stmts, 1);
     out.push_str("}\n");
     out
@@ -128,8 +132,12 @@ fn emit_stmt(out: &mut String, s: &Stmt, indent: usize) {
         Stmt::AggMapNew { sym, naggs, store, .. } => {
             let repr = match store {
                 AggStoreKind::GenericHashMap => format!("new HashMap[K, Array[Double]]({naggs})"),
-                AggStoreKind::LoweredArray => format!("new Array[Array[Double]](BUCKETSZ) /* {naggs} aggs, lowered */"),
-                AggStoreKind::DirectArray => format!("Array.fill(DOMAIN)(zeros({naggs})) /* pre-initialized, Sec. 3.5.2 */"),
+                AggStoreKind::LoweredArray => {
+                    format!("new Array[Array[Double]](BUCKETSZ) /* {naggs} aggs, lowered */")
+                }
+                AggStoreKind::DirectArray => {
+                    format!("Array.fill(DOMAIN)(zeros({naggs})) /* pre-initialized, Sec. 3.5.2 */")
+                }
                 AggStoreKind::SingleValue => "0.0 /* singleton map → value */".to_string(),
             };
             let _ = writeln!(out, "val {sym} = {repr}");

@@ -3,7 +3,7 @@
 //! replacement (parameter promotion), and dead code elimination
 //! (Sections 3.6.2–3.6.3).
 use crate::ir::*;
-use crate::rules::{rewrite_exprs, rewrite_stmts, Transformer, TransformCtx};
+use crate::rules::{rewrite_exprs, rewrite_stmts, TransformCtx, Transformer};
 use legobase_storage::Date;
 use std::collections::HashMap;
 
@@ -49,13 +49,11 @@ pub fn common_subexpression_eliminate(mut prog: Program) -> Program {
 
 /// True for expressions worth caching: pure, non-leaf, and loop-free cost.
 fn cse_candidate(e: &Expr) -> bool {
-    e.is_pure()
-        && matches!(e, Expr::Bin(..) | Expr::Not(_) | Expr::YearOf(_))
-        && {
-            let mut syms = Vec::new();
-            e.syms(&mut syms);
-            !syms.is_empty() // constant expressions are the folder's job
-        }
+    e.is_pure() && matches!(e, Expr::Bin(..) | Expr::Not(_) | Expr::YearOf(_)) && {
+        let mut syms = Vec::new();
+        e.syms(&mut syms);
+        !syms.is_empty() // constant expressions are the folder's job
+    }
 }
 
 fn cse_block(stmts: &[Stmt], available: &mut Vec<(Expr, Sym)>) -> Vec<Stmt> {
@@ -64,10 +62,7 @@ fn cse_block(stmts: &[Stmt], available: &mut Vec<(Expr, Sym)>) -> Vec<Stmt> {
         // Substitute already-available expressions in this statement.
         let avail = available.clone();
         let s = s.map_exprs(&|e| {
-            avail
-                .iter()
-                .find(|(cached, _)| cached == e)
-                .map(|(_, sym)| Expr::Sym(*sym))
+            avail.iter().find(|(cached, _)| cached == e).map(|(_, sym)| Expr::Sym(*sym))
         });
         // Recurse into bodies with an inherited (branch-local) table.
         let s = s.map_bodies(&|b| cse_block(b, &mut available.clone()));
@@ -99,7 +94,9 @@ pub fn constant_fold(prog: Program) -> Program {
     rewrite_stmts(prog, &|s| match s {
         Stmt::If { cond: Expr::Bool(true), then_b, .. } => Some(then_b.clone()),
         Stmt::If { cond: Expr::Bool(false), else_b, .. } => Some(else_b.clone()),
-        Stmt::If { cond, then_b, else_b } if then_b.is_empty() && else_b.is_empty() && cond.is_pure() => {
+        Stmt::If { cond, then_b, else_b }
+            if then_b.is_empty() && else_b.is_empty() && cond.is_pure() =>
+        {
             Some(vec![])
         }
         _ => None,
@@ -185,7 +182,12 @@ pub fn scalar_replace(prog: Program) -> Program {
         if let Stmt::Let { sym, value, .. } = s {
             let trivial = matches!(
                 value,
-                Expr::Sym(_) | Expr::Int(_) | Expr::Float(_) | Expr::Bool(_) | Expr::Date(_) | Expr::Field(..)
+                Expr::Sym(_)
+                    | Expr::Int(_)
+                    | Expr::Float(_)
+                    | Expr::Bool(_)
+                    | Expr::Date(_)
+                    | Expr::Field(..)
             );
             if trivial {
                 subst.insert(*sym, value.clone());
@@ -276,7 +278,9 @@ pub fn dead_code_eliminate(mut prog: Program) -> Program {
             Stmt::Let { sym, value, .. } if value.is_pure() && !used.contains(sym) => Some(vec![]),
             Stmt::Var { sym, init, .. } if init.is_pure() && !used.contains(sym) => Some(vec![]),
             Stmt::Assign { sym, value } if value.is_pure() && !used.contains(sym) => Some(vec![]),
-            Stmt::MultiMapNew { sym, .. } | Stmt::AggMapNew { sym, .. } | Stmt::BucketArrayNew { sym, .. }
+            Stmt::MultiMapNew { sym, .. }
+            | Stmt::AggMapNew { sym, .. }
+            | Stmt::BucketArrayNew { sym, .. }
                 if !maps_used.contains(sym) =>
             {
                 Some(vec![])

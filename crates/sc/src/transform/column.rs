@@ -2,7 +2,7 @@
 //! array-of-records becomes record-of-arrays; unreferenced attributes are
 //! never loaded.
 use crate::ir::*;
-use crate::rules::{Transformer, TransformCtx};
+use crate::rules::{TransformCtx, Transformer};
 use std::collections::HashMap;
 
 // --------------------------------------------------------------------------
@@ -35,10 +35,7 @@ impl Transformer for ColumnStore {
 
         // ---- IR rewriting: row-field access on base rows becomes a direct
         // column-vector load (array of records → record of arrays, Fig. 13).
-        fn rewrite_with_env(
-            stmts: &[Stmt],
-            env: &mut HashMap<Sym, String>,
-        ) -> Vec<Stmt> {
+        fn rewrite_with_env(stmts: &[Stmt], env: &mut HashMap<Sym, String>) -> Vec<Stmt> {
             let mut out = Vec::with_capacity(stmts.len());
             for s in stmts {
                 // Extend the environment for loops that bind base rows.

@@ -1,7 +1,7 @@
 //! Fine-grained optimizations (Section 3.6.3): `x && y → x & y` when both
 //! operands are cheap and pure.
 use crate::ir::*;
-use crate::rules::{rewrite_exprs, Transformer, TransformCtx};
+use crate::rules::{rewrite_exprs, TransformCtx, Transformer};
 
 // --------------------------------------------------------------------------
 // Fine-grained optimizations (Section 3.6.3)

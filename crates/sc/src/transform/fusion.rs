@@ -1,7 +1,7 @@
 //! HorizontalFusion (Table IV; footnote 18): adjacent loops over the same
 //! range fuse into one loop when their bodies are independent.
 use crate::ir::*;
-use crate::rules::{Transformer, TransformCtx};
+use crate::rules::{TransformCtx, Transformer};
 
 // --------------------------------------------------------------------------
 // HorizontalFusion (Table IV; footnote 18)
@@ -35,8 +35,7 @@ pub fn horizontal_fuse(prog: Program) -> Program {
 
 fn fuse_block(stmts: &[Stmt]) -> Vec<Stmt> {
     // Bottom-up: fuse inside nested bodies first, then adjacent siblings.
-    let mut out: Vec<Stmt> =
-        stmts.iter().map(|s| s.map_bodies(&|b| fuse_block(b))).collect();
+    let mut out: Vec<Stmt> = stmts.iter().map(|s| s.map_bodies(&|b| fuse_block(b))).collect();
     let mut i = 0;
     while i + 1 < out.len() {
         match try_fuse(&out[i], &out[i + 1]) {
@@ -129,8 +128,10 @@ fn body_effects(stmts: &[Stmt]) -> Effects {
                     expr_effects(value, e);
                 }
                 Stmt::If { cond, .. } => expr_effects(cond, e),
-                Stmt::ScanLoop { .. } | Stmt::TiledScanLoop { .. } | Stmt::DateIndexLoop { .. } => {}
-                Stmt::MultiMapNew { .. } | Stmt::BucketArrayNew { .. } | Stmt::AggMapNew { .. } => {}
+                Stmt::ScanLoop { .. } | Stmt::TiledScanLoop { .. } | Stmt::DateIndexLoop { .. } => {
+                }
+                Stmt::MultiMapNew { .. } | Stmt::BucketArrayNew { .. } | Stmt::AggMapNew { .. } => {
+                }
                 Stmt::MultiMapInsert { map, key, row } => {
                     e.map_writes.push(*map);
                     expr_effects(key, e);

@@ -1,7 +1,7 @@
 //! HashMapLowering (Section 3.2.2, Fig. 11): generic hash maps become
 //! native bucket arrays with intrusive chaining.
 use crate::ir::*;
-use crate::rules::{rewrite_stmts, Transformer, TransformCtx};
+use crate::rules::{rewrite_stmts, TransformCtx, Transformer};
 
 // --------------------------------------------------------------------------
 // HashMapLowering (Section 3.2.2, Fig. 11)
@@ -24,11 +24,9 @@ impl Transformer for HashMapLowering {
                 size_hint: SizeHint::Unknown,
                 hoisted: false,
             }]),
-            Stmt::MultiMapInsert { map, key, row } => Some(vec![Stmt::BucketArrayInsert {
-                arr: *map,
-                key: key.clone(),
-                row: *row,
-            }]),
+            Stmt::MultiMapInsert { map, key, row } => {
+                Some(vec![Stmt::BucketArrayInsert { arr: *map, key: key.clone(), row: *row }])
+            }
             Stmt::MultiMapLookup { map, key, row, body } => Some(vec![Stmt::BucketArrayLookup {
                 arr: *map,
                 key: key.clone(),

@@ -2,7 +2,7 @@
 //! data-structure initialization move off the critical path into load
 //! time.
 use crate::ir::*;
-use crate::rules::{rewrite_exprs, rewrite_stmts, Transformer, TransformCtx};
+use crate::rules::{rewrite_exprs, rewrite_stmts, TransformCtx, Transformer};
 
 // --------------------------------------------------------------------------
 // HashMapHoisting + MallocHoisting (Section 3.5)

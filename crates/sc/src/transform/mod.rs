@@ -44,18 +44,18 @@ pub use singleton::SingletonHashMapToValue;
 pub use strdict::StringDictionary;
 pub use tiling::LoopTiling;
 
-
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use crate::ir::{BinOp, Expr, Stmt};
-    use crate::rules::{Transformer, TransformCtx};
-    use legobase_engine::plan::Plan;
     #[allow(unused_imports)]
     use super::promote::stmt_exprs;
+    use super::*;
+    use crate::ir::{BinOp, Expr, Stmt};
     use crate::ir::{Program, Sym, Ty};
+    use crate::rules::{TransformCtx, Transformer};
+    use legobase_engine::plan::Plan;
 
-    fn ctx_parts() -> (legobase_storage::Catalog, legobase_engine::Settings, legobase_engine::QueryPlan) {
+    fn ctx_parts(
+    ) -> (legobase_storage::Catalog, legobase_engine::Settings, legobase_engine::QueryPlan) {
         (
             legobase_tpch::catalog(),
             legobase_engine::Settings::optimized(),
@@ -70,11 +70,7 @@ mod tests {
             table: table.into(),
             body: vec![Stmt::Assign {
                 sym: acc,
-                value: Expr::bin(
-                    BinOp::Add,
-                    Expr::sym(acc),
-                    Expr::Field(row, field.into()),
-                ),
+                value: Expr::bin(BinOp::Add, Expr::sym(acc), Expr::Field(row, field.into())),
             }],
         }
     }
@@ -82,7 +78,12 @@ mod tests {
     #[test]
     fn horizontal_fusion_merges_independent_scans() {
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
+        };
         let prog = Program {
             name: "hf".into(),
             next_sym: 10,
@@ -113,7 +114,12 @@ mod tests {
     #[test]
     fn horizontal_fusion_respects_flow_dependencies() {
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
+        };
         // Loop 2 reads the accumulator loop 1 writes: the original program
         // sees the *final* total in every iteration; fusing would interleave.
         let prog = Program {
@@ -135,13 +141,22 @@ mod tests {
             ],
         };
         let out = HorizontalFusion.run(prog, &mut ctx);
-        assert_eq!(out.count(|s| matches!(s, Stmt::ScanLoop { .. })), 2, "dependent loops must not fuse");
+        assert_eq!(
+            out.count(|s| matches!(s, Stmt::ScanLoop { .. })),
+            2,
+            "dependent loops must not fuse"
+        );
     }
 
     #[test]
     fn horizontal_fusion_rejects_double_emit_and_different_tables() {
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
+        };
         let emit_loop = |row: u32, table: &str| Stmt::ScanLoop {
             row: Sym(row),
             table: table.into(),
@@ -168,16 +183,19 @@ mod tests {
     #[test]
     fn horizontal_fusion_chains_three_loops() {
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
+        };
         let mut stmts: Vec<Stmt> = (0..3)
             .map(|i| Stmt::Var { sym: Sym(i), ty: Ty::F64, init: Expr::Float(0.0) })
             .collect();
         for i in 0..3u32 {
             stmts.push(sum_loop(Sym(10 + i), Sym(i), "lineitem", "l_discount"));
         }
-        stmts.push(Stmt::Emit {
-            values: (0..3).map(|i| Expr::sym(Sym(i))).collect(),
-        });
+        stmts.push(Stmt::Emit { values: (0..3).map(|i| Expr::sym(Sym(i))).collect() });
         let prog = Program { name: "chain".into(), next_sym: 20, stmts };
         let out = HorizontalFusion.run(prog, &mut ctx);
         assert_eq!(out.count(|s| matches!(s, Stmt::ScanLoop { .. })), 1, "all three loops fuse");
@@ -186,7 +204,12 @@ mod tests {
     #[test]
     fn field_promotion_hoists_repeated_reads() {
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
+        };
         let row = Sym(0);
         // l_quantity is read twice, l_tax once.
         let prog = Program {
@@ -252,13 +275,15 @@ mod tests {
         // struct access), and a dictionary-coded string column promotes as
         // an integer local.
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
-        let row = Sym(0);
-        let load = |col: &str| Expr::ColumnLoad {
-            table: "lineitem".into(),
-            column: col.into(),
-            idx: row,
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
         };
+        let row = Sym(0);
+        let load =
+            |col: &str| Expr::ColumnLoad { table: "lineitem".into(), column: col.into(), idx: row };
         let prog = Program {
             name: "colform".into(),
             next_sym: 10,
@@ -293,7 +318,12 @@ mod tests {
     #[test]
     fn field_promotion_skips_unknown_rows() {
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
+        };
         // Buffer rows have no schema: nothing to promote.
         let row = Sym(0);
         let prog = Program {
@@ -303,10 +333,7 @@ mod tests {
                 row,
                 table: "#stage1".into(),
                 body: vec![Stmt::Emit {
-                    values: vec![
-                        Expr::Field(row, "a".into()),
-                        Expr::Field(row, "a".into()),
-                    ],
+                    values: vec![Expr::Field(row, "a".into()), Expr::Field(row, "a".into())],
                 }],
             }],
         };
@@ -318,7 +345,12 @@ mod tests {
     #[test]
     fn loop_tiling_wraps_base_scans_only() {
         let (catalog, settings, query) = ctx_parts();
-        let mut ctx = TransformCtx { catalog: &catalog, settings: &settings, query: &query, spec: Default::default() };
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &query,
+            spec: Default::default(),
+        };
         let prog = Program {
             name: "tile".into(),
             next_sym: 10,
@@ -345,11 +377,7 @@ mod tests {
     #[test]
     fn cse_shares_fig2_subexpression() {
         let row = Sym(0);
-        let one_minus_b = Expr::bin(
-            BinOp::Sub,
-            Expr::Float(1.0),
-            Expr::Field(row, "b".into()),
-        );
+        let one_minus_b = Expr::bin(BinOp::Sub, Expr::Float(1.0), Expr::Field(row, "b".into()));
         let prog = Program {
             name: "fig2".into(),
             next_sym: 10,
@@ -358,11 +386,7 @@ mod tests {
                 Stmt::Let {
                     sym: Sym(2),
                     ty: Ty::F64,
-                    value: Expr::bin(
-                        BinOp::Mul,
-                        Expr::Field(row, "a".into()),
-                        one_minus_b.clone(),
-                    ),
+                    value: Expr::bin(BinOp::Mul, Expr::Field(row, "a".into()), one_minus_b.clone()),
                 },
                 Stmt::Let {
                     sym: Sym(3),
@@ -378,10 +402,7 @@ mod tests {
         let out = common_subexpression_eliminate(prog);
         // The second and third aggregations now reference x1 / x2.
         let Stmt::Let { value: v2, .. } = &out.stmts[1] else { panic!() };
-        assert_eq!(
-            *v2,
-            Expr::bin(BinOp::Mul, Expr::Field(row, "a".into()), Expr::sym(Sym(1)))
-        );
+        assert_eq!(*v2, Expr::bin(BinOp::Mul, Expr::Field(row, "a".into()), Expr::sym(Sym(1))));
         let Stmt::Let { value: v3, .. } = &out.stmts[2] else { panic!() };
         // `a * (1-b)` itself was bound to x2 and is reused.
         assert_eq!(
@@ -435,4 +456,3 @@ mod tests {
         assert_eq!(*value, e, "definition inside a branch must not be visible after it");
     }
 }
-

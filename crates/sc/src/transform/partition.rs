@@ -1,13 +1,13 @@
 //! PartitioningAndDateIndices (Sections 3.2.1 and 3.2.3): lowers join
 //! MultiMaps with annotated keys to load-time partition dereferences
 //! (Fig. 10) and date-filtered scans to year-bucket loops (Fig. 12).
+use super::plan_info::*;
 use crate::ir::*;
-use crate::rules::{rewrite_stmts, Transformer, TransformCtx};
+use crate::rules::{rewrite_stmts, TransformCtx, Transformer};
 use legobase_engine::expr::{CmpOp, Expr as PExpr};
 use legobase_engine::plan::Plan;
 use legobase_storage::Type;
 use std::collections::HashMap;
-use super::plan_info::*;
 
 // --------------------------------------------------------------------------
 // PartitioningAndDateIndices (Section 3.2.1, 3.2.3)
@@ -81,12 +81,10 @@ impl Transformer for PartitioningAndDateIndices {
             }
         });
         let prog = rewrite_stmts(prog, &|s| match s {
-            Stmt::MultiMapNew { sym, .. } if partitioned_maps.contains_key(sym) => Some(vec![
-                Stmt::Comment("partition built at load time (Section 3.2.1)".into()),
-            ]),
-            Stmt::MultiMapInsert { map, .. } if partitioned_maps.contains_key(map) => {
-                Some(vec![])
+            Stmt::MultiMapNew { sym, .. } if partitioned_maps.contains_key(sym) => {
+                Some(vec![Stmt::Comment("partition built at load time (Section 3.2.1)".into())])
             }
+            Stmt::MultiMapInsert { map, .. } if partitioned_maps.contains_key(map) => Some(vec![]),
             Stmt::MultiMapLookup { map, key, row, body } => {
                 partitioned_maps.get(map).map(|(t, c)| {
                     vec![Stmt::PartitionLookupLoop {

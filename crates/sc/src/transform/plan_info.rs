@@ -80,7 +80,11 @@ pub(crate) fn walk_plans(
     let resolver_map = stage_prov;
     for plan in all {
         let resolve = |p: &Plan| provenance(p, ctx, &resolver_map);
-        fn rec(plan: &Plan, visit: &mut impl FnMut(&Plan, &dyn Fn(&Plan) -> Prov), resolve: &dyn Fn(&Plan) -> Prov) {
+        fn rec(
+            plan: &Plan,
+            visit: &mut impl FnMut(&Plan, &dyn Fn(&Plan) -> Prov),
+            resolve: &dyn Fn(&Plan) -> Prov,
+        ) {
             visit(plan, resolve);
             for c in plan.children() {
                 rec(c, visit, resolve);

@@ -2,7 +2,7 @@
 //! records (Table IV; Section 3.6.2): repeatedly-read row fields become
 //! locals loaded once per iteration.
 use crate::ir::*;
-use crate::rules::{Transformer, TransformCtx};
+use crate::rules::{TransformCtx, Transformer};
 use legobase_storage::Type;
 use std::collections::HashMap;
 
@@ -91,11 +91,7 @@ fn promote_block(
                         Type::Bool => crate::ir::Ty::Bool,
                     };
                     let init = if *columnar {
-                        Expr::ColumnLoad {
-                            table: table.clone(),
-                            column: field.clone(),
-                            idx: row,
-                        }
+                        Expr::ColumnLoad { table: table.clone(), column: field.clone(), idx: row }
                     } else {
                         Expr::Field(row, field.clone())
                     };
@@ -160,9 +156,7 @@ fn count_field_reads(s: &Stmt, row: Sym, counts: &mut HashMap<String, (usize, bo
 }
 
 fn replace_field_reads(s: &Stmt, row: Sym, promoted: &[(String, Sym)]) -> Stmt {
-    let s = s.map_bodies(&|b| {
-        b.iter().map(|st| replace_field_reads(st, row, promoted)).collect()
-    });
+    let s = s.map_bodies(&|b| b.iter().map(|st| replace_field_reads(st, row, promoted)).collect());
     s.map_exprs(&|e| {
         let field = match e {
             Expr::Field(r, f) if *r == row => f,

@@ -1,6 +1,6 @@
 //! ScalaToCLowering — the final validation/lowering marker (Section 2.3).
 use crate::ir::*;
-use crate::rules::{Transformer, TransformCtx};
+use crate::rules::{TransformCtx, Transformer};
 
 // --------------------------------------------------------------------------
 // ScalaToCLowering — the final validation/lowering marker (Section 2.3)

@@ -1,7 +1,7 @@
 //! SingletonHashMapToValue (Section 3.2.2): an aggregation map whose every
 //! update uses a constant key collapses to a single global slot (Q6).
 use crate::ir::*;
-use crate::rules::{rewrite_stmts, Transformer, TransformCtx};
+use crate::rules::{rewrite_stmts, TransformCtx, Transformer};
 use std::collections::HashMap;
 
 // --------------------------------------------------------------------------

@@ -1,11 +1,11 @@
 //! StringDictionary (Section 3.4, Table II): string operations become
 //! integer operations through per-attribute dictionaries.
+use super::plan_info::*;
 use crate::ir::*;
-use crate::rules::{rewrite_exprs, Transformer, TransformCtx};
+use crate::rules::{rewrite_exprs, TransformCtx, Transformer};
 use legobase_engine::expr::{CmpOp, Expr as PExpr};
 use legobase_engine::plan::{JoinKind, Plan};
 use legobase_storage::{DictKind, Type};
-use super::plan_info::*;
 
 // --------------------------------------------------------------------------
 // StringDictionary (Section 3.4, Table II)
@@ -69,11 +69,9 @@ impl Transformer for StringDictionary {
 
         // ---- IR rewriting: string ops become integer ops (Table II).
         rewrite_exprs(prog, &|e| match e {
-            Expr::StrOp(op, arg, lit) => Some(Expr::DictOp {
-                op: *op,
-                code: arg.clone(),
-                lit: lit.clone(),
-            }),
+            Expr::StrOp(op, arg, lit) => {
+                Some(Expr::DictOp { op: *op, code: arg.clone(), lit: lit.clone() })
+            }
             _ => None,
         })
     }

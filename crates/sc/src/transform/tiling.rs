@@ -1,7 +1,7 @@
 //! LoopTiling (Section 3.6.3): the opt-in, *instructed* blocked-iteration
 //! pass, demonstrating pipeline extension.
 use crate::ir::*;
-use crate::rules::{rewrite_stmts, Transformer, TransformCtx};
+use crate::rules::{rewrite_stmts, TransformCtx, Transformer};
 
 // --------------------------------------------------------------------------
 // LoopTiling (Section 3.6.3) — opt-in, demonstrating pipeline extension
@@ -14,7 +14,12 @@ use crate::rules::{rewrite_stmts, Transformer, TransformCtx};
 /// not part of the default pipeline — it is the paper's example of an
 /// *instructed* optimization, plugged in by the developer:
 ///
-/// ```ignore
+/// ```
+/// use legobase_engine::Settings;
+/// use legobase_sc::transform::LoopTiling;
+/// use legobase_sc::Pipeline;
+///
+/// let settings = Settings::optimized();
 /// let mut p = Pipeline::for_settings(&settings);
 /// p.add(LoopTiling::default());
 /// ```

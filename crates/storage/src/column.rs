@@ -186,14 +186,12 @@ impl ColumnTable {
                 (Type::Bool, _) => {
                     Column::Bool(Arc::new(table.rows.iter().map(|r| r[idx].as_bool()).collect()))
                 }
-                (Type::Str, None) => {
-                    Column::Str(Arc::new(table.rows.iter().map(|r| r[idx].as_str().to_string()).collect()))
-                }
+                (Type::Str, None) => Column::Str(Arc::new(
+                    table.rows.iter().map(|r| r[idx].as_str().to_string()).collect(),
+                )),
                 (Type::Str, Some(kind)) => {
-                    let dict = StringDictionary::build(
-                        kind,
-                        table.rows.iter().map(|r| r[idx].as_str()),
-                    );
+                    let dict =
+                        StringDictionary::build(kind, table.rows.iter().map(|r| r[idx].as_str()));
                     let codes = table
                         .rows
                         .iter()
@@ -280,7 +278,10 @@ mod tests {
         let ct = ColumnTable::from_rows(&rows, &spec);
         assert!(matches!(ct.columns[1], Column::Absent));
         assert!(matches!(ct.columns[2], Column::Absent));
-        assert!(ct.approx_bytes() < ColumnTable::from_rows(&rows, &ColumnSpec::default()).approx_bytes());
+        assert!(
+            ct.approx_bytes()
+                < ColumnTable::from_rows(&rows, &ColumnSpec::default()).approx_bytes()
+        );
     }
 
     #[test]

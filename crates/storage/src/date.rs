@@ -20,10 +20,7 @@ impl Date {
     /// Panics if the triple is not a valid civil date.
     pub fn from_ymd(y: i32, m: u32, d: u32) -> Date {
         assert!((1..=12).contains(&m), "month out of range: {m}");
-        assert!(
-            d >= 1 && d <= days_in_month(y, m),
-            "day out of range: {y}-{m}-{d}"
-        );
+        assert!(d >= 1 && d <= days_in_month(y, m), "day out of range: {y}-{m}-{d}");
         Date(days_from_civil(y, m, d))
     }
 

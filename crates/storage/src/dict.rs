@@ -189,10 +189,8 @@ mod tests {
     #[test]
     fn ordered_preserves_lexicographic_order() {
         let d = StringDictionary::build(DictKind::Ordered, values());
-        let codes: Vec<u32> = ["AIR", "MAIL", "RAIL", "REG AIR", "SHIP"]
-            .iter()
-            .map(|s| d.code(s).unwrap())
-            .collect();
+        let codes: Vec<u32> =
+            ["AIR", "MAIL", "RAIL", "REG AIR", "SHIP"].iter().map(|s| d.code(s).unwrap()).collect();
         assert_eq!(codes, vec![0, 1, 2, 3, 4]);
     }
 
@@ -215,7 +213,10 @@ mod tests {
 
     #[test]
     fn matching_flags_general_predicates() {
-        let d = StringDictionary::build(DictKind::Ordered, vec!["LARGE BRASS", "SMALL TIN", "MEDIUM BRASS"]);
+        let d = StringDictionary::build(
+            DictKind::Ordered,
+            vec!["LARGE BRASS", "SMALL TIN", "MEDIUM BRASS"],
+        );
         let flags = d.matching_flags(|s| s.ends_with("BRASS"));
         for code in 0..d.len() as u32 {
             assert_eq!(flags[code as usize], d.decode(code).ends_with("BRASS"));

@@ -21,7 +21,11 @@ pub struct PooledVec<T> {
 impl<T> PooledVec<T> {
     /// Creates a pool sized for `capacity` elements (the hoisted allocation).
     pub fn with_capacity(capacity: usize) -> PooledVec<T> {
-        PooledVec { items: Vec::with_capacity(capacity), initial_capacity: capacity, growth_events: 0 }
+        PooledVec {
+            items: Vec::with_capacity(capacity),
+            initial_capacity: capacity,
+            growth_events: 0,
+        }
     }
 
     /// Appends an element; if the pre-sizing was insufficient this counts as

@@ -89,8 +89,7 @@ impl Schema {
     /// Like [`Schema::index_of`] but panics with a readable message; plan
     /// builders use this since attribute names are static.
     pub fn col(&self, name: &str) -> usize {
-        self.index_of(name)
-            .unwrap_or_else(|| panic!("no attribute `{name}` in schema {self:?}"))
+        self.index_of(name).unwrap_or_else(|| panic!("no attribute `{name}` in schema {self:?}"))
     }
 
     /// Type of the attribute at `idx`.
@@ -248,8 +247,10 @@ mod tests {
     #[test]
     fn catalog_annotations() {
         let mut cat = Catalog::new();
-        cat.add(TableMeta::new("orders", Schema::of(&[("o_orderkey", Type::Int)]))
-            .with_primary_key(&["o_orderkey"]));
+        cat.add(
+            TableMeta::new("orders", Schema::of(&[("o_orderkey", Type::Int)]))
+                .with_primary_key(&["o_orderkey"]),
+        );
         cat.add(
             TableMeta::new(
                 "lineitem",

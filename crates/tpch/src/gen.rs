@@ -169,7 +169,7 @@ impl TpchGenerator {
                 Value::Int(nation),
                 Value::from(text::phone(&mut rng, nation)),
                 Value::Float((rng.gen_range(-99999..=999999) as f64) / 100.0),
-                Value::from(text::SEGMENTS[rng.gen_range(0..5)]),
+                Value::from(text::SEGMENTS[rng.gen_range(0..5usize)]),
                 Value::from(text::comment(&mut rng, 6, 12, 0.0)),
             ]);
         }
@@ -284,8 +284,8 @@ impl TpchGenerator {
                     Value::Date(shipdate),
                     Value::Date(commitdate),
                     Value::Date(receiptdate),
-                    Value::from(text::INSTRUCTIONS[rng.gen_range(0..4)]),
-                    Value::from(text::SHIP_MODES[rng.gen_range(0..7)]),
+                    Value::from(text::INSTRUCTIONS[rng.gen_range(0..4usize)]),
+                    Value::from(text::SHIP_MODES[rng.gen_range(0..7usize)]),
                     Value::from(text::comment(&mut rng, 3, 7, 0.0)),
                 ]);
             }
@@ -302,7 +302,7 @@ impl TpchGenerator {
                 Value::from(status),
                 Value::Float(total),
                 Value::Date(odate),
-                Value::from(text::ORDER_PRIORITIES[rng.gen_range(0..5)]),
+                Value::from(text::ORDER_PRIORITIES[rng.gen_range(0..5usize)]),
                 Value::from(format!("Clerk#{:09}", rng.gen_range(1..=n_clerks))),
                 Value::Int(0),
                 // ~2% of order comments carry the Q13 pattern.
@@ -351,7 +351,10 @@ mod tests {
         for (name, fk_checks) in [
             ("lineitem", vec![("l_orderkey", "orders", "o_orderkey")]),
             ("orders", vec![("o_custkey", "customer", "c_custkey")]),
-            ("partsupp", vec![("ps_partkey", "part", "p_partkey"), ("ps_suppkey", "supplier", "s_suppkey")]),
+            (
+                "partsupp",
+                vec![("ps_partkey", "part", "p_partkey"), ("ps_suppkey", "supplier", "s_suppkey")],
+            ),
             ("nation", vec![("n_regionkey", "region", "r_regionkey")]),
         ] {
             let t = d.table(name);
@@ -399,7 +402,11 @@ mod tests {
         let t = d.table("lineitem");
         let (lo, _) = order_date_range();
         let hi = Date::from_ymd(1998, 12, 31);
-        let (s, c, r) = (t.schema.col("l_shipdate"), t.schema.col("l_commitdate"), t.schema.col("l_receiptdate"));
+        let (s, c, r) = (
+            t.schema.col("l_shipdate"),
+            t.schema.col("l_commitdate"),
+            t.schema.col("l_receiptdate"),
+        );
         for row in &t.rows {
             let ship = row[s].as_date();
             let commit = row[c].as_date();
@@ -439,9 +446,9 @@ mod tests {
         let oc = o.schema.col("o_comment");
         assert!(o.rows.iter().any(|r| {
             let c = r[oc].as_str();
-            c.split(' ').position(|w| w == "special").is_some_and(|i| {
-                c.split(' ').skip(i + 1).any(|w| w == "requests")
-            })
+            c.split(' ')
+                .position(|w| w == "special")
+                .is_some_and(|i| c.split(' ').skip(i + 1).any(|w| w == "requests"))
         }));
         let p = d.table("part");
         let pt = p.schema.col("p_type");

@@ -3,9 +3,8 @@
 use legobase_storage::{Catalog, Schema, TableMeta, Type};
 
 /// The eight TPC-H relations, in dependency order.
-pub const TABLES: [&str; 8] = [
-    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
-];
+pub const TABLES: [&str; 8] =
+    ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
 
 /// Builds the TPC-H catalog. Primary/foreign keys are annotated at schema
 /// definition time (Section 3.2.1) — these annotations drive partitioning.

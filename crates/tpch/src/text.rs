@@ -37,10 +37,38 @@ pub const CONTAINER_SYLLABLE_2: [&str; 8] =
 /// Part-name color words (subset of the spec's 92 colors — enough distinct
 /// values for realistic Q9/Q20 selectivity).
 pub const COLORS: [&str; 32] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
-    "forest", "frosted", "gainsboro", "ghost", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "green",
 ];
 
 /// The 25 nations with their region assignment (Clause 4.2.3).
@@ -77,11 +105,46 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 
 /// Lexicon for free-text comments.
 const WORDS: [&str; 40] = [
-    "carefully", "furiously", "quickly", "slyly", "blithely", "ironic", "final", "bold",
-    "regular", "express", "unusual", "even", "silent", "pending", "fluffy", "ruthless",
-    "accounts", "packages", "deposits", "instructions", "foxes", "pinto", "beans", "theodolites",
-    "dependencies", "platelets", "ideas", "asymptotes", "courts", "dolphins", "multipliers",
-    "sauternes", "warhorses", "sheaves", "sentiments", "wake", "sleep", "nag", "haggle", "cajole",
+    "carefully",
+    "furiously",
+    "quickly",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "bold",
+    "regular",
+    "express",
+    "unusual",
+    "even",
+    "silent",
+    "pending",
+    "fluffy",
+    "ruthless",
+    "accounts",
+    "packages",
+    "deposits",
+    "instructions",
+    "foxes",
+    "pinto",
+    "beans",
+    "theodolites",
+    "dependencies",
+    "platelets",
+    "ideas",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sauternes",
+    "warhorses",
+    "sheaves",
+    "sentiments",
+    "wake",
+    "sleep",
+    "nag",
+    "haggle",
+    "cajole",
 ];
 
 /// A random comment of `lo..=hi` words. With probability `special_p`, injects
@@ -124,9 +187,9 @@ pub fn part_name(rng: &mut SmallRng) -> String {
 pub fn part_type(rng: &mut SmallRng) -> String {
     format!(
         "{} {} {}",
-        TYPE_SYLLABLE_1[rng.gen_range(0..6)],
-        TYPE_SYLLABLE_2[rng.gen_range(0..5)],
-        TYPE_SYLLABLE_3[rng.gen_range(0..5)]
+        TYPE_SYLLABLE_1[rng.gen_range(0..6usize)],
+        TYPE_SYLLABLE_2[rng.gen_range(0..5usize)],
+        TYPE_SYLLABLE_3[rng.gen_range(0..5usize)]
     )
 }
 
@@ -134,8 +197,8 @@ pub fn part_type(rng: &mut SmallRng) -> String {
 pub fn container(rng: &mut SmallRng) -> String {
     format!(
         "{} {}",
-        CONTAINER_SYLLABLE_1[rng.gen_range(0..5)],
-        CONTAINER_SYLLABLE_2[rng.gen_range(0..8)]
+        CONTAINER_SYLLABLE_1[rng.gen_range(0..5usize)],
+        CONTAINER_SYLLABLE_2[rng.gen_range(0..8usize)]
     )
 }
 

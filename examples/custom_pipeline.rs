@@ -52,15 +52,13 @@ fn main() {
     assert_eq!(plain.spec.dictionaries, tiled.spec.dictionaries);
 
     println!("\ngenerated C, blocked scan (excerpt):");
-    for line in tiled
-        .c_source
-        .lines()
-        .skip_while(|l| !l.contains("+= 512"))
-        .take(6)
-    {
+    for line in tiled.c_source.lines().skip_while(|l| !l.contains("+= 512")).take(6) {
         println!("  {line}");
     }
 
-    println!("\nSC optimization time: standard {:?}, custom {:?}", plain.optimize_time, tiled.optimize_time);
+    println!(
+        "\nSC optimization time: standard {:?}, custom {:?}",
+        plain.optimize_time, tiled.optimize_time
+    );
     println!("(compilation stays in the Fig. 22 budget with extra phases)");
 }

@@ -84,8 +84,10 @@ fn main() {
     // codebase that only differs by the effect of a single optimization").
     let mut reference = None;
     for (label, base) in [
-        ("join hash table needed (no partitioning)",
-         Config::OptC.settings().with(|s| s.partitioning = false)),
+        (
+            "join hash table needed (no partitioning)",
+            Config::OptC.settings().with(|s| s.partitioning = false),
+        ),
         ("join served by a load-time partition", Config::OptC.settings()),
     ] {
         let fused_settings = base.with(|s| s.interop_fusion = true);

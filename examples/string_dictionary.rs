@@ -42,10 +42,8 @@ fn main() {
     let word = StringDictionary::build(DictKind::WordToken, comments.iter().copied());
     let w1 = word.word_code("special").expect("tokenized");
     let w2 = word.word_code("requests").expect("tokenized");
-    let hits = comments
-        .iter()
-        .filter(|c| word.contains_word_seq(word.code(c).unwrap(), w1, w2))
-        .count();
+    let hits =
+        comments.iter().filter(|c| word.contains_word_seq(word.code(c).unwrap(), w1, w2)).count();
     println!("Word-token dictionary: \"special requests\" appears in {hits}/3 comments");
 
     // ---- end-to-end: Q12 with and without dictionaries --------------------
@@ -67,10 +65,7 @@ fn main() {
 
     println!("  without dictionaries (strcmp):     {:?}", plain.exec_time);
     println!("  with dictionaries (integer codes): {:?}", dict.exec_time);
-    println!(
-        "  speedup: {:.2}x",
-        plain.exec_time.as_secs_f64() / dict.exec_time.as_secs_f64()
-    );
+    println!("  speedup: {:.2}x", plain.exec_time.as_secs_f64() / dict.exec_time.as_secs_f64());
 
     // The trade-off the paper calls out: loading pays for the dictionary.
     println!("  load time without dictionaries: {:?}", plain.load_time);

@@ -35,8 +35,5 @@ fn main() {
     println!("  date indexes: {:?}", spec.date_indexes);
     println!("  dictionaries: {:?}", spec.dictionaries);
     let total_attrs: usize = spec.used_columns.values().map(Vec::len).sum();
-    println!(
-        "  attributes loaded: {total_attrs} of {} (unused-field removal, Sec. 3.6.1)",
-        9 + 16
-    );
+    println!("  attributes loaded: {total_attrs} of {} (unused-field removal, Sec. 3.6.1)", 9 + 16);
 }

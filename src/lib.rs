@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+//! Workspace-level test and example host for LegoBase-rs.
+//!
+//! This crate intentionally exports nothing. It exists so the cross-crate
+//! integration suites in `tests/` (engine-equivalence oracles, TPC-H
+//! conformance, random-plan properties) and the runnable walkthroughs in
+//! `examples/` are first-class workspace targets driving the public
+//! [`legobase`] facade exactly as a downstream user would. See `README.md`
+//! for the map of the workspace and `DESIGN.md` for the architecture.

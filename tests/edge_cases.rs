@@ -38,18 +38,12 @@ fn impossible() -> Expr {
 
 #[test]
 fn limit_zero_returns_nothing() {
-    check_all(
-        "limit0",
-        Plan::Limit { input: Box::new(Plan::scan("region")), n: 0 },
-    );
+    check_all("limit0", Plan::Limit { input: Box::new(Plan::scan("region")), n: 0 });
 }
 
 #[test]
 fn limit_beyond_input_is_identity() {
-    check_all(
-        "limit_large",
-        Plan::Limit { input: Box::new(Plan::scan("region")), n: 1_000_000 },
-    );
+    check_all("limit_large", Plan::Limit { input: Box::new(Plan::scan("region")), n: 1_000_000 });
 }
 
 #[test]

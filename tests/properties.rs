@@ -26,12 +26,10 @@ fn arb_lineitem_pred() -> impl Strategy<Value = Expr> {
         // l_discount range
         (0.0f64..0.11).prop_map(|v| Expr::ge(Expr::col(6), Expr::lit(v))),
         // l_shipdate ranges (date-index path)
-        (1992i32..1999, 1u32..13).prop_map(|(y, m)| {
-            Expr::ge(Expr::col(10), Expr::lit(Date::from_ymd(y, m, 1)))
-        }),
-        (1992i32..1999).prop_map(|y| {
-            Expr::lt(Expr::col(10), Expr::lit(Date::from_ymd(y, 12, 28)))
-        }),
+        (1992i32..1999, 1u32..13)
+            .prop_map(|(y, m)| { Expr::ge(Expr::col(10), Expr::lit(Date::from_ymd(y, m, 1))) }),
+        (1992i32..1999)
+            .prop_map(|y| { Expr::lt(Expr::col(10), Expr::lit(Date::from_ymd(y, 12, 28))) }),
         // string predicates on l_shipmode / l_returnflag (dictionary path)
         prop_oneof![Just("MAIL"), Just("SHIP"), Just("AIR"), Just("RAIL"), Just("NOPE")]
             .prop_map(|s| Expr::eq(Expr::col(14), Expr::lit(s))),

@@ -151,12 +151,9 @@ fn q11_values_exceed_global_threshold() {
     // Recompute the German stock total to validate the HAVING threshold.
     let data = &system().data;
     let nation = data.table("nation");
-    let germany: i64 = nation
-        .rows
-        .iter()
-        .find(|row| row[1].as_str() == "GERMANY")
-        .expect("GERMANY exists")[0]
-        .as_int();
+    let germany: i64 =
+        nation.rows.iter().find(|row| row[1].as_str() == "GERMANY").expect("GERMANY exists")[0]
+            .as_int();
     let supplier = data.table("supplier");
     let german_suppliers: std::collections::HashSet<i64> = supplier
         .rows

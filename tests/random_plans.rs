@@ -121,43 +121,50 @@ fn arb_source() -> impl Strategy<Value = Source> {
         0usize..4,
         0usize..3,
     )
-        .prop_flat_map(|((lt, rt, lk, rk, l_arity, res_cols), filter_right, kind, residual)| {
-            let kind = [JoinKind::Inner, JoinKind::LeftOuter, JoinKind::Semi, JoinKind::Anti][kind];
-            (
-                Just((lt, rt, lk, rk, l_arity, res_cols, kind, residual)),
-                arb_predicate(rt),
-                Just(filter_right),
-            )
-                .prop_map(
-                    |((lt, rt, lk, rk, l_arity, res_cols, kind, residual), rpred, filter_right)| {
-                        let right: Plan = if filter_right {
-                            Plan::Select { input: Box::new(Plan::scan(rt)), predicate: rpred }
-                        } else {
-                            Plan::scan(rt)
-                        };
-                        // A third of the joins carry a residual: left.col <
-                        // right.col over the concatenated schema.
-                        let residual = (residual == 0).then(|| {
-                            Expr::lt(Expr::col(res_cols.0), Expr::col(l_arity + res_cols.1))
-                        });
-                        Source {
-                            plan: Plan::HashJoin {
-                                left: Box::new(Plan::scan(lt)),
-                                right: Box::new(right),
-                                left_keys: vec![lk],
-                                right_keys: vec![rk],
-                                kind,
-                                residual,
-                            },
-                            // Semi/anti joins emit only left columns; inner and
-                            // outer prepend them. Either way the left table's
-                            // menu applies at offset 0.
-                            agg_table: lt,
-                            offset: 0,
-                        }
-                    },
+        .prop_flat_map(
+            |((lt, rt, lk, rk, l_arity, res_cols), filter_right, kind, residual)| {
+                let kind =
+                    [JoinKind::Inner, JoinKind::LeftOuter, JoinKind::Semi, JoinKind::Anti][kind];
+                (
+                    Just((lt, rt, lk, rk, l_arity, res_cols, kind, residual)),
+                    arb_predicate(rt),
+                    Just(filter_right),
                 )
-        });
+                    .prop_map(
+                        |(
+                            (lt, rt, lk, rk, l_arity, res_cols, kind, residual),
+                            rpred,
+                            filter_right,
+                        )| {
+                            let right: Plan = if filter_right {
+                                Plan::Select { input: Box::new(Plan::scan(rt)), predicate: rpred }
+                            } else {
+                                Plan::scan(rt)
+                            };
+                            // A third of the joins carry a residual: left.col <
+                            // right.col over the concatenated schema.
+                            let residual = (residual == 0).then(|| {
+                                Expr::lt(Expr::col(res_cols.0), Expr::col(l_arity + res_cols.1))
+                            });
+                            Source {
+                                plan: Plan::HashJoin {
+                                    left: Box::new(Plan::scan(lt)),
+                                    right: Box::new(right),
+                                    left_keys: vec![lk],
+                                    right_keys: vec![rk],
+                                    kind,
+                                    residual,
+                                },
+                                // Semi/anti joins emit only left columns; inner and
+                                // outer prepend them. Either way the left table's
+                                // menu applies at offset 0.
+                                agg_table: lt,
+                                offset: 0,
+                            }
+                        },
+                    )
+            },
+        );
     prop_oneof![3 => single, 2 => join]
 }
 
@@ -172,22 +179,14 @@ fn arb_query() -> impl Strategy<Value = QueryPlan> {
                 0 => {
                     let aggs = vec![
                         AggSpec::new(AggKind::Count, Expr::lit(1i64), "n"),
-                        AggSpec::new(
-                            AggKind::Sum,
-                            Expr::col(src.offset + agg_cols[0]),
-                            "s0",
-                        ),
+                        AggSpec::new(AggKind::Sum, Expr::col(src.offset + agg_cols[0]), "s0"),
                         AggSpec::new(
                             AggKind::Min,
                             Expr::col(src.offset + agg_cols[agg_cols.len() - 1]),
                             "m",
                         ),
                     ];
-                    let group_by = if grouped {
-                        vec![src.offset + group_cols[0]]
-                    } else {
-                        vec![]
-                    };
+                    let group_by = if grouped { vec![src.offset + group_cols[0]] } else { vec![] };
                     let agg = Plan::Agg { input: Box::new(src.plan), group_by, aggs };
                     if grouped {
                         Plan::Sort { input: Box::new(agg), keys: vec![(0, SortOrder::Asc)] }

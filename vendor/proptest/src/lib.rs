@@ -1,0 +1,804 @@
+//! A minimal, dependency-free, API-compatible subset of the `proptest`
+//! property-testing framework.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the slice of proptest its tests use: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`, range and tuple
+//! strategies, [`strategy::Just`], [`arbitrary::any`], regex-subset string
+//! strategies (`"[a-d]{0,6}"`), [`collection::vec`], [`sample::select`],
+//! weighted [`prop_oneof!`], and the [`proptest!`] test macro with
+//! `prop_assert*!` / `prop_assume!`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **no shrinking** — a failing case panics with its generated inputs; the
+//!   run is deterministic (seed derived from the test name, overridable with
+//!   `PROPTEST_SEED`), so failures reproduce exactly;
+//! * **regex strategies** support only the subset the tests use: literals,
+//!   classes (`[a-dx]`), groups, alternation, and `{n}` / `{n,m}` / `*` /
+//!   `+` / `?` quantifiers;
+//! * `prop_recursive` pre-builds a bounded-depth union instead of lazily
+//!   recursing.
+
+#![warn(missing_docs)]
+
+/// Test-case configuration and the deterministic RNG driving generation.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block (subset: case count only).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The deterministic generator used for one test case (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `(test name, case
+        /// index)`, plus the optional `PROPTEST_SEED` environment override.
+        pub fn deterministic(test_name: &str, case: u32) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+            for b in test_name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            if let Ok(v) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = v.parse::<u64>() {
+                    seed ^= extra.rotate_left(17);
+                }
+            }
+            Self::from_seed(seed ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        /// A generator from a raw seed (SplitMix64-expanded).
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// The raw 64-bit output of the generator.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// A uniform value in `0..n` (`n` > 0).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and its combinators.
+pub mod strategy {
+    use crate::string::generate_matching;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of type `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree: strategies generate
+    /// final values directly and nothing shrinks.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F, O>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f, _marker: PhantomData }
+        }
+
+        /// Generates an intermediate value, then generates from the strategy
+        /// `f` derives from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F, S>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { source: self, f, _marker: PhantomData }
+        }
+
+        /// A bounded-depth recursive strategy: at each of `depth` levels the
+        /// generator picks the base strategy or one produced by `recurse`
+        /// applied to the previous level.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base: BoxedStrategy<Self::Value> = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                current = Union::weighted(vec![(1, base.clone()), (2, deeper)]).boxed();
+            }
+            current
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F, O> {
+        source: S,
+        f: F,
+        _marker: PhantomData<fn() -> O>,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F, O>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F, S2> {
+        source: S,
+        f: F,
+        _marker: PhantomData<fn() -> S2>,
+    }
+
+    impl<S, F, S2> Strategy for FlatMap<S, F, S2>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let intermediate = self.source.generate(rng);
+            (self.f)(intermediate).generate(rng)
+        }
+    }
+
+    /// A weighted choice among strategies of one value type (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` arms.
+        pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (weight, arm) in &self.arms {
+                if pick < *weight as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weighted pick exceeded total weight")
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        (int: $($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+        (float: $($t:ty),* $(,)?) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    lo + (hi - lo) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(int: i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+    numeric_range_strategy!(float: f32, f64);
+
+    /// String literals are regex strategies generating matching strings.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($S:ident => $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A => 0);
+    tuple_strategy!(A => 0, B => 1);
+    tuple_strategy!(A => 0, B => 1, C => 2);
+    tuple_strategy!(A => 0, B => 1, C => 2, D => 3);
+    tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4);
+    tuple_strategy!(A => 0, B => 1, C => 2, D => 3, E => 4, F => 5);
+}
+
+/// The [`any`](arbitrary::any) entry point for canonical strategies.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy (subset of upstream `Arbitrary`).
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary_with_rng(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_with_rng(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_with_rng(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_with_rng(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// A length distribution for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+/// Sampling strategies (subset: `select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.below(self.items.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Picks uniformly from a non-empty list of items.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty list");
+        Select { items }
+    }
+}
+
+/// Generation of strings matching a small regex subset.
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug)]
+    enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl Parser<'_> {
+        fn fail(&self, what: &str) -> ! {
+            panic!("unsupported regex {:?}: {what}", self.pattern)
+        }
+
+        /// alternation := sequence ('|' sequence)*
+        fn alternation(&mut self) -> Vec<Vec<Node>> {
+            let mut alternatives = vec![self.sequence()];
+            while self.chars.peek() == Some(&'|') {
+                self.chars.next();
+                alternatives.push(self.sequence());
+            }
+            alternatives
+        }
+
+        /// sequence := (atom quantifier?)*
+        fn sequence(&mut self) -> Vec<Node> {
+            let mut nodes = Vec::new();
+            while let Some(&c) = self.chars.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.atom();
+                nodes.push(self.quantified(atom));
+            }
+            nodes
+        }
+
+        fn atom(&mut self) -> Node {
+            match self.chars.next() {
+                Some('(') => {
+                    let inner = self.alternation();
+                    if self.chars.next() != Some(')') {
+                        self.fail("unclosed group");
+                    }
+                    Node::Group(inner)
+                }
+                Some('[') => Node::Class(self.class()),
+                Some('\\') => match self.chars.next() {
+                    Some(c) => Node::Literal(c),
+                    None => self.fail("dangling escape"),
+                },
+                Some(c) if !"{}*+?".contains(c) => Node::Literal(c),
+                Some(_) => self.fail("quantifier without atom"),
+                None => self.fail("unexpected end"),
+            }
+        }
+
+        fn class(&mut self) -> Vec<(char, char)> {
+            let mut ranges = Vec::new();
+            loop {
+                match self.chars.next() {
+                    Some(']') if !ranges.is_empty() => return ranges,
+                    Some(lo) => {
+                        if self.chars.peek() == Some(&'-') {
+                            self.chars.next();
+                            match self.chars.next() {
+                                Some(hi) if hi != ']' => ranges.push((lo, hi)),
+                                _ => self.fail("bad class range"),
+                            }
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    None => self.fail("unclosed class"),
+                }
+            }
+        }
+
+        fn quantified(&mut self, atom: Node) -> Node {
+            let (lo, hi) = match self.chars.peek() {
+                Some('*') => (0, 4),
+                Some('+') => (1, 4),
+                Some('?') => (0, 1),
+                Some('{') => {
+                    self.chars.next();
+                    let lo = self.number();
+                    let hi = match self.chars.next() {
+                        Some('}') => lo,
+                        Some(',') => {
+                            let hi = self.number();
+                            if self.chars.next() != Some('}') {
+                                self.fail("unclosed quantifier");
+                            }
+                            hi
+                        }
+                        _ => self.fail("bad quantifier"),
+                    };
+                    return Node::Repeat(Box::new(atom), lo, hi);
+                }
+                _ => return atom,
+            };
+            self.chars.next();
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+
+        fn number(&mut self) -> u32 {
+            let mut digits = String::new();
+            while let Some(c) = self.chars.peek() {
+                if c.is_ascii_digit() {
+                    digits.push(*c);
+                    self.chars.next();
+                } else {
+                    break;
+                }
+            }
+            if digits.is_empty() {
+                self.fail("expected number in quantifier");
+            }
+            digits.parse().unwrap()
+        }
+    }
+
+    fn emit(nodes: &[Node], rng: &mut TestRng, out: &mut String) {
+        for node in nodes {
+            emit_one(node, rng, out);
+        }
+    }
+
+    fn emit_one(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges.iter().map(|(lo, hi)| (*hi as u64 - *lo as u64) + 1).sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = (*hi as u64 - *lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(*lo as u32 + pick as u32).unwrap());
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+            Node::Group(alternatives) => {
+                let choice = rng.below(alternatives.len() as u64) as usize;
+                emit(&alternatives[choice], rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let count = lo + rng.below((hi - lo + 1) as u64) as u32;
+                for _ in 0..count {
+                    emit_one(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern` (regex subset; see module
+    /// docs). Panics on constructs outside the subset.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let mut parser = Parser { chars: pattern.chars().peekable(), pattern };
+        let alternatives = parser.alternation();
+        if parser.chars.next().is_some() {
+            parser.fail("trailing input");
+        }
+        let mut out = String::new();
+        let choice = rng.below(alternatives.len() as u64) as usize;
+        emit(&alternatives[choice], rng, &mut out);
+        out
+    }
+}
+
+/// The conventional glob import for tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` case (no shrinking; panics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// A weighted (`w => strategy`) or uniform choice among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let mut case_body = || $body;
+                case_body();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_vecs() {
+        let mut rng = TestRng::deterministic("shim::basic", 0);
+        let strat = crate::collection::vec((0u64..8, -5i64..5), 3..9);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((3..9).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 8);
+                assert!((-5..5).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_respects_arms() {
+        let mut rng = TestRng::deterministic("shim::oneof", 0);
+        let strat = prop_oneof![Just(1usize), Just(2), Just(3)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng)] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic("shim::regex", 0);
+        for _ in 0..200 {
+            let s = "[a-d]{0,6}".generate(&mut rng);
+            assert!(s.len() <= 6 && s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+            let w = "([a-c]{1,3} ){0,5}[a-c]{1,3}".generate(&mut rng);
+            assert!(w.split(' ').all(|t| (1..=3).contains(&t.len())), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0i64..10).prop_map(|x| x);
+        let strat =
+            leaf.prop_recursive(3, 8, 2, |inner| (inner.clone(), inner).prop_map(|(a, b)| a + b));
+        let mut rng = TestRng::deterministic("shim::recursive", 0);
+        for _ in 0..100 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: patterns, `mut` bindings, assume, asserts.
+        #[test]
+        fn macro_end_to_end(mut xs in crate::collection::vec(0u32..100, 0..10), flip in any::<bool>()) {
+            prop_assume!(xs.len() != 9);
+            xs.sort_unstable();
+            if flip {
+                xs.reverse();
+            }
+            prop_assert!(xs.len() < 9);
+            prop_assert_eq!(xs.len(), xs.capacity().min(xs.len()), "length {}", xs.len());
+        }
+    }
+}
