@@ -2,11 +2,13 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p legobase_bench --release --bin figures -- [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|all]
+//! cargo run -p legobase_bench --release --bin figures -- [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|threads|all]
 //! ```
 //! Environment: `LEGOBASE_SF` (scale factor, default 0.02), `LEGOBASE_RUNS`
 //! (timed repetitions, default 3). Fig. 18's proxy counters require building
-//! with `--features metrics`.
+//! with `--features metrics`. `threads` (not a paper figure — the paper's
+//! executor is single-threaded) measures morsel-driven thread scaling at its
+//! own scale factor (`LEGOBASE_THREADS_SF`, default 0.1).
 //!
 //! Absolute numbers differ from the paper (different machine, scale factor,
 //! and generated-code substrate — see DESIGN.md); the *shapes* (who wins, by
@@ -31,6 +33,7 @@ fn main() {
         "fig21" => fig21(&system),
         "fig22" => fig22(&system),
         "table4" => table4(),
+        "threads" => threads(),
         "all" => {
             fig16(&system);
             fig17(&system);
@@ -40,6 +43,7 @@ fn main() {
             fig21(&system);
             fig22(&system);
             table4();
+            threads();
         }
         other => {
             eprintln!("unknown figure `{other}`");
@@ -232,14 +236,24 @@ fn fig22(system: &LegoBase) {
             .unwrap_or(false)
     });
     let dir = std::env::temp_dir().join("legobase_figures_c");
-    let _ = std::fs::create_dir_all(&dir);
     for n in 1..=22 {
         let settings = Settings::optimized();
         let result = legobase::sc::compile(&system.plan(n), &system.data.catalog, &settings);
         let cc_ms = cc
-            .map(|cc| {
-                let path = dir.join(format!("Q{n}.c"));
-                std::fs::write(&path, &result.c_source).unwrap();
+            .and_then(|cc| {
+                // A broken dump location (read-only temp, …) skips the cc
+                // timing with a diagnosis instead of panicking mid-figure.
+                let path = match legobase::sc::cgen::dump_c_source(
+                    &dir,
+                    &format!("Q{n}.c"),
+                    &result.c_source,
+                ) {
+                    Ok(path) => path,
+                    Err(e) => {
+                        eprintln!("skipping cc timing for Q{n}: {e}");
+                        return None;
+                    }
+                };
                 let t0 = std::time::Instant::now();
                 let ok = std::process::Command::new(cc)
                     .args(["-O2", "-c", "-o"])
@@ -248,11 +262,7 @@ fn fig22(system: &LegoBase) {
                     .status()
                     .map(|s| s.success())
                     .unwrap_or(false);
-                if ok {
-                    ms(t0.elapsed())
-                } else {
-                    f64::NAN
-                }
+                Some(if ok { ms(t0.elapsed()) } else { f64::NAN })
             })
             .unwrap_or(f64::NAN);
         println!(
@@ -262,6 +272,49 @@ fn fig22(system: &LegoBase) {
             cc_ms,
             result.program.size()
         );
+    }
+}
+
+/// Thread scaling of the morsel-driven specialized engine (not a paper
+/// figure — the paper's generated C is single-threaded). Q1 (grouped
+/// aggregation), Q6 (selective global aggregation), and Q12 (join +
+/// aggregation) at `LEGOBASE_THREADS_SF` (default 0.1), degrees 1/2/4/8.
+fn threads() {
+    // The LEGOBASE_PARALLELISM override rewrites default-serial requests,
+    // which would silently turn this figure's 1-thread baseline into a
+    // parallel run; the explicit per-degree sweep below must win.
+    if std::env::var_os("LEGOBASE_PARALLELISM").is_some() {
+        eprintln!("(threads: ignoring LEGOBASE_PARALLELISM; this figure sets degrees explicitly)");
+        std::env::remove_var("LEGOBASE_PARALLELISM");
+    }
+    let sf: f64 =
+        std::env::var("LEGOBASE_THREADS_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.1);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "\n== Thread scaling: morsel-driven LegoBase(Opt) (SF {sf}, {cores} CPU(s) visible) =="
+    );
+    println!(
+        "{:<5} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "query", "1 thr (ms)", "2 thr (ms)", "4 thr (ms)", "8 thr (ms)", "speedup @4"
+    );
+    let system = LegoBase::generate(sf);
+    for n in [1usize, 6, 12] {
+        let times: Vec<f64> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&d| ms(time_query(&system, n, &Settings::optimized().with_parallelism(d))))
+            .collect();
+        println!(
+            "Q{n:<4} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>13.2}x",
+            times[0],
+            times[1],
+            times[2],
+            times[3],
+            times[0] / times[2].max(1e-6)
+        );
+    }
+    if cores < 2 {
+        println!("(only {cores} CPU visible to this process: speedups ≈ 1.0x are expected here;");
+        println!(" the determinism contract — identical results at every degree — still holds)");
     }
 }
 

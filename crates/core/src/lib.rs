@@ -88,8 +88,18 @@ impl LegoBase {
     /// The full paper pipeline for an arbitrary plan: SC compilation derives
     /// the specialization, the loader builds the physical database, the
     /// matching executor runs the query.
+    ///
+    /// The morsel-driven parallelism degree follows the same
+    /// compiler-decides/executor-obeys discipline as every other
+    /// specialization: `settings.parallelism` is the *request* (overridable
+    /// with the `LEGOBASE_PARALLELISM` environment variable, which is how CI
+    /// runs the whole suite parallel-enabled), the `Parallelize` transformer
+    /// records the per-query decision in the specialization report, and the
+    /// specialized executor runs with the recorded degree.
     pub fn run_plan(&self, query: &QueryPlan, settings: &Settings) -> RunOutcome {
+        let settings = &requested_settings(settings);
         let compilation = legobase_sc::compile(query, &self.data.catalog, settings);
+        let settings = &decided_settings(settings, &compilation.spec);
         let (result, load_time, memory_bytes, exec_time) = match settings.engine {
             EngineKind::Volcano => {
                 let db = GenericDb::load(&self.data, &compilation.spec, settings);
@@ -116,7 +126,9 @@ impl LegoBase {
     /// Loads the database for a configuration once (for benchmarks that
     /// execute repeatedly against the same load).
     pub fn load(&self, query: &QueryPlan, settings: &Settings) -> LoadedQuery {
+        let settings = &requested_settings(settings);
         let compilation = legobase_sc::compile(query, &self.data.catalog, settings);
+        let settings = &decided_settings(settings, &compilation.spec);
         let db = match settings.engine {
             EngineKind::Volcano | EngineKind::Push => {
                 Db::Generic(GenericDb::load(&self.data, &compilation.spec, settings))
@@ -127,6 +139,33 @@ impl LegoBase {
         };
         LoadedQuery { query: query.clone(), settings: *settings, compilation, db }
     }
+}
+
+/// Applies the `LEGOBASE_PARALLELISM` environment override to the requested
+/// settings (CI uses it to run the entire suite with the parallel paths on).
+/// The override only replaces the *default* serial request — settings that
+/// explicitly ask for a degree > 1 (ablations, the thread-scaling figure)
+/// keep their request.
+fn requested_settings(settings: &Settings) -> Settings {
+    let mut s = *settings;
+    if s.parallelism == 1 {
+        if let Some(n) =
+            std::env::var("LEGOBASE_PARALLELISM").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            if n >= 1 {
+                s.parallelism = n;
+            }
+        }
+    }
+    s
+}
+
+/// Replaces the requested parallelism with the degree the SC pipeline
+/// recorded for this query — the executor obeys the compiler's decision.
+fn decided_settings(settings: &Settings, spec: &Specialization) -> Settings {
+    let mut s = *settings;
+    s.parallelism = spec.parallelism.max(1);
+    s
 }
 
 enum Db {

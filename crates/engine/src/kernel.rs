@@ -95,13 +95,18 @@ impl Chunk {
 }
 
 /// Kernels over physical row indices.
-pub type BoolK = Box<dyn Fn(usize) -> bool>;
+///
+/// Kernels are `Send + Sync`: they capture only `Arc`-shared column vectors
+/// and plain expression data, so morsel-driven worker threads can each
+/// compile (or receive) kernels and evaluate them concurrently over disjoint
+/// row ranges.
+pub type BoolK = Box<dyn Fn(usize) -> bool + Send + Sync>;
 /// A compiled row → `f64` kernel.
-pub type F64K = Box<dyn Fn(usize) -> f64>;
+pub type F64K = Box<dyn Fn(usize) -> f64 + Send + Sync>;
 /// A compiled row → `i64` (key code) kernel.
-pub type I64K = Box<dyn Fn(usize) -> i64>;
+pub type I64K = Box<dyn Fn(usize) -> i64 + Send + Sync>;
 /// A compiled row → [`Value`] kernel (generic fallback).
-pub type ValK = Box<dyn Fn(usize) -> Value>;
+pub type ValK = Box<dyn Fn(usize) -> Value + Send + Sync>;
 
 /// Compiles a predicate against a chunk's physical representation.
 pub fn compile_bool(e: &Expr, chunk: &Chunk) -> BoolK {
@@ -195,7 +200,7 @@ fn numeric(e: &Expr, chunk: &Chunk) -> Option<F64K> {
     }
 }
 
-fn date_kernel(e: &Expr, chunk: &Chunk) -> Option<Box<dyn Fn(usize) -> i32>> {
+fn date_kernel(e: &Expr, chunk: &Chunk) -> Option<Box<dyn Fn(usize) -> i32 + Send + Sync>> {
     match e {
         Expr::Col(i) => match chunk.cols[*i].clone() {
             Column::Date(v) => Some(Box::new(move |r| v[r])),

@@ -20,7 +20,9 @@
 //!   joins (the TPC-H-compliant configuration).
 //! * [`kernel`] / [`specialized`] — the specialized executor standing in for
 //!   the paper's generated C: typed column access, partitioned joins, lowered
-//!   hash maps, dictionary integers, date-index scans, hoisted allocations.
+//!   hash maps, dictionary integers, date-index scans, hoisted allocations,
+//!   and (when the specialization report asks for it) morsel-driven parallel
+//!   scan/filter/pre-aggregation pipelines.
 //! * [`settings`] — the optimization toggles and the named configurations of
 //!   Table III.
 //! * [`spec`] — the per-query specialization report produced by the SC
@@ -36,6 +38,7 @@ pub mod expr;
 pub mod interop;
 pub mod interp;
 pub mod kernel;
+pub(crate) mod parallel;
 pub mod plan;
 pub mod push;
 pub mod result;

@@ -1,0 +1,149 @@
+//! Morsel-driven parallel execution scaffolding for the specialized engine.
+//!
+//! [`run_morsels`] is the single scheduling primitive every parallel operator
+//! uses: worker threads (plain `std::thread::scope`, no external runtime)
+//! pull morsel indices from a shared atomic counter — the work-stealing heart
+//! of morsel-driven scheduling — while the *results* are always assembled in
+//! morsel-index order on the calling thread. Scheduling is dynamic, merging
+//! is deterministic: which worker processed which morsel can never influence
+//! the query result (see `DESIGN.md` §3 for the full determinism contract).
+
+use legobase_storage::morsel::{morsels, Morsel, MORSEL_ROWS};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum logical row count before a parallel operator path engages; below
+/// this the per-thread setup costs more than the scan itself.
+pub(crate) const PAR_MIN_ROWS: usize = MORSEL_ROWS;
+
+/// True when `settings`-requested parallelism should apply to an input of
+/// `rows` logical rows.
+pub(crate) fn go_parallel(degree: usize, rows: usize) -> bool {
+    degree > 1 && rows > PAR_MIN_ROWS
+}
+
+/// Cuts `total` logical rows into the fixed-size morsels the determinism
+/// contract requires (boundaries depend only on `total`).
+pub(crate) fn row_morsels(total: usize) -> Vec<Morsel> {
+    morsels(total, MORSEL_ROWS)
+}
+
+/// Runs `work` over every work item (typically a [`Morsel`], but any
+/// `Copy + Sync` item such as a date-index segment works) using up to
+/// `degree` worker threads, and returns the per-item results **in item-index
+/// order**.
+///
+/// * `setup` runs once per worker, inside the worker thread — per-worker
+///   scratch state (e.g. a domain-sized slot array) lives here.
+/// * `work` consumes the worker state by `&mut` plus one item, and its
+///   results must depend only on the item (never on worker identity or on
+///   previously processed items), which makes dynamic scheduling safe.
+///
+/// With `degree <= 1` or a single item everything runs inline on the
+/// calling thread — same code path, no thread spawn.
+///
+/// # Panics
+/// Worker panics are resumed on the calling thread (the query fails with the
+/// original panic payload instead of a secondary "worker poisoned" error).
+pub(crate) fn run_morsels<I, S, T, FSetup, FWork>(
+    degree: usize,
+    ms: &[I],
+    setup: FSetup,
+    work: FWork,
+) -> Vec<T>
+where
+    I: Copy + Sync,
+    T: Send,
+    FSetup: Fn() -> S + Sync,
+    FWork: Fn(&mut S, I) -> T + Sync,
+{
+    let workers = degree.min(ms.len()).max(1);
+    if workers == 1 {
+        let mut state = setup();
+        return ms.iter().map(|&m| work(&mut state, m)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = (0..ms.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = setup();
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&m) = ms.get(i) else { break };
+                        produced.push((i, work(&mut state, m)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            let produced = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+            for (i, t) in produced {
+                out[i] = Some(t);
+            }
+        }
+    });
+    out.into_iter().map(|t| t.expect("every morsel produces exactly one result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_morsel_order_at_any_degree() {
+        let ms = morsels(40_000, 1_000);
+        let serial = run_morsels(1, &ms, || (), |(), m| m.start);
+        for degree in [2, 3, 4, 8, 64] {
+            let par = run_morsels(degree, &ms, || (), |(), m| m.start);
+            assert_eq!(par, serial, "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn setup_runs_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let setups = AtomicUsize::new(0);
+        let ms = morsels(100_000, 100);
+        let out = run_morsels(
+            4,
+            &ms,
+            || {
+                setups.fetch_add(1, Ordering::Relaxed);
+            },
+            |(), m| m.len(),
+        );
+        assert_eq!(out.iter().sum::<usize>(), 100_000);
+        let n = setups.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&n), "worker setups: {n}");
+    }
+
+    #[test]
+    fn empty_input_yields_no_results() {
+        let out: Vec<usize> = run_morsels(4, &[], || (), |(), m: Morsel| m.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates_with_payload() {
+        let ms = morsels(10_000, 100);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_morsels(
+                4,
+                &ms,
+                || (),
+                |(), m| {
+                    if m.start >= 5_000 {
+                        panic!("morsel boom");
+                    }
+                    m.len()
+                },
+            )
+        }));
+        let err = r.expect_err("panic must propagate");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "morsel boom");
+    }
+}

@@ -44,6 +44,15 @@ pub struct Settings {
     /// Inter-operator optimization: aggregation materialized directly inside
     /// the join hash table (Section 3.1, Fig. 9).
     pub interop_fusion: bool,
+    /// Requested morsel-driven parallelism degree (worker threads) for the
+    /// specialized engine's scan→filter→pre-aggregate pipelines. `1` = the
+    /// paper's single-threaded execution and the default for every named
+    /// [`Config`]. Like the other fields this is a *request*: the SC
+    /// pipeline's `Parallelize` transformer decides the effective per-query
+    /// degree and records it in the
+    /// [`Specialization`](crate::spec::Specialization) report, which the
+    /// executor obeys. The generic engines ignore the knob.
+    pub parallelism: usize,
 }
 
 impl Settings {
@@ -60,6 +69,7 @@ impl Settings {
             code_motion: false,
             field_removal: false,
             interop_fusion: false,
+            parallelism: 1,
         }
     }
 
@@ -76,6 +86,7 @@ impl Settings {
             code_motion: true,
             field_removal: true,
             interop_fusion: true,
+            parallelism: 1,
         }
     }
 
@@ -83,6 +94,11 @@ impl Settings {
     pub fn with(mut self, f: impl FnOnce(&mut Settings)) -> Settings {
         f(&mut self);
         self
+    }
+
+    /// Requests a morsel-driven parallelism degree (clamped to ≥ 1).
+    pub fn with_parallelism(self, degree: usize) -> Settings {
+        self.with(|s| s.parallelism = degree.max(1))
     }
 }
 
@@ -188,6 +204,17 @@ mod tests {
         assert!(opt.column_store && opt.date_indices && opt.code_motion && opt.field_removal);
         let opt_scala = Config::OptScala.settings();
         assert!(opt_scala.column_store && !opt_scala.compiled_exprs);
+    }
+
+    /// Every named configuration stays single-threaded by default: the
+    /// paper's evaluation is serial, and parallelism is an explicit opt-in.
+    #[test]
+    fn all_configs_default_to_serial() {
+        for c in Config::ALL {
+            assert_eq!(c.settings().parallelism, 1, "{c:?} must default to serial");
+        }
+        assert_eq!(Settings::optimized().with_parallelism(4).parallelism, 4);
+        assert_eq!(Settings::optimized().with_parallelism(0).parallelism, 1);
     }
 
     #[test]

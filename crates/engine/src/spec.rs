@@ -33,7 +33,7 @@ pub struct PartitionSpec {
 
 /// Everything the loader needs to specialize the physical database for one
 /// query.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Specialization {
     /// Foreign-key (or composite-primary-key) 2D partitions.
     pub fk_partitions: Vec<PartitionSpec>,
@@ -46,6 +46,25 @@ pub struct Specialization {
     /// Attributes referenced per base table (unused-field removal); tables
     /// absent from the map are not used by the query at all.
     pub used_columns: HashMap<String, Vec<usize>>,
+    /// Morsel-driven parallelism degree chosen for this query by the
+    /// `Parallelize` transformer (1 = serial). Like every other field, this
+    /// is a specialization *decision*: the compiler derives it from the plan
+    /// and the requested [`Settings`](crate::settings::Settings), and the
+    /// specialized executor obeys it.
+    pub parallelism: usize,
+}
+
+impl Default for Specialization {
+    fn default() -> Specialization {
+        Specialization {
+            fk_partitions: Vec::new(),
+            pk_indexes: Vec::new(),
+            date_indexes: Vec::new(),
+            dictionaries: Vec::new(),
+            used_columns: HashMap::new(),
+            parallelism: 1,
+        }
+    }
 }
 
 impl Specialization {
@@ -122,6 +141,8 @@ mod tests {
         assert!(!s.has_fk_partition("lineitem", 1));
         assert!(s.has_pk_index("orders", 0));
         assert!(s.has_date_index("lineitem", 10));
+        // The default decision is serial execution.
+        assert_eq!(s.parallelism, 1);
     }
 
     #[test]

@@ -19,15 +19,24 @@
 //!   dense pre-initialized arrays (Section 3.5.2) and output vectors are
 //!   pre-sized from statistics (Section 3.5.1);
 //! * **compiled_exprs** — off reproduces Opt/Scala: specialized data
-//!   structures but per-tuple interpreted evaluation.
+//!   structures but per-tuple interpreted evaluation;
+//! * **parallelism** — a degree > 1 runs the scan→filter→pre-aggregate
+//!   pipelines morsel-driven over worker threads: fixed-size contiguous
+//!   row-range morsels over the shared `Arc` columns, thread-local partial
+//!   states, deterministic merge in morsel-index order (DESIGN.md §3). The
+//!   degree is a specialization decision recorded by the SC pipeline's
+//!   `Parallelize` transformer, exactly like the data-structure choices.
 
 use crate::expr::{AggKind, CmpOp, Expr};
 use crate::interp;
 use crate::kernel::{self, BoolK, Chunk, ValK, F64K, I64K};
+use crate::parallel::{go_parallel, row_morsels, run_morsels};
 use crate::plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
 use crate::result::ResultTable;
 use crate::settings::Settings;
 use crate::SpecializedDb;
+use legobase_storage::dateindex::RangeSegment;
+use legobase_storage::morsel::MORSEL_ROWS;
 use legobase_storage::specialized::{ChainedArrayMap, ChainedMultiMap};
 use legobase_storage::{metrics, Column, Date, RowTable, Schema, Value};
 use std::collections::{BTreeSet, HashMap};
@@ -173,6 +182,32 @@ impl<'a> Exec<'a> {
         }
         let mut chunk = self.run(input, &child_need_select(need, predicate));
         let pred = self.pred(predicate, &chunk);
+        if go_parallel(self.settings.parallelism, chunk.len()) {
+            // Morsel-driven filter: workers share the compiled predicate
+            // (kernels are Sync) and evaluate disjoint logical-row ranges;
+            // concatenating the per-morsel survivors in morsel order yields
+            // exactly the selection vector the serial loop builds.
+            let parts: Vec<Vec<u32>> = run_morsels(
+                self.settings.parallelism,
+                &row_morsels(chunk.len()),
+                || (),
+                |(), m| {
+                    let mut sel = Vec::new();
+                    for i in m.range() {
+                        let p = chunk.phys(i);
+                        metrics::branch_eval();
+                        if pred(p) {
+                            sel.push(p as u32);
+                        }
+                    }
+                    sel
+                },
+            );
+            // Concatenating in morsel-index order is the deterministic
+            // assembly step of every parallel selection path.
+            chunk.sel = Some(Arc::new(parts.concat()));
+            return chunk;
+        }
         let mut sel = Vec::new();
         if self.settings.code_motion {
             sel.reserve(chunk.len());
@@ -223,17 +258,67 @@ impl<'a> Exec<'a> {
                 Some(self.pred(&combined, &chunk))
             };
             let days = chunk.cols[col_idx].as_date();
-            let mut sel = Vec::new();
-            index.scan_range(days, lo, hi, |row| {
-                if res_pred.as_ref().is_none_or(|p| p(row as usize)) {
-                    sel.push(row);
-                }
-            });
+            let sel = self.date_index_scan(index, days, lo, hi, &res_pred);
             let mut out = chunk;
             out.sel = Some(Arc::new(sel));
             return Some(out);
         }
         None
+    }
+
+    /// Collects the rows a year index yields for `[lo, hi]` (plus an
+    /// optional residual predicate), serially or morsel-parallel. The
+    /// parallel path partitions the index's year buckets into bounded
+    /// segments and concatenates per-segment survivors in segment order,
+    /// reproducing the serial emission order bit for bit.
+    fn date_index_scan(
+        &self,
+        index: &legobase_storage::dateindex::DateYearIndex,
+        days: &[i32],
+        lo: Date,
+        hi: Date,
+        res_pred: &Option<BoolK>,
+    ) -> Vec<u32> {
+        let segments = index.range_segments(lo, hi);
+        let candidates: usize = segments.iter().map(|s| s.end - s.start).sum();
+        if go_parallel(self.settings.parallelism, candidates) {
+            // Split each bucket into morsel-sized sub-segments (the split
+            // depends only on the index and the range, never on the degree).
+            let mut work: Vec<RangeSegment> = Vec::new();
+            for s in &segments {
+                let mut start = s.start;
+                while start < s.end {
+                    let end = (start + MORSEL_ROWS).min(s.end);
+                    work.push(RangeSegment { start, end, full: s.full });
+                    start = end;
+                }
+            }
+            let row_ids = index.row_ids();
+            let parts: Vec<Vec<u32>> = run_morsels(
+                self.settings.parallelism,
+                &work,
+                || (),
+                |(), seg: RangeSegment| {
+                    let mut sel = Vec::new();
+                    for &row in &row_ids[seg.start..seg.end] {
+                        let in_range =
+                            seg.full || (days[row as usize] >= lo.0 && days[row as usize] <= hi.0);
+                        if in_range && res_pred.as_ref().is_none_or(|p| p(row as usize)) {
+                            sel.push(row);
+                        }
+                    }
+                    sel
+                },
+            );
+            return parts.concat();
+        }
+        let mut sel = Vec::new();
+        index.scan_range(days, lo, hi, |row| {
+            if res_pred.as_ref().is_none_or(|p| p(row as usize)) {
+                sel.push(row);
+            }
+        });
+        sel
     }
 
     fn project(&self, input: &Plan, exprs: &[(Expr, String)], need: &Need) -> Chunk {
@@ -809,9 +894,18 @@ impl<'a> Exec<'a> {
         let chunk = self.run(input, &Some(child_need));
         let n = chunk.len();
 
-        // Build per-aggregate update kernels.
-        let mut stores: Vec<AggStore> = aggs.iter().map(|a| self.agg_store(a, &chunk)).collect();
+        // Build per-aggregate update kernels (shared, read-only) and the
+        // accumulator states they drive. Splitting kernels from states is
+        // what lets morsel workers share one compiled kernel set while each
+        // morsel owns its partial accumulators.
+        let kernels: Vec<AggK> = aggs.iter().map(|a| self.agg_kernel(a, &chunk)).collect();
+        let mut states: Vec<AggState> = kernels.iter().map(AggK::new_state).collect();
         let mut reprs: Vec<u32> = Vec::new();
+
+        // The effective degree for *this* operator: the compiled decision,
+        // gated on the input being large enough to be worth splitting.
+        let degree =
+            if go_parallel(self.settings.parallelism, n) { self.settings.parallelism } else { 1 };
 
         // Key strategy.
         let key_kernels: Option<Vec<I64K>> = if self.settings.compiled_exprs {
@@ -822,30 +916,41 @@ impl<'a> Exec<'a> {
 
         if group_by.is_empty() {
             // SingletonHashMapToValue: a single global slot (e.g. Q6).
-            if n > 0 {
-                reprs.push(chunk.phys(0) as u32);
-                for s in &mut stores {
-                    s.touch();
-                }
-                for p in chunk.physical_rows() {
-                    for s in &mut stores {
-                        s.update(0, p);
-                    }
-                }
-            } else {
-                for s in &mut stores {
+            if n == 0 {
+                for s in &mut states {
                     s.touch();
                 }
                 reprs.push(0);
+            } else if degree > 1 {
+                reprs.push(chunk.phys(0) as u32);
+                states = par_singleton(&chunk, &kernels, degree);
+            } else {
+                reprs.push(chunk.phys(0) as u32);
+                for s in &mut states {
+                    s.touch();
+                }
+                for p in chunk.physical_rows() {
+                    for (k, s) in kernels.iter().zip(&mut states) {
+                        k.update(s, 0, p);
+                    }
+                }
             }
         } else if let Some(kks) = key_kernels {
             // Coded keys: compute per-key ranges, pack into one u64.
-            match KeyPacker::fit(kks, &chunk) {
+            match KeyPacker::fit(kks, &chunk, degree) {
                 Some(packer) => {
                     let use_direct = self.settings.code_motion
                         && packer.domain <= DIRECT_ARRAY_MAX
                         && packer.domain <= (8 * n.max(128)) as i64;
-                    if use_direct {
+                    let single_key = group_by.len() == 1;
+                    if degree > 1 {
+                        let (r, s, gi) = self.par_aggregate_coded(
+                            &chunk, &kernels, &packer, use_direct, single_key, degree,
+                        );
+                        reprs = r;
+                        states = s;
+                        group_index = gi;
+                    } else if use_direct {
                         // Direct array with hoisted initialization
                         // (Section 3.5.2): slot ids pre-assigned, no generic
                         // map at all.
@@ -858,16 +963,16 @@ impl<'a> Exec<'a> {
                                 let g = reprs.len();
                                 slots[key] = g as i32;
                                 reprs.push(p as u32);
-                                for s in &mut stores {
+                                for s in &mut states {
                                     s.touch();
                                 }
                                 g
                             };
-                            for s in &mut stores {
-                                s.update(g, p);
+                            for (k, s) in kernels.iter().zip(&mut states) {
+                                k.update(s, g, p);
                             }
                         }
-                        if group_by.len() == 1 {
+                        if single_key {
                             group_index =
                                 Some(GroupIndex::Direct { min: packer.kernels_mins[0], slots });
                         }
@@ -884,15 +989,15 @@ impl<'a> Exec<'a> {
                                 g
                             });
                             if reprs.len() > before {
-                                for s in &mut stores {
+                                for s in &mut states {
                                     s.touch();
                                 }
                             }
-                            for s in &mut stores {
-                                s.update(g as usize, p);
+                            for (k, s) in kernels.iter().zip(&mut states) {
+                                k.update(s, g as usize, p);
                             }
                         }
-                        if group_by.len() == 1 {
+                        if single_key {
                             group_index = Some(GroupIndex::Lowered {
                                 min: packer.kernels_mins[0],
                                 domain: packer.domain,
@@ -913,15 +1018,15 @@ impl<'a> Exec<'a> {
                                 g
                             });
                             if reprs.len() > before {
-                                for s in &mut stores {
+                                for s in &mut states {
                                     s.touch();
                                 }
                             }
-                            for s in &mut stores {
-                                s.update(g as usize, p);
+                            for (k, s) in kernels.iter().zip(&mut states) {
+                                k.update(s, g as usize, p);
                             }
                         }
-                        if group_by.len() == 1 {
+                        if single_key {
                             group_index = Some(GroupIndex::Hash {
                                 min: packer.kernels_mins[0],
                                 domain: packer.domain,
@@ -930,10 +1035,17 @@ impl<'a> Exec<'a> {
                         }
                     }
                 }
-                None => self.aggregate_generic_keys(&chunk, group_by, &mut stores, &mut reprs),
+                None if degree > 1 => {
+                    (reprs, states) = par_aggregate_generic(&chunk, group_by, &kernels, degree);
+                }
+                None => {
+                    self.aggregate_generic_keys(&chunk, group_by, &kernels, &mut states, &mut reprs)
+                }
             }
+        } else if degree > 1 {
+            (reprs, states) = par_aggregate_generic(&chunk, group_by, &kernels, degree);
         } else {
-            self.aggregate_generic_keys(&chunk, group_by, &mut stores, &mut reprs);
+            self.aggregate_generic_keys(&chunk, group_by, &kernels, &mut states, &mut reprs);
         }
 
         // Emit output: group columns gathered from representative rows, then
@@ -952,8 +1064,8 @@ impl<'a> Exec<'a> {
             cols.push(col);
             nulls.push(mask);
         }
-        for store in stores {
-            let (col, mask) = store.finish(ngroups);
+        for state in states {
+            let (col, mask) = state.finish(ngroups);
             cols.push(col);
             nulls.push(mask);
         }
@@ -964,7 +1076,8 @@ impl<'a> Exec<'a> {
         &self,
         chunk: &Chunk,
         group_by: &[usize],
-        stores: &mut [AggStore],
+        kernels: &[AggK],
+        states: &mut [AggState],
         reprs: &mut Vec<u32>,
     ) {
         let mut map: HashMap<Vec<Value>, u32> = HashMap::new();
@@ -979,17 +1092,17 @@ impl<'a> Exec<'a> {
                 len_before as u32
             });
             if map.len() > len_before {
-                for s in stores.iter_mut() {
+                for s in states.iter_mut() {
                     s.touch();
                 }
             }
-            for s in stores.iter_mut() {
-                s.update(g as usize, p);
+            for (k, s) in kernels.iter().zip(states.iter_mut()) {
+                k.update(s, g as usize, p);
             }
         }
     }
 
-    fn agg_store(&self, spec: &AggSpec, chunk: &Chunk) -> AggStore {
+    fn agg_kernel(&self, spec: &AggSpec, chunk: &Chunk) -> AggK {
         use legobase_storage::Type;
         match spec.kind {
             AggKind::Count => {
@@ -1000,37 +1113,200 @@ impl<'a> Exec<'a> {
                     }),
                     _ => None,
                 };
-                AggStore::Count { counts: Vec::new(), null_k }
+                AggK::Count { null_k }
             }
-            AggKind::Avg => AggStore::Avg {
-                sums: Vec::new(),
-                counts: Vec::new(),
+            AggKind::Avg => AggK::Avg {
                 k: self.f64k(&spec.expr, chunk),
                 null_k: self.null_guard(&spec.expr, chunk),
             },
             AggKind::Sum => {
                 let ty = spec.expr.ty(&chunk.schema);
                 if ty == Type::Int {
-                    AggStore::SumI {
-                        sums: Vec::new(),
-                        touched: Vec::new(),
+                    AggK::SumI {
                         k: self.f64k(&spec.expr, chunk),
                         null_k: self.null_guard(&spec.expr, chunk),
                     }
                 } else {
-                    AggStore::SumF {
-                        sums: Vec::new(),
-                        touched: Vec::new(),
+                    AggK::SumF {
                         k: self.f64k(&spec.expr, chunk),
                         null_k: self.null_guard(&spec.expr, chunk),
                     }
                 }
             }
-            AggKind::Min | AggKind::Max => AggStore::MinMax {
-                vals: Vec::new(),
-                is_min: spec.kind == AggKind::Min,
-                k: self.valk(&spec.expr, chunk),
-            },
+            AggKind::Min | AggKind::Max => {
+                AggK::MinMax { is_min: spec.kind == AggKind::Min, k: self.valk(&spec.expr, chunk) }
+            }
+        }
+    }
+
+    /// Morsel-parallel pre-aggregation for coded (packed `i64`) keys: every
+    /// morsel builds local `(key, repr, partial state)` triples; the merge
+    /// walks morsels in index order and local groups in local
+    /// first-occurrence order, which reproduces the serial slot numbering
+    /// exactly (a group's first global occurrence is in the earliest morsel
+    /// containing it). The global key→slot structure built during the merge
+    /// mirrors the serial choice, so Fig. 9 join fusion sees the same
+    /// [`GroupIndex`] either way.
+    fn par_aggregate_coded(
+        &self,
+        chunk: &Chunk,
+        kernels: &[AggK],
+        packer: &KeyPacker,
+        use_direct: bool,
+        single_key: bool,
+        degree: usize,
+    ) -> (Vec<u32>, Vec<AggState>, Option<GroupIndex>) {
+        struct Partial {
+            keys: Vec<i64>,
+            reprs: Vec<u32>,
+            states: Vec<AggState>,
+        }
+        let ms = row_morsels(chunk.len());
+        let partials: Vec<Partial> = if use_direct {
+            // Dense domain: each worker keeps one domain-sized scratch array
+            // and resets only the entries its morsel touched.
+            run_morsels(
+                degree,
+                &ms,
+                || vec![-1i32; packer.domain as usize],
+                |slots: &mut Vec<i32>, m| {
+                    let mut part = Partial {
+                        keys: Vec::new(),
+                        reprs: Vec::new(),
+                        states: kernels.iter().map(AggK::new_state).collect(),
+                    };
+                    for i in m.range() {
+                        let p = chunk.phys(i);
+                        let key = packer.pack(p);
+                        let g = if slots[key as usize] >= 0 {
+                            slots[key as usize] as usize
+                        } else {
+                            let g = part.keys.len();
+                            slots[key as usize] = g as i32;
+                            part.keys.push(key);
+                            part.reprs.push(p as u32);
+                            for s in &mut part.states {
+                                s.touch();
+                            }
+                            g
+                        };
+                        for (k, s) in kernels.iter().zip(&mut part.states) {
+                            k.update(s, g, p);
+                        }
+                    }
+                    for &key in &part.keys {
+                        slots[key as usize] = -1;
+                    }
+                    part
+                },
+            )
+        } else {
+            run_morsels(
+                degree,
+                &ms,
+                || (),
+                |(), m| {
+                    let mut local: HashMap<i64, u32> = HashMap::new();
+                    let mut part = Partial {
+                        keys: Vec::new(),
+                        reprs: Vec::new(),
+                        states: kernels.iter().map(AggK::new_state).collect(),
+                    };
+                    for i in m.range() {
+                        let p = chunk.phys(i);
+                        metrics::hash_probe();
+                        let key = packer.pack(p);
+                        let next = part.keys.len() as u32;
+                        let g = *local.entry(key).or_insert(next);
+                        if g == next {
+                            part.keys.push(key);
+                            part.reprs.push(p as u32);
+                            for s in &mut part.states {
+                                s.touch();
+                            }
+                        }
+                        for (k, s) in kernels.iter().zip(&mut part.states) {
+                            k.update(s, g as usize, p);
+                        }
+                    }
+                    part
+                },
+            )
+        };
+
+        // Deterministic merge: morsels in index order, local slots in local
+        // first-occurrence order.
+        let mut reprs: Vec<u32> = Vec::new();
+        let mut states: Vec<AggState> = kernels.iter().map(AggK::new_state).collect();
+        let mut resolve: MergeSlots = if use_direct {
+            MergeSlots::Direct(vec![-1i32; packer.domain as usize])
+        } else if self.settings.hashmap_lowering {
+            MergeSlots::Lowered(ChainedArrayMap::with_capacity(chunk.len().max(16)))
+        } else {
+            MergeSlots::Hash(HashMap::new())
+        };
+        for part in &partials {
+            for (ls, (&key, &repr)) in part.keys.iter().zip(&part.reprs).enumerate() {
+                let (g, is_new) = resolve.get_or_insert(key, reprs.len());
+                if is_new {
+                    reprs.push(repr);
+                    for s in &mut states {
+                        s.touch();
+                    }
+                }
+                for (s, ps) in states.iter_mut().zip(&part.states) {
+                    s.merge_slot(g, ps, ls);
+                }
+            }
+        }
+        let group_index = single_key.then(|| resolve.into_group_index(packer));
+        (reprs, states, group_index)
+    }
+}
+
+/// The merge-phase key→slot structure of the parallel coded aggregation; the
+/// variant mirrors what the serial path would have built so the resulting
+/// [`GroupIndex`] is interchangeable.
+enum MergeSlots {
+    Direct(Vec<i32>),
+    Lowered(ChainedArrayMap<u32>),
+    Hash(HashMap<u64, u32>),
+}
+
+impl MergeSlots {
+    /// Resolves a packed key to its global slot; `next` is the slot id a
+    /// first-seen key receives. Returns `(slot, is_new)` — on `is_new` the
+    /// caller appends the repr/state entries for the fresh slot.
+    fn get_or_insert(&mut self, key: i64, next: usize) -> (usize, bool) {
+        match self {
+            MergeSlots::Direct(slots) => {
+                if slots[key as usize] >= 0 {
+                    (slots[key as usize] as usize, false)
+                } else {
+                    slots[key as usize] = next as i32;
+                    (next, true)
+                }
+            }
+            MergeSlots::Lowered(map) => {
+                let g = *map.get_or_insert_with(key as u64, || next as u32) as usize;
+                (g, g == next)
+            }
+            MergeSlots::Hash(map) => {
+                let g = *map.entry(key as u64).or_insert(next as u32) as usize;
+                (g, g == next)
+            }
+        }
+    }
+
+    fn into_group_index(self, packer: &KeyPacker) -> GroupIndex {
+        match self {
+            MergeSlots::Direct(slots) => GroupIndex::Direct { min: packer.kernels_mins[0], slots },
+            MergeSlots::Lowered(map) => {
+                GroupIndex::Lowered { min: packer.kernels_mins[0], domain: packer.domain, map }
+            }
+            MergeSlots::Hash(map) => {
+                GroupIndex::Hash { min: packer.kernels_mins[0], domain: packer.domain, map }
+            }
         }
     }
 }
@@ -1067,15 +1343,45 @@ struct KeyPacker {
 impl KeyPacker {
     /// Computes key ranges over the chunk (the load-time statistics of the
     /// paper, applied to the intermediate) and derives a dense packing.
-    /// Returns `None` when the combined domain overflows.
-    fn fit(kks: Vec<I64K>, chunk: &Chunk) -> Option<KeyPacker> {
-        let mut mins = vec![i64::MAX; kks.len()];
-        let mut maxs = vec![i64::MIN; kks.len()];
-        for p in chunk.physical_rows() {
-            for (k, kk) in kks.iter().enumerate() {
-                let v = kk(p);
-                mins[k] = mins[k].min(v);
-                maxs[k] = maxs[k].max(v);
+    /// Returns `None` when the combined domain overflows. With `degree > 1`
+    /// the min/max scan itself runs morsel-parallel (min/max merges are
+    /// exact, so this is bit-identical to the serial scan).
+    fn fit(kks: Vec<I64K>, chunk: &Chunk, degree: usize) -> Option<KeyPacker> {
+        let nk = kks.len();
+        let mut mins = vec![i64::MAX; nk];
+        let mut maxs = vec![i64::MIN; nk];
+        if degree > 1 {
+            let parts: Vec<(Vec<i64>, Vec<i64>)> = run_morsels(
+                degree,
+                &row_morsels(chunk.len()),
+                || (),
+                |(), m| {
+                    let mut mins = vec![i64::MAX; nk];
+                    let mut maxs = vec![i64::MIN; nk];
+                    for i in m.range() {
+                        let p = chunk.phys(i);
+                        for (k, kk) in kks.iter().enumerate() {
+                            let v = kk(p);
+                            mins[k] = mins[k].min(v);
+                            maxs[k] = maxs[k].max(v);
+                        }
+                    }
+                    (mins, maxs)
+                },
+            );
+            for (pmins, pmaxs) in &parts {
+                for k in 0..nk {
+                    mins[k] = mins[k].min(pmins[k]);
+                    maxs[k] = maxs[k].max(pmaxs[k]);
+                }
+            }
+        } else {
+            for p in chunk.physical_rows() {
+                for (k, kk) in kks.iter().enumerate() {
+                    let v = kk(p);
+                    mins[k] = mins[k].min(v);
+                    maxs[k] = maxs[k].max(v);
+                }
             }
         }
         if chunk.is_empty() {
@@ -1146,66 +1452,60 @@ impl GroupIndex {
     }
 }
 
-/// Struct-of-arrays aggregation accumulators.
-enum AggStore {
-    SumF { sums: Vec<f64>, touched: Vec<bool>, k: F64K, null_k: Option<BoolK> },
-    SumI { sums: Vec<i64>, touched: Vec<bool>, k: F64K, null_k: Option<BoolK> },
-    Count { counts: Vec<i64>, null_k: Option<BoolK> },
-    Avg { sums: Vec<f64>, counts: Vec<i64>, k: F64K, null_k: Option<BoolK> },
-    MinMax { vals: Vec<Option<Value>>, is_min: bool, k: ValK },
+/// Per-aggregate update kernels: the compiled (or interpreted) row→input
+/// functions plus NULL guards. Kernels are read-only and `Sync`, so morsel
+/// workers share one set; the mutable accumulators live in [`AggState`].
+enum AggK {
+    SumF { k: F64K, null_k: Option<BoolK> },
+    SumI { k: F64K, null_k: Option<BoolK> },
+    Count { null_k: Option<BoolK> },
+    Avg { k: F64K, null_k: Option<BoolK> },
+    MinMax { is_min: bool, k: ValK },
 }
 
-impl AggStore {
-    /// Adds one group slot.
-    fn touch(&mut self) {
+impl AggK {
+    /// A fresh zero-slot accumulator state for this aggregate.
+    fn new_state(&self) -> AggState {
         match self {
-            AggStore::SumF { sums, touched, .. } => {
-                sums.push(0.0);
-                touched.push(false);
-            }
-            AggStore::SumI { sums, touched, .. } => {
-                sums.push(0);
-                touched.push(false);
-            }
-            AggStore::Count { counts, .. } => counts.push(0),
-            AggStore::Avg { sums, counts, .. } => {
-                sums.push(0.0);
-                counts.push(0);
-            }
-            AggStore::MinMax { vals, .. } => vals.push(None),
+            AggK::SumF { .. } => AggState::SumF { sums: Vec::new(), touched: Vec::new() },
+            AggK::SumI { .. } => AggState::SumI { sums: Vec::new(), touched: Vec::new() },
+            AggK::Count { .. } => AggState::Count { counts: Vec::new() },
+            AggK::Avg { .. } => AggState::Avg { sums: Vec::new(), counts: Vec::new() },
+            AggK::MinMax { is_min, .. } => AggState::MinMax { vals: Vec::new(), is_min: *is_min },
         }
     }
 
+    /// Folds row `p` into group slot `g` of `state`.
     #[inline]
-    fn update(&mut self, g: usize, p: usize) {
-        match self {
-            AggStore::SumF { sums, touched, k, null_k } => {
+    fn update(&self, state: &mut AggState, g: usize, p: usize) {
+        match (self, state) {
+            (AggK::SumF { k, null_k }, AggState::SumF { sums, touched }) => {
                 if null_k.as_ref().is_some_and(|nk| nk(p)) {
                     return;
                 }
                 sums[g] += k(p);
                 touched[g] = true;
             }
-            AggStore::SumI { sums, touched, k, null_k } => {
+            (AggK::SumI { k, null_k }, AggState::SumI { sums, touched }) => {
                 if null_k.as_ref().is_some_and(|nk| nk(p)) {
                     return;
                 }
                 sums[g] += k(p) as i64;
                 touched[g] = true;
             }
-            AggStore::Count { counts, null_k } => {
+            (AggK::Count { null_k }, AggState::Count { counts }) => {
                 if null_k.as_ref().is_none_or(|nk| !nk(p)) {
                     counts[g] += 1;
                 }
             }
-            AggStore::Avg { sums, counts, k, null_k } => {
+            (AggK::Avg { k, null_k }, AggState::Avg { sums, counts }) => {
                 if null_k.as_ref().is_some_and(|nk| nk(p)) {
                     return;
                 }
                 sums[g] += k(p);
                 counts[g] += 1;
             }
-            AggStore::MinMax { vals, is_min, k } => {
+            (AggK::MinMax { is_min, k }, AggState::MinMax { vals, .. }) => {
                 let v = k(p);
                 if v.is_null() {
                     return;
@@ -1225,31 +1525,108 @@ impl AggStore {
                     *slot = Some(v);
                 }
             }
+            _ => unreachable!("state was built by AggK::new_state of this kernel"),
+        }
+    }
+}
+
+/// Struct-of-arrays aggregation accumulators, one entry per group slot.
+/// Kernel-free (and therefore `Send`): morsel workers return partial states
+/// to the coordinator, which merges them in morsel order.
+enum AggState {
+    SumF { sums: Vec<f64>, touched: Vec<bool> },
+    SumI { sums: Vec<i64>, touched: Vec<bool> },
+    Count { counts: Vec<i64> },
+    Avg { sums: Vec<f64>, counts: Vec<i64> },
+    MinMax { vals: Vec<Option<Value>>, is_min: bool },
+}
+
+impl AggState {
+    /// Adds one group slot.
+    fn touch(&mut self) {
+        match self {
+            AggState::SumF { sums, touched } => {
+                sums.push(0.0);
+                touched.push(false);
+            }
+            AggState::SumI { sums, touched } => {
+                sums.push(0);
+                touched.push(false);
+            }
+            AggState::Count { counts } => counts.push(0),
+            AggState::Avg { sums, counts } => {
+                sums.push(0.0);
+                counts.push(0);
+            }
+            AggState::MinMax { vals, .. } => vals.push(None),
+        }
+    }
+
+    /// Folds slot `og` of a partial state into slot `g` of this one. Called
+    /// in morsel-index order, so every floating-point reassociation point is
+    /// a fixed morsel boundary (degree-independent).
+    fn merge_slot(&mut self, g: usize, other: &AggState, og: usize) {
+        match (self, other) {
+            (AggState::SumF { sums, touched }, AggState::SumF { sums: os, touched: ot }) => {
+                if ot[og] {
+                    sums[g] += os[og];
+                    touched[g] = true;
+                }
+            }
+            (AggState::SumI { sums, touched }, AggState::SumI { sums: os, touched: ot }) => {
+                if ot[og] {
+                    sums[g] += os[og];
+                    touched[g] = true;
+                }
+            }
+            (AggState::Count { counts }, AggState::Count { counts: oc }) => counts[g] += oc[og],
+            (AggState::Avg { sums, counts }, AggState::Avg { sums: os, counts: oc }) => {
+                sums[g] += os[og];
+                counts[g] += oc[og];
+            }
+            (AggState::MinMax { vals, is_min }, AggState::MinMax { vals: ov, .. }) => {
+                let Some(v) = &ov[og] else { return };
+                let slot = &mut vals[g];
+                let better = match slot {
+                    None => true,
+                    Some(cur) => {
+                        if *is_min {
+                            *v < *cur
+                        } else {
+                            *v > *cur
+                        }
+                    }
+                };
+                if better {
+                    *slot = Some(v.clone());
+                }
+            }
+            _ => unreachable!("partial states share the kernel that built them"),
         }
     }
 
     /// Produces the output column.
     fn finish(self, ngroups: usize) -> (Column, Option<Arc<Vec<bool>>>) {
         match self {
-            AggStore::SumF { sums, touched, .. } => {
+            AggState::SumF { sums, touched } => {
                 debug_assert_eq!(sums.len(), ngroups);
                 let any_untouched = touched.iter().any(|t| !t);
                 let mask = any_untouched
                     .then(|| Arc::new(touched.iter().map(|t| !t).collect::<Vec<bool>>()));
                 (Column::F64(Arc::new(sums)), mask)
             }
-            AggStore::SumI { sums, touched, .. } => {
+            AggState::SumI { sums, touched } => {
                 debug_assert_eq!(sums.len(), ngroups);
                 let any_untouched = touched.iter().any(|t| !t);
                 let mask = any_untouched
                     .then(|| Arc::new(touched.iter().map(|t| !t).collect::<Vec<bool>>()));
                 (Column::I64(Arc::new(sums)), mask)
             }
-            AggStore::Count { counts, .. } => {
+            AggState::Count { counts } => {
                 debug_assert_eq!(counts.len(), ngroups);
                 (Column::I64(Arc::new(counts)), None)
             }
-            AggStore::Avg { sums, counts, .. } => {
+            AggState::Avg { sums, counts } => {
                 let mut out = Vec::with_capacity(ngroups);
                 let mut mask = Vec::with_capacity(ngroups);
                 for (s, c) in sums.iter().zip(&counts) {
@@ -1264,7 +1641,7 @@ impl AggStore {
                 let any = mask.iter().any(|&m| m);
                 (Column::F64(Arc::new(out)), any.then(|| Arc::new(mask)))
             }
-            AggStore::MinMax { vals, .. } => {
+            AggState::MinMax { vals, .. } => {
                 // Min/Max may be over any type; emit a generic column by
                 // materializing values (group counts are small).
                 let any_null = vals.iter().any(Option::is_none);
@@ -1291,6 +1668,110 @@ impl AggStore {
             }
         }
     }
+}
+
+/// Morsel-parallel global (no `GROUP BY`) aggregation: per-morsel partial
+/// states, merged into one slot in morsel-index order.
+fn par_singleton(chunk: &Chunk, kernels: &[AggK], degree: usize) -> Vec<AggState> {
+    let partials: Vec<Vec<AggState>> = run_morsels(
+        degree,
+        &row_morsels(chunk.len()),
+        || (),
+        |(), m| {
+            let mut states: Vec<AggState> = kernels.iter().map(AggK::new_state).collect();
+            for s in &mut states {
+                s.touch();
+            }
+            for i in m.range() {
+                let p = chunk.phys(i);
+                for (k, s) in kernels.iter().zip(&mut states) {
+                    k.update(s, 0, p);
+                }
+            }
+            states
+        },
+    );
+    let mut states: Vec<AggState> = kernels.iter().map(AggK::new_state).collect();
+    for s in &mut states {
+        s.touch();
+    }
+    for part in &partials {
+        for (s, ps) in states.iter_mut().zip(part) {
+            s.merge_slot(0, ps, 0);
+        }
+    }
+    states
+}
+
+/// Morsel-parallel pre-aggregation for generic (`Vec<Value>`) keys — the
+/// interpreted-mode and plain-string-key path. Same merge discipline as the
+/// coded variant: morsels in index order, local groups in first-occurrence
+/// order, reproducing the serial slot numbering.
+fn par_aggregate_generic(
+    chunk: &Chunk,
+    group_by: &[usize],
+    kernels: &[AggK],
+    degree: usize,
+) -> (Vec<u32>, Vec<AggState>) {
+    struct Partial {
+        keys: Vec<Vec<Value>>,
+        reprs: Vec<u32>,
+        states: Vec<AggState>,
+    }
+    let partials: Vec<Partial> = run_morsels(
+        degree,
+        &row_morsels(chunk.len()),
+        || (),
+        |(), m| {
+            let mut local: HashMap<Vec<Value>, u32> = HashMap::new();
+            let mut part = Partial {
+                keys: Vec::new(),
+                reprs: Vec::new(),
+                states: kernels.iter().map(AggK::new_state).collect(),
+            };
+            for i in m.range() {
+                let p = chunk.phys(i);
+                let key: Vec<Value> = group_by.iter().map(|&c| chunk.value_at(c, p)).collect();
+                metrics::hash_probe();
+                let g = match local.get(&key) {
+                    Some(&g) => g,
+                    None => {
+                        let g = part.keys.len() as u32;
+                        local.insert(key.clone(), g);
+                        part.keys.push(key);
+                        part.reprs.push(p as u32);
+                        for s in &mut part.states {
+                            s.touch();
+                        }
+                        g
+                    }
+                };
+                for (k, s) in kernels.iter().zip(&mut part.states) {
+                    k.update(s, g as usize, p);
+                }
+            }
+            part
+        },
+    );
+    let mut reprs: Vec<u32> = Vec::new();
+    let mut states: Vec<AggState> = kernels.iter().map(AggK::new_state).collect();
+    let mut map: HashMap<&[Value], u32> = HashMap::new();
+    for part in &partials {
+        for (ls, (key, &repr)) in part.keys.iter().zip(&part.reprs).enumerate() {
+            let next = reprs.len() as u32;
+            let g = *map.entry(key.as_slice()).or_insert(next);
+            if g == next {
+                reprs.push(repr);
+                for s in &mut states {
+                    s.touch();
+                }
+            }
+            for (s, ps) in states.iter_mut().zip(&part.states) {
+                s.merge_slot(g as usize, ps, ls);
+            }
+        }
+    }
+    (reprs, states)
 }
 
 /// Gathers `chunk.cols[c]` at the given physical rows into an owned column.
@@ -1358,7 +1839,7 @@ fn gather_column_nullable(
 
 /// Interpreted-mode row materializer (Opt/Scala): builds a generic tuple per
 /// evaluation.
-fn interpreted_row(chunk: &Chunk) -> Box<dyn Fn(usize) -> Vec<Value>> {
+fn interpreted_row(chunk: &Chunk) -> Box<dyn Fn(usize) -> Vec<Value> + Send + Sync> {
     let cols = chunk.cols.clone();
     let nulls = chunk.nulls.clone();
     Box::new(move |p| {
@@ -1551,6 +2032,103 @@ mod tests {
                 q.name,
                 got.diff(&reference, 1e-6)
             );
+        }
+    }
+
+    /// The morsel-parallel paths (filter, date-index scan, singleton and
+    /// grouped pre-aggregation, generic keys) must agree with serial
+    /// execution, and results must be *bit-identical across degrees ≥ 2*
+    /// (fixed morsel boundaries + ordered merges — the determinism
+    /// contract of DESIGN.md §3).
+    #[test]
+    fn parallel_execution_matches_serial() {
+        let (data, mut spec) = setup();
+        let li = data.catalog.table("lineitem").schema.clone();
+        spec.used_columns.insert(
+            "lineitem".into(),
+            vec![
+                li.col("l_shipdate"),
+                li.col("l_discount"),
+                li.col("l_quantity"),
+                li.col("l_extendedprice"),
+                li.col("l_returnflag"),
+                li.col("l_linestatus"),
+            ],
+        );
+        let select = Plan::Select {
+            input: Box::new(Plan::scan("lineitem")),
+            predicate: Expr::all(vec![
+                Expr::ge(Expr::col(li.col("l_shipdate")), Expr::lit(Date::from_ymd(1993, 1, 1))),
+                Expr::lt(Expr::col(li.col("l_shipdate")), Expr::lit(Date::from_ymd(1997, 1, 1))),
+                Expr::lt(Expr::col(li.col("l_discount")), Expr::lit(0.09)),
+            ]),
+        };
+        let singleton = QueryPlan::new(
+            "par_singleton",
+            Plan::Agg {
+                input: Box::new(select.clone()),
+                group_by: vec![],
+                aggs: vec![
+                    AggSpec::new(
+                        AggKind::Sum,
+                        Expr::mul(
+                            Expr::col(li.col("l_extendedprice")),
+                            Expr::col(li.col("l_discount")),
+                        ),
+                        "revenue",
+                    ),
+                    AggSpec::new(AggKind::Count, Expr::lit(1i64), "n"),
+                ],
+            },
+        );
+        let grouped = QueryPlan::new(
+            "par_grouped",
+            Plan::Sort {
+                input: Box::new(Plan::Agg {
+                    input: Box::new(select),
+                    group_by: vec![li.col("l_returnflag"), li.col("l_linestatus")],
+                    aggs: vec![
+                        AggSpec::new(AggKind::Sum, Expr::col(li.col("l_quantity")), "sum_qty"),
+                        AggSpec::new(
+                            AggKind::Avg,
+                            Expr::col(li.col("l_extendedprice")),
+                            "avg_price",
+                        ),
+                        AggSpec::new(AggKind::Min, Expr::col(li.col("l_quantity")), "min_qty"),
+                        AggSpec::new(AggKind::Count, Expr::lit(1i64), "n"),
+                    ],
+                }),
+                keys: vec![(0, SortOrder::Asc), (1, SortOrder::Asc)],
+            },
+        );
+        // OptC exercises the compiled/date-index/direct-array paths,
+        // OptScala the interpreted generic-key path.
+        for base in [Config::OptC, Config::OptScala] {
+            for q in [&singleton, &grouped] {
+                let serial_settings = base.settings();
+                let db = crate::SpecializedDb::load(&data, &spec, &serial_settings);
+                let serial = execute(q, &db, &serial_settings);
+                let mut by_degree = Vec::new();
+                for degree in [2usize, 4, 8] {
+                    let settings = base.settings().with_parallelism(degree);
+                    let got = execute(q, &db, &settings);
+                    assert!(
+                        got.approx_eq(&serial, 1e-9),
+                        "{base:?} degree {degree} diverges on {}: {:?}",
+                        q.name,
+                        got.diff(&serial, 1e-9)
+                    );
+                    by_degree.push(got);
+                }
+                for other in &by_degree[1..] {
+                    assert_eq!(
+                        by_degree[0].sorted_rows(),
+                        other.sorted_rows(),
+                        "{base:?}: results must be bit-identical across degrees on {}",
+                        q.name
+                    );
+                }
+            }
         }
     }
 

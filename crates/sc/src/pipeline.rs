@@ -12,8 +12,8 @@ use crate::ir::Program;
 use crate::rules::{TransformCtx, Transformer};
 use crate::transform::{
     Cleanup, CodeMotionHoisting, ColumnStore, FieldPromotion, FineGrained, HashMapLowering,
-    HorizontalFusion, PartitioningAndDateIndices, ScalaToCLowering, SingletonHashMapToValue,
-    StringDictionary,
+    HorizontalFusion, Parallelize, PartitioningAndDateIndices, ScalaToCLowering,
+    SingletonHashMapToValue, StringDictionary,
 };
 use legobase_engine::{QueryPlan, Settings, Specialization};
 use legobase_storage::Catalog;
@@ -66,6 +66,11 @@ impl Pipeline {
         if settings.code_motion {
             p.add(CodeMotionHoisting);
             p.add(Cleanup);
+        }
+        if settings.parallelism > 1 {
+            // Decides (and records) the morsel-driven degree once the
+            // scan-shaped loops have reached their final form.
+            p.add(Parallelize);
         }
         if settings.compiled_exprs {
             p.add(FineGrained);
@@ -183,6 +188,15 @@ mod tests {
         // after the layout has settled.
         assert!(pos("HorizontalFusion") < pos("PartitioningAndDateIndices"));
         assert!(pos("ColumnStore") < pos("FieldPromotion"));
+
+        // Parallelize joins the pipeline only when a degree > 1 is requested.
+        assert!(!names.contains(&"Parallelize"));
+        let par = Pipeline::for_settings(&Settings::optimized().with_parallelism(4));
+        let par_names = par.phase_names();
+        assert!(par_names.contains(&"Parallelize"));
+        let ppos = |n: &str| par_names.iter().position(|x| *x == n).unwrap();
+        assert!(ppos("HashMapHoisting+MallocHoisting") < ppos("Parallelize"));
+        assert!(ppos("Parallelize") < ppos("ScalaToCLowering"));
 
         let naive = Pipeline::for_settings(&Config::NaiveC.settings());
         assert!(!naive.phase_names().contains(&"HashMapLowering"));

@@ -22,6 +22,7 @@ mod finegrained;
 mod fusion;
 mod hashmap;
 mod hoist;
+mod parallelize;
 mod partition;
 mod promote;
 mod scala_lowering;
@@ -37,6 +38,7 @@ pub use finegrained::FineGrained;
 pub use fusion::{horizontal_fuse, HorizontalFusion};
 pub use hashmap::HashMapLowering;
 pub use hoist::CodeMotionHoisting;
+pub use parallelize::Parallelize;
 pub use partition::PartitioningAndDateIndices;
 pub use promote::FieldPromotion;
 pub use scala_lowering::ScalaToCLowering;

@@ -1,0 +1,102 @@
+//! Parallelize: derives the morsel-driven parallelism degree per query.
+//!
+//! The paper's generated C executes queries single-threaded; this opt-in
+//! transformer extends the same compiler-decides/executor-obeys discipline to
+//! intra-query parallelism. It inspects the fully inlined program for
+//! top-level relation-scanning loops (the pipelines the specialized engine
+//! can cut into morsels: sequential scans, tiled scans, date-index scans)
+//! and, when at least one exists, records the requested worker-thread degree
+//! in the [`Specialization`](legobase_engine::Specialization) report. A
+//! query with nothing morsel-partitionable (in practice only degenerate
+//! plans — every TPC-H query scans a relation) is pinned to serial
+//! execution.
+//!
+//! The transformer only *decides*; the mechanics — fixed-size morsels over
+//! the shared columns, per-morsel partial states, deterministic merge in
+//! morsel order — live in `legobase_engine::specialized` and are documented
+//! in DESIGN.md §3.
+
+use crate::ir::{Program, Stmt};
+use crate::rules::{TransformCtx, Transformer};
+
+/// Decides the per-query morsel-driven parallelism degree and records it in
+/// the specialization report (a comment marks the decision in the lowered
+/// program and the generated C).
+pub struct Parallelize;
+
+impl Transformer for Parallelize {
+    fn name(&self) -> &'static str {
+        "Parallelize"
+    }
+
+    fn run(&self, prog: Program, ctx: &mut TransformCtx<'_>) -> Program {
+        let requested = ctx.settings.parallelism.max(1);
+        let mut scans = 0usize;
+        prog.walk(&mut |s| {
+            if matches!(
+                s,
+                Stmt::ScanLoop { .. } | Stmt::TiledScanLoop { .. } | Stmt::DateIndexLoop { .. }
+            ) {
+                scans += 1;
+            }
+        });
+        let degree = if scans > 0 { requested } else { 1 };
+        ctx.spec.parallelism = degree;
+        if degree > 1 {
+            let mut stmts =
+                vec![Stmt::Comment(format!("morsel-driven parallel execution, degree {degree}"))];
+            stmts.extend(prog.stmts);
+            return Program { stmts, ..prog };
+        }
+        prog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::compile;
+    use legobase_engine::Settings;
+
+    #[test]
+    fn records_requested_degree_for_scanning_queries() {
+        let cat = legobase_tpch::catalog();
+        for n in [1usize, 6, 12] {
+            let q = legobase_queries::query(&cat, n);
+            let result = compile(&q, &cat, &Settings::optimized().with_parallelism(4));
+            assert_eq!(result.spec.parallelism, 4, "Q{n} should parallelize");
+            assert!(
+                result.c_source.contains("morsel-driven parallel execution, degree 4"),
+                "Q{n}: decision comment missing from generated C"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_request_stays_serial_and_unmarked() {
+        let cat = legobase_tpch::catalog();
+        let q = legobase_queries::query(&cat, 6);
+        let result = compile(&q, &cat, &Settings::optimized());
+        assert_eq!(result.spec.parallelism, 1);
+        assert!(!result.c_source.contains("morsel-driven"));
+        // The serial pipeline does not even include the phase.
+        assert!(!result.trace.iter().any(|t| t.name == "Parallelize"));
+    }
+
+    #[test]
+    fn scanless_program_pinned_to_serial() {
+        let catalog = legobase_tpch::catalog();
+        let q = legobase_queries::query(&catalog, 6);
+        let settings = Settings::optimized().with_parallelism(8);
+        let mut ctx = TransformCtx {
+            catalog: &catalog,
+            settings: &settings,
+            query: &q,
+            spec: Default::default(),
+        };
+        let empty = Program { stmts: Vec::new(), ..crate::build::build_ir(&q, &catalog) };
+        let out = Parallelize.run(empty, &mut ctx);
+        assert_eq!(ctx.spec.parallelism, 1);
+        assert!(out.stmts.is_empty());
+    }
+}

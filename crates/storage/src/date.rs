@@ -24,13 +24,30 @@ impl Date {
         Date(days_from_civil(y, m, d))
     }
 
-    /// Parses a `YYYY-MM-DD` string.
+    /// Parses a **strict** `YYYY-MM-DD` string: exactly four, two, and two
+    /// ASCII digits separated by `-`. Signs, spaces, and non-canonical digit
+    /// counts are rejected (`str::parse::<i32>` would otherwise accept
+    /// `"+1996-01-01"` or `" 1996"` segments, silently widening the accepted
+    /// input grammar).
     pub fn parse(s: &str) -> Option<Date> {
-        let mut it = s.split('-');
-        let y: i32 = it.next()?.parse().ok()?;
-        let m: u32 = it.next()?.parse().ok()?;
-        let d: u32 = it.next()?.parse().ok()?;
-        if it.next().is_some() || !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
+        let b = s.as_bytes();
+        if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+            return None;
+        }
+        let digits = |r: std::ops::Range<usize>| -> Option<u32> {
+            let mut v: u32 = 0;
+            for &c in &b[r] {
+                if !c.is_ascii_digit() {
+                    return None;
+                }
+                v = v * 10 + (c - b'0') as u32;
+            }
+            Some(v)
+        };
+        let y = digits(0..4)? as i32;
+        let m = digits(5..7)?;
+        let d = digits(8..10)?;
+        if !(1..=12).contains(&m) || d < 1 || d > days_in_month(y, m) {
             return None;
         }
         Some(Date(days_from_civil(y, m, d)))
@@ -160,6 +177,32 @@ mod tests {
         assert!(Date::parse("1996-13-01").is_none());
         assert!(Date::parse("1996-02-30").is_none());
         assert!(Date::parse("nope").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_non_canonical_shapes() {
+        // A signed year parses under str::parse::<i32> but is not a valid
+        // TPC-H date literal; the strict grammar must reject it.
+        assert!(Date::parse("+1996-01-01").is_none());
+        assert!(Date::parse("-996-01-01").is_none());
+        // Per-segment signs and spaces.
+        assert!(Date::parse("1996-+1-01").is_none());
+        assert!(Date::parse("1996- 1-01").is_none());
+        assert!(Date::parse(" 996-01-01").is_none());
+        // Wrong digit counts and separators.
+        assert!(Date::parse("96-01-01").is_none());
+        assert!(Date::parse("1996-1-01").is_none());
+        assert!(Date::parse("1996-01-1").is_none());
+        assert!(Date::parse("1996-001-1").is_none());
+        assert!(Date::parse("1996/01/01").is_none());
+        assert!(Date::parse("1996-01-01 ").is_none());
+        assert!(Date::parse("19960101").is_none());
+        assert!(Date::parse("").is_none());
+        // Unicode digits must not sneak through byte-offset slicing.
+        assert!(Date::parse("１996-01-01").is_none());
+        // Canonical forms still accepted across the whole year range.
+        assert_eq!(Date::parse("0001-01-01").unwrap().ymd(), (1, 1, 1));
+        assert_eq!(Date::parse("1998-12-31").unwrap(), Date::from_ymd(1998, 12, 31));
     }
 
     #[test]

@@ -9,6 +9,18 @@
 
 use crate::date::Date;
 
+/// One year bucket intersecting a queried date range: an offset range into
+/// [`DateYearIndex::row_ids`], plus whether the year is fully covered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RangeSegment {
+    /// First offset into the row-id store (inclusive).
+    pub start: usize,
+    /// One past the last offset.
+    pub end: usize,
+    /// `true` when every row of the bucket matches without a date check.
+    pub full: bool,
+}
+
 /// Year-bucketed index over a date column, in CSR layout.
 #[derive(Clone, Debug)]
 pub struct DateYearIndex {
@@ -59,12 +71,26 @@ impl DateYearIndex {
         &self.rows[lo..hi]
     }
 
-    /// Visits every row whose date lies in `[lo, hi]` (inclusive), skipping
-    /// non-matching years entirely and skipping the per-tuple comparison for
-    /// fully-covered years. `days` must be the column the index was built on.
-    pub fn scan_range(&self, days: &[i32], lo: Date, hi: Date, mut emit: impl FnMut(u32)) {
+    /// The row ids grouped by year (the backing store [`Self::range_segments`]
+    /// offsets index into).
+    pub fn row_ids(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// The year buckets intersecting `[lo, hi]`, as offset ranges into
+    /// [`Self::row_ids`] plus a flag telling whether the bucket's year is
+    /// *fully* covered by the range (no per-tuple comparison needed) or is a
+    /// boundary year (each row's date must still be checked).
+    ///
+    /// Consuming the segments in order — and the rows within each segment in
+    /// order — visits candidate rows in exactly the order
+    /// [`Self::scan_range`] emits them, which is what lets the morsel-driven
+    /// parallel scan partition an index scan and still concatenate a
+    /// bit-identical selection vector.
+    pub fn range_segments(&self, lo: Date, hi: Date) -> Vec<RangeSegment> {
+        let mut out = Vec::new();
         if lo > hi {
-            return;
+            return out;
         }
         let lo_year = lo.year();
         let hi_year = hi.year();
@@ -72,10 +98,23 @@ impl DateYearIndex {
             if year < lo_year || year > hi_year {
                 continue; // whole bucket skipped (Fig. 12b)
             }
-            let full_start = Date::from_ymd(year, 1, 1) >= lo;
-            let full_end = Date::from_ymd(year, 12, 31) <= hi;
-            let bucket = self.bucket(year);
-            if full_start && full_end {
+            let idx = (year - self.first_year) as usize;
+            let full = Date::from_ymd(year, 1, 1) >= lo && Date::from_ymd(year, 12, 31) <= hi;
+            let (start, end) = (self.offsets[idx] as usize, self.offsets[idx + 1] as usize);
+            if start < end {
+                out.push(RangeSegment { start, end, full });
+            }
+        }
+        out
+    }
+
+    /// Visits every row whose date lies in `[lo, hi]` (inclusive), skipping
+    /// non-matching years entirely and skipping the per-tuple comparison for
+    /// fully-covered years. `days` must be the column the index was built on.
+    pub fn scan_range(&self, days: &[i32], lo: Date, hi: Date, mut emit: impl FnMut(u32)) {
+        for seg in self.range_segments(lo, hi) {
+            let bucket = &self.rows[seg.start..seg.end];
+            if seg.full {
                 // Fully covered: no per-tuple comparison at all.
                 for &row in bucket {
                     emit(row);
@@ -165,6 +204,31 @@ mod tests {
         empty.scan_range(&[], Date::from_ymd(1995, 1, 1), Date::from_ymd(1996, 1, 1), |_| {
             panic!("no rows expected")
         });
+    }
+
+    #[test]
+    fn segments_replay_scan_range_order() {
+        let days = column();
+        let idx = DateYearIndex::build(&days);
+        let (lo, hi) = (Date::from_ymd(1993, 6, 1), Date::from_ymd(1996, 6, 1));
+        // Consuming segments in order must reproduce scan_range exactly,
+        // including emission order.
+        let mut via_segments = Vec::new();
+        for seg in idx.range_segments(lo, hi) {
+            for &row in &idx.row_ids()[seg.start..seg.end] {
+                if seg.full || (days[row as usize] >= lo.0 && days[row as usize] <= hi.0) {
+                    via_segments.push(row);
+                }
+            }
+        }
+        let mut via_scan = Vec::new();
+        idx.scan_range(&days, lo, hi, |r| via_scan.push(r));
+        assert_eq!(via_segments, via_scan);
+        // 1994 and 1995 lie strictly inside the range: fully covered.
+        let segs = idx.range_segments(lo, hi);
+        assert!(segs.iter().any(|s| s.full));
+        // Inverted range: no segments.
+        assert!(idx.range_segments(hi, lo).is_empty());
     }
 
     #[test]

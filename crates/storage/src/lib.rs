@@ -19,6 +19,8 @@
 //!   direct-array aggregation stores (data-structure-initialization hoisting,
 //!   Section 3.5.2).
 //! * [`pool`] — hoisted memory pools (Section 3.5.1).
+//! * [`morsel`] — contiguous row-range morsels over the `Arc`-backed columns,
+//!   the unit of intra-query parallelism in the specialized engine.
 //! * [`metrics`] — portable proxy counters standing in for the paper's CPU
 //!   performance counters (Fig. 18).
 //! * [`stats`] — the loading-time statistics LegoBase uses to size
@@ -29,6 +31,7 @@ pub mod date;
 pub mod dateindex;
 pub mod dict;
 pub mod metrics;
+pub mod morsel;
 pub mod partition;
 pub mod pool;
 pub mod row;

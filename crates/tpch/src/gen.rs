@@ -80,6 +80,11 @@ fn order_key(i: usize) -> i64 {
 
 impl TpchGenerator {
     fn counts(&self) -> (usize, usize, usize, usize) {
+        // A non-finite or negative scale factor casts to 0 rows; the floors
+        // keep every relation non-empty so the spec formulas (which divide
+        // by supplier/part counts) stay well-defined. The row generators
+        // below additionally guard the zero-count case so they stay total
+        // even if called directly with degenerate sizes.
         let sf = self.scale_factor;
         let supplier = ((10_000.0 * sf) as usize).max(10);
         let part = ((200_000.0 * sf) as usize).max(200);
@@ -200,6 +205,11 @@ impl TpchGenerator {
     fn gen_partsupp(&self, cat: &Catalog, n_part: usize, n_supp: usize) -> RowTable {
         let mut rng = self.rng(6);
         let mut t = RowTable::with_capacity(cat.table("partsupp").schema.clone(), n_part * 4);
+        if n_part == 0 || n_supp == 0 {
+            // No parts or no suppliers ⇒ no part-supplier pairs (and the
+            // spec's suppkey formula below would divide by zero).
+            return t;
+        }
         let s = n_supp as i64;
         for pk in 1..=n_part as i64 {
             for j in 0..4i64 {
@@ -233,6 +243,14 @@ impl TpchGenerator {
         let horizon = current_date();
         let n_clerks = ((n_orders / 1_000).max(10)) as i64;
 
+        if n_cust == 0 || n_part == 0 || n_supp == 0 {
+            // Orders reference customers, lineitems reference parts and
+            // suppliers; with any of those relations empty there is nothing
+            // referential-integrity-preserving to generate. Without this
+            // guard the custkey draw below panics on an empty `1..=0` range
+            // (the "empty table at SF ≈ 0" failure mode).
+            return (orders, lineitem);
+        }
         for i in 0..n_orders {
             let okey = order_key(i);
             // Only two thirds of customers have orders (custkey % 3 != 0).
@@ -381,9 +399,53 @@ mod tests {
         let keys: Vec<i64> = t.rows.iter().map(|r| r[0].as_int()).collect();
         let distinct: HashSet<i64> = keys.iter().copied().collect();
         assert_eq!(distinct.len(), keys.len());
-        // Sparse: the max key is about 4x the row count.
-        let max = *keys.iter().max().unwrap();
+        // Sparse: the max key is about 4x the row count. Guard the empty
+        // case explicitly so a row-count regression fails with a diagnosis
+        // instead of a bare `max().unwrap()` panic.
+        let Some(&max) = keys.iter().max() else {
+            panic!("orders generated empty at SF 0.002");
+        };
         assert!(max > 3 * keys.len() as i64, "orderkeys should be sparse");
+    }
+
+    /// SF ≈ 0 regression: degenerate scale factors (zero, negative, NaN —
+    /// all of which cast to 0 proportional rows) must still produce a valid,
+    /// non-panicking database at the documented floor sizes.
+    #[test]
+    fn sf_zero_generates_floor_sizes_without_panicking() {
+        for sf in [0.0, -1.0, f64::NAN] {
+            let d = TpchData::generate(sf);
+            assert_eq!(d.table("supplier").len(), 10, "sf {sf}");
+            assert_eq!(d.table("part").len(), 200, "sf {sf}");
+            assert_eq!(d.table("customer").len(), 150, "sf {sf}");
+            assert_eq!(d.table("orders").len(), 1_500, "sf {sf}");
+            assert!(d.table("lineitem").len() > 0, "sf {sf}");
+            assert!(d.approx_bytes() > 0);
+        }
+    }
+
+    /// The row generators themselves must be total on zero counts: empty
+    /// referenced relations yield empty referencing relations instead of a
+    /// panic (`gen_range(1..=0)`) or a division by zero in the spec
+    /// formulas.
+    #[test]
+    fn zero_counts_yield_empty_tables() {
+        let g = TpchGenerator { scale_factor: 0.0, seed: 7 };
+        let cat = catalog();
+        assert_eq!(g.gen_partsupp(&cat, 0, 10).len(), 0);
+        assert_eq!(g.gen_partsupp(&cat, 10, 0).len(), 0);
+        let (orders, lineitem) = g.gen_orders_lineitem(&cat, 100, 0, 10, 10);
+        assert_eq!((orders.len(), lineitem.len()), (0, 0));
+        let (orders, lineitem) = g.gen_orders_lineitem(&cat, 100, 10, 0, 10);
+        assert_eq!((orders.len(), lineitem.len()), (0, 0));
+        let (orders, lineitem) = g.gen_orders_lineitem(&cat, 100, 10, 10, 0);
+        assert_eq!((orders.len(), lineitem.len()), (0, 0));
+        // Zero orders with everything else present is simply empty output.
+        let (orders, lineitem) = g.gen_orders_lineitem(&cat, 0, 10, 10, 10);
+        assert_eq!((orders.len(), lineitem.len()), (0, 0));
+        assert_eq!(g.gen_supplier(&cat, 0).len(), 0);
+        assert_eq!(g.gen_customer(&cat, 0).len(), 0);
+        assert_eq!(g.gen_part(&cat, 0).len(), 0);
     }
 
     #[test]

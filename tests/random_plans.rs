@@ -247,4 +247,36 @@ proptest! {
             );
         }
     }
+
+    /// Morsel-driven parallelism must be invisible in the results of random
+    /// plans too: every degree agrees with serial execution (1e-9 — only
+    /// floating-point reassociation separates them), and degrees ≥ 2 are
+    /// bit-identical to each other (fixed morsel boundaries, ordered
+    /// merges). Runs under both the compiled and the interpreted executor.
+    #[test]
+    fn parallel_degrees_agree_on_random_plans(q in arb_query()) {
+        let sys = system();
+        for base in [Config::OptC, Config::OptScala] {
+            let serial = sys.run_plan(&q, &base.settings()).result;
+            let mut by_degree = Vec::new();
+            for degree in [2usize, 4] {
+                let got = sys.run_plan(&q, &base.settings().with_parallelism(degree)).result;
+                prop_assert!(
+                    got.approx_eq(&serial, 1e-9),
+                    "{:?} degree {} disagrees with serial on {:#?}: {:?}",
+                    base,
+                    degree,
+                    q.root,
+                    got.diff(&serial, 1e-9)
+                );
+                by_degree.push(got);
+            }
+            prop_assert!(
+                by_degree[0].sorted_rows() == by_degree[1].sorted_rows(),
+                "{:?}: degrees 2 and 4 not bit-identical on {:#?}",
+                base,
+                q.root
+            );
+        }
+    }
 }
