@@ -19,12 +19,43 @@ use legobase::engine::settings::EngineKind;
 use legobase::{Config, LegoBase, Settings};
 use legobase_bench::{geomean, ms, scale_factor, time_query};
 
+/// The figure subcommands, in `all` execution order.
+const SUBCOMMANDS: [&str; 10] =
+    ["fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table4", "threads", "all"];
+
+fn usage() -> String {
+    format!(
+        "usage: figures [{}]\n\
+         env: LEGOBASE_SF (scale factor, default 0.02), LEGOBASE_RUNS (timed \
+         repetitions, default 3), LEGOBASE_THREADS_SF (threads figure, default 0.1)",
+        SUBCOMMANDS.join("|")
+    )
+}
+
+/// Validates a subcommand. `Err` carries the full diagnostic (unknown name +
+/// usage) so `main` can print it and exit nonzero instead of silently doing
+/// nothing.
+fn parse_subcommand(arg: &str) -> Result<&'static str, String> {
+    SUBCOMMANDS
+        .iter()
+        .find(|&&s| s == arg)
+        .copied()
+        .ok_or_else(|| format!("unknown figure `{arg}`\n{}", usage()))
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let cmd = match parse_subcommand(&arg) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let sf = scale_factor();
     eprintln!("# scale factor {sf}, {} timed runs per cell", legobase_bench::runs());
     let system = LegoBase::generate(sf);
-    match arg.as_str() {
+    match cmd {
         "fig16" => fig16(&system),
         "fig17" => fig17(&system),
         "fig18" => fig18(&system),
@@ -45,10 +76,7 @@ fn main() {
             table4();
             threads();
         }
-        other => {
-            eprintln!("unknown figure `{other}`");
-            std::process::exit(2);
-        }
+        _ => unreachable!("parse_subcommand returned a validated name"),
     }
 }
 
@@ -276,9 +304,12 @@ fn fig22(system: &LegoBase) {
 }
 
 /// Thread scaling of the morsel-driven specialized engine (not a paper
-/// figure — the paper's generated C is single-threaded). Q1 (grouped
-/// aggregation), Q6 (selective global aggregation), and Q12 (join +
-/// aggregation) at `LEGOBASE_THREADS_SF` (default 0.1), degrees 1/2/4/8.
+/// figure — the paper's generated C is single-threaded). Scan-dominated
+/// queries (Q1 grouped aggregation, Q6 selective global aggregation) next
+/// to join-heavy ones (Q3 and Q10: multi-join + sort, exercising the
+/// radix-partitioned build, parallel probe, and the parallel merge sort;
+/// Q12 join + aggregation), at `LEGOBASE_THREADS_SF` (default 0.1),
+/// degrees 1/2/4/8.
 fn threads() {
     // The LEGOBASE_PARALLELISM override rewrites default-serial requests,
     // which would silently turn this figure's 1-thread baseline into a
@@ -298,7 +329,7 @@ fn threads() {
         "query", "1 thr (ms)", "2 thr (ms)", "4 thr (ms)", "8 thr (ms)", "speedup @4"
     );
     let system = LegoBase::generate(sf);
-    for n in [1usize, 6, 12] {
+    for n in [1usize, 3, 6, 10, 12] {
         let times: Vec<f64> = [1usize, 2, 4, 8]
             .iter()
             .map(|&d| ms(time_query(&system, n, &Settings::optimized().with_parallelism(d))))
@@ -395,4 +426,31 @@ fn table4() {
     }
     println!("{:<36} {total:>6}", "Total");
     let _ = EngineKind::Volcano; // keep the import used in all build modes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: an unknown subcommand must be rejected with a diagnostic
+    /// that names the offender and prints usage (main turns this into
+    /// exit(2)) — not silently accepted.
+    #[test]
+    fn unknown_subcommand_rejected_with_usage() {
+        let err = parse_subcommand("fig99").expect_err("fig99 is not a figure");
+        assert!(err.contains("fig99"), "diagnostic must name the unknown argument: {err}");
+        assert!(err.contains("usage:"), "diagnostic must include usage: {err}");
+        for name in SUBCOMMANDS {
+            assert!(err.contains(name), "usage must list `{name}`: {err}");
+        }
+    }
+
+    #[test]
+    fn every_subcommand_parses() {
+        for name in SUBCOMMANDS {
+            assert_eq!(parse_subcommand(name), Ok(name));
+        }
+        // The implicit default of `main` stays valid.
+        assert_eq!(parse_subcommand("all"), Ok("all"));
+    }
 }

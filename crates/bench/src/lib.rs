@@ -1,9 +1,14 @@
-//! Shared helpers for the benchmark harness.
+#![warn(missing_docs)]
+//! Shared helpers for the benchmark harness (the paper's §4 evaluation).
 //!
 //! The `figures` binary (`src/bin/figures.rs`) regenerates every table and
-//! figure of the paper's evaluation section; the Criterion benches under
-//! `benches/` provide statistically robust timings for representative
-//! queries and for the storage substrate's micro-operations.
+//! figure of the evaluation section — Figs. 16–22, Table IV, plus the
+//! beyond-the-paper `threads` scaling figure for the morsel-driven parallel
+//! engine — via [`time_query`] (median-of-N timings over a pre-loaded
+//! database). The Criterion benches under `benches/` provide statistically
+//! robust timings for representative queries and for the storage
+//! substrate's micro-operations. `EXPERIMENTS.md` records the
+//! paper-vs-measured outcome of every figure.
 
 use legobase::{LegoBase, Settings};
 use std::time::{Duration, Instant};

@@ -19,9 +19,19 @@
 //! println!("generated C:\n{}", optimized.compilation.c_source);
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and the substitutions made for
-//! artifacts that are not reproducible in this environment, and
-//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//! The facade wires the five layers in paper order — [`queries`] builds the
+//! physical plan (§2.1), [`sc`] compiles it into a
+//! [`Specialization`] report plus C source (§2.2–2.3), [`engine`] loads and
+//! executes with exactly the structures the report selected (§3), [`storage`]
+//! implements those structures, [`tpch`] generates the workload (§4) — and
+//! enforces the compiler-decides/executor-obeys discipline for the
+//! morsel-driven parallelism extension (degree and join/sort clearances;
+//! DESIGN.md §3).
+//!
+//! See `DESIGN.md` for the system inventory, the substitutions made for
+//! artifacts that are not reproducible in this environment, and the §4
+//! life-of-a-query walkthrough; `EXPERIMENTS.md` holds the
+//! paper-vs-measured record.
 
 pub use legobase_engine as engine;
 pub use legobase_queries as queries;
@@ -160,11 +170,16 @@ fn requested_settings(settings: &Settings) -> Settings {
     s
 }
 
-/// Replaces the requested parallelism with the degree the SC pipeline
-/// recorded for this query — the executor obeys the compiler's decision.
+/// Replaces the requested parallelism with the decisions the SC pipeline
+/// recorded for this query — the executor obeys the compiler: the degree,
+/// and whether this query's join and sort operators were cleared for the
+/// morsel-parallel paths (`Parallelize` counts the cleared operators in the
+/// specialization report; zero cleared means the serial code path).
 fn decided_settings(settings: &Settings, spec: &Specialization) -> Settings {
     let mut s = *settings;
     s.parallelism = spec.parallelism.max(1);
+    s.parallel_joins = spec.parallel_joins > 0;
+    s.parallel_sorts = spec.parallel_sorts > 0;
     s
 }
 

@@ -107,6 +107,10 @@ pub type F64K = Box<dyn Fn(usize) -> f64 + Send + Sync>;
 pub type I64K = Box<dyn Fn(usize) -> i64 + Send + Sync>;
 /// A compiled row → [`Value`] kernel (generic fallback).
 pub type ValK = Box<dyn Fn(usize) -> Value + Send + Sync>;
+/// A compiled `(left_phys, right_phys) → bool` join-residual kernel. Like
+/// the row kernels it captures only `Arc`-shared columns, so morsel-parallel
+/// probe workers evaluate one shared residual concurrently.
+pub type PairK = Box<dyn Fn(usize, usize) -> bool + Send + Sync>;
 
 /// Compiles a predicate against a chunk's physical representation.
 pub fn compile_bool(e: &Expr, chunk: &Chunk) -> BoolK {

@@ -19,14 +19,20 @@
 //!   LegoBase's naive configuration, with optional row-level partitioned
 //!   joins (the TPC-H-compliant configuration).
 //! * [`kernel`] / [`specialized`] — the specialized executor standing in for
-//!   the paper's generated C: typed column access, partitioned joins, lowered
-//!   hash maps, dictionary integers, date-index scans, hoisted allocations,
-//!   and (when the specialization report asks for it) morsel-driven parallel
-//!   scan/filter/pre-aggregation pipelines.
+//!   the paper's generated C (§§3.1–3.5, DESIGN.md §2): typed column access,
+//!   partitioned joins (Fig. 10), lowered hash maps (Fig. 11), dictionary
+//!   integers (Table II), date-index scans (Fig. 12), hoisted allocations
+//!   (§3.5), and — when the specialization report asks for it —
+//!   morsel-driven parallel execution of scans, filters, pre-aggregation,
+//!   hash-join build/probe, and sorts (beyond the paper, whose generated C
+//!   is single-threaded; deterministic per DESIGN.md §3). The scheduling
+//!   primitive itself lives in the crate-private `parallel` module.
 //! * [`settings`] — the optimization toggles and the named configurations of
 //!   Table III.
 //! * [`spec`] — the per-query specialization report produced by the SC
-//!   transformation pipeline and consumed at load/execution time.
+//!   transformation pipeline and consumed at load/execution time: which
+//!   structures to build (§§3.2–3.4), which columns to keep (§3.6.1), and
+//!   the morsel-parallelism decisions (degree, join/sort clearances).
 //! * [`db`] — data loading for both representation families, with timing and
 //!   memory accounting (Figs. 20–21).
 //! * [`interop`] — the inter-operator optimization of Fig. 9 (aggregation

@@ -7,6 +7,12 @@
 //! morsel-index order on the calling thread. Scheduling is dynamic, merging
 //! is deterministic: which worker processed which morsel can never influence
 //! the query result (see `DESIGN.md` §3 for the full determinism contract).
+//!
+//! The work items are usually row-range [`Morsel`]s, but any `Copy + Sync`
+//! item schedules the same way: date-index scans hand out bucket segments,
+//! and the parallel hash-join build hands out *radix partition ids* — each
+//! worker then owns whole key-disjoint sub-tables, which is how the build
+//! phase writes concurrently without any locking.
 
 use legobase_storage::morsel::{morsels, Morsel, MORSEL_ROWS};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -118,6 +124,18 @@ mod tests {
         assert_eq!(out.iter().sum::<usize>(), 100_000);
         let n = setups.load(Ordering::Relaxed);
         assert!((1..=4).contains(&n), "worker setups: {n}");
+    }
+
+    /// Non-morsel work items (the partition ids of the parallel join build)
+    /// schedule identically: every item processed once, results in item
+    /// order at any degree.
+    #[test]
+    fn partition_id_items_schedule_like_morsels() {
+        let pids: Vec<usize> = (0..64).collect();
+        for degree in [1usize, 3, 8] {
+            let out = run_morsels(degree, &pids, || (), |(), pid| pid * 2);
+            assert_eq!(out, pids.iter().map(|p| p * 2).collect::<Vec<_>>(), "degree {degree}");
+        }
     }
 
     #[test]

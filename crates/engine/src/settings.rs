@@ -45,14 +45,25 @@ pub struct Settings {
     /// the join hash table (Section 3.1, Fig. 9).
     pub interop_fusion: bool,
     /// Requested morsel-driven parallelism degree (worker threads) for the
-    /// specialized engine's scan→filter→pre-aggregate pipelines. `1` = the
-    /// paper's single-threaded execution and the default for every named
-    /// [`Config`]. Like the other fields this is a *request*: the SC
-    /// pipeline's `Parallelize` transformer decides the effective per-query
-    /// degree and records it in the
-    /// [`Specialization`](crate::spec::Specialization) report, which the
+    /// specialized engine's pipelines (scan→filter→pre-aggregate, and — when
+    /// [`Settings::parallel_joins`] / [`Settings::parallel_sorts`] allow —
+    /// join build/probe and sort). `1` = the paper's single-threaded
+    /// execution and the default for every named [`Config`]. Like the other
+    /// fields this is a *request*: the SC pipeline's `Parallelize`
+    /// transformer decides the effective per-query degree and records it in
+    /// the [`Specialization`](crate::spec::Specialization) report, which the
     /// executor obeys. The generic engines ignore the knob.
     pub parallelism: usize,
+    /// Allows the specialized engine's hash joins to run morsel-parallel
+    /// (radix-partitioned build, probe-side morsels; DESIGN.md §3). Inert at
+    /// `parallelism == 1`. Defaults to `true`; when a query goes through the
+    /// SC pipeline, the `Parallelize` transformer's per-query decision
+    /// (recorded in the specialization report) replaces the default.
+    pub parallel_joins: bool,
+    /// Allows the specialized engine's sorts to run morsel-parallel
+    /// (per-morsel local sort + deterministic k-way merge). Same gating and
+    /// decision flow as [`Settings::parallel_joins`].
+    pub parallel_sorts: bool,
 }
 
 impl Settings {
@@ -70,6 +81,8 @@ impl Settings {
             field_removal: false,
             interop_fusion: false,
             parallelism: 1,
+            parallel_joins: true,
+            parallel_sorts: true,
         }
     }
 
@@ -87,6 +100,8 @@ impl Settings {
             field_removal: true,
             interop_fusion: true,
             parallelism: 1,
+            parallel_joins: true,
+            parallel_sorts: true,
         }
     }
 
@@ -212,6 +227,10 @@ mod tests {
     fn all_configs_default_to_serial() {
         for c in Config::ALL {
             assert_eq!(c.settings().parallelism, 1, "{c:?} must default to serial");
+            // The join/sort allowances are inert at degree 1; they default on
+            // so a direct `with_parallelism(n)` request parallelizes the
+            // whole pipeline (the SC pipeline overrides them per query).
+            assert!(c.settings().parallel_joins && c.settings().parallel_sorts);
         }
         assert_eq!(Settings::optimized().with_parallelism(4).parallelism, 4);
         assert_eq!(Settings::optimized().with_parallelism(0).parallelism, 1);

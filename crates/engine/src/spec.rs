@@ -52,6 +52,14 @@ pub struct Specialization {
     /// and the requested [`Settings`](crate::settings::Settings), and the
     /// specialized executor obeys it.
     pub parallelism: usize,
+    /// Number of join operators (hash, lowered, or partitioned) the
+    /// `Parallelize` transformer cleared for the morsel-parallel partitioned
+    /// build / fused probe. `0` means this query's joins — if any — run
+    /// serial even when [`Specialization::parallelism`] is > 1.
+    pub parallel_joins: usize,
+    /// Number of sort operators cleared for the morsel-parallel local-sort +
+    /// deterministic k-way merge path (`0` = sorts run serial).
+    pub parallel_sorts: usize,
 }
 
 impl Default for Specialization {
@@ -63,6 +71,8 @@ impl Default for Specialization {
             dictionaries: Vec::new(),
             used_columns: HashMap::new(),
             parallelism: 1,
+            parallel_joins: 0,
+            parallel_sorts: 0,
         }
     }
 }
@@ -141,8 +151,10 @@ mod tests {
         assert!(!s.has_fk_partition("lineitem", 1));
         assert!(s.has_pk_index("orders", 0));
         assert!(s.has_date_index("lineitem", 10));
-        // The default decision is serial execution.
+        // The default decision is serial execution, joins and sorts included.
         assert_eq!(s.parallelism, 1);
+        assert_eq!(s.parallel_joins, 0);
+        assert_eq!(s.parallel_sorts, 0);
     }
 
     #[test]

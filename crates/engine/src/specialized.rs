@@ -20,23 +20,30 @@
 //!   pre-sized from statistics (Section 3.5.1);
 //! * **compiled_exprs** — off reproduces Opt/Scala: specialized data
 //!   structures but per-tuple interpreted evaluation;
-//! * **parallelism** — a degree > 1 runs the scan→filter→pre-aggregate
-//!   pipelines morsel-driven over worker threads: fixed-size contiguous
-//!   row-range morsels over the shared `Arc` columns, thread-local partial
-//!   states, deterministic merge in morsel-index order (DESIGN.md §3). The
-//!   degree is a specialization decision recorded by the SC pipeline's
-//!   `Parallelize` transformer, exactly like the data-structure choices.
+//! * **parallelism** — a degree > 1 runs the pipelines morsel-driven over
+//!   worker threads: fixed-size contiguous row-range morsels over the shared
+//!   `Arc` columns, thread-local partial states, deterministic merge in
+//!   morsel-index order (DESIGN.md §3). Beyond the scan→filter→pre-aggregate
+//!   pipelines of the first parallel milestone this now covers **joins**
+//!   (radix-partitioned build into key-disjoint sub-tables, probe-side
+//!   morsels — including the partitioned Fig. 10 probes and the Fig. 9 fused
+//!   probe) and **sorts** (per-morsel local stable sort + deterministic
+//!   k-way merge), both bit-identical to their serial paths. The degree and
+//!   the join/sort clearances are specialization decisions recorded by the
+//!   SC pipeline's `Parallelize` transformer, exactly like the
+//!   data-structure choices.
 
 use crate::expr::{AggKind, CmpOp, Expr};
 use crate::interp;
-use crate::kernel::{self, BoolK, Chunk, ValK, F64K, I64K};
+use crate::kernel::{self, BoolK, Chunk, PairK, ValK, F64K, I64K};
 use crate::parallel::{go_parallel, row_morsels, run_morsels};
 use crate::plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
 use crate::result::ResultTable;
 use crate::settings::Settings;
 use crate::SpecializedDb;
 use legobase_storage::dateindex::RangeSegment;
-use legobase_storage::morsel::MORSEL_ROWS;
+use legobase_storage::morsel::{merge_sorted_runs, MORSEL_ROWS};
+use legobase_storage::partition::{join_partition, JOIN_PARTITIONS};
 use legobase_storage::specialized::{ChainedArrayMap, ChainedMultiMap};
 use legobase_storage::{metrics, Column, Date, RowTable, Schema, Value};
 use std::collections::{BTreeSet, HashMap};
@@ -133,6 +140,19 @@ impl<'a> Exec<'a> {
         }
         let vk = self.valk(e, chunk);
         Some(Box::new(move |r| vk(r).is_null()))
+    }
+
+    /// The compiled decision to run this query's joins morsel-parallel,
+    /// gated on the operator input being large enough to split. Both factors
+    /// are degree-independent for degrees ≥ 2, so every degree takes the
+    /// same code path (half of the bit-identical-across-degrees contract).
+    fn par_join(&self, rows: usize) -> bool {
+        self.settings.parallel_joins && go_parallel(self.settings.parallelism, rows)
+    }
+
+    /// The compiled decision to run this query's sorts morsel-parallel.
+    fn par_sort(&self, rows: usize) -> bool {
+        self.settings.parallel_sorts && go_parallel(self.settings.parallelism, rows)
     }
 
     // ---- operators ----
@@ -472,6 +492,11 @@ impl<'a> Exec<'a> {
         }
         let mut chunk = self.run(input, &child_need);
         let n = chunk.len();
+        if self.par_sort(n) {
+            let sel = self.par_sort_sel(&chunk, keys);
+            chunk.sel = Some(Arc::new(sel));
+            return chunk;
+        }
         // Gather key values once, argsort logical indices.
         let key_vals: Vec<Vec<Value>> = (0..n)
             .map(|i| {
@@ -480,22 +505,61 @@ impl<'a> Exec<'a> {
             })
             .collect();
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by(|&a, &b| {
-            for (k, (_, dir)) in keys.iter().enumerate() {
-                let ord = key_vals[a as usize][k].cmp(&key_vals[b as usize][k]);
-                let ord = match dir {
-                    SortOrder::Asc => ord,
-                    SortOrder::Desc => ord.reverse(),
-                };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        // Serial and parallel sorts share one comparator: the bit-identical
+        // contract between them is only as strong as this single source.
+        order.sort_by(|&a, &b| cmp_key_rows(&key_vals[a as usize], &key_vals[b as usize], keys));
         let sel: Vec<u32> = order.into_iter().map(|i| chunk.phys(i as usize) as u32).collect();
         chunk.sel = Some(Arc::new(sel));
         chunk
+    }
+
+    /// Morsel-parallel ORDER BY: key gathering and local argsorts run per
+    /// morsel; the per-morsel runs combine through the deterministic k-way
+    /// merge of `storage::morsel` (ties break toward the earlier morsel).
+    /// Because each local sort is stable and the merge favors earlier runs —
+    /// which hold earlier logical positions — the result is exactly the
+    /// serial stable argsort, bit for bit, at every degree (DESIGN.md §3).
+    fn par_sort_sel(&self, chunk: &Chunk, keys: &[(usize, SortOrder)]) -> Vec<u32> {
+        let degree = self.settings.parallelism;
+        let ms = row_morsels(chunk.len());
+        // One pass per morsel: gather that morsel's key tuples and
+        // stable-argsort its logical indices against them — a second
+        // worker-spawn round just to sort keys the same morsel gathered
+        // would double the scheduling overhead for nothing.
+        let parts: Vec<(Vec<Vec<Value>>, Vec<u32>)> = run_morsels(
+            degree,
+            &ms,
+            || (),
+            |(), m| {
+                let local_keys: Vec<Vec<Value>> = m
+                    .range()
+                    .map(|i| {
+                        let p = chunk.phys(i);
+                        keys.iter().map(|(c, _)| chunk.value_at(*c, p)).collect::<Vec<Value>>()
+                    })
+                    .collect();
+                let mut idx: Vec<u32> = (m.start as u32..m.end as u32).collect();
+                // Stable within the morsel.
+                idx.sort_by(|a, b| {
+                    cmp_key_rows(
+                        &local_keys[*a as usize - m.start],
+                        &local_keys[*b as usize - m.start],
+                        keys,
+                    )
+                });
+                (local_keys, idx)
+            },
+        );
+        let mut key_vals: Vec<Vec<Value>> = Vec::with_capacity(chunk.len());
+        let mut runs: Vec<Vec<u32>> = Vec::with_capacity(parts.len());
+        for (local_keys, idx) in parts {
+            key_vals.extend(local_keys);
+            runs.push(idx);
+        }
+        let cmp =
+            |a: &u32, b: &u32| cmp_key_rows(&key_vals[*a as usize], &key_vals[*b as usize], keys);
+        let order = merge_sorted_runs(runs, &cmp);
+        order.into_iter().map(|i| chunk.phys(i as usize) as u32).collect()
     }
 
     fn limit(&self, input: &Plan, n: usize, need: &Need) -> Chunk {
@@ -585,14 +649,41 @@ impl<'a> Exec<'a> {
             right_keys.first().and_then(|&c| kernel::code_kernel(c, &rchunk)),
         ) {
             if right_keys.len() == 1 {
-                let mut pairs = Vec::new();
-                for rp in rchunk.physical_rows() {
-                    if let Some(g) = gi.lookup(rk(rp)) {
-                        if res.as_ref().is_none_or(|f| f(g as usize, rp)) {
-                            pairs.push((g, rp as u32));
+                let pairs = if self.par_join(rchunk.len()) {
+                    // Parallel fused probe: the aggregation's key→slot index
+                    // is shared read-only across workers; probe-side morsels
+                    // flow through `run_morsels` and their matches
+                    // concatenate in morsel-index order, reproducing the
+                    // serial emission order exactly.
+                    run_morsels(
+                        self.settings.parallelism,
+                        &row_morsels(rchunk.len()),
+                        || (),
+                        |(), m| {
+                            let mut pairs = Vec::new();
+                            for i in m.range() {
+                                let rp = rchunk.phys(i);
+                                if let Some(g) = gi.lookup(rk(rp)) {
+                                    if res.as_ref().is_none_or(|f| f(g as usize, rp)) {
+                                        pairs.push((g, rp as u32));
+                                    }
+                                }
+                            }
+                            pairs
+                        },
+                    )
+                    .concat()
+                } else {
+                    let mut pairs = Vec::new();
+                    for rp in rchunk.physical_rows() {
+                        if let Some(g) = gi.lookup(rk(rp)) {
+                            if res.as_ref().is_none_or(|f| f(g as usize, rp)) {
+                                pairs.push((g, rp as u32));
+                            }
                         }
                     }
-                }
+                    pairs
+                };
                 return self.gather_join_output(&lchunk, &rchunk, pairs, kind, need);
             }
         }
@@ -607,12 +698,7 @@ impl<'a> Exec<'a> {
         self.gather_join_output(&lchunk, &rchunk, pairs, kind, need)
     }
 
-    fn residual_pred(
-        &self,
-        r: &Expr,
-        lchunk: &Chunk,
-        rchunk: &Chunk,
-    ) -> Box<dyn Fn(usize, usize) -> bool> {
+    fn residual_pred(&self, r: &Expr, lchunk: &Chunk, rchunk: &Chunk) -> PairK {
         // Residuals see the concatenated schema; evaluate over a gathered
         // mini-tuple (residuals are rare and cheap).
         let l_arity = lchunk.cols.len();
@@ -649,7 +735,7 @@ impl<'a> Exec<'a> {
         right_plan: &Plan,
         right_keys: &[usize],
         kind: JoinKind,
-        res: &Option<Box<dyn Fn(usize, usize) -> bool>>,
+        res: &Option<PairK>,
     ) -> Vec<(u32, u32)> {
         // Partitioned path (Fig. 10): the right side is a filtered base scan
         // with a load-time partition on the single join key.
@@ -663,63 +749,201 @@ impl<'a> Exec<'a> {
             }
         }
         let _ = right_plan;
-        // Hash build over the right side.
-        let expected = rchunk.len().max(1);
-        let mut pairs = Vec::new();
+        // Hash build over the right side, serial or morsel-parallel
+        // (DESIGN.md §3). Each side gates independently, so a small build
+        // side under a large probe side still parallelizes the probe (and
+        // vice versa); both gates depend only on row counts, never on the
+        // degree, so every degree ≥ 2 takes the same path, and with both
+        // gates false the functions below run the exact serial build+probe.
+        let build_parallel = self.par_join(rchunk.len());
+        let probe_parallel = self.par_join(lchunk.len());
         if self.settings.hashmap_lowering {
-            // Lowered multi-map (Fig. 11 / Fig. 7e).
-            let mut mm = ChainedMultiMap::with_capacity(expected);
+            self.join_pairs_lowered(
+                lchunk,
+                rchunk,
+                lk,
+                rk,
+                kind,
+                res,
+                build_parallel,
+                probe_parallel,
+            )
+        } else {
+            self.join_pairs_generic_hash(
+                lchunk,
+                rchunk,
+                lk,
+                rk,
+                kind,
+                res,
+                build_parallel,
+                probe_parallel,
+            )
+        }
+    }
+
+    /// Radix-scatters the build side into per-morsel × per-partition
+    /// `(packed key, physical row)` lists — phase one of the parallel build.
+    /// The scatter is a pure function of the chunk and the keys; worker
+    /// identity never shapes it.
+    fn scatter_build_side(&self, rchunk: &Chunk, rk: &[I64K]) -> Vec<Vec<Vec<(u64, u32)>>> {
+        run_morsels(
+            self.settings.parallelism,
+            &row_morsels(rchunk.len()),
+            || (),
+            |(), m| {
+                let mut parts: Vec<Vec<(u64, u32)>> = vec![Vec::new(); JOIN_PARTITIONS];
+                for i in m.range() {
+                    let p = rchunk.phys(i);
+                    let key = pack_keys(rk, p);
+                    parts[join_partition(key)].push((key, p as u32));
+                }
+                parts
+            },
+        )
+    }
+
+    /// Lowered hash join (Fig. 11; no load-time partition applies), the
+    /// single source for the serial *and* morsel-parallel paths — with both
+    /// gates false this is exactly the serial whole-side build + probe loop.
+    /// Parallel build: the build side is radix-partitioned into
+    /// [`JOIN_PARTITIONS`] key-disjoint chained sub-tables — scatter over
+    /// build-side morsels, then each sub-table filled by walking the
+    /// scattered morsels in index order. A sub-table receives its rows in
+    /// the same relative order as the serial whole-side build, so every
+    /// per-key chain (and hence the match order a probe observes) is
+    /// identical to serial. Parallel probe: probe-side morsels each probe
+    /// exactly one sub-table per row, and results concatenate in
+    /// morsel-index order. Every gate combination is therefore
+    /// bit-identical to the serial lowered join.
+    #[allow(clippy::too_many_arguments)]
+    fn join_pairs_lowered(
+        &self,
+        lchunk: &Chunk,
+        rchunk: &Chunk,
+        lk: &[I64K],
+        rk: &[I64K],
+        kind: JoinKind,
+        res: &Option<PairK>,
+        build_parallel: bool,
+        probe_parallel: bool,
+    ) -> Vec<(u32, u32)> {
+        let degree = self.settings.parallelism;
+        let tables: Vec<ChainedMultiMap> = if build_parallel {
+            let scattered = self.scatter_build_side(rchunk, rk);
+            let pids: Vec<usize> = (0..JOIN_PARTITIONS).collect();
+            run_morsels(
+                degree,
+                &pids,
+                || (),
+                |(), pid| {
+                    let expected: usize = scattered.iter().map(|m| m[pid].len()).sum();
+                    let mut mm = ChainedMultiMap::with_capacity(expected.max(1));
+                    for morsel_parts in &scattered {
+                        for &(key, row) in &morsel_parts[pid] {
+                            mm.insert(key, row);
+                        }
+                    }
+                    mm
+                },
+            )
+        } else {
+            // Build side too small to split: one whole-side table, shared
+            // read-only by the parallel probe.
+            let mut mm = ChainedMultiMap::with_capacity(rchunk.len().max(1));
             for p in rchunk.physical_rows() {
                 mm.insert(pack_keys(rk, p), p as u32);
             }
-            for lp in lchunk.physical_rows() {
-                let key = pack_keys(lk, lp);
-                let mut matched = false;
-                let mut emit_break = false;
-                mm.for_each_match(key, |rp| {
-                    if emit_break {
-                        return;
+            vec![mm]
+        };
+        let probe_one = |lp: usize, pairs: &mut Vec<(u32, u32)>| {
+            let key = pack_keys(lk, lp);
+            let mm = if tables.len() == 1 { &tables[0] } else { &tables[join_partition(key)] };
+            let mut matched = false;
+            let mut emit_break = false;
+            mm.for_each_match(key, |rp| {
+                if emit_break {
+                    return;
+                }
+                if res.as_ref().is_none_or(|f| f(lp, rp as usize)) {
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => pairs.push((lp as u32, rp)),
+                        JoinKind::Semi | JoinKind::Anti => emit_break = true,
                     }
-                    if res.as_ref().is_none_or(|f| f(lp, rp as usize)) {
-                        matched = true;
-                        match kind {
-                            JoinKind::Inner | JoinKind::LeftOuter => pairs.push((lp as u32, rp)),
-                            JoinKind::Semi | JoinKind::Anti => emit_break = true,
+                }
+            });
+            finish_left_row(lp, matched, kind, pairs);
+        };
+        probe_pairs(lchunk, probe_parallel, degree, &probe_one)
+    }
+
+    /// Generic (SipHash, per-entry allocation) hash join — the unlowered
+    /// analog of [`Exec::join_pairs_lowered`], also serving serial and
+    /// parallel alike; per-partition `HashMap`s fill their per-key candidate
+    /// vectors in global row order (the same order the serial build
+    /// produces).
+    #[allow(clippy::too_many_arguments)]
+    fn join_pairs_generic_hash(
+        &self,
+        lchunk: &Chunk,
+        rchunk: &Chunk,
+        lk: &[I64K],
+        rk: &[I64K],
+        kind: JoinKind,
+        res: &Option<PairK>,
+        build_parallel: bool,
+        probe_parallel: bool,
+    ) -> Vec<(u32, u32)> {
+        let degree = self.settings.parallelism;
+        let tables: Vec<HashMap<u64, Vec<u32>>> = if build_parallel {
+            let scattered = self.scatter_build_side(rchunk, rk);
+            let pids: Vec<usize> = (0..JOIN_PARTITIONS).collect();
+            run_morsels(
+                degree,
+                &pids,
+                || (),
+                |(), pid| {
+                    let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
+                    for morsel_parts in &scattered {
+                        for &(key, row) in &morsel_parts[pid] {
+                            metrics::hash_probe();
+                            metrics::allocation();
+                            table.entry(key).or_default().push(row);
                         }
                     }
-                });
-                finish_left_row(lp, matched, kind, &mut pairs);
-            }
+                    table
+                },
+            )
         } else {
-            // Generic hash table (SipHash, per-entry allocation).
             let mut table: HashMap<u64, Vec<u32>> = HashMap::new();
             for p in rchunk.physical_rows() {
                 metrics::hash_probe();
                 metrics::allocation();
                 table.entry(pack_keys(rk, p)).or_default().push(p as u32);
             }
-            for lp in lchunk.physical_rows() {
-                metrics::hash_probe();
-                let key = pack_keys(lk, lp);
-                let mut matched = false;
-                if let Some(cands) = table.get(&key) {
-                    metrics::chain_steps(cands.len() as u64);
-                    for &rp in cands {
-                        if res.as_ref().is_none_or(|f| f(lp, rp as usize)) {
-                            matched = true;
-                            match kind {
-                                JoinKind::Inner | JoinKind::LeftOuter => {
-                                    pairs.push((lp as u32, rp))
-                                }
-                                JoinKind::Semi | JoinKind::Anti => break,
-                            }
+            vec![table]
+        };
+        let probe_one = |lp: usize, pairs: &mut Vec<(u32, u32)>| {
+            metrics::hash_probe();
+            let key = pack_keys(lk, lp);
+            let table = if tables.len() == 1 { &tables[0] } else { &tables[join_partition(key)] };
+            let mut matched = false;
+            if let Some(cands) = table.get(&key) {
+                metrics::chain_steps(cands.len() as u64);
+                for &rp in cands {
+                    if res.as_ref().is_none_or(|f| f(lp, rp as usize)) {
+                        matched = true;
+                        match kind {
+                            JoinKind::Inner | JoinKind::LeftOuter => pairs.push((lp as u32, rp)),
+                            JoinKind::Semi | JoinKind::Anti => break,
                         }
                     }
                 }
-                finish_left_row(lp, matched, kind, &mut pairs);
             }
-        }
-        pairs
+            finish_left_row(lp, matched, kind, pairs);
+        };
+        probe_pairs(lchunk, probe_parallel, degree, &probe_one)
     }
 
     fn join_pairs_partitioned(
@@ -729,7 +953,7 @@ impl<'a> Exec<'a> {
         lk: &[I64K],
         part_key: &(String, usize),
         kind: JoinKind,
-        res: &Option<Box<dyn Fn(usize, usize) -> bool>>,
+        res: &Option<PairK>,
     ) -> Vec<(u32, u32)> {
         // The partition indexes *all* physical rows of the base table; the
         // chunk may carry a selection, so build a validity bitmap once.
@@ -742,8 +966,12 @@ impl<'a> Exec<'a> {
         });
         let fk = self.db.fk_partitions.get(part_key);
         let pk = self.db.pk_indexes.get(part_key);
-        let mut pairs = Vec::new();
-        for lp in lchunk.physical_rows() {
+        // The per-probe-row body is shared between the serial loop and the
+        // morsel-parallel probe: the load-time partition is immutable, so
+        // workers dereference it concurrently and the per-morsel matches
+        // concatenate in morsel-index order — identical to the serial
+        // emission order (DESIGN.md §3).
+        let probe_one = |lp: usize, pairs: &mut Vec<(u32, u32)>| {
             let key = lk[0](lp);
             let mut matched = false;
             let check = |rp: u32| {
@@ -779,12 +1007,15 @@ impl<'a> Exec<'a> {
                 }
                 (None, None) => unreachable!("partition presence checked by caller"),
             }
-            finish_left_row(lp, matched, kind, &mut pairs);
-        }
-        pairs
+            finish_left_row(lp, matched, kind, pairs);
+        };
+        probe_pairs(lchunk, self.par_join(lchunk.len()), self.settings.parallelism, &probe_one)
     }
 
-    /// Generic (Value-keyed) join for non-codeable keys.
+    /// Generic (Value-keyed) join for non-codeable keys. The build stays
+    /// serial (generic keys never dominate a TPC-H plan); the probe runs
+    /// morsel-parallel over the shared read-only table when the compiled
+    /// degree and the probe-side size allow.
     fn join_pairs_generic(
         &self,
         lchunk: &Chunk,
@@ -792,7 +1023,7 @@ impl<'a> Exec<'a> {
         left_keys: &[usize],
         right_keys: &[usize],
         kind: JoinKind,
-        res: &Option<Box<dyn Fn(usize, usize) -> bool>>,
+        res: &Option<PairK>,
     ) -> Vec<(u32, u32)> {
         let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
         for p in rchunk.physical_rows() {
@@ -800,8 +1031,7 @@ impl<'a> Exec<'a> {
             metrics::hash_probe();
             table.entry(key).or_default().push(p as u32);
         }
-        let mut pairs = Vec::new();
-        for lp in lchunk.physical_rows() {
+        let probe_one = |lp: usize, pairs: &mut Vec<(u32, u32)>| {
             let key: Vec<Value> = left_keys.iter().map(|&c| lchunk.value_at(c, lp)).collect();
             metrics::hash_probe();
             let mut matched = false;
@@ -816,9 +1046,9 @@ impl<'a> Exec<'a> {
                     }
                 }
             }
-            finish_left_row(lp, matched, kind, &mut pairs);
-        }
-        pairs
+            finish_left_row(lp, matched, kind, pairs);
+        };
+        probe_pairs(lchunk, self.par_join(lchunk.len()), self.settings.parallelism, &probe_one)
     }
 
     fn gather_join_output(
@@ -1319,6 +1549,56 @@ fn value_from(cols: &[Column], nulls: &[Option<Arc<Vec<bool>>>], c: usize, p: us
         }
     }
     cols[c].value_at(p)
+}
+
+/// Compares two gathered sort-key tuples under the per-key directions.
+fn cmp_key_rows(a: &[Value], b: &[Value], keys: &[(usize, SortOrder)]) -> std::cmp::Ordering {
+    for (k, (_, dir)) in keys.iter().enumerate() {
+        let ord = a[k].cmp(&b[k]);
+        let ord = match dir {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Drives a join probe over the probe side, serially or morsel-parallel.
+///
+/// `probe_one` appends the matches of one probe row; it is shared read-only
+/// across workers. Per-morsel outputs concatenate in morsel-index order, so
+/// the parallel probe emits exactly the pair sequence of the serial loop —
+/// the deterministic-assembly step shared by every parallel join path.
+fn probe_pairs(
+    lchunk: &Chunk,
+    parallel: bool,
+    degree: usize,
+    probe_one: &(impl Fn(usize, &mut Vec<(u32, u32)>) + Sync),
+) -> Vec<(u32, u32)> {
+    if parallel {
+        run_morsels(
+            degree,
+            &row_morsels(lchunk.len()),
+            || (),
+            |(), m| {
+                let mut pairs = Vec::new();
+                for i in m.range() {
+                    probe_one(lchunk.phys(i), &mut pairs);
+                }
+                pairs
+            },
+        )
+        .concat()
+    } else {
+        let mut pairs = Vec::new();
+        for lp in lchunk.physical_rows() {
+            probe_one(lp, &mut pairs);
+        }
+        pairs
+    }
 }
 
 /// Emits the left-preserving row for outer/anti joins after probing.
@@ -2130,6 +2410,154 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Joins and sorts carry no floating-point reassociation, so their
+    /// parallel paths must reproduce the serial result **exactly** — same
+    /// rows, same order — at every degree. Exercises the three join shapes
+    /// (partitioned probe over a PK index, radix-partitioned lowered build,
+    /// generic SipHash build) and the morsel-parallel sort + merge, at a
+    /// scale where lineitem (~12k rows at SF 0.002) crosses the one-morsel
+    /// parallelism threshold.
+    #[test]
+    fn parallel_joins_and_sorts_bit_identical_to_serial() {
+        let (data, mut spec) = setup();
+        let li = data.catalog.table("lineitem").schema.clone();
+        spec.used_columns.insert(
+            "lineitem".into(),
+            vec![0, 1, li.col("l_quantity"), li.col("l_extendedprice"), li.col("l_shipdate")],
+        );
+        spec.used_columns.insert("orders".into(), vec![0, 4, 5]);
+        spec.used_columns.insert("part".into(), vec![0, 3]);
+        // (a) Partitioned probe: lineitem (large probe side) against the
+        //     orders PK index, then a parallel ORDER BY with duplicate-heavy
+        //     keys so merge tie-breaking is exercised, then LIMIT.
+        let partitioned = QueryPlan::new(
+            "par_join_pk",
+            Plan::Limit {
+                input: Box::new(Plan::Sort {
+                    input: Box::new(Plan::HashJoin {
+                        left: Box::new(Plan::scan("lineitem")),
+                        right: Box::new(Plan::scan("orders")),
+                        left_keys: vec![0],
+                        right_keys: vec![0],
+                        kind: JoinKind::Inner,
+                        residual: None,
+                    }),
+                    keys: vec![
+                        (li.col("l_shipdate"), SortOrder::Desc),
+                        (li.col("l_quantity"), SortOrder::Asc),
+                    ],
+                }),
+                n: 500,
+            },
+        );
+        // (b) Hash build over the large side: part probes lineitem on
+        //     l_partkey, which has no load-time partition, so the build side
+        //     (~12k rows) takes the radix-partitioned parallel build.
+        let p_arity = data.catalog.table("part").schema.len();
+        let hash_build = QueryPlan::new(
+            "par_join_hash",
+            Plan::Sort {
+                input: Box::new(Plan::HashJoin {
+                    left: Box::new(Plan::scan("part")),
+                    right: Box::new(Plan::scan("lineitem")),
+                    left_keys: vec![0],
+                    right_keys: vec![1],
+                    kind: JoinKind::Inner,
+                    residual: None,
+                }),
+                keys: vec![(0, SortOrder::Asc), (p_arity + li.col("l_quantity"), SortOrder::Desc)],
+            },
+        );
+        for q in [&partitioned, &hash_build] {
+            // Lowered chained sub-tables (OptC) and the generic SipHash maps
+            // (hashmap_lowering off) must both stay exact.
+            for lowered in [true, false] {
+                let base = Config::OptC.settings().with(|s| s.hashmap_lowering = lowered);
+                let db = crate::SpecializedDb::load(&data, &spec, &base);
+                let serial = execute(q, &db, &base);
+                assert!(!serial.is_empty(), "{}: empty serial result", q.name);
+                for degree in [2usize, 4, 8] {
+                    let got = execute(q, &db, &base.with_parallelism(degree));
+                    assert_eq!(
+                        got.rows(),
+                        serial.rows(),
+                        "{} (lowered={lowered}) degree {degree}: parallel join/sort must \
+                         reproduce the serial rows exactly, in order",
+                        q.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Semi/anti/outer join semantics survive the parallel probe: the
+    /// preserved-row bookkeeping is per probe row, so morsel concatenation
+    /// must leave it untouched.
+    #[test]
+    fn parallel_outer_semantics_match_serial() {
+        let (data, mut spec) = setup();
+        spec.used_columns.insert("lineitem".into(), vec![0, 4]);
+        spec.used_columns.insert("orders".into(), vec![0, 3]);
+        for kind in [JoinKind::Semi, JoinKind::Anti, JoinKind::LeftOuter] {
+            let q = QueryPlan::new(
+                &format!("par_{kind:?}"),
+                Plan::HashJoin {
+                    // lineitem probe side (large); orders filtered so many
+                    // probe rows miss.
+                    left: Box::new(Plan::scan("lineitem")),
+                    right: Box::new(Plan::Select {
+                        input: Box::new(Plan::scan("orders")),
+                        predicate: Expr::gt(Expr::col(3), Expr::lit(150_000.0)),
+                    }),
+                    left_keys: vec![0],
+                    right_keys: vec![0],
+                    kind,
+                    residual: None,
+                },
+            );
+            let settings = Config::OptC.settings();
+            let db = crate::SpecializedDb::load(&data, &spec, &settings);
+            let serial = execute(&q, &db, &settings);
+            for degree in [2usize, 4] {
+                let got = execute(&q, &db, &settings.with_parallelism(degree));
+                assert_eq!(got.rows(), serial.rows(), "{kind:?} degree {degree}");
+            }
+        }
+    }
+
+    /// The compiled clearances gate the new paths: with `parallel_joins` /
+    /// `parallel_sorts` off, a degree-4 request must leave joins and sorts
+    /// on their serial code paths (still correct, still identical).
+    #[test]
+    fn join_sort_clearances_are_obeyed() {
+        let (data, mut spec) = setup();
+        spec.used_columns.insert("lineitem".into(), vec![0, 4, 10]);
+        spec.used_columns.insert("orders".into(), vec![0]);
+        let q = QueryPlan::new(
+            "gated",
+            Plan::Sort {
+                input: Box::new(Plan::HashJoin {
+                    left: Box::new(Plan::scan("lineitem")),
+                    right: Box::new(Plan::scan("orders")),
+                    left_keys: vec![0],
+                    right_keys: vec![0],
+                    kind: JoinKind::Inner,
+                    residual: None,
+                }),
+                keys: vec![(10, SortOrder::Asc)],
+            },
+        );
+        let serial_settings = Config::OptC.settings();
+        let db = crate::SpecializedDb::load(&data, &spec, &serial_settings);
+        let serial = execute(&q, &db, &serial_settings);
+        let gated = serial_settings.with_parallelism(4).with(|s| {
+            s.parallel_joins = false;
+            s.parallel_sorts = false;
+        });
+        let got = execute(&q, &db, &gated);
+        assert_eq!(got.rows(), serial.rows());
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! subqueries are flattened into materialized stages, which is what the
 //! commercial optimizer the paper borrows plans from does as well.
 //!
-//! Every query runs unmodified under every engine configuration; the
-//! cross-engine equality tests in `tests/` use this property as the
-//! correctness oracle.
+//! Every query is a [`legobase_engine::QueryPlan`] and runs unmodified
+//! under every engine configuration — and, in the specialized engine, under
+//! every morsel-driven parallelism degree; the cross-engine equality tests
+//! in `tests/` use this property as the correctness oracle. The join-heavy
+//! majority of the workload (all but the single-table Q1/Q6) additionally
+//! exercises the parallel partitioned join and sort paths described in
+//! DESIGN.md §3.
 
 pub mod builder;
 mod queries;

@@ -16,12 +16,20 @@
 //!    integers, record-of-arrays, hoisted pools), and only the lowest level
 //!    is stringified to C ([`cgen`]).
 //!
+//! The transformers live in [`transform`], one per paper optimization
+//! (partitioning + date indices §§3.2.1/3.2.3, hash-map lowering §3.2.2,
+//! column layout §3.3, string dictionaries §3.4, code motion §3.5, loop
+//! fusion, field promotion), plus the beyond-the-paper
+//! [`transform::Parallelize`], which decides the per-query morsel-driven
+//! degree and the join/sort parallelization clearances.
+//!
 //! The pipeline produces two artifacts per query:
 //! * a [`legobase_engine::Specialization`] report — the load/execution
 //!   decisions the specialized executor consumes (this is how compilation
 //!   decisions become measurable end to end), and
 //! * the C source of the specialized query (inspectable, compiled with the
-//!   system `cc` in tests).
+//!   system `cc` in tests; DESIGN.md §4 walks one query through the whole
+//!   path).
 
 pub mod build;
 pub mod cgen;

@@ -1,4 +1,4 @@
-//! Parallelize: derives the morsel-driven parallelism degree per query.
+//! Parallelize: derives the morsel-driven parallelism decisions per query.
 //!
 //! The paper's generated C executes queries single-threaded; this opt-in
 //! transformer extends the same compiler-decides/executor-obeys discipline to
@@ -11,17 +11,27 @@
 //! plans — every TPC-H query scans a relation) is pinned to serial
 //! execution.
 //!
+//! Beyond the degree, the transformer also learns **which join and sort
+//! operators are safe to parallelize** and records those clearances in the
+//! report (`parallel_joins` / `parallel_sorts`). Join structures — generic
+//! multi-maps, their lowered bucket-array forms, and partitioned Fig. 10
+//! lookups — are key-partitionable by construction, so every one found in a
+//! parallelizable program is cleared for the radix-partitioned build and the
+//! morsel-parallel probe. A sort is cleared when it actually orders by keys
+//! (a keyless `SortEmitted` is a no-op the executor never parallelizes).
+//!
 //! The transformer only *decides*; the mechanics — fixed-size morsels over
 //! the shared columns, per-morsel partial states, deterministic merge in
-//! morsel order — live in `legobase_engine::specialized` and are documented
-//! in DESIGN.md §3.
+//! morsel order, key-disjoint join sub-tables, the tie-toward-earlier-run
+//! k-way sort merge — live in `legobase_engine::specialized` and
+//! `legobase_storage::{morsel, partition}`, documented in DESIGN.md §3.
 
 use crate::ir::{Program, Stmt};
 use crate::rules::{TransformCtx, Transformer};
 
-/// Decides the per-query morsel-driven parallelism degree and records it in
-/// the specialization report (a comment marks the decision in the lowered
-/// program and the generated C).
+/// Decides the per-query morsel-driven parallelism degree plus the join/sort
+/// clearances and records them in the specialization report (a comment marks
+/// the decisions in the lowered program and the generated C).
 pub struct Parallelize;
 
 impl Transformer for Parallelize {
@@ -32,19 +42,31 @@ impl Transformer for Parallelize {
     fn run(&self, prog: Program, ctx: &mut TransformCtx<'_>) -> Program {
         let requested = ctx.settings.parallelism.max(1);
         let mut scans = 0usize;
-        prog.walk(&mut |s| {
-            if matches!(
-                s,
-                Stmt::ScanLoop { .. } | Stmt::TiledScanLoop { .. } | Stmt::DateIndexLoop { .. }
-            ) {
+        let mut joins = 0usize;
+        let mut sorts = 0usize;
+        prog.walk(&mut |s| match s {
+            Stmt::ScanLoop { .. } | Stmt::TiledScanLoop { .. } | Stmt::DateIndexLoop { .. } => {
                 scans += 1;
             }
+            // Join tables in every lowering state: the generic multi-map,
+            // its chained bucket-array form, and the load-time-partition
+            // dereference that replaces both.
+            Stmt::MultiMapNew { .. }
+            | Stmt::BucketArrayNew { .. }
+            | Stmt::PartitionLookupLoop { .. } => joins += 1,
+            Stmt::SortEmitted { keys } if !keys.is_empty() => sorts += 1,
+            _ => {}
         });
         let degree = if scans > 0 { requested } else { 1 };
         ctx.spec.parallelism = degree;
+        ctx.spec.parallel_joins = if degree > 1 { joins } else { 0 };
+        ctx.spec.parallel_sorts = if degree > 1 { sorts } else { 0 };
         if degree > 1 {
-            let mut stmts =
-                vec![Stmt::Comment(format!("morsel-driven parallel execution, degree {degree}"))];
+            let mut banner = format!("morsel-driven parallel execution, degree {degree}");
+            if joins > 0 || sorts > 0 {
+                banner.push_str(&format!(" ({joins} partitioned join(s), {sorts} merge sort(s))"));
+            }
+            let mut stmts = vec![Stmt::Comment(banner)];
             stmts.extend(prog.stmts);
             return Program { stmts, ..prog };
         }
@@ -72,12 +94,44 @@ mod tests {
         }
     }
 
+    /// The transformer clears joins and sorts per query: join-heavy
+    /// ORDER BY queries (Q3, Q10, Q12) get both; Q1 sorts but joins
+    /// nothing; Q6 is a pure scan→aggregate with neither.
+    #[test]
+    fn records_join_and_sort_clearances_per_query() {
+        let cat = legobase_tpch::catalog();
+        let compiled = |n: usize| {
+            compile(
+                &legobase_queries::query(&cat, n),
+                &cat,
+                &Settings::optimized().with_parallelism(4),
+            )
+        };
+        for n in [3usize, 10, 12] {
+            let result = compiled(n);
+            assert!(result.spec.parallel_joins > 0, "Q{n} must clear its joins");
+            assert!(result.spec.parallel_sorts > 0, "Q{n} must clear its sort");
+            assert!(
+                result.c_source.contains("partitioned join(s)"),
+                "Q{n}: join clearance missing from the generated-C banner"
+            );
+        }
+        let q1 = compiled(1);
+        assert_eq!(q1.spec.parallel_joins, 0, "Q1 has no join");
+        assert!(q1.spec.parallel_sorts > 0, "Q1 orders by returnflag/linestatus");
+        let q6 = compiled(6);
+        assert_eq!(q6.spec.parallel_joins, 0);
+        assert_eq!(q6.spec.parallel_sorts, 0);
+    }
+
     #[test]
     fn serial_request_stays_serial_and_unmarked() {
         let cat = legobase_tpch::catalog();
         let q = legobase_queries::query(&cat, 6);
         let result = compile(&q, &cat, &Settings::optimized());
         assert_eq!(result.spec.parallelism, 1);
+        assert_eq!(result.spec.parallel_joins, 0);
+        assert_eq!(result.spec.parallel_sorts, 0);
         assert!(!result.c_source.contains("morsel-driven"));
         // The serial pipeline does not even include the phase.
         assert!(!result.trace.iter().any(|t| t.name == "Parallelize"));

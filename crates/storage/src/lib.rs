@@ -11,7 +11,9 @@
 //! * [`dict`] — string dictionaries (normal, ordered, word-tokenizing;
 //!   Section 3.4, Table II).
 //! * [`partition`] — primary-key 1D arrays and foreign-key 2D partitions
-//!   (Section 3.2.1, Fig. 10).
+//!   (Section 3.2.1, Fig. 10), plus the fixed radix partitioning
+//!   ([`partition::join_partition`]) of the morsel-parallel hash-join
+//!   build.
 //! * [`dateindex`] — automatically inferred year indices on date attributes
 //!   (Section 3.2.3, Fig. 12).
 //! * [`specialized`] — hash maps lowered to native arrays with intrusive
@@ -20,7 +22,10 @@
 //!   Section 3.5.2).
 //! * [`pool`] — hoisted memory pools (Section 3.5.1).
 //! * [`morsel`] — contiguous row-range morsels over the `Arc`-backed columns,
-//!   the unit of intra-query parallelism in the specialized engine.
+//!   the unit of intra-query parallelism in the specialized engine, and the
+//!   deterministic k-way merge ([`morsel::merge_sorted_runs`]) behind the
+//!   morsel-parallel sort (no paper counterpart — the paper's generated C
+//!   is single-threaded; DESIGN.md §3 specifies the determinism contract).
 //! * [`metrics`] — portable proxy counters standing in for the paper's CPU
 //!   performance counters (Fig. 18).
 //! * [`stats`] — the loading-time statistics LegoBase uses to size

@@ -17,6 +17,11 @@
 //! 2. **Merges happen in morsel-index order** on the coordinating thread —
 //!    so which worker happened to grab which morsel never influences the
 //!    result.
+//!
+//! For order-*producing* operators the merge step is [`merge_sorted_runs`]:
+//! per-morsel stable sorts are combined by a balanced pairwise merge whose
+//! ties break toward the earlier morsel, reproducing the serial stable sort
+//! bit for bit.
 
 /// Fixed morsel granularity in rows.
 ///
@@ -66,6 +71,70 @@ pub fn morsels(total: usize, morsel_rows: usize) -> Vec<Morsel> {
     out
 }
 
+/// Merges pre-sorted runs into one sorted sequence — the deterministic merge
+/// step of the morsel-parallel sort.
+///
+/// Each run must already be sorted under `cmp` (workers stable-sort one
+/// morsel each). Two properties make the merge reproduce the **serial stable
+/// sort** of the concatenated input exactly, and therefore make the parallel
+/// sort bit-identical to the serial one (the DESIGN.md §3 contract):
+///
+/// 1. **Ties break toward the earlier run.** Runs are per-morsel and morsels
+///    are in index order, so an earlier run holds earlier original positions;
+///    favoring it on `Ordering::Equal` is exactly what a stable sort of the
+///    whole input would do.
+/// 2. **The merge tree is a function of the run boundaries alone.** Runs are
+///    merged pairwise in balanced rounds on the caller's thread; the worker
+///    count never shapes the tree (`O(n log r)` for `n` items in `r` runs).
+pub fn merge_sorted_runs<T>(
+    mut runs: Vec<Vec<T>>,
+    cmp: &(impl Fn(&T, &T) -> std::cmp::Ordering + ?Sized),
+) -> Vec<T> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut it = runs.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge_two(a, b, cmp)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Stable two-way merge: `a` precedes `b` in run order, so it wins ties.
+fn merge_two<T>(
+    a: Vec<T>,
+    b: Vec<T>,
+    cmp: &(impl Fn(&T, &T) -> std::cmp::Ordering + ?Sized),
+) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => {
+                if cmp(x, y) != std::cmp::Ordering::Greater {
+                    out.push(ai.next().expect("peeked"));
+                } else {
+                    out.push(bi.next().expect("peeked"));
+                }
+            }
+            (Some(_), None) => {
+                out.extend(ai);
+                break;
+            }
+            (None, _) => {
+                out.extend(bi);
+                break;
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +177,41 @@ mod tests {
     #[should_panic(expected = "morsel size must be positive")]
     fn zero_morsel_size_rejected() {
         morsels(10, 0);
+    }
+
+    /// The k-way merge of per-morsel stable sorts must equal the stable sort
+    /// of the whole input — this equality is what makes the parallel sort
+    /// path bit-identical to the serial one.
+    #[test]
+    fn merge_of_stable_runs_equals_stable_sort() {
+        // Keys with many duplicates so tie-breaking is actually exercised;
+        // payload = original position, which stability must preserve.
+        let total = 10_007;
+        let items: Vec<(u32, u32)> = (0..total).map(|i| ((i * 31 % 13) as u32, i as u32)).collect();
+        let cmp = |a: &(u32, u32), b: &(u32, u32)| a.0.cmp(&b.0); // keys only
+        let mut expect = items.clone();
+        expect.sort_by(cmp); // std stable sort
+        for run_len in [1usize, 7, 64, 4096, 20_000] {
+            let runs: Vec<Vec<(u32, u32)>> = morsels(total, run_len)
+                .iter()
+                .map(|m| {
+                    let mut run = items[m.range()].to_vec();
+                    run.sort_by(cmp);
+                    run
+                })
+                .collect();
+            assert_eq!(merge_sorted_runs(runs, &cmp), expect, "run_len {run_len}");
+        }
+    }
+
+    #[test]
+    fn merge_edge_cases() {
+        let cmp = |a: &i32, b: &i32| a.cmp(b);
+        assert!(merge_sorted_runs(Vec::<Vec<i32>>::new(), &cmp).is_empty());
+        assert_eq!(merge_sorted_runs(vec![vec![1, 2, 3]], &cmp), vec![1, 2, 3]);
+        assert_eq!(
+            merge_sorted_runs(vec![vec![], vec![2], vec![], vec![1, 3]], &cmp),
+            vec![1, 2, 3]
+        );
     }
 }

@@ -8,8 +8,38 @@
 //!   one bucket of row ids per key value ([`ForeignKeyPartition`], stored in
 //!   CSR form so bucket access is two loads, exactly the
 //!   `lineitem_table[O_ORDERKEY]` access of Fig. 10).
+//!
+//! The module also hosts the **fixed radix partitioning** of the
+//! morsel-parallel hash-join build ([`join_partition`], [`JOIN_PARTITIONS`]):
+//! build-side rows are scattered into key-disjoint sub-tables whose layout
+//! depends only on the keys and the morsel order, never on the worker count.
 
 use crate::metrics;
+
+/// Radix width of the fixed partitioning used by the morsel-parallel
+/// hash-join build: build-side rows are scattered into `2^JOIN_RADIX_BITS`
+/// disjoint sub-tables keyed by [`join_partition`].
+///
+/// The partition count is a **constant**, never derived from the worker
+/// count: the sub-table a row lands in — and hence every chain order a probe
+/// can observe — depends only on the key, which is half of the join
+/// determinism contract (DESIGN.md §3; the other half is that each
+/// sub-table is filled in morsel-index order).
+pub const JOIN_RADIX_BITS: u32 = 6;
+
+/// Number of build-side partitions of the morsel-parallel hash join.
+pub const JOIN_PARTITIONS: usize = 1 << JOIN_RADIX_BITS;
+
+/// Radix partition of a packed join key.
+///
+/// Uses the *top* bits of the same multiplicative hash the lowered hash
+/// structures use for bucket selection (which consume low/middle bits), so
+/// rows that collide into one partition still spread across that sub-table's
+/// buckets.
+#[inline(always)]
+pub fn join_partition(key: u64) -> usize {
+    (crate::specialized::hash_u64(key) >> (64 - JOIN_RADIX_BITS)) as usize
+}
 
 /// 1D array over a single-attribute integer primary key.
 ///
@@ -180,5 +210,22 @@ mod tests {
     fn fk_empty() {
         let part = ForeignKeyPartition::build(&[]);
         assert_eq!(part.bucket(0), &[] as &[u32]);
+    }
+
+    /// The radix partition function must stay in range, be deterministic,
+    /// and actually spread sequential keys (TPC-H join keys are dense
+    /// integers — a partitioner that lumped them together would serialize
+    /// the parallel build).
+    #[test]
+    fn join_partition_in_range_and_spreading() {
+        let mut hit = vec![false; JOIN_PARTITIONS];
+        for key in 0..10_000u64 {
+            let p = join_partition(key);
+            assert!(p < JOIN_PARTITIONS);
+            assert_eq!(p, join_partition(key), "deterministic");
+            hit[p] = true;
+        }
+        let used = hit.iter().filter(|&&h| h).count();
+        assert_eq!(used, JOIN_PARTITIONS, "sequential keys must reach every partition");
     }
 }

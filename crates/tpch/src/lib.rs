@@ -19,7 +19,11 @@
 //! * comment text with the `special … requests` / `Customer … Complaints`
 //!   patterns required by Q13 and Q16.
 //!
-//! Generation is deterministic for a `(scale factor, seed)` pair.
+//! Generation is deterministic for a `(scale factor, seed)` pair — the
+//! property the engine's determinism tests (serial ≡ parallel, bit-identical
+//! across degrees; DESIGN.md §3) build on. [`gen`] holds the generator,
+//! [`schema`] the catalog the SC pipeline reads, [`text`] the comment-text
+//! machinery behind the Q13/Q16 patterns.
 
 pub mod gen;
 pub mod schema;

@@ -74,12 +74,15 @@ fn q6_agrees_across_seeds() {
 }
 
 /// Morsel-driven parallel execution is a pure performance feature: for every
-/// TPC-H query, every parallelism degree must reproduce the serial result.
-/// Serial-vs-parallel comparisons allow only floating-point reassociation
-/// noise (1e-9 relative, far tighter than the cross-engine oracle); results
-/// across degrees ≥ 2 must be **bit-identical** (fixed morsel boundaries +
-/// ordered merges — the determinism contract of DESIGN.md §3). The chosen
-/// degree must also surface in the compiler's specialization report.
+/// TPC-H query, every parallelism degree must reproduce the serial result —
+/// with joins and sorts parallelized too (partitioned build/probe, merge
+/// sort), not only the scan pipelines. Serial-vs-parallel comparisons allow
+/// only floating-point reassociation noise (1e-9 relative, far tighter than
+/// the cross-engine oracle; joins and sorts are exact); results across
+/// degrees ≥ 2 must be **bit-identical** (fixed morsel boundaries + ordered
+/// merges — the determinism contract of DESIGN.md §3). The chosen degree and
+/// the join/sort clearances must also surface in the compiler's
+/// specialization report.
 fn check_parallel(range: impl Iterator<Item = usize>) {
     let system = LegoBase::generate(SCALE);
     // Under a CI-wide LEGOBASE_PARALLELISM override, the "serial" baseline
@@ -107,6 +110,23 @@ fn check_parallel(range: impl Iterator<Item = usize>) {
                 got.compilation.spec.parallelism, degree,
                 "Q{n}: specialization report must record the chosen degree"
             );
+            // Join-heavy ORDER BY queries must have their joins and sorts
+            // cleared for the parallel paths — this is what makes the
+            // degree sweep below exercise the partitioned build/probe and
+            // the merge sort, not just the scan pipelines.
+            if matches!(n, 3 | 5 | 10) {
+                assert!(
+                    got.compilation.spec.parallel_joins > 0,
+                    "Q{n}: joins must be cleared for parallel execution"
+                );
+                assert!(
+                    got.compilation.spec.parallel_sorts > 0,
+                    "Q{n}: the ORDER BY must be cleared for parallel execution"
+                );
+            }
+            if n == 6 {
+                assert_eq!(got.compilation.spec.parallel_joins, 0, "Q6 has no join");
+            }
             if let Some(serial) = &serial {
                 assert!(
                     got.result.approx_eq(&serial.result, 1e-9),
