@@ -2,13 +2,25 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p legobase_bench --release --bin figures -- [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|threads|all]
+//! cargo run -p legobase_bench --release --bin figures -- \
+//!     [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|sql|threads|baseline|all]
 //! ```
 //! Environment: `LEGOBASE_SF` (scale factor, default 0.02), `LEGOBASE_RUNS`
 //! (timed repetitions, default 3). Fig. 18's proxy counters require building
 //! with `--features metrics`. `threads` (not a paper figure — the paper's
 //! executor is single-threaded) measures morsel-driven thread scaling at its
 //! own scale factor (`LEGOBASE_THREADS_SF`, default 0.1).
+//!
+//! Beyond the paper's figures, two workload-level subcommands:
+//!
+//! * `sql` — parses every embedded TPC-H SQL text, runs it under Opt/C, and
+//!   checks the result against the hand-built plan (parse cost + frontend
+//!   fidelity in one table).
+//! * `baseline` — measures per-query minimum time under Opt/C and writes the
+//!   `legobase-bench-v1` JSON trajectory file (`LEGOBASE_BENCH_OUT`,
+//!   default `BENCH_PR4.json`). When `LEGOBASE_BASELINE` names a committed
+//!   baseline, the run exits 1 on any >25% speed-normalized regression —
+//!   this is CI's perf gate. Not part of `all` (it writes files and gates).
 //!
 //! Absolute numbers differ from the paper (different machine, scale factor,
 //! and generated-code substrate — see DESIGN.md); the *shapes* (who wins, by
@@ -19,15 +31,20 @@ use legobase::engine::settings::EngineKind;
 use legobase::{Config, LegoBase, Settings};
 use legobase_bench::{geomean, ms, scale_factor, time_query};
 
-/// The figure subcommands, in `all` execution order.
-const SUBCOMMANDS: [&str; 10] =
-    ["fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table4", "threads", "all"];
+/// The figure subcommands, in `all` execution order (`baseline` is the CI
+/// perf gate and deliberately not part of `all`).
+const SUBCOMMANDS: [&str; 12] = [
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table4", "sql", "threads",
+    "baseline", "all",
+];
 
 fn usage() -> String {
     format!(
         "usage: figures [{}]\n\
          env: LEGOBASE_SF (scale factor, default 0.02), LEGOBASE_RUNS (timed \
-         repetitions, default 3), LEGOBASE_THREADS_SF (threads figure, default 0.1)",
+         repetitions, default 3), LEGOBASE_THREADS_SF (threads figure, default 0.1),\n\
+         LEGOBASE_BENCH_OUT (baseline output, default BENCH_PR4.json), \
+         LEGOBASE_BASELINE (committed baseline to gate against; exit 1 on regression)",
         SUBCOMMANDS.join("|")
     )
 }
@@ -64,7 +81,9 @@ fn main() {
         "fig21" => fig21(&system),
         "fig22" => fig22(&system),
         "table4" => table4(),
+        "sql" => sql_frontend(&system),
         "threads" => threads(),
+        "baseline" => baseline(&system),
         "all" => {
             fig16(&system);
             fig17(&system);
@@ -74,6 +93,7 @@ fn main() {
             fig21(&system);
             fig22(&system);
             table4();
+            sql_frontend(&system);
             threads();
         }
         _ => unreachable!("parse_subcommand returned a validated name"),
@@ -303,6 +323,95 @@ fn fig22(system: &LegoBase) {
     }
 }
 
+/// The SQL text frontend over the whole workload: parse cost, plan size,
+/// execution time under Opt/C, and result fidelity against the hand-built
+/// plan of the same query (the same oracle `tests/sql_equivalence.rs` pins;
+/// a mismatch here exits 1).
+fn sql_frontend(system: &LegoBase) {
+    println!("\n== SQL frontend: parse + run the embedded TPC-H texts (Opt/C) ==");
+    println!(
+        "{:<5} {:>11} {:>8} {:>11} {:>9}",
+        "query", "parse (µs)", "plan ops", "exec (ms)", "result"
+    );
+    let mut all_match = true;
+    let mut parse_total_us = 0.0;
+    for n in 1..=22 {
+        let text = legobase::sql::tpch_sql(n);
+        let t0 = std::time::Instant::now();
+        let plan = match legobase::sql::plan_named(text, &format!("Q{n}"), &system.data.catalog) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("Q{n}: embedded SQL failed to lower:\n{}", e.render(text));
+                std::process::exit(1);
+            }
+        };
+        let parse_us = t0.elapsed().as_secs_f64() * 1e6;
+        parse_total_us += parse_us;
+        let from_sql = system.run_plan(&plan, &Settings::optimized());
+        let from_hand = system.run_plan(&system.plan(n), &Settings::optimized());
+        let matches = from_sql.result.approx_eq(&from_hand.result, 1e-6);
+        all_match &= matches;
+        println!(
+            "Q{n:<4} {parse_us:>11.1} {:>8} {:>11.2} {:>9}",
+            plan.size(),
+            ms(from_sql.exec_time),
+            if matches { "match" } else { "MISMATCH" }
+        );
+    }
+    println!("total parse+lower time: {:.1} µs for 22 queries", parse_total_us);
+    if !all_match {
+        eprintln!("SQL frontend diverged from the hand-built plans");
+        std::process::exit(1);
+    }
+}
+
+/// CI perf gate: per-query minimum time under Opt/C, written as the
+/// `legobase-bench-v1` JSON trajectory and (optionally) compared against a
+/// committed baseline with the speed-normalized >25% rule of
+/// `legobase_bench::bench_regressions`.
+fn baseline(system: &LegoBase) {
+    use legobase_bench::{
+        bench_json, bench_regressions, min_times_all_queries, parse_bench_json, scale_factor,
+        BenchRow,
+    };
+    let times = min_times_all_queries(system, &Settings::optimized());
+    let rows: Vec<BenchRow> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| BenchRow { query: format!("Q{}", i + 1), min_ms: ms(t) })
+        .collect();
+    let out_path = std::env::var("LEGOBASE_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".into());
+    let json = bench_json(scale_factor(), "OptC", legobase_bench::runs(), &rows);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}:");
+    print!("{json}");
+    if let Ok(baseline_path) = std::env::var("LEGOBASE_BASELINE") {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(old) = parse_bench_json(&text) else {
+            eprintln!("baseline {baseline_path} has no parseable rows");
+            std::process::exit(1);
+        };
+        let regs = bench_regressions(&old, &rows, 0.25, 1.0);
+        if regs.is_empty() {
+            println!("perf gate: no regression vs {baseline_path} (>25% normalized, >1 ms)");
+        } else {
+            for r in &regs {
+                eprintln!("perf regression: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Thread scaling of the morsel-driven specialized engine (not a paper
 /// figure — the paper's generated C is single-threaded). Scan-dominated
 /// queries (Q1 grouped aggregation, Q6 selective global aggregation) next
@@ -452,5 +561,17 @@ mod tests {
         }
         // The implicit default of `main` stays valid.
         assert_eq!(parse_subcommand("all"), Ok("all"));
+    }
+
+    /// The PR-4 additions are part of the pinned subcommand set: the SQL
+    /// frontend figure and the CI perf gate.
+    #[test]
+    fn sql_and_baseline_subcommands_exist() {
+        assert_eq!(parse_subcommand("sql"), Ok("sql"));
+        assert_eq!(parse_subcommand("baseline"), Ok("baseline"));
+        let usage = usage();
+        for needle in ["sql", "baseline", "LEGOBASE_BENCH_OUT", "LEGOBASE_BASELINE"] {
+            assert!(usage.contains(needle), "usage must mention `{needle}`: {usage}");
+        }
     }
 }

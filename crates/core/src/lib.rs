@@ -36,6 +36,7 @@
 pub use legobase_engine as engine;
 pub use legobase_queries as queries;
 pub use legobase_sc as sc;
+pub use legobase_sql as sql;
 pub use legobase_storage as storage;
 pub use legobase_tpch as tpch;
 
@@ -88,6 +89,33 @@ impl LegoBase {
     /// configuration of Table III.
     pub fn run(&self, n: usize, config: Config) -> RunOutcome {
         self.run_plan(&self.plan(n), &config.settings())
+    }
+
+    /// Parses a SQL query against this database's catalog and runs it under
+    /// a named configuration — the text frontend of the system: the SQL
+    /// crate lowers the text into the same [`QueryPlan`] algebra the
+    /// hand-built workload uses, so every engine configuration (and every
+    /// morsel-parallelism degree) executes it unchanged.
+    ///
+    /// Malformed input is reported as a spanned [`legobase_sql::SqlError`]
+    /// (render it against the query text for a caret diagnostic); this path
+    /// never panics on user text.
+    ///
+    /// ```no_run
+    /// use legobase::{Config, LegoBase};
+    /// let system = LegoBase::generate(0.01);
+    /// let out = system
+    ///     .run_sql(
+    ///         "SELECT l_returnflag, count(*) AS n FROM lineitem \
+    ///          GROUP BY l_returnflag ORDER BY l_returnflag",
+    ///         Config::OptC,
+    ///     )
+    ///     .expect("valid SQL");
+    /// println!("{}", out.result.display(10));
+    /// ```
+    pub fn run_sql(&self, sql: &str, config: Config) -> Result<RunOutcome, legobase_sql::SqlError> {
+        let plan = legobase_sql::plan(sql, &self.data.catalog)?;
+        Ok(self.run_plan(&plan, &config.settings()))
     }
 
     /// Same as [`LegoBase::run`] with explicit settings (ablations).

@@ -128,6 +128,61 @@ impl Plan {
         Plan::Scan { table: table.to_string() }
     }
 
+    // The boxing constructors below are the public building API of the
+    // algebra — used by the plan-builder DSL in `legobase_queries` and by
+    // the SQL frontend's lowering, which assemble operators positionally.
+
+    /// Filter `input` by `predicate` ([`Plan::Select`]).
+    pub fn filtered(input: Plan, predicate: Expr) -> Plan {
+        Plan::Select { input: Box::new(input), predicate }
+    }
+
+    /// Compute `(expression, output name)` columns over `input`
+    /// ([`Plan::Project`]).
+    pub fn projected(input: Plan, exprs: Vec<(Expr, String)>) -> Plan {
+        Plan::Project { input: Box::new(input), exprs }
+    }
+
+    /// Hash equi-join with positional keys and an optional residual over
+    /// the concatenated left++right row ([`Plan::HashJoin`]).
+    pub fn hash_join(
+        left: Plan,
+        right: Plan,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        kind: JoinKind,
+        residual: Option<Expr>,
+    ) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(left),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+            kind,
+            residual,
+        }
+    }
+
+    /// Grouped aggregation over positional keys ([`Plan::Agg`]).
+    pub fn aggregated(input: Plan, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> Plan {
+        Plan::Agg { input: Box::new(input), group_by, aggs }
+    }
+
+    /// Sort by positional `(column, order)` keys ([`Plan::Sort`]).
+    pub fn sorted(input: Plan, keys: Vec<(usize, SortOrder)>) -> Plan {
+        Plan::Sort { input: Box::new(input), keys }
+    }
+
+    /// Keep the first `n` rows ([`Plan::Limit`]).
+    pub fn limited(input: Plan, n: usize) -> Plan {
+        Plan::Limit { input: Box::new(input), n }
+    }
+
+    /// Full-row duplicate elimination ([`Plan::Distinct`]).
+    pub fn deduplicated(input: Plan) -> Plan {
+        Plan::Distinct { input: Box::new(input) }
+    }
+
     /// Direct children of this node.
     pub fn children(&self) -> Vec<&Plan> {
         match self {
@@ -390,6 +445,37 @@ mod tests {
             group_by: vec![0],
             aggs: vec![AggSpec::new(AggKind::Sum, Expr::col(1), "total")],
         }
+    }
+
+    /// The boxing constructors build exactly the variants they name.
+    #[test]
+    fn constructors_build_the_variants() {
+        let p = Plan::limited(
+            Plan::sorted(
+                Plan::aggregated(
+                    Plan::deduplicated(Plan::projected(
+                        Plan::filtered(Plan::scan("r"), Expr::gt(Expr::col(0), Expr::lit(1i64))),
+                        vec![(Expr::col(0), "a".to_string())],
+                    )),
+                    vec![0],
+                    vec![AggSpec::new(AggKind::Count, Expr::lit(1i64), "n")],
+                ),
+                vec![(1, SortOrder::Desc)],
+            ),
+            5,
+        );
+        assert_eq!(p.size(), 7);
+        let s = p.schema(&base);
+        assert_eq!(s.fields[1].name, "n");
+        let j = Plan::hash_join(
+            Plan::scan("r"),
+            Plan::scan("s"),
+            vec![0],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        );
+        assert_eq!(j.schema(&base).len(), 5);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+-- TPC-H Q10: returned item reporting. The select-list order follows this
+-- repo's plan output (group keys first, the aggregate last) rather than the
+-- spec's reference text, so results compare 1:1 against the hand-built plan.
+SELECT
+  c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment,
+  sum(l_extendedprice * (1.00 - l_discount)) AS revenue
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON o_orderkey = l_orderkey
+JOIN nation ON c_nationkey = n_nationkey
+WHERE o_orderdate >= DATE '1993-10-01'
+  AND o_orderdate < DATE '1994-01-01'
+  AND l_returnflag = 'R'
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
+ORDER BY revenue DESC
+LIMIT 20

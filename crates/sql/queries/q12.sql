@@ -1,0 +1,16 @@
+-- TPC-H Q12: shipping modes and order priority (the paper's Fig. 8 example).
+SELECT
+  l_shipmode,
+  sum(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 1 ELSE 0 END)
+    AS high_line_count,
+  sum(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 0 ELSE 1 END)
+    AS low_line_count
+FROM orders
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE l_receiptdate >= DATE '1994-01-01'
+  AND l_receiptdate < DATE '1995-01-01'
+  AND l_shipmode IN ('MAIL', 'SHIP')
+  AND l_shipdate < l_commitdate
+  AND l_commitdate < l_receiptdate
+GROUP BY l_shipmode
+ORDER BY l_shipmode

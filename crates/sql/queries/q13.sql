@@ -1,0 +1,15 @@
+-- TPC-H Q13: customer distribution. The comment filter lives in the LEFT
+-- JOIN's ON clause (right-side-only, so it is pushed into the orders scan,
+-- preserving customers with no qualifying orders), and the two-level
+-- aggregation nests through a CTE.
+WITH per_cust AS (
+  SELECT c_custkey, count(o_orderkey) AS c_count
+  FROM customer
+  LEFT JOIN orders
+    ON c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%'
+  GROUP BY c_custkey
+)
+SELECT c_count, count(*) AS custdist
+FROM per_cust
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC

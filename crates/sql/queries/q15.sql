@@ -1,0 +1,15 @@
+-- TPC-H Q15: top supplier. The revenue view is a CTE (the spec's CREATE
+-- VIEW, the hand plan's #revenue stage), scanned both by the join and by
+-- the max-revenue scalar subquery.
+WITH revenue AS (
+  SELECT l_suppkey, sum(l_extendedprice * (1.00 - l_discount)) AS total_revenue
+  FROM lineitem
+  WHERE l_shipdate >= DATE '1996-01-01'
+    AND l_shipdate < DATE '1996-04-01'
+  GROUP BY l_suppkey
+)
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM supplier
+JOIN revenue ON s_suppkey = l_suppkey
+WHERE total_revenue = (SELECT max(total_revenue) AS max_rev FROM revenue)
+ORDER BY s_suppkey

@@ -1,0 +1,14 @@
+-- TPC-H Q16: parts/supplier relationship. NOT IN lowers to an anti join,
+-- COUNT(DISTINCT) to the project-distinct-count shape of the hand plan.
+SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt
+FROM part
+JOIN partsupp ON p_partkey = ps_partkey
+WHERE p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps_suppkey NOT IN (
+    SELECT s_suppkey FROM supplier
+    WHERE s_comment LIKE '%Customer%Complaints%'
+  )
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size

@@ -1,0 +1,12 @@
+-- TPC-H Q17: small-quantity-order revenue. The correlated average is
+-- decorrelated into a per-part stage (the hand plan's #avgq).
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM part
+JOIN lineitem ON p_partkey = l_partkey
+WHERE p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l_quantity < (
+    SELECT 0.2 * avg(l_quantity) AS threshold
+    FROM lineitem
+    WHERE l_partkey = p_partkey
+  )

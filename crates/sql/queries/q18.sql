@@ -1,0 +1,15 @@
+-- TPC-H Q18: large volume customers. The IN subquery aggregates, so it is
+-- materialized as a stage (the hand plan's #bigorders) and semi-joined.
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS sum_qty
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE o_orderkey IN (
+  SELECT l_orderkey FROM lineitem
+  GROUP BY l_orderkey
+  HAVING sum(l_quantity) > 300.0
+)
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100

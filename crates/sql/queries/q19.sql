@@ -1,0 +1,21 @@
+-- TPC-H Q19: discounted revenue. The disjunction of brand/container/
+-- quantity brackets spans both relations, so it filters the join result;
+-- the shipmode and shipinstruct conjuncts are pushed into the lineitem
+-- scan. Arithmetic like the spec's `1 + 10` is pre-folded into literals.
+SELECT sum(l_extendedprice * (1.00 - l_discount)) AS revenue
+FROM lineitem
+JOIN part ON l_partkey = p_partkey
+WHERE l_shipmode IN ('AIR', 'REG AIR')
+  AND l_shipinstruct = 'DELIVER IN PERSON'
+  AND ((p_brand = 'Brand#12'
+        AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+        AND l_quantity >= 1.0 AND l_quantity <= 11.0
+        AND p_size BETWEEN 1 AND 5)
+    OR (p_brand = 'Brand#23'
+        AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+        AND l_quantity >= 10.0 AND l_quantity <= 20.0
+        AND p_size BETWEEN 1 AND 10)
+    OR (p_brand = 'Brand#34'
+        AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+        AND l_quantity >= 20.0 AND l_quantity <= 30.0
+        AND p_size BETWEEN 1 AND 15))

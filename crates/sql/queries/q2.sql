@@ -1,0 +1,22 @@
+-- TPC-H Q2: minimum-cost supplier. The correlated scalar subquery (the
+-- cheapest European source per part) is decorrelated into a grouped stage,
+-- the flattening the hand-built plan performs with its #mincost stage.
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part
+JOIN partsupp ON p_partkey = ps_partkey
+JOIN supplier ON ps_suppkey = s_suppkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+WHERE p_size = 15
+  AND p_type LIKE '%BRASS'
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (
+    SELECT min(ps_supplycost) AS min_cost
+    FROM partsupp
+    JOIN supplier ON ps_suppkey = s_suppkey
+    JOIN nation ON s_nationkey = n_nationkey
+    JOIN region ON n_regionkey = r_regionkey
+    WHERE r_name = 'EUROPE' AND ps_partkey = p_partkey
+  )
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100

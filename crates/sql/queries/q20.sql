@@ -1,0 +1,23 @@
+-- TPC-H Q20: potential part promotion. Nested subqueries: the forest-part
+-- IN becomes a semi join, the correlated half-of-shipped sum is
+-- decorrelated into a grouped stage (the hand plan's #liqty), and the
+-- outer IN becomes the supplier semi join (#eligible).
+SELECT s_name, s_address
+FROM supplier
+JOIN nation ON s_nationkey = n_nationkey
+WHERE n_name = 'CANADA'
+  AND s_suppkey IN (
+    SELECT ps_suppkey FROM partsupp
+    WHERE ps_partkey IN (
+        SELECT p_partkey FROM part WHERE p_name LIKE 'forest%'
+      )
+      AND ps_availqty > (
+        SELECT 0.5 * sum(l_quantity) AS half_shipped
+        FROM lineitem
+        WHERE l_partkey = ps_partkey
+          AND l_suppkey = ps_suppkey
+          AND l_shipdate >= DATE '1994-01-01'
+          AND l_shipdate < DATE '1995-01-01'
+      )
+  )
+ORDER BY s_name

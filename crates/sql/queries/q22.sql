@@ -1,0 +1,18 @@
+-- TPC-H Q22: global sales opportunity. NOT EXISTS becomes the anti join
+-- against orders; the uncorrelated average balance becomes a single-row
+-- stage cross-joined in (the hand plan's #avgbal).
+SELECT
+  substring(c_phone, 1, 2) AS cntrycode,
+  count(*) AS numcust,
+  sum(c_acctbal) AS totacctbal
+FROM customer
+WHERE substring(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+  AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)
+  AND c_acctbal > (
+    SELECT avg(c_acctbal) AS avg_bal
+    FROM customer
+    WHERE c_acctbal > 0.00
+      AND substring(c_phone, 1, 2) IN ('13', '31', '23', '29', '30', '18', '17')
+  )
+GROUP BY cntrycode
+ORDER BY cntrycode

@@ -1,0 +1,12 @@
+-- TPC-H Q4: order priority checking. EXISTS lowers to a semi join on the
+-- o_orderkey = l_orderkey correlation.
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01'
+  AND o_orderdate < DATE '1993-10-01'
+  AND EXISTS (
+    SELECT * FROM lineitem
+    WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate
+  )
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority

@@ -1,0 +1,14 @@
+-- TPC-H Q5: local supplier volume. The c_nationkey = s_nationkey condition
+-- rides in the supplier ON clause (the hand plan keeps it as a residual).
+SELECT n_name, sum(l_extendedprice * (1.00 - l_discount)) AS revenue
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON o_orderkey = l_orderkey
+JOIN supplier ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+WHERE r_name = 'ASIA'
+  AND o_orderdate >= DATE '1994-01-01'
+  AND o_orderdate < DATE '1995-01-01'
+GROUP BY n_name
+ORDER BY revenue DESC

@@ -1,0 +1,19 @@
+-- TPC-H Q7: volume shipping between France and Germany. The nation
+-- self-join needs range variables (n1, n2).
+SELECT
+  n1.n_name AS supp_nation,
+  n2.n_name AS cust_nation,
+  extract(year FROM l_shipdate) AS l_year,
+  sum(l_extendedprice * (1.00 - l_discount)) AS revenue
+FROM supplier
+JOIN lineitem ON s_suppkey = l_suppkey
+JOIN orders ON l_orderkey = o_orderkey
+JOIN customer ON o_custkey = c_custkey
+JOIN nation n1 ON s_nationkey = n1.n_nationkey
+JOIN nation n2 ON c_nationkey = n2.n_nationkey
+WHERE l_shipdate >= DATE '1995-01-01'
+  AND l_shipdate <= DATE '1996-12-31'
+  AND ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+    OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year

@@ -1,0 +1,14 @@
+-- TPC-H Q9: product type profit measure.
+SELECT
+  n_name AS nation,
+  extract(year FROM o_orderdate) AS o_year,
+  sum(l_extendedprice * (1.00 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
+FROM part
+JOIN lineitem ON p_partkey = l_partkey
+JOIN supplier ON l_suppkey = s_suppkey
+JOIN partsupp ON l_suppkey = ps_suppkey AND l_partkey = ps_partkey
+JOIN orders ON l_orderkey = o_orderkey
+JOIN nation ON s_nationkey = n_nationkey
+WHERE p_name LIKE '%green%'
+GROUP BY nation, o_year
+ORDER BY nation, o_year DESC

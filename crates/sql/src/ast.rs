@@ -1,0 +1,345 @@
+//! The typed abstract syntax tree.
+//!
+//! The AST is deliberately close to the dialect's surface syntax: name
+//! resolution and type checking happen during lowering (`lower` module), not
+//! here, so every node still carries the [`Span`] it came from and
+//! identifiers are unresolved strings.
+
+use crate::error::Span;
+use legobase_engine::expr::{AggKind, ArithOp, CmpOp};
+use legobase_storage::Date;
+
+/// A full query: optional `WITH` clauses plus the top-level `SELECT`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// Common table expressions, in definition order. Each becomes a
+    /// materialized stage of the resulting `QueryPlan`.
+    pub ctes: Vec<Cte>,
+    /// The top-level select.
+    pub body: Select,
+}
+
+/// One `WITH name AS (select)` entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cte {
+    /// Stage name; later `FROM` clauses may scan it.
+    pub name: Ident,
+    /// The defining select.
+    pub select: Select,
+}
+
+/// An identifier with its source location.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ident {
+    /// Raw (case-preserved) spelling.
+    pub name: String,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `SELECT` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Output items.
+    pub items: Vec<SelectItem>,
+    /// The `FROM` clause.
+    pub from: FromClause,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Ast>,
+    /// `GROUP BY` keys (column names or select-item aliases).
+    pub group_by: Vec<Ast>,
+    /// `HAVING` predicate.
+    pub having: Option<Ast>,
+    /// `ORDER BY` keys with descending flags.
+    pub order_by: Vec<(Ast, bool)>,
+    /// `LIMIT` row count.
+    pub limit: Option<usize>,
+}
+
+/// One output item of a `SELECT` list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every visible column, in range-variable order.
+    Wildcard(Span),
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The item expression.
+        expr: Ast,
+        /// Output name; required unless the expression is a plain column.
+        alias: Option<Ident>,
+    },
+}
+
+/// The `FROM` clause: a first relation plus a chain of joins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FromClause {
+    /// The leftmost relation.
+    pub first: TableRef,
+    /// Joins applied left to right.
+    pub joins: Vec<Join>,
+}
+
+/// A base-table or CTE reference with an optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    /// Table or CTE name.
+    pub name: Ident,
+    /// Range-variable alias (`lineitem l1`).
+    pub alias: Option<Ident>,
+}
+
+/// Join syntax variants of the dialect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinType {
+    /// `[INNER] JOIN … ON …`.
+    Inner,
+    /// `LEFT [OUTER] JOIN … ON …`.
+    Left,
+    /// `SEMI JOIN … ON …` — left rows with at least one match; right columns
+    /// are visible only inside the `ON` clause.
+    Semi,
+    /// `ANTI JOIN … ON …` — left rows with no match.
+    Anti,
+    /// `CROSS JOIN` — no `ON`; intended for single-row subquery stages.
+    Cross,
+}
+
+/// One join step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Join {
+    /// Join variant.
+    pub kind: JoinType,
+    /// The joined relation.
+    pub table: TableRef,
+    /// The `ON` condition (absent exactly for `CROSS JOIN`).
+    pub on: Option<Ast>,
+    /// Span of the join keyword (for diagnostics).
+    pub span: Span,
+}
+
+/// An expression node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ast {
+    /// Node kind.
+    pub kind: AstKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Expression node kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AstKind {
+    /// Column reference, optionally qualified by a range variable.
+    Column {
+        /// Range-variable qualifier (`l1.l_orderkey`).
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'` literal.
+    DateLit(Date),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// Comparison.
+    Cmp(CmpOp, Box<Ast>, Box<Ast>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Ast>, Box<Ast>),
+    /// Conjunction.
+    And(Box<Ast>, Box<Ast>),
+    /// Disjunction.
+    Or(Box<Ast>, Box<Ast>),
+    /// Negation.
+    Not(Box<Ast>),
+    /// `a [NOT] BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<Ast>,
+        /// Lower bound.
+        lo: Box<Ast>,
+        /// Upper bound.
+        hi: Box<Ast>,
+        /// `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `a [NOT] IN (v1, v2, …)` over literal values.
+    InList {
+        /// Tested expression.
+        expr: Box<Ast>,
+        /// Literal list elements.
+        list: Vec<Ast>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `a [NOT] IN (SELECT …)` — lowered to a semi/anti join.
+    InSelect {
+        /// Tested expression (must resolve to a column).
+        expr: Box<Ast>,
+        /// The subselect (must produce one column).
+        select: Box<Select>,
+        /// `NOT IN`.
+        negated: bool,
+    },
+    /// `a [NOT] LIKE 'pattern'` — pattern restricted to the shapes the
+    /// engine's string kernels support (see `lower::like_to_expr`).
+    Like {
+        /// Tested expression.
+        expr: Box<Ast>,
+        /// The raw pattern.
+        pattern: String,
+        /// `NOT LIKE`.
+        negated: bool,
+    },
+    /// `CASE WHEN cond THEN a ELSE b END` (single branch).
+    Case {
+        /// Condition.
+        when: Box<Ast>,
+        /// Value when true.
+        then: Box<Ast>,
+        /// Value when false.
+        otherwise: Box<Ast>,
+    },
+    /// Aggregate call. `arg == None` means `COUNT(*)`.
+    Agg {
+        /// Aggregate function.
+        kind: AggKind,
+        /// Argument (absent for `COUNT(*)`).
+        arg: Option<Box<Ast>>,
+        /// `COUNT(DISTINCT …)`.
+        distinct: bool,
+    },
+    /// `EXTRACT(YEAR FROM e)`.
+    ExtractYear(Box<Ast>),
+    /// `SUBSTRING(e, start, len)` with 1-based start.
+    Substring {
+        /// String expression.
+        expr: Box<Ast>,
+        /// 1-based start offset.
+        start: usize,
+        /// Substring length.
+        len: usize,
+    },
+    /// `[NOT] EXISTS (SELECT …)` — lowered to a semi/anti join.
+    Exists {
+        /// The (possibly correlated) subselect.
+        select: Box<Select>,
+        /// `NOT EXISTS`.
+        negated: bool,
+    },
+    /// Scalar subquery `(SELECT agg …)` used inside a comparison.
+    Scalar(Box<Select>),
+    /// `e IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Ast>,
+        /// `IS NOT NULL`.
+        negated: bool,
+    },
+}
+
+impl Ast {
+    /// Creates a node.
+    pub fn new(kind: AstKind, span: Span) -> Ast {
+        Ast { kind, span }
+    }
+
+    /// True when the subtree contains a subquery node (`IN (SELECT)`,
+    /// `EXISTS`, or a scalar subquery), **not** descending into the
+    /// subqueries themselves.
+    pub fn has_subquery(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |n| {
+            if matches!(
+                n.kind,
+                AstKind::InSelect { .. } | AstKind::Exists { .. } | AstKind::Scalar(_)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// True when the subtree contains an aggregate call, **not** descending
+    /// into subqueries (their aggregates belong to their own select).
+    pub fn has_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |n| {
+            if matches!(n.kind, AstKind::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Visits this node and all sub-expressions, without crossing into
+    /// subquery selects.
+    pub fn walk(&self, f: &mut impl FnMut(&Ast)) {
+        f(self);
+        match &self.kind {
+            AstKind::Column { .. }
+            | AstKind::Int(_)
+            | AstKind::Float(_)
+            | AstKind::Str(_)
+            | AstKind::DateLit(_)
+            | AstKind::Bool(_)
+            | AstKind::InSelect { .. }
+            | AstKind::Exists { .. }
+            | AstKind::Scalar(_) => {}
+            AstKind::Cmp(_, a, b)
+            | AstKind::Arith(_, a, b)
+            | AstKind::And(a, b)
+            | AstKind::Or(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            AstKind::Not(a) | AstKind::ExtractYear(a) => a.walk(f),
+            AstKind::Between { expr, lo, hi, .. } => {
+                expr.walk(f);
+                lo.walk(f);
+                hi.walk(f);
+            }
+            AstKind::InList { expr, list, .. } => {
+                expr.walk(f);
+                for e in list {
+                    e.walk(f);
+                }
+            }
+            AstKind::Like { expr, .. }
+            | AstKind::Substring { expr, .. }
+            | AstKind::IsNull { expr, .. } => expr.walk(f),
+            AstKind::Case { when, then, otherwise } => {
+                when.walk(f);
+                then.walk(f);
+                otherwise.walk(f);
+            }
+            AstKind::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Splits a predicate into its top-level `AND` conjuncts, in source
+    /// order.
+    pub fn conjuncts(&self) -> Vec<&Ast> {
+        let mut out = Vec::new();
+        fn go<'a>(e: &'a Ast, out: &mut Vec<&'a Ast>) {
+            if let AstKind::And(a, b) = &e.kind {
+                go(a, out);
+                go(b, out);
+            } else {
+                out.push(e);
+            }
+        }
+        go(self, &mut out);
+        out
+    }
+}

@@ -1,0 +1,99 @@
+//! Spanned frontend errors.
+//!
+//! Every failure mode of the SQL frontend — lexing, parsing, name
+//! resolution, type checking, and lowering — is reported as a [`SqlError`]
+//! carrying a byte-offset [`Span`] into the original query text. The
+//! frontend never panics on malformed input; panicking on user text would
+//! take down a serving process, while a spanned error renders a precise
+//! diagnostic (see [`SqlError::render`]).
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the query text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the offending region.
+    pub start: usize,
+    /// One past the last byte of the offending region.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span from byte offsets.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn merge(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// A frontend error: message plus source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlError {
+    /// What went wrong, phrased against the source text.
+    pub message: String,
+    /// Where in the query text it went wrong.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Creates a spanned error.
+    pub fn new(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError { message: message.into(), span }
+    }
+
+    /// Renders the error with a caret line pointing into `sql` (the text the
+    /// failing parse was given).
+    pub fn render(&self, sql: &str) -> String {
+        let start = self.span.start.min(sql.len());
+        let line_no = sql[..start].matches('\n').count() + 1;
+        let line_start = sql[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = sql[start..].find('\n').map(|i| start + i).unwrap_or(sql.len());
+        let line = &sql[line_start..line_end];
+        let col = sql[line_start..start].chars().count();
+        let width = sql[start..self.span.end.min(line_end)].chars().count().max(1);
+        format!(
+            "error: {} (line {line_no}, column {})\n  | {line}\n  | {}{}",
+            self.message,
+            col + 1,
+            " ".repeat(col),
+            "^".repeat(width)
+        )
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at bytes {}..{}", self.message, self.span.start, self.span.end)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Frontend result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_offender() {
+        let sql = "SELECT a\nFROM nope";
+        let err = SqlError::new("unknown table `nope`", Span::new(14, 18));
+        let msg = err.render(sql);
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("^^^^"), "{msg}");
+        assert!(msg.contains("unknown table"), "{msg}");
+    }
+
+    #[test]
+    fn render_tolerates_out_of_range_spans() {
+        let err = SqlError::new("boom", Span::new(100, 200));
+        // Must not panic even when the span exceeds the text.
+        let _ = err.render("short");
+    }
+}

@@ -1,0 +1,233 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a flat token stream with byte spans. Keywords are not
+//! distinguished here: identifiers keep their raw spelling and the parser
+//! matches them case-insensitively, so `select`, `SELECT`, and `Select` all
+//! work while column names stay case-sensitive.
+
+use crate::error::{Result, Span, SqlError};
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (raw spelling preserved).
+    Ident(String),
+    /// Numeric literal (digits with an optional fraction), unparsed text.
+    Number(String),
+    /// String literal with `''` escapes already collapsed.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+    /// End of input (always the last token).
+    Eof,
+}
+
+/// A token plus its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// Byte range in the query text.
+    pub span: Span,
+}
+
+/// Lexes `sql` into tokens (terminated by [`Tok::Eof`]).
+///
+/// `--` starts a comment running to end of line, as in standard SQL.
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let b = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(SqlError::new(
+                                "unclosed string literal",
+                                Span::new(start, b.len()),
+                            ));
+                        }
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Strings are sliced on char boundaries below.
+                            let ch_len = utf8_len(b[i]);
+                            s.push_str(&sql[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                out.push(Token { tok: Tok::Str(s), span: Span::new(start, i) });
+            }
+            b'0'..=b'9' => {
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Number(sql[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(sql[start..i].to_string()),
+                    span: Span::new(start, i),
+                });
+            }
+            _ => {
+                let (tok, len) = match (c, b.get(i + 1)) {
+                    (b'<', Some(b'>')) => (Tok::Ne, 2),
+                    (b'<', Some(b'=')) => (Tok::Le, 2),
+                    (b'>', Some(b'=')) => (Tok::Ge, 2),
+                    (b'!', Some(b'=')) => (Tok::Ne, 2),
+                    (b'<', _) => (Tok::Lt, 1),
+                    (b'>', _) => (Tok::Gt, 1),
+                    (b'=', _) => (Tok::Eq, 1),
+                    (b'(', _) => (Tok::LParen, 1),
+                    (b')', _) => (Tok::RParen, 1),
+                    (b',', _) => (Tok::Comma, 1),
+                    (b'.', _) => (Tok::Dot, 1),
+                    (b'*', _) => (Tok::Star, 1),
+                    (b'+', _) => (Tok::Plus, 1),
+                    (b'-', _) => (Tok::Minus, 1),
+                    (b'/', _) => (Tok::Slash, 1),
+                    (b';', _) => (Tok::Semi, 1),
+                    _ => {
+                        return Err(SqlError::new(
+                            format!("unexpected character `{}`", &sql[start..start + utf8_len(c)]),
+                            Span::new(start, start + utf8_len(c)),
+                        ));
+                    }
+                };
+                i += len;
+                out.push(Token { tok, span: Span::new(start, i) });
+            }
+        }
+    }
+    out.push(Token { tok: Tok::Eof, span: Span::new(b.len(), b.len()) });
+    Ok(out)
+}
+
+/// Length in bytes of the UTF-8 character starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Tok> {
+        lex(sql).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        assert_eq!(
+            toks("SELECT a, 1.5 FROM t -- comment\nWHERE x <> 'it''s'"),
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Number("1.5".into()),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("x".into()),
+                Tok::Ne,
+                Tok::Str("it's".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let ts = lex("ab <= 12").unwrap();
+        assert_eq!(ts[0].span, Span::new(0, 2));
+        assert_eq!(ts[1].span, Span::new(3, 5));
+        assert_eq!(ts[2].span, Span::new(6, 8));
+    }
+
+    #[test]
+    fn unclosed_string_is_an_error() {
+        let err = lex("SELECT 'oops").unwrap_err();
+        assert!(err.message.contains("unclosed string"), "{err}");
+        assert_eq!(err.span.start, 7);
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = lex("SELECT a ? b").unwrap_err();
+        assert!(err.message.contains('?'), "{err}");
+    }
+
+    #[test]
+    fn number_then_dot_then_ident_stays_three_tokens() {
+        // `1.x` must not lex the dot into the number.
+        assert_eq!(
+            toks("1.x"),
+            vec![Tok::Number("1".into()), Tok::Dot, Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+}

@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+//! SQL text frontend for LegoBase-rs.
+//!
+//! The paper treats the physical plan as the input (§2.1); this crate adds
+//! the missing layer in front of it, so queries arrive as *text* — the
+//! text → AST → resolution → plan layering follows Vernoux's intermediate-
+//! representation design for query languages, and stays strictly orthogonal
+//! to the push-based execution underneath (Shaikhha et al.'s loop-fusion
+//! study): the frontend produces an ordinary
+//! [`QueryPlan`](legobase_engine::plan::QueryPlan) and every engine
+//! configuration runs it unchanged.
+//!
+//! ```
+//! let catalog = legobase_tpch::catalog();
+//! let plan = legobase_sql::plan(
+//!     "SELECT l_returnflag, count(*) AS n \
+//!      FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+//!      GROUP BY l_returnflag ORDER BY l_returnflag",
+//!     &catalog,
+//! ).unwrap();
+//! assert_eq!(plan.root.size(), 4); // scan → select → agg → sort
+//! ```
+//!
+//! # Pipeline
+//!
+//! 1. [`lexer`] — hand-written tokenizer with byte spans.
+//! 2. [`parser`] — recursive descent into the typed [`ast`].
+//! 3. [`lower`] — name resolution against the
+//!    [`Catalog`](legobase_storage::Catalog) (plus `WITH` stages), type
+//!    checking, and lowering into the physical algebra, reusing the
+//!    plan-builder `Ctx` from `legobase_queries`.
+//!
+//! Every failure is a spanned [`SqlError`]; the frontend never panics on
+//! malformed input.
+//!
+//! # Dialect
+//!
+//! The dialect covers what the TPC-H workload needs, mapped onto what the
+//! engine can execute (see `lower` for the exact lowerings):
+//!
+//! * `SELECT [DISTINCT]` with expressions, `CASE WHEN … THEN … ELSE … END`,
+//!   `EXTRACT(YEAR FROM …)`, `SUBSTRING(s, start, len)`, and the five
+//!   aggregates (plus `COUNT(DISTINCT c)`).
+//! * `FROM` with explicit join syntax: `[INNER] JOIN`, `LEFT [OUTER] JOIN`,
+//!   `SEMI JOIN`, `ANTI JOIN` (each `ON` needing at least one `left = right`
+//!   equality), and `CROSS JOIN` for single-row stages. Join order is the
+//!   source order — join *reordering* is an orthogonal concern here, exactly
+//!   as it is for the paper's hand-assembled physical plans.
+//! * `WHERE`/`HAVING` with `AND`/`OR`/`NOT`, `BETWEEN`, `IN` (value lists),
+//!   `LIKE` patterns matching the §3.4 dictionary kinds (`'p%'`, `'%s'`,
+//!   `'%infix%'`, `'%word1%word2%'`), `IS [NOT] NULL`.
+//! * Subqueries as top-level conjuncts: `[NOT] EXISTS` (correlated by
+//!   equality, extra correlated conditions become join residuals),
+//!   `[NOT] IN (SELECT …)`, and scalar aggregate subqueries — correlated
+//!   ones are decorrelated into grouped stages, exactly the flattening the
+//!   hand-built plans perform.
+//! * `WITH name AS (…)` common table expressions become materialized stages
+//!   (`#name` buffers), the repo's representation of views (Q15).
+//!
+//! Known departures from full SQL, documented rather than silently wrong:
+//! NULL comparisons follow the storage layer's total order (no three-valued
+//! logic; only outer joins produce NULLs in TPC-H), and grouped selects must
+//! reference group keys by name.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod print;
+pub mod tpch;
+
+pub use error::{Result, Span, SqlError};
+pub use lower::{plan, plan_named};
+pub use print::plan_to_sql;
+pub use tpch::{tpch_sql, TPCH_SQL};

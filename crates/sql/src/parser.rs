@@ -1,0 +1,758 @@
+//! Recursive-descent parser for the dialect.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query   := [WITH name AS ( select ) {, name AS ( select )}] select [;]
+//! select  := SELECT [DISTINCT] items FROM table {join}
+//!            [WHERE expr] [GROUP BY expr {, expr}] [HAVING expr]
+//!            [ORDER BY expr [ASC|DESC] {, …}] [LIMIT int]
+//! items   := * | item {, item}            item := expr [[AS] ident]
+//! table   := ident [ident]                           -- optional alias
+//! join    := ([INNER] | LEFT [OUTER] | SEMI | ANTI) JOIN table ON expr
+//!          | CROSS JOIN table
+//! expr    := or-precedence expression grammar, see `parse_expr`
+//! ```
+//!
+//! Operator precedence, loosest first: `OR`, `AND`, `NOT`, comparisons /
+//! `BETWEEN` / `IN` / `LIKE` / `IS NULL`, `+ -`, `* /`, atoms.
+
+use crate::ast::*;
+use crate::error::{Result, Span, SqlError};
+use crate::lexer::{lex, Tok, Token};
+use legobase_engine::expr::{AggKind, ArithOp, CmpOp};
+use legobase_storage::Date;
+
+/// Parses a complete query; rejects trailing tokens after the statement.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_sym(&Tok::Semi); // one optional statement terminator
+    let t = p.peek().clone();
+    if t.tok != Tok::Eof {
+        return Err(SqlError::new("trailing tokens after the query", t.span));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// True when the current token is the keyword `kw` (case-insensitive).
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consumes the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the keyword.
+    fn expect_kw(&mut self, kw: &str) -> Result<Span> {
+        if self.at_kw(kw) {
+            Ok(self.next().span)
+        } else {
+            let t = self.peek();
+            Err(SqlError::new(
+                format!("expected `{}`, found {}", kw.to_uppercase(), describe(&t.tok)),
+                t.span,
+            ))
+        }
+    }
+
+    /// Consumes the symbol if present.
+    fn eat_sym(&mut self, tok: &Tok) -> bool {
+        if &self.peek().tok == tok {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the symbol.
+    fn expect_sym(&mut self, tok: &Tok, what: &str) -> Result<Span> {
+        if &self.peek().tok == tok {
+            Ok(self.next().span)
+        } else {
+            let t = self.peek();
+            Err(SqlError::new(format!("expected {what}, found {}", describe(&t.tok)), t.span))
+        }
+    }
+
+    /// An identifier that is not a reserved keyword.
+    fn ident(&mut self, what: &str) -> Result<Ident> {
+        match &self.peek().tok {
+            Tok::Ident(s) if !is_reserved(s) => {
+                let name = s.clone();
+                let span = self.next().span;
+                Ok(Ident { name, span })
+            }
+            other => {
+                let t = self.peek();
+                Err(SqlError::new(format!("expected {what}, found {}", describe(other)), t.span))
+            }
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut ctes = Vec::new();
+        if self.eat_kw("with") {
+            loop {
+                let name = self.ident("a CTE name")?;
+                self.expect_kw("as")?;
+                self.expect_sym(&Tok::LParen, "`(`")?;
+                let select = self.select()?;
+                self.expect_sym(&Tok::RParen, "`)` closing the CTE")?;
+                ctes.push(Cte { name, select });
+                if !self.eat_sym(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let body = self.select()?;
+        Ok(Query { ctes, body })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let mut items = Vec::new();
+        if let Tok::Star = self.peek().tok {
+            let span = self.next().span;
+            items.push(SelectItem::Wildcard(span));
+        } else {
+            loop {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident("an alias after AS")?)
+                } else if matches!(&self.peek().tok, Tok::Ident(s) if !is_reserved(s)) {
+                    Some(self.ident("an alias")?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+                if !self.eat_sym(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("from")?;
+        let first = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.at_kw("join") || self.at_kw("inner") {
+                let span = self.peek().span;
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                Some((JoinType::Inner, span, true))
+            } else if self.at_kw("left") {
+                let span = self.next().span;
+                self.eat_kw("outer");
+                self.expect_kw("join")?;
+                Some((JoinType::Left, span, true))
+            } else if self.at_kw("semi") {
+                let span = self.next().span;
+                self.expect_kw("join")?;
+                Some((JoinType::Semi, span, true))
+            } else if self.at_kw("anti") {
+                let span = self.next().span;
+                self.expect_kw("join")?;
+                Some((JoinType::Anti, span, true))
+            } else if self.at_kw("cross") {
+                let span = self.next().span;
+                self.expect_kw("join")?;
+                Some((JoinType::Cross, span, false))
+            } else {
+                None
+            };
+            let Some((kind, span, wants_on)) = kind else { break };
+            let table = self.table_ref()?;
+            let on = if wants_on {
+                self.expect_kw("on")?;
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            joins.push(Join { kind, table, on, span });
+        }
+        let from = FromClause { first, joins };
+
+        let where_clause = if self.eat_kw("where") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_sym(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("having") { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat_sym(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit =
+            if self.eat_kw("limit") {
+                let t = self.next();
+                match &t.tok {
+                    Tok::Number(s) => Some(s.parse::<usize>().map_err(|_| {
+                        SqlError::new("LIMIT expects a non-negative integer", t.span)
+                    })?),
+                    other => {
+                        return Err(SqlError::new(
+                            format!("LIMIT expects an integer, found {}", describe(other)),
+                            t.span,
+                        ));
+                    }
+                }
+            } else {
+                None
+            };
+        Ok(Select { distinct, items, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident("a table name")?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident("an alias after AS")?)
+        } else if matches!(&self.peek().tok, Tok::Ident(s) if !is_reserved(s)) {
+            Some(self.ident("an alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    /// Entry point of the expression grammar (`OR` level).
+    pub fn parse_expr(&mut self) -> Result<Ast> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Ast::new(AstKind::Or(Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Ast> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Ast::new(AstKind::And(Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Ast> {
+        if self.at_kw("not") && !self.exists_ahead() {
+            let span = self.next().span;
+            let inner = self.not_expr()?;
+            let span = span.merge(inner.span);
+            return Ok(Ast::new(AstKind::Not(Box::new(inner)), span));
+        }
+        self.predicate()
+    }
+
+    /// `NOT EXISTS` is part of the EXISTS atom, not a `NOT` wrapper, so the
+    /// lowering can turn it into an anti join directly.
+    fn exists_ahead(&self) -> bool {
+        matches!(self.tokens.get(self.pos + 1), Some(Token { tok: Tok::Ident(s), .. }) if s.eq_ignore_ascii_case("exists"))
+    }
+
+    /// Comparison / BETWEEN / IN / LIKE / IS NULL level.
+    fn predicate(&mut self) -> Result<Ast> {
+        let lhs = self.additive()?;
+        let op = match &self.peek().tok {
+            Tok::Eq => Some(CmpOp::Eq),
+            Tok::Ne => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let rhs = self.additive()?;
+            let span = lhs.span.merge(rhs.span);
+            return Ok(Ast::new(AstKind::Cmp(op, Box::new(lhs), Box::new(rhs)), span));
+        }
+        let negated = self.eat_kw("not");
+        if self.eat_kw("between") {
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            let span = lhs.span.merge(hi.span);
+            return Ok(Ast::new(
+                AstKind::Between {
+                    expr: Box::new(lhs),
+                    lo: Box::new(lo),
+                    hi: Box::new(hi),
+                    negated,
+                },
+                span,
+            ));
+        }
+        if self.eat_kw("in") {
+            let open = self.expect_sym(&Tok::LParen, "`(` after IN")?;
+            if self.at_kw("select") {
+                let select = self.select()?;
+                let close = self.expect_sym(&Tok::RParen, "`)` closing the subquery")?;
+                let span = lhs.span.merge(close);
+                return Ok(Ast::new(
+                    AstKind::InSelect { expr: Box::new(lhs), select: Box::new(select), negated },
+                    span,
+                ));
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.additive()?);
+                if !self.eat_sym(&Tok::Comma) {
+                    break;
+                }
+            }
+            let close = self.expect_sym(&Tok::RParen, "`)` closing the IN list")?;
+            let span = lhs.span.merge(close).merge(open);
+            return Ok(Ast::new(AstKind::InList { expr: Box::new(lhs), list, negated }, span));
+        }
+        if self.eat_kw("like") {
+            let t = self.next();
+            let Tok::Str(pattern) = t.tok else {
+                return Err(SqlError::new("LIKE expects a string pattern", t.span));
+            };
+            let span = lhs.span.merge(t.span);
+            return Ok(Ast::new(AstKind::Like { expr: Box::new(lhs), pattern, negated }, span));
+        }
+        if negated {
+            let t = self.peek();
+            return Err(SqlError::new(
+                format!("expected BETWEEN, IN, or LIKE after NOT, found {}", describe(&t.tok)),
+                t.span,
+            ));
+        }
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            let span = self.expect_kw("null")?;
+            let span = lhs.span.merge(span);
+            return Ok(Ast::new(AstKind::IsNull { expr: Box::new(lhs), negated }, span));
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Ast> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Plus => ArithOp::Add,
+                Tok::Minus => ArithOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.multiplicative()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Ast::new(AstKind::Arith(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Ast> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = match self.peek().tok {
+                Tok::Star => ArithOp::Mul,
+                Tok::Slash => ArithOp::Div,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.atom()?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Ast::new(AstKind::Arith(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<Ast> {
+        let t = self.peek().clone();
+        match &t.tok {
+            Tok::Minus => {
+                // Unary minus folds into numeric literals only.
+                self.next();
+                let inner = self.atom()?;
+                let span = t.span.merge(inner.span);
+                match inner.kind {
+                    AstKind::Int(v) => Ok(Ast::new(AstKind::Int(-v), span)),
+                    AstKind::Float(v) => Ok(Ast::new(AstKind::Float(-v), span)),
+                    _ => {
+                        Err(SqlError::new("unary `-` is only supported on numeric literals", span))
+                    }
+                }
+            }
+            Tok::Number(s) => {
+                self.next();
+                if s.contains('.') {
+                    let v =
+                        s.parse::<f64>().map_err(|_| SqlError::new("invalid number", t.span))?;
+                    Ok(Ast::new(AstKind::Float(v), t.span))
+                } else {
+                    let v = s
+                        .parse::<i64>()
+                        .map_err(|_| SqlError::new("integer out of range", t.span))?;
+                    Ok(Ast::new(AstKind::Int(v), t.span))
+                }
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Ast::new(AstKind::Str(s.clone()), t.span))
+            }
+            Tok::LParen => {
+                self.next();
+                if self.at_kw("select") {
+                    let select = self.select()?;
+                    let close = self.expect_sym(&Tok::RParen, "`)` closing the subquery")?;
+                    return Ok(Ast::new(AstKind::Scalar(Box::new(select)), t.span.merge(close)));
+                }
+                let inner = self.parse_expr()?;
+                self.expect_sym(&Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Tok::Ident(word) => {
+                let w = word.to_ascii_lowercase();
+                match w.as_str() {
+                    "true" | "false" => {
+                        self.next();
+                        Ok(Ast::new(AstKind::Bool(w == "true"), t.span))
+                    }
+                    "date" => {
+                        self.next();
+                        let lit = self.next();
+                        let Tok::Str(s) = &lit.tok else {
+                            return Err(SqlError::new(
+                                "DATE expects a 'YYYY-MM-DD' string",
+                                lit.span,
+                            ));
+                        };
+                        let d = Date::parse(s).ok_or_else(|| {
+                            SqlError::new(format!("invalid date literal `{s}`"), lit.span)
+                        })?;
+                        Ok(Ast::new(AstKind::DateLit(d), t.span.merge(lit.span)))
+                    }
+                    "exists" => {
+                        self.next();
+                        self.expect_sym(&Tok::LParen, "`(` after EXISTS")?;
+                        let select = self.select()?;
+                        let close = self.expect_sym(&Tok::RParen, "`)` closing the subquery")?;
+                        Ok(Ast::new(
+                            AstKind::Exists { select: Box::new(select), negated: false },
+                            t.span.merge(close),
+                        ))
+                    }
+                    "not" if self.exists_ahead() => {
+                        self.next(); // NOT
+                        self.next(); // EXISTS
+                        self.expect_sym(&Tok::LParen, "`(` after EXISTS")?;
+                        let select = self.select()?;
+                        let close = self.expect_sym(&Tok::RParen, "`)` closing the subquery")?;
+                        Ok(Ast::new(
+                            AstKind::Exists { select: Box::new(select), negated: true },
+                            t.span.merge(close),
+                        ))
+                    }
+                    "case" => self.case_expr(),
+                    "extract" => {
+                        self.next();
+                        self.expect_sym(&Tok::LParen, "`(` after EXTRACT")?;
+                        self.expect_kw("year")?;
+                        self.expect_kw("from")?;
+                        let arg = self.parse_expr()?;
+                        let close = self.expect_sym(&Tok::RParen, "`)` closing EXTRACT")?;
+                        Ok(Ast::new(AstKind::ExtractYear(Box::new(arg)), t.span.merge(close)))
+                    }
+                    "substring" | "substr" => {
+                        self.next();
+                        self.expect_sym(&Tok::LParen, "`(` after SUBSTRING")?;
+                        let arg = self.parse_expr()?;
+                        self.expect_sym(&Tok::Comma, "`,`")?;
+                        let start = self.small_uint("SUBSTRING start")?;
+                        self.expect_sym(&Tok::Comma, "`,`")?;
+                        let len = self.small_uint("SUBSTRING length")?;
+                        let close = self.expect_sym(&Tok::RParen, "`)` closing SUBSTRING")?;
+                        if start == 0 {
+                            return Err(SqlError::new(
+                                "SUBSTRING start is 1-based",
+                                t.span.merge(close),
+                            ));
+                        }
+                        Ok(Ast::new(
+                            AstKind::Substring { expr: Box::new(arg), start, len },
+                            t.span.merge(close),
+                        ))
+                    }
+                    "sum" | "avg" | "min" | "max" | "count" => {
+                        self.next();
+                        self.expect_sym(&Tok::LParen, "`(` after the aggregate")?;
+                        let kind = match w.as_str() {
+                            "sum" => AggKind::Sum,
+                            "avg" => AggKind::Avg,
+                            "min" => AggKind::Min,
+                            "max" => AggKind::Max,
+                            _ => AggKind::Count,
+                        };
+                        let distinct = self.eat_kw("distinct");
+                        let arg = if self.eat_sym(&Tok::Star) {
+                            if kind != AggKind::Count {
+                                return Err(SqlError::new("only COUNT accepts `*`", t.span));
+                            }
+                            None
+                        } else {
+                            Some(Box::new(self.parse_expr()?))
+                        };
+                        let close = self.expect_sym(&Tok::RParen, "`)` closing the aggregate")?;
+                        if distinct && (kind != AggKind::Count || arg.is_none()) {
+                            return Err(SqlError::new(
+                                "DISTINCT is only supported in COUNT(DISTINCT column)",
+                                t.span.merge(close),
+                            ));
+                        }
+                        Ok(Ast::new(AstKind::Agg { kind, arg, distinct }, t.span.merge(close)))
+                    }
+                    _ => {
+                        let first = self.ident("a column name")?;
+                        if self.eat_sym(&Tok::Dot) {
+                            let col = self.ident("a column name after `.`")?;
+                            let span = first.span.merge(col.span);
+                            Ok(Ast::new(
+                                AstKind::Column { qualifier: Some(first.name), name: col.name },
+                                span,
+                            ))
+                        } else {
+                            Ok(Ast::new(
+                                AstKind::Column { qualifier: None, name: first.name },
+                                first.span,
+                            ))
+                        }
+                    }
+                }
+            }
+            other => Err(SqlError::new(
+                format!("expected an expression, found {}", describe(other)),
+                t.span,
+            )),
+        }
+    }
+
+    fn case_expr(&mut self) -> Result<Ast> {
+        let start = self.expect_kw("case")?;
+        self.expect_kw("when")?;
+        let when = self.parse_expr()?;
+        self.expect_kw("then")?;
+        let then = self.parse_expr()?;
+        self.expect_kw("else")?;
+        let otherwise = self.parse_expr()?;
+        let end = self.expect_kw("end")?;
+        Ok(Ast::new(
+            AstKind::Case {
+                when: Box::new(when),
+                then: Box::new(then),
+                otherwise: Box::new(otherwise),
+            },
+            start.merge(end),
+        ))
+    }
+
+    fn small_uint(&mut self, what: &str) -> Result<usize> {
+        let t = self.next();
+        match &t.tok {
+            Tok::Number(s) if !s.contains('.') => s
+                .parse::<usize>()
+                .map_err(|_| SqlError::new(format!("{what} out of range"), t.span)),
+            other => Err(SqlError::new(
+                format!("{what} expects an integer, found {}", describe(other)),
+                t.span,
+            )),
+        }
+    }
+}
+
+/// Keywords that cannot be used as bare identifiers (aliases, table names).
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "select", "distinct", "from", "where", "group", "by", "having", "order", "limit", "as",
+        "join", "inner", "left", "outer", "semi", "anti", "cross", "on", "and", "or", "not",
+        "between", "in", "like", "is", "null", "case", "when", "then", "else", "end", "exists",
+        "with", "asc", "desc", "date", "extract", "union",
+    ];
+    RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+fn describe(tok: &Tok) -> String {
+    match tok {
+        Tok::Ident(s) => format!("`{s}`"),
+        Tok::Number(s) => format!("number `{s}`"),
+        Tok::Str(_) => "a string literal".to_string(),
+        Tok::Eof => "end of input".to_string(),
+        other => format!("`{}`", symbol_text(other)),
+    }
+}
+
+fn symbol_text(tok: &Tok) -> &'static str {
+    match tok {
+        Tok::LParen => "(",
+        Tok::RParen => ")",
+        Tok::Comma => ",",
+        Tok::Dot => ".",
+        Tok::Star => "*",
+        Tok::Plus => "+",
+        Tok::Minus => "-",
+        Tok::Slash => "/",
+        Tok::Eq => "=",
+        Tok::Ne => "<>",
+        Tok::Lt => "<",
+        Tok::Le => "<=",
+        Tok::Gt => ">",
+        Tok::Ge => ">=",
+        Tok::Semi => ";",
+        _ => "?",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_simple_select() {
+        let q = parse_query(
+            "SELECT a, sum(b) AS s FROM t WHERE a > 1 GROUP BY a ORDER BY s DESC LIMIT 5",
+        )
+        .unwrap();
+        assert!(q.ctes.is_empty());
+        assert_eq!(q.body.items.len(), 2);
+        assert_eq!(q.body.group_by.len(), 1);
+        assert_eq!(q.body.order_by.len(), 1);
+        assert!(q.body.order_by[0].1, "DESC flag");
+        assert_eq!(q.body.limit, Some(5));
+    }
+
+    #[test]
+    fn parses_joins_and_ctes() {
+        let q = parse_query(
+            "WITH x AS (SELECT a FROM t) \
+             SELECT * FROM t JOIN u ON a = b LEFT JOIN v ON a = c SEMI JOIN x ON a = a2 CROSS JOIN w",
+        )
+        .unwrap();
+        assert_eq!(q.ctes.len(), 1);
+        let joins = &q.body.from.joins;
+        assert_eq!(joins.len(), 4);
+        assert_eq!(joins[0].kind, JoinType::Inner);
+        assert_eq!(joins[1].kind, JoinType::Left);
+        assert_eq!(joins[2].kind, JoinType::Semi);
+        assert_eq!(joins[3].kind, JoinType::Cross);
+        assert!(joins[3].on.is_none());
+    }
+
+    #[test]
+    fn precedence_or_and_cmp_arith() {
+        let q = parse_query("SELECT * FROM t WHERE a = 1 + 2 * 3 AND b < 4 OR NOT c > 5").unwrap();
+        let w = q.body.where_clause.unwrap();
+        // OR at the top.
+        let AstKind::Or(l, r) = &w.kind else { panic!("expected OR, got {w:?}") };
+        assert!(matches!(l.kind, AstKind::And(..)));
+        assert!(matches!(r.kind, AstKind::Not(..)));
+    }
+
+    #[test]
+    fn parses_subqueries_and_predicates() {
+        let q = parse_query(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b IN ('x', 'y') \
+             AND c NOT LIKE '%z%' AND EXISTS (SELECT * FROM u WHERE k = a) \
+             AND d IN (SELECT k FROM u) AND e > (SELECT max(k) FROM u) AND f IS NOT NULL",
+        )
+        .unwrap();
+        let w = q.body.where_clause.unwrap();
+        let kinds: Vec<_> =
+            w.conjuncts().into_iter().map(|c| std::mem::discriminant(&c.kind)).collect();
+        assert_eq!(kinds.len(), 7);
+        assert!(w.has_subquery());
+    }
+
+    #[test]
+    fn not_exists_is_one_atom() {
+        let q =
+            parse_query("SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE k = a)").unwrap();
+        let w = q.body.where_clause.unwrap();
+        assert!(matches!(w.kind, AstKind::Exists { negated: true, .. }), "{w:?}");
+    }
+
+    #[test]
+    fn date_case_extract_substring_aggregates() {
+        let q = parse_query(
+            "SELECT extract(year FROM d) AS y, substring(s, 1, 2) AS c2, \
+             count(*) AS n, count(DISTINCT k) AS dk, \
+             CASE WHEN a > 0 THEN 1 ELSE 0 END AS flag \
+             FROM t WHERE d >= DATE '1994-01-01'",
+        )
+        .unwrap();
+        assert_eq!(q.body.items.len(), 5);
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        let err = parse_query("SELECT a FROM t extra garbage").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        let ok = parse_query("SELECT a FROM t;").unwrap();
+        assert_eq!(ok.body.items.len(), 1);
+    }
+
+    #[test]
+    fn invalid_date_is_spanned() {
+        let err = parse_query("SELECT * FROM t WHERE d > DATE '1994-13-01'").unwrap_err();
+        assert!(err.message.contains("invalid date"), "{err}");
+        assert!(err.span.start > 20);
+    }
+
+    #[test]
+    fn reserved_words_cannot_be_aliases() {
+        assert!(parse_query("SELECT a AS from FROM t").is_err());
+        // …but a non-reserved word like `value` can.
+        assert!(parse_query("SELECT a AS value FROM t").is_ok());
+    }
+}

@@ -1,0 +1,273 @@
+//! SQL pretty-printer: [`QueryPlan`] → dialect text.
+//!
+//! The inverse direction of the frontend, used by the round-trip property
+//! tests (random plan → SQL → parse → equivalent results) and handy for
+//! showing what a programmatic plan "means". Each operator prints as one
+//! `WITH` stage over its child, so the printed text lowers back to a plan
+//! with the same operators (modulo stage materialization, which does not
+//! change results).
+//!
+//! Preconditions (met by plans over real catalogs, asserted nowhere):
+//! column names must be valid identifiers and unique within every operator's
+//! schema, and string literals used with `LIKE`-family kernels must not
+//! contain `%` or `_`.
+
+use legobase_engine::expr::{AggKind, ArithOp, CmpOp, Expr};
+use legobase_engine::plan::{JoinKind, Plan, QueryPlan, SortOrder};
+use legobase_storage::{Catalog, Schema, Value};
+
+/// Renders a query plan as dialect SQL. The plan's tables (and stage
+/// references) must resolve against `catalog`.
+pub fn plan_to_sql(query: &QueryPlan, catalog: &Catalog) -> String {
+    let base = |t: &str| catalog.table(t).schema.clone();
+    let (stage_schemas, _) = query.schemas(&base);
+    let lookup = move |t: &str| stage_schemas.get(t).cloned().unwrap_or_else(|| base(t));
+
+    let mut p = Printer { ctes: Vec::new(), counter: 0 };
+    for (name, plan) in &query.stages {
+        let r = p.emit(plan, &lookup);
+        if p.ctes.last().is_some_and(|(n, _)| n == &r) {
+            // The stage's plan produced a CTE: give it the stage's name.
+            p.ctes.last_mut().expect("just checked").0 = name.clone();
+        } else {
+            // The stage is a bare scan: alias it.
+            p.ctes.push((name.clone(), format!("SELECT * FROM {r}")));
+        }
+    }
+    let root = p.emit(&query.root, &lookup);
+    let body = format!("SELECT * FROM {root}");
+    if p.ctes.is_empty() {
+        body
+    } else {
+        let with: Vec<String> = p.ctes.iter().map(|(n, b)| format!("{n} AS ({b})")).collect();
+        format!("WITH {} {body}", with.join(", "))
+    }
+}
+
+struct Printer {
+    ctes: Vec<(String, String)>,
+    counter: usize,
+}
+
+impl Printer {
+    fn cte(&mut self, body: String) -> String {
+        self.counter += 1;
+        let name = format!("t{}", self.counter);
+        self.ctes.push((name.clone(), body));
+        name
+    }
+
+    /// Prints one operator, returning the name it can be referenced by.
+    fn emit(&mut self, plan: &Plan, lookup: &impl Fn(&str) -> Schema) -> String {
+        match plan {
+            Plan::Scan { table } => table.strip_prefix('#').unwrap_or(table).to_string(),
+            Plan::Select { input, predicate } => {
+                let schema = input.schema(lookup);
+                let src = self.emit(input, lookup);
+                self.cte(format!("SELECT * FROM {src} WHERE {}", expr_sql(predicate, &schema)))
+            }
+            Plan::Project { input, exprs } => {
+                let schema = input.schema(lookup);
+                let src = self.emit(input, lookup);
+                let items: Vec<String> =
+                    exprs.iter().map(|(e, n)| format!("{} AS {n}", expr_sql(e, &schema))).collect();
+                self.cte(format!("SELECT {} FROM {src}", items.join(", ")))
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, kind, residual } => {
+                let ls = left.schema(lookup);
+                let rs = right.schema(lookup);
+                let lsrc = self.emit(left, lookup);
+                let rsrc = self.emit(right, lookup);
+                let kw = match kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::LeftOuter => "LEFT JOIN",
+                    JoinKind::Semi => "SEMI JOIN",
+                    JoinKind::Anti => "ANTI JOIN",
+                };
+                let mut conds: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(&lk, &rk)| {
+                        format!("jl.{} = jr.{}", ls.fields[lk].name, rs.fields[rk].name)
+                    })
+                    .collect();
+                if let Some(r) = residual {
+                    conds.push(qualified_expr_sql(r, &ls, &rs));
+                }
+                self.cte(format!(
+                    "SELECT * FROM {lsrc} AS jl {kw} {rsrc} AS jr ON {}",
+                    conds.join(" AND ")
+                ))
+            }
+            Plan::Agg { input, group_by, aggs } => {
+                let schema = input.schema(lookup);
+                let src = self.emit(input, lookup);
+                let mut items: Vec<String> =
+                    group_by.iter().map(|&g| schema.fields[g].name.clone()).collect();
+                for a in aggs {
+                    items.push(format!("{} AS {}", agg_sql(&a.kind, &a.expr, &schema), a.name));
+                }
+                let group = if group_by.is_empty() {
+                    String::new()
+                } else {
+                    let names: Vec<String> =
+                        group_by.iter().map(|&g| schema.fields[g].name.clone()).collect();
+                    format!(" GROUP BY {}", names.join(", "))
+                };
+                self.cte(format!("SELECT {} FROM {src}{group}", items.join(", ")))
+            }
+            Plan::Sort { input, keys } => {
+                let schema = input.schema(lookup);
+                let src = self.emit(input, lookup);
+                self.cte(format!("SELECT * FROM {src} ORDER BY {}", order_sql(keys, &schema)))
+            }
+            Plan::Limit { input, n } => match input.as_ref() {
+                // Keep ORDER BY and LIMIT in one select, as SQL readers (and
+                // tie-breaking) expect.
+                Plan::Sort { input: sorted, keys } => {
+                    let schema = sorted.schema(lookup);
+                    let src = self.emit(sorted, lookup);
+                    self.cte(format!(
+                        "SELECT * FROM {src} ORDER BY {} LIMIT {n}",
+                        order_sql(keys, &schema)
+                    ))
+                }
+                _ => {
+                    let src = self.emit(input, lookup);
+                    self.cte(format!("SELECT * FROM {src} LIMIT {n}"))
+                }
+            },
+            Plan::Distinct { input } => {
+                let src = self.emit(input, lookup);
+                self.cte(format!("SELECT DISTINCT * FROM {src}"))
+            }
+        }
+    }
+}
+
+fn order_sql(keys: &[(usize, SortOrder)], schema: &Schema) -> String {
+    let parts: Vec<String> = keys
+        .iter()
+        .map(|(k, o)| {
+            let dir = match o {
+                SortOrder::Asc => "",
+                SortOrder::Desc => " DESC",
+            };
+            format!("{}{dir}", schema.fields[*k].name)
+        })
+        .collect();
+    parts.join(", ")
+}
+
+fn agg_sql(kind: &AggKind, expr: &Expr, schema: &Schema) -> String {
+    let name = match kind {
+        AggKind::Sum => "sum",
+        AggKind::Count => "count",
+        AggKind::Avg => "avg",
+        AggKind::Min => "min",
+        AggKind::Max => "max",
+    };
+    if matches!(kind, AggKind::Count) && matches!(expr, Expr::Lit(_)) {
+        return "count(*)".to_string();
+    }
+    format!("{name}({})", expr_sql(expr, schema))
+}
+
+/// Prints an expression with column references resolved to `schema` names.
+pub fn expr_sql(e: &Expr, schema: &Schema) -> String {
+    expr_sql_with(e, &|i| schema.fields[i].name.clone())
+}
+
+/// Prints a join residual over the concatenated left++right schema with
+/// `jl.`/`jr.` qualifiers.
+fn qualified_expr_sql(e: &Expr, left: &Schema, right: &Schema) -> String {
+    expr_sql_with(e, &|i| {
+        if i < left.len() {
+            format!("jl.{}", left.fields[i].name)
+        } else {
+            format!("jr.{}", right.fields[i - left.len()].name)
+        }
+    })
+}
+
+fn expr_sql_with(e: &Expr, col: &impl Fn(usize) -> String) -> String {
+    let rec = |x: &Expr| expr_sql_with(x, col);
+    match e {
+        Expr::Col(i) => col(*i),
+        Expr::Lit(v) => value_sql(v),
+        Expr::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("({} {sym} {})", rec(a), rec(b))
+        }
+        Expr::Arith(op, a, b) => {
+            let sym = match op {
+                ArithOp::Add => "+",
+                ArithOp::Sub => "-",
+                ArithOp::Mul => "*",
+                ArithOp::Div => "/",
+            };
+            format!("({} {sym} {})", rec(a), rec(b))
+        }
+        Expr::And(a, b) => format!("({} AND {})", rec(a), rec(b)),
+        Expr::Or(a, b) => format!("({} OR {})", rec(a), rec(b)),
+        Expr::Not(a) => format!("(NOT {})", rec(a)),
+        Expr::StartsWith(a, p) => format!("({} LIKE '{}%')", rec(a), escape(p)),
+        Expr::EndsWith(a, p) => format!("({} LIKE '%{}')", rec(a), escape(p)),
+        Expr::Contains(a, p) => format!("({} LIKE '%{}%')", rec(a), escape(p)),
+        Expr::ContainsWordSeq(a, w1, w2) => {
+            format!("({} LIKE '%{}%{}%')", rec(a), escape(w1), escape(w2))
+        }
+        Expr::Substr(a, s, l) => format!("SUBSTRING({}, {s}, {l})", rec(a)),
+        Expr::InList(a, vs) => {
+            if vs.is_empty() {
+                // An empty IN list is constant false; the dialect has no
+                // literal spelling for it.
+                return "(1 = 0)".to_string();
+            }
+            let items: Vec<String> = vs.iter().map(value_sql).collect();
+            format!("({} IN ({}))", rec(a), items.join(", "))
+        }
+        Expr::Case(c, t, f) => {
+            format!("CASE WHEN {} THEN {} ELSE {} END", rec(c), rec(t), rec(f))
+        }
+        Expr::IsNull(a) => format!("({} IS NULL)", rec(a)),
+        Expr::Year(a) => format!("EXTRACT(YEAR FROM {})", rec(a)),
+    }
+}
+
+fn value_sql(v: &Value) -> String {
+    match v {
+        Value::Int(x) => x.to_string(),
+        Value::Float(x) => {
+            // `Display` for f64 is positional (never scientific) and
+            // round-trips; force a decimal point so the parser reads a float
+            // back, keeping the literal's type.
+            let s = format!("{x}");
+            if s.contains('.') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Str(s) => format!("'{}'", escape(s)),
+        Value::Date(d) => {
+            let (y, m, day) = d.ymd();
+            format!("DATE '{y:04}-{m:02}-{day:02}'")
+        }
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        // NULL literals have no dialect spelling; they do not occur in plans
+        // built from SQL or from the plan builders.
+        Value::Null => "NULL".to_string(),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}

@@ -1,0 +1,74 @@
+//! The TPC-H workload as SQL text, embedded at compile time.
+//!
+//! Each file under `queries/` is written in the crate's dialect and lowers
+//! to a plan whose results equal the hand-built plans in
+//! `legobase_queries` under every engine configuration — that equality is
+//! pinned by `tests/sql_equivalence.rs` at the workspace root, the
+//! strongest oracle the repo has for the frontend.
+//!
+//! The texts use the spec's validation parameter values (like the hand
+//! plans) and explicit `JOIN … ON` syntax in the hand plans' join order,
+//! since join *ordering* is treated as an orthogonal concern (§2.1). Two
+//! deliberate departures from the spec's reference text are commented in
+//! the files themselves: Q10's select-list order follows this repo's plan
+//! output, and arithmetic like `1 + 10` is pre-folded into literals.
+
+/// The 22 query texts, in order (`TPCH_SQL[0]` is Q1).
+pub const TPCH_SQL: [&str; 22] = [
+    include_str!("../queries/q1.sql"),
+    include_str!("../queries/q2.sql"),
+    include_str!("../queries/q3.sql"),
+    include_str!("../queries/q4.sql"),
+    include_str!("../queries/q5.sql"),
+    include_str!("../queries/q6.sql"),
+    include_str!("../queries/q7.sql"),
+    include_str!("../queries/q8.sql"),
+    include_str!("../queries/q9.sql"),
+    include_str!("../queries/q10.sql"),
+    include_str!("../queries/q11.sql"),
+    include_str!("../queries/q12.sql"),
+    include_str!("../queries/q13.sql"),
+    include_str!("../queries/q14.sql"),
+    include_str!("../queries/q15.sql"),
+    include_str!("../queries/q16.sql"),
+    include_str!("../queries/q17.sql"),
+    include_str!("../queries/q18.sql"),
+    include_str!("../queries/q19.sql"),
+    include_str!("../queries/q20.sql"),
+    include_str!("../queries/q21.sql"),
+    include_str!("../queries/q22.sql"),
+];
+
+/// The SQL text of TPC-H query `n` (1–22).
+///
+/// # Panics
+/// Panics when `n` is outside 1–22 — mirroring
+/// [`legobase_queries::query`]'s contract for plan numbers.
+pub fn tpch_sql(n: usize) -> &'static str {
+    assert!((1..=22).contains(&n), "TPC-H defines queries 1–22, got {n}");
+    TPCH_SQL[n - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every embedded text parses and lowers against the TPC-H catalog.
+    /// (Result equality against the hand-built plans is pinned by the
+    /// cross-crate `sql_equivalence` suite.)
+    #[test]
+    fn all_queries_lower() {
+        let catalog = legobase_tpch::catalog();
+        for n in 1..=22 {
+            let plan = crate::plan_named(tpch_sql(n), &format!("Q{n}"), &catalog)
+                .unwrap_or_else(|e| panic!("Q{n}: {}", e.render(tpch_sql(n))));
+            assert!(plan.size() >= 2, "Q{n}: suspiciously small plan");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "TPC-H defines queries 1–22")]
+    fn out_of_range_panics() {
+        tpch_sql(0);
+    }
+}

@@ -218,7 +218,7 @@ mod tests {
     /// the parallel build).
     #[test]
     fn join_partition_in_range_and_spreading() {
-        let mut hit = vec![false; JOIN_PARTITIONS];
+        let mut hit = [false; JOIN_PARTITIONS];
         for key in 0..10_000u64 {
             let p = join_partition(key);
             assert!(p < JOIN_PARTITIONS);
