@@ -3,7 +3,7 @@
 //! Usage:
 //! ```text
 //! cargo run -p legobase_bench --release --bin figures -- \
-//!     [fig16|fig17|fig18|fig19|fig20|fig21|fig22|table4|sql|threads|baseline|all]
+//!     [fig16|…|fig22|table4|sql|optimizer|explain <q>|threads|baseline|all]
 //! ```
 //! Environment: `LEGOBASE_SF` (scale factor, default 0.02), `LEGOBASE_RUNS`
 //! (timed repetitions, default 3). Fig. 18's proxy counters require building
@@ -11,16 +11,23 @@
 //! executor is single-threaded) measures morsel-driven thread scaling at its
 //! own scale factor (`LEGOBASE_THREADS_SF`, default 0.1).
 //!
-//! Beyond the paper's figures, two workload-level subcommands:
+//! Beyond the paper's figures, four workload-level subcommands:
 //!
 //! * `sql` — parses every embedded TPC-H SQL text, runs it under Opt/C, and
 //!   checks the result against the hand-built plan (parse cost + frontend
 //!   fidelity in one table).
-//! * `baseline` — measures per-query minimum time under Opt/C and writes the
-//!   `legobase-bench-v1` JSON trajectory file (`LEGOBASE_BENCH_OUT`,
-//!   default `BENCH_PR4.json`). When `LEGOBASE_BASELINE` names a committed
-//!   baseline, the run exits 1 on any >25% speed-normalized regression —
-//!   this is CI's perf gate. Not part of `all` (it writes files and gates).
+//! * `optimizer` — the cost-based optimizer over the whole workload: naive
+//!   lowered plan vs optimized plan vs hand-built plan latency, plus the
+//!   join-reordering decision per query.
+//! * `explain <q1..q22>` — one query's `OptReport` (naive vs chosen join
+//!   order, estimated rows) and the optimized plan rendered back to SQL.
+//! * `baseline` — measures per-query minimum time under Opt/C, for the
+//!   hand-built plans (`Q<n>`) and the optimized-SQL plans (`Q<n>-sql`),
+//!   and writes the `legobase-bench-v1` JSON trajectory file
+//!   (`LEGOBASE_BENCH_OUT`, default `BENCH_PR4.json`). When
+//!   `LEGOBASE_BASELINE` names a committed baseline, the run exits 1 on
+//!   any >25% speed-normalized regression — this is CI's perf gate. Not
+//!   part of `all` (it writes files and gates).
 //!
 //! Absolute numbers differ from the paper (different machine, scale factor,
 //! and generated-code substrate — see DESIGN.md); the *shapes* (who wins, by
@@ -32,19 +39,34 @@ use legobase::{Config, LegoBase, Settings};
 use legobase_bench::{geomean, ms, scale_factor, time_query};
 
 /// The figure subcommands, in `all` execution order (`baseline` is the CI
-/// perf gate and deliberately not part of `all`).
-const SUBCOMMANDS: [&str; 12] = [
-    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "table4", "sql", "threads",
-    "baseline", "all",
+/// perf gate and deliberately not part of `all`; `explain` takes a query
+/// argument).
+const SUBCOMMANDS: [&str; 14] = [
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "table4",
+    "sql",
+    "optimizer",
+    "explain",
+    "threads",
+    "baseline",
+    "all",
 ];
 
 fn usage() -> String {
     format!(
         "usage: figures [{}]\n\
+         figures explain <q1..q22>  (EXPLAIN one TPC-H query: optimized plan + report)\n\
          env: LEGOBASE_SF (scale factor, default 0.02), LEGOBASE_RUNS (timed \
          repetitions, default 3), LEGOBASE_THREADS_SF (threads figure, default 0.1),\n\
          LEGOBASE_BENCH_OUT (baseline output, default BENCH_PR4.json), \
-         LEGOBASE_BASELINE (committed baseline to gate against; exit 1 on regression)",
+         LEGOBASE_BASELINE (committed baseline to gate against; exit 1 on regression),\n\
+         LEGOBASE_OPTIMIZE (0 turns the cost-based SQL optimizer off)",
         SUBCOMMANDS.join("|")
     )
 }
@@ -60,6 +82,19 @@ fn parse_subcommand(arg: &str) -> Result<&'static str, String> {
         .ok_or_else(|| format!("unknown figure `{arg}`\n{}", usage()))
 }
 
+/// Validates the `explain` argument: `q1`..`q22` (case-insensitive) or a
+/// bare number.
+fn parse_explain_arg(arg: Option<&str>) -> Result<usize, String> {
+    let Some(arg) = arg else {
+        return Err(format!("explain needs a query argument\n{}", usage()));
+    };
+    let digits = arg.trim().trim_start_matches(['q', 'Q']);
+    match digits.parse::<usize>() {
+        Ok(n) if (1..=22).contains(&n) => Ok(n),
+        _ => Err(format!("unknown query `{arg}` (expected q1..q22)\n{}", usage())),
+    }
+}
+
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let cmd = match parse_subcommand(&arg) {
@@ -68,6 +103,18 @@ fn main() {
             eprintln!("{msg}");
             std::process::exit(2);
         }
+    };
+    let explain_query = if cmd == "explain" {
+        let second = std::env::args().nth(2);
+        match parse_explain_arg(second.as_deref()) {
+            Ok(n) => Some(n),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
     };
     let sf = scale_factor();
     eprintln!("# scale factor {sf}, {} timed runs per cell", legobase_bench::runs());
@@ -82,6 +129,8 @@ fn main() {
         "fig22" => fig22(&system),
         "table4" => table4(),
         "sql" => sql_frontend(&system),
+        "optimizer" => optimizer_figure(&system),
+        "explain" => explain(&system, explain_query.expect("validated above")),
         "threads" => threads(),
         "baseline" => baseline(&system),
         "all" => {
@@ -94,6 +143,7 @@ fn main() {
             fig22(&system);
             table4();
             sql_frontend(&system);
+            optimizer_figure(&system);
             threads();
         }
         _ => unreachable!("parse_subcommand returned a validated name"),
@@ -365,20 +415,99 @@ fn sql_frontend(system: &LegoBase) {
     }
 }
 
-/// CI perf gate: per-query minimum time under Opt/C, written as the
-/// `legobase-bench-v1` JSON trajectory and (optionally) compared against a
-/// committed baseline with the speed-normalized >25% rule of
+/// The cost-based optimizer over the whole workload: execution time of the
+/// naive lowered plan, the optimized plan, and the hand-built plan
+/// (Opt/C), plus the optimizer's join-order decision. Exits 1 if any
+/// optimized plan diverges from the hand-built result.
+fn optimizer_figure(system: &LegoBase) {
+    use legobase::engine::optimizer;
+    use legobase_bench::time_plan;
+    println!("\n== Cost-based optimizer: naive vs optimized vs hand-built (Opt/C) ==");
+    println!(
+        "{:<5} {:>11} {:>11} {:>10} {:>9} {:>10}",
+        "query", "naive (ms)", "opt (ms)", "hand (ms)", "reorder", "result"
+    );
+    let mut all_match = true;
+    let settings = Settings::optimized();
+    for n in 1..=22 {
+        let text = legobase::sql::tpch_sql(n);
+        let naive = match legobase::sql::plan_named(text, &format!("Q{n}"), &system.data.catalog) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("Q{n}: embedded SQL failed to lower:\n{}", e.render(text));
+                std::process::exit(1);
+            }
+        };
+        let (optimized, report) = optimizer::optimize(&naive, &system.data.catalog);
+        let hand = system.plan(n);
+        let t_naive = ms(time_plan(system, &naive, &settings));
+        let t_opt = ms(time_plan(system, &optimized, &settings));
+        let t_hand = ms(time_plan(system, &hand, &settings));
+        let opt_result = system.run_plan(&optimized, &settings);
+        let hand_result = system.run_plan(&hand, &settings);
+        let matches = opt_result.result.approx_eq(&hand_result.result, 1e-6);
+        all_match &= matches;
+        println!(
+            "Q{n:<4} {t_naive:>11.2} {t_opt:>11.2} {t_hand:>10.2} {:>9} {:>10}",
+            if report.reordered() { "yes" } else { "-" },
+            if matches { "match" } else { "MISMATCH" }
+        );
+    }
+    if !all_match {
+        eprintln!("optimized plans diverged from the hand-built plans");
+        std::process::exit(1);
+    }
+}
+
+/// `EXPLAIN` for one TPC-H query: the optimizer's report plus the optimized
+/// plan rendered back to SQL.
+fn explain(system: &LegoBase, n: usize) {
+    let text = legobase::sql::tpch_sql(n);
+    let explanation = match system.explain_sql(text, Config::OptC) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("Q{n}: embedded SQL failed to lower:\n{}", e.render(text));
+            std::process::exit(1);
+        }
+    };
+    println!("== EXPLAIN Q{n} ==");
+    match &explanation.report {
+        Some(r) => print!("{}", r.summary()),
+        None => println!("(optimizer disabled via LEGOBASE_OPTIMIZE)"),
+    }
+    println!("\nplan as SQL:\n{}", explanation.sql);
+}
+
+/// CI perf gate: per-query minimum time under Opt/C — for both the
+/// hand-built plans (`Q<n>`) and the optimized-SQL plans (`Q<n>-sql`),
+/// interleaved in one round-robin — written as the `legobase-bench-v1`
+/// JSON trajectory and (optionally) compared against a committed baseline
+/// with the speed-normalized >25% rule of
 /// `legobase_bench::bench_regressions`.
 fn baseline(system: &LegoBase) {
+    use legobase::engine::optimizer;
     use legobase_bench::{
-        bench_json, bench_regressions, min_times_all_queries, parse_bench_json, scale_factor,
-        BenchRow,
+        bench_json, bench_regressions, min_times_plans, parse_bench_json, scale_factor, BenchRow,
     };
-    let times = min_times_all_queries(system, &Settings::optimized());
+    let mut plans = Vec::new();
+    let mut names = Vec::new();
+    for n in 1..=22 {
+        plans.push(system.plan(n));
+        names.push(format!("Q{n}"));
+    }
+    for n in 1..=22 {
+        let text = legobase::sql::tpch_sql(n);
+        let naive = legobase::sql::plan_named(text, &format!("Q{n}"), &system.data.catalog)
+            .expect("embedded TPC-H SQL lowers");
+        let (optimized, _) = optimizer::optimize(&naive, &system.data.catalog);
+        plans.push(optimized);
+        names.push(format!("Q{n}-sql"));
+    }
+    let times = min_times_plans(system, &plans, &Settings::optimized());
     let rows: Vec<BenchRow> = times
         .iter()
-        .enumerate()
-        .map(|(i, &t)| BenchRow { query: format!("Q{}", i + 1), min_ms: ms(t) })
+        .zip(&names)
+        .map(|(&t, name)| BenchRow { query: name.clone(), min_ms: ms(t) })
         .collect();
     let out_path = std::env::var("LEGOBASE_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".into());
     let json = bench_json(scale_factor(), "OptC", legobase_bench::runs(), &rows);
@@ -572,6 +701,23 @@ mod tests {
         let usage = usage();
         for needle in ["sql", "baseline", "LEGOBASE_BENCH_OUT", "LEGOBASE_BASELINE"] {
             assert!(usage.contains(needle), "usage must mention `{needle}`: {usage}");
+        }
+    }
+
+    /// The optimizer figure and the EXPLAIN path are pinned subcommands,
+    /// and `explain` validates its query argument (main exits 2 on a bad
+    /// one — the regression the error strings here feed).
+    #[test]
+    fn optimizer_and_explain_subcommands() {
+        assert_eq!(parse_subcommand("optimizer"), Ok("optimizer"));
+        assert_eq!(parse_subcommand("explain"), Ok("explain"));
+        assert!(usage().contains("LEGOBASE_OPTIMIZE"), "{}", usage());
+        assert_eq!(parse_explain_arg(Some("q5")), Ok(5));
+        assert_eq!(parse_explain_arg(Some("Q22")), Ok(22));
+        assert_eq!(parse_explain_arg(Some("17")), Ok(17));
+        for bad in [Some("q23"), Some("q0"), Some("nope"), None] {
+            let err = parse_explain_arg(bad).expect_err("invalid explain argument");
+            assert!(err.contains("usage:"), "{err}");
         }
     }
 }

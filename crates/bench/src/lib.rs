@@ -26,7 +26,17 @@ pub fn runs() -> usize {
 /// Loads once, executes `runs()+1` times, returns the median-of-timed
 /// execution duration (first run is warm-up).
 pub fn time_query(system: &LegoBase, n: usize, settings: &Settings) -> Duration {
-    let loaded = system.load(&system.plan(n), settings);
+    time_plan(system, &system.plan(n), settings)
+}
+
+/// [`time_query`] for an arbitrary plan (the optimizer figure times naive,
+/// optimized, and hand-built plans of the same query side by side).
+pub fn time_plan(
+    system: &LegoBase,
+    plan: &legobase::engine::QueryPlan,
+    settings: &Settings,
+) -> Duration {
+    let loaded = system.load(plan, settings);
     let _ = loaded.execute(); // warm-up
     let mut times: Vec<Duration> = (0..runs())
         .map(|_| {
@@ -60,7 +70,20 @@ pub fn ms(d: Duration) -> f64 {
 /// *contiguous block* of queries, which speed-normalization cannot cancel —
 /// interleaving spreads any busy window across all queries evenly.
 pub fn min_times_all_queries(system: &LegoBase, settings: &Settings) -> Vec<Duration> {
-    let loaded: Vec<_> = (1..=22).map(|n| system.load(&system.plan(n), settings)).collect();
+    let plans: Vec<_> = (1..=22).map(|n| system.plan(n)).collect();
+    min_times_plans(system, &plans, settings)
+}
+
+/// [`min_times_all_queries`] over an arbitrary plan list — the perf gate
+/// interleaves the hand-built plans *and* the optimized-SQL plans in the
+/// same round-robin, so a busy window on a shared runner spreads across
+/// both populations evenly.
+pub fn min_times_plans(
+    system: &LegoBase,
+    plans: &[legobase::engine::QueryPlan],
+    settings: &Settings,
+) -> Vec<Duration> {
+    let loaded: Vec<_> = plans.iter().map(|p| system.load(p, settings)).collect();
     for q in &loaded {
         let _ = q.execute(); // warm-up pass
     }

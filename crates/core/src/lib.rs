@@ -40,12 +40,12 @@ pub use legobase_sql as sql;
 pub use legobase_storage as storage;
 pub use legobase_tpch as tpch;
 
-pub use legobase_engine::{Config, ResultTable, Settings, Specialization};
+pub use legobase_engine::{Config, OptReport, ResultTable, Settings, Specialization};
 pub use legobase_sc::CompileResult;
 pub use legobase_tpch::TpchData;
 
 use legobase_engine::settings::EngineKind;
-use legobase_engine::{GenericDb, QueryPlan, SpecializedDb};
+use legobase_engine::{optimizer, GenericDb, QueryPlan, SpecializedDb};
 use std::time::Duration;
 
 /// The outcome of compiling, loading, and executing one query.
@@ -61,6 +61,23 @@ pub struct RunOutcome {
     pub memory_bytes: usize,
     /// Wall-clock duration of query execution.
     pub exec_time: Duration,
+    /// The cost-based optimizer's decision record, with
+    /// [`OptReport::actual_rows`] filled from the executed result — present
+    /// only on the SQL path with [`Settings::optimize`] enabled (hand-built
+    /// plans run unrewritten; they are the optimizer's oracle).
+    pub opt: Option<OptReport>,
+}
+
+/// The outcome of explaining a SQL query without executing it.
+pub struct SqlExplanation {
+    /// The plan that would execute (optimized when the settings say so).
+    pub plan: QueryPlan,
+    /// That plan rendered back to dialect SQL via
+    /// [`legobase_sql::plan_to_sql`].
+    pub sql: String,
+    /// The optimizer's decision record (naive vs chosen join order,
+    /// estimated cardinalities); `None` when the optimizer is disabled.
+    pub report: Option<OptReport>,
 }
 
 /// The LegoBase system façade: data plus the compile→load→execute path.
@@ -114,8 +131,50 @@ impl LegoBase {
     /// println!("{}", out.result.display(10));
     /// ```
     pub fn run_sql(&self, sql: &str, config: Config) -> Result<RunOutcome, legobase_sql::SqlError> {
+        self.run_sql_with_settings(sql, &config.settings())
+    }
+
+    /// [`LegoBase::run_sql`] with explicit settings. When
+    /// [`Settings::optimize`] is on (the default; `LEGOBASE_OPTIMIZE=0`
+    /// overrides), the naive lowered plan goes through the cost-based
+    /// optimizer first and the outcome carries the [`OptReport`] with
+    /// actual row counts filled in.
+    pub fn run_sql_with_settings(
+        &self,
+        sql: &str,
+        settings: &Settings,
+    ) -> Result<RunOutcome, legobase_sql::SqlError> {
         let plan = legobase_sql::plan(sql, &self.data.catalog)?;
-        Ok(self.run_plan(&plan, &config.settings()))
+        let settings = requested_settings(settings);
+        if !settings.optimize {
+            return Ok(self.run_plan(&plan, &settings));
+        }
+        let (optimized, mut report) = optimizer::optimize(&plan, &self.data.catalog);
+        let mut outcome = self.run_plan(&optimized, &settings);
+        report.actual_rows = Some(outcome.result.len());
+        outcome.opt = Some(report);
+        Ok(outcome)
+    }
+
+    /// Parses and optimizes a SQL query, returning — without executing —
+    /// the plan that [`LegoBase::run_sql`] would run, its rendering back to
+    /// dialect SQL, and the optimizer's [`OptReport`]. The `EXPLAIN` of the
+    /// system (`figures -- explain <query>` prints it).
+    pub fn explain_sql(
+        &self,
+        sql: &str,
+        config: Config,
+    ) -> Result<SqlExplanation, legobase_sql::SqlError> {
+        let plan = legobase_sql::plan(sql, &self.data.catalog)?;
+        let settings = requested_settings(&config.settings());
+        let (plan, report) = if settings.optimize {
+            let (p, r) = optimizer::optimize(&plan, &self.data.catalog);
+            (p, Some(r))
+        } else {
+            (plan, None)
+        };
+        let sql = legobase_sql::plan_to_sql(&plan, &self.data.catalog);
+        Ok(SqlExplanation { plan, sql, report })
     }
 
     /// Same as [`LegoBase::run`] with explicit settings (ablations).
@@ -158,7 +217,7 @@ impl LegoBase {
                 (r, db.report.duration, db.report.approx_bytes, t0.elapsed())
             }
         };
-        RunOutcome { result, compilation, load_time, memory_bytes, exec_time }
+        RunOutcome { result, compilation, load_time, memory_bytes, exec_time, opt: None }
     }
 
     /// Loads the database for a configuration once (for benchmarks that
@@ -179,11 +238,13 @@ impl LegoBase {
     }
 }
 
-/// Applies the `LEGOBASE_PARALLELISM` environment override to the requested
-/// settings (CI uses it to run the entire suite with the parallel paths on).
-/// The override only replaces the *default* serial request — settings that
-/// explicitly ask for a degree > 1 (ablations, the thread-scaling figure)
-/// keep their request.
+/// Applies the environment overrides to the requested settings:
+/// `LEGOBASE_PARALLELISM` (CI uses it to run the entire suite with the
+/// parallel paths on) and `LEGOBASE_OPTIMIZE` (`0`/`false` turns the
+/// cost-based SQL optimizer off — CI's naive-plan equivalence leg). The
+/// parallelism override only replaces the *default* serial request —
+/// settings that explicitly ask for a degree > 1 (ablations, the
+/// thread-scaling figure) keep their request.
 fn requested_settings(settings: &Settings) -> Settings {
     let mut s = *settings;
     if s.parallelism == 1 {
@@ -195,6 +256,16 @@ fn requested_settings(settings: &Settings) -> Settings {
             }
         }
     }
+    // Like the parallelism override, this only moves settings in one
+    // direction: an off-value forces the optimizer off (CI's naive-plan
+    // leg); anything else — including an empty variable — leaves the
+    // request untouched, so an explicit `optimize: false` ablation is
+    // never silently re-enabled.
+    if let Ok(v) = std::env::var("LEGOBASE_OPTIMIZE") {
+        if matches!(v.trim(), "0" | "false" | "off") {
+            s.optimize = false;
+        }
+    }
     s
 }
 
@@ -202,7 +273,10 @@ fn requested_settings(settings: &Settings) -> Settings {
 /// recorded for this query — the executor obeys the compiler: the degree,
 /// and whether this query's join and sort operators were cleared for the
 /// morsel-parallel paths (`Parallelize` counts the cleared operators in the
-/// specialization report; zero cleared means the serial code path).
+/// specialization report; zero cleared means the serial code path). The
+/// [`Settings::optimize`] knob passes through unchanged: by this point the
+/// logical optimizer has already run (or been skipped) on the plan itself,
+/// so there is no per-query decision left to record.
 fn decided_settings(settings: &Settings, spec: &Specialization) -> Settings {
     let mut s = *settings;
     s.parallelism = spec.parallelism.max(1);

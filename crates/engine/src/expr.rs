@@ -282,12 +282,14 @@ impl Expr {
         }
     }
 
-    /// Rewrites every column reference through `f` (used when pushing
-    /// expressions across projections).
-    pub fn map_cols(&self, f: &impl Fn(usize) -> usize) -> Expr {
-        let m = |e: &Expr| Box::new(e.map_cols(f));
+    /// Rebuilds this node with `f` applied to every direct child
+    /// expression; leaves (`Col`, `Lit`) are cloned. The one structural
+    /// traversal shared by [`Expr::map_cols`] and the optimizer's
+    /// projection substitution.
+    pub fn map_children(&self, f: &impl Fn(&Expr) -> Expr) -> Expr {
+        let m = |e: &Expr| Box::new(f(e));
         match self {
-            Expr::Col(i) => Expr::Col(f(*i)),
+            Expr::Col(i) => Expr::Col(*i),
             Expr::Lit(v) => Expr::Lit(v.clone()),
             Expr::Cmp(op, a, b) => Expr::Cmp(*op, m(a), m(b)),
             Expr::Arith(op, a, b) => Expr::Arith(*op, m(a), m(b)),
@@ -303,6 +305,15 @@ impl Expr {
             Expr::Case(c, a, b) => Expr::Case(m(c), m(a), m(b)),
             Expr::IsNull(a) => Expr::IsNull(m(a)),
             Expr::Year(a) => Expr::Year(m(a)),
+        }
+    }
+
+    /// Rewrites every column reference through `f` (used when pushing
+    /// expressions across projections).
+    pub fn map_cols(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(f(*i)),
+            other => other.map_children(&|e| e.map_cols(f)),
         }
     }
 }

@@ -29,6 +29,10 @@
 //!   primitive itself lives in the crate-private `parallel` module.
 //! * [`settings`] — the optimization toggles and the named configurations of
 //!   Table III.
+//! * [`optimizer`] — the cost-based logical optimizer that sits between the
+//!   SQL frontend's naive lowering and everything below: predicate pushdown,
+//!   cross-conjunct inference, and join reordering driven by the catalog
+//!   statistics, reported per query as an [`optimizer::OptReport`].
 //! * [`spec`] — the per-query specialization report produced by the SC
 //!   transformation pipeline and consumed at load/execution time: which
 //!   structures to build (§§3.2–3.4), which columns to keep (§3.6.1), and
@@ -44,6 +48,7 @@ pub mod expr;
 pub mod interop;
 pub mod interp;
 pub mod kernel;
+pub mod optimizer;
 pub(crate) mod parallel;
 pub mod plan;
 pub mod push;
@@ -55,6 +60,7 @@ pub mod volcano;
 
 pub use db::{GenericDb, SpecializedDb};
 pub use expr::{AggKind, ArithOp, CmpOp, Expr};
+pub use optimizer::{OptReport, Passes};
 pub use plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
 pub use result::ResultTable;
 pub use settings::{Config, Settings};

@@ -1,0 +1,1787 @@
+//! The cost-based query optimizer.
+//!
+//! The paper treats join ordering as orthogonal (§2.1): its physical plans
+//! arrive pre-optimized from a commercial optimizer, and our SQL frontend
+//! initially mirrored that by lowering text in the user's written join
+//! order. This module is the missing layer — the "abstraction without
+//! regret" argument applied to *whole-plan* transformations: because the
+//! engine's plans are ordinary high-level values, a rewriter can reshape
+//! them freely before the SC pipeline specializes anything.
+//!
+//! The optimizer runs three passes over every stage of a [`QueryPlan`]:
+//!
+//! 1. **Predicate pushdown** ([`Passes::pushdown`]) — `WHERE` conjuncts
+//!    sink through projections (by substitution), sorts, distincts, group
+//!    keys, and join sides where semantics allow (never through the
+//!    NULL-extending side of an outer join, never out of an anti join's
+//!    residual).
+//! 2. **Join-region rebuild** — maximal regions of inner hash joins (with
+//!    their interleaved semi/anti joins lifted out as deferred filters)
+//!    are flattened into a join graph of leaves, equi edges, and
+//!    predicates. Cross-conjunct **inference** ([`Passes::inference`])
+//!    copies literal predicates across join-key equivalence classes, and
+//!    **join reordering** ([`Passes::join_reorder`]) picks a new left-deep
+//!    order by dynamic programming over connected subsets (sequential
+//!    greedy above [`DP_LIMIT`] relations), costed with the `C_out` sum of
+//!    intermediate cardinalities. Semi/anti joins re-attach at the
+//!    earliest point where their columns exist. A final projection
+//!    restores the original column order, so results are bit-compatible
+//!    with the naive plan.
+//! 3. **Estimation** — every decision is driven by textbook cardinality
+//!    estimation over the [`Catalog::stats`] collected at load time
+//!    (row counts, per-column distinct counts and `[min, max]` bounds).
+//!
+//! [`optimize`] returns the rewritten plan plus an [`OptReport`] — the
+//! per-stage record of what moved (analogous to the SC pipeline's
+//! [`Specialization`](crate::spec::Specialization) report): naive vs
+//! chosen join order, estimated costs, and the push/inference counters.
+//! [`estimated_cost`] exposes the cost model for any plan, which is how
+//! tests assert that the chosen order is at least as good as the
+//! hand-built one.
+
+use crate::expr::{CmpOp, Expr};
+use crate::plan::{JoinKind, Plan, QueryPlan};
+use legobase_storage::{Catalog, Schema, Value};
+use std::collections::HashMap;
+
+/// Exhaustive dynamic programming is used up to this many relations per
+/// join region; larger regions fall back to a greedy construction.
+pub const DP_LIMIT: usize = 10;
+
+/// Column indices at or above this sentinel refer to the right side of a
+/// deferred semi/anti join (the left side uses region-global positions).
+const RIGHT_BASE: usize = 1 << 40;
+
+// ---------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------
+
+/// Which rewrite passes to run. [`Passes::all`] is the production setting;
+/// the property tests toggle passes individually to pin each rule's
+/// result-invariance on randomized plans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Passes {
+    /// Predicate pushdown.
+    pub pushdown: bool,
+    /// Cross-conjunct inference across join-key equivalence classes.
+    pub inference: bool,
+    /// Cost-based join reordering (off = keep the syntactic order, but
+    /// still re-attach predicates at their best position in the region).
+    pub join_reorder: bool,
+}
+
+impl Passes {
+    /// Every pass enabled.
+    pub fn all() -> Passes {
+        Passes { pushdown: true, inference: true, join_reorder: true }
+    }
+}
+
+/// What the optimizer did to one stage (or the root) of a query.
+#[derive(Clone, Debug)]
+pub struct StageReport {
+    /// Stage name (`#name`) or `"root"`.
+    pub stage: String,
+    /// Leaf order of the largest join region before optimization, in
+    /// syntactic order.
+    pub naive_order: Vec<String>,
+    /// Leaf order the optimizer chose for that region.
+    pub chosen_order: Vec<String>,
+    /// Estimated `C_out` cost of the naive order of that region.
+    pub naive_cost: f64,
+    /// Estimated `C_out` cost of the chosen order.
+    pub chosen_cost: f64,
+    /// `WHERE` conjuncts relocated below the operator they started at.
+    pub pushed_predicates: usize,
+    /// Predicates copied across join-key equivalence classes.
+    pub inferred_predicates: usize,
+    /// Estimated output rows of the optimized stage.
+    pub est_rows: f64,
+}
+
+impl StageReport {
+    /// True when the optimizer changed the join order of this stage.
+    pub fn reordered(&self) -> bool {
+        self.naive_order != self.chosen_order
+    }
+}
+
+/// The optimizer's decision record for one query — the logical-plan
+/// counterpart of the SC pipeline's `Specialization` report.
+#[derive(Clone, Debug, Default)]
+pub struct OptReport {
+    /// Query name.
+    pub query: String,
+    /// One entry per stage, in execution order, then the root.
+    pub stages: Vec<StageReport>,
+    /// Root-result row count observed at execution time (filled in by the
+    /// facade after the run; `None` until then).
+    pub actual_rows: Option<usize>,
+}
+
+impl OptReport {
+    /// The root stage's report.
+    pub fn root(&self) -> &StageReport {
+        self.stages.last().expect("optimize always records the root")
+    }
+
+    /// True when any stage's join order changed.
+    pub fn reordered(&self) -> bool {
+        self.stages.iter().any(StageReport::reordered)
+    }
+
+    /// Total predicates pushed across all stages.
+    pub fn pushed(&self) -> usize {
+        self.stages.iter().map(|s| s.pushed_predicates).sum()
+    }
+
+    /// Total predicates inferred across all stages.
+    pub fn inferred(&self) -> usize {
+        self.stages.iter().map(|s| s.inferred_predicates).sum()
+    }
+
+    /// Estimated root output rows.
+    pub fn est_rows(&self) -> f64 {
+        self.root().est_rows
+    }
+
+    /// Multi-line human-readable summary (used by `EXPLAIN`).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "optimizer report for {}: {} pushed, {} inferred predicate(s)\n",
+            self.query,
+            self.pushed(),
+            self.inferred()
+        ));
+        for s in &self.stages {
+            if s.naive_order.len() > 1 {
+                out.push_str(&format!(
+                    "  {}: {} -> {} (cost {:.0} -> {:.0}{})\n",
+                    s.stage,
+                    s.naive_order.join(" \u{22c8} "),
+                    s.chosen_order.join(" \u{22c8} "),
+                    s.naive_cost,
+                    s.chosen_cost,
+                    if s.reordered() { ", reordered" } else { "" },
+                ));
+            }
+        }
+        let actual = match self.actual_rows {
+            Some(n) => format!("{n}"),
+            None => "?".to_string(),
+        };
+        out.push_str(&format!("  estimated rows {:.0}, actual rows {actual}\n", self.est_rows()));
+        out
+    }
+}
+
+/// Optimizes a query with every pass enabled.
+pub fn optimize(query: &QueryPlan, catalog: &Catalog) -> (QueryPlan, OptReport) {
+    rewrite(query, catalog, Passes::all())
+}
+
+/// Optimizes a query with an explicit pass selection.
+pub fn rewrite(query: &QueryPlan, catalog: &Catalog, passes: Passes) -> (QueryPlan, OptReport) {
+    let mut ctx = Ctx::new(catalog);
+    let mut stages = Vec::new();
+    let mut reports = Vec::new();
+    for (name, plan) in &query.stages {
+        let (p, rep) = rewrite_stage(plan, &ctx, passes, &format!("#{name}"));
+        ctx.register_stage(&format!("#{name}"), &p);
+        stages.push((name.clone(), p));
+        reports.push(rep);
+    }
+    let (root, rep) = rewrite_stage(&query.root, &ctx, passes, "root");
+    reports.push(rep);
+    let out = QueryPlan { name: query.name.clone(), stages, root };
+    (out, OptReport { query: query.name.clone(), stages: reports, actual_rows: None })
+}
+
+/// Estimated `C_out` cost of a whole query plan: the sum of estimated
+/// output cardinalities over every operator of every stage. The unit the
+/// DP minimizes — exposed so tests can compare an optimized plan against
+/// the hand-built plan under the *same* model.
+pub fn estimated_cost(query: &QueryPlan, catalog: &Catalog) -> f64 {
+    let mut ctx = Ctx::new(catalog);
+    let mut total = 0.0;
+    for (name, plan) in &query.stages {
+        total += cost_walk(plan, &ctx);
+        ctx.register_stage(&format!("#{name}"), plan);
+    }
+    total + cost_walk(&query.root, &ctx)
+}
+
+/// Estimated row count of the root of a query plan.
+pub fn estimated_rows(query: &QueryPlan, catalog: &Catalog) -> f64 {
+    let mut ctx = Ctx::new(catalog);
+    for (name, plan) in &query.stages {
+        ctx.register_stage(&format!("#{name}"), plan);
+    }
+    estimate(&query.root, &ctx).rows
+}
+
+/// Leaf order of the largest join region in a plan, flattening inner joins
+/// the same way the optimizer does — lets tests express "the hand-built
+/// join order" without hand-maintaining string lists.
+pub fn join_order(plan: &Plan) -> Vec<String> {
+    fn flatten_leaves(plan: &Plan, out: &mut Vec<String>) {
+        match plan {
+            Plan::HashJoin { left, right, kind: JoinKind::Inner, .. } => {
+                flatten_leaves(left, out);
+                flatten_leaves(right, out);
+            }
+            Plan::HashJoin { left, kind: JoinKind::Semi | JoinKind::Anti, .. } => {
+                flatten_leaves(left, out)
+            }
+            Plan::Select { input, .. } => flatten_leaves(input, out),
+            other => out.push(leaf_name(other)),
+        }
+    }
+    let mut best: Vec<String> = Vec::new();
+    let mut walk = |p: &Plan| {
+        if let Plan::HashJoin { .. } = p {
+            let mut here = Vec::new();
+            flatten_leaves(p, &mut here);
+            if here.len() > best.len() {
+                best = here;
+            }
+        }
+    };
+    plan.walk(&mut walk);
+    best
+}
+
+// ---------------------------------------------------------------------
+// Context: schemas and estimates for base tables and stages
+// ---------------------------------------------------------------------
+
+struct Ctx<'a> {
+    catalog: &'a Catalog,
+    stage_schemas: HashMap<String, Schema>,
+    stage_ests: HashMap<String, PlanEst>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(catalog: &'a Catalog) -> Ctx<'a> {
+        Ctx { catalog, stage_schemas: HashMap::new(), stage_ests: HashMap::new() }
+    }
+
+    fn schema(&self, table: &str) -> Schema {
+        if let Some(s) = self.stage_schemas.get(table) {
+            return s.clone();
+        }
+        self.catalog.table(table).schema.clone()
+    }
+
+    fn register_stage(&mut self, key: &str, plan: &Plan) {
+        let est = estimate(plan, self);
+        let schema = plan.schema(&|t: &str| self.schema(t));
+        self.stage_schemas.insert(key.to_string(), schema);
+        self.stage_ests.insert(key.to_string(), est);
+    }
+
+    fn scan_est(&self, table: &str) -> PlanEst {
+        if let Some(e) = self.stage_ests.get(table) {
+            return e.clone();
+        }
+        if let Some(stats) = self.catalog.stats(table) {
+            let rows = (stats.rows as f64).max(1.0);
+            let cols = stats
+                .columns
+                .iter()
+                .map(|c| ColEst {
+                    ndv: (c.distinct as f64).max(1.0),
+                    lo: c.min.as_ref().and_then(value_ord),
+                    hi: c.max.as_ref().and_then(value_ord),
+                })
+                .collect();
+            return PlanEst { rows, cols };
+        }
+        // No statistics: degrade to fixed defaults.
+        let arity = self.schema(table).len();
+        PlanEst { rows: 1000.0, cols: vec![ColEst { ndv: 100.0, lo: None, hi: None }; arity] }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cardinality estimation
+// ---------------------------------------------------------------------
+
+/// Estimated shape of one column: distinct count plus numeric-ordinal
+/// bounds (integers and floats as themselves, dates as day counts,
+/// booleans as 0/1; strings carry no bounds).
+#[derive(Clone, Debug)]
+struct ColEst {
+    ndv: f64,
+    lo: Option<f64>,
+    hi: Option<f64>,
+}
+
+impl ColEst {
+    fn unknown(rows: f64) -> ColEst {
+        ColEst { ndv: rows.max(1.0), lo: None, hi: None }
+    }
+
+    fn point(&self) -> Option<f64> {
+        match (self.lo, self.hi) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    fn capped(&self, rows: f64) -> ColEst {
+        ColEst { ndv: self.ndv.min(rows.max(1.0)), lo: self.lo, hi: self.hi }
+    }
+}
+
+/// Estimated shape of a plan's output.
+#[derive(Clone, Debug)]
+struct PlanEst {
+    rows: f64,
+    cols: Vec<ColEst>,
+}
+
+fn value_ord(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(x) => Some(*x as f64),
+        Value::Float(x) => Some(*x),
+        Value::Date(d) => Some(d.0 as f64),
+        Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        Value::Str(_) | Value::Null => None,
+    }
+}
+
+fn estimate(plan: &Plan, ctx: &Ctx) -> PlanEst {
+    match plan {
+        Plan::Scan { table } => ctx.scan_est(table),
+        Plan::Select { input, predicate } => {
+            let est = estimate(input, ctx);
+            apply_predicate(&est, predicate)
+        }
+        Plan::Project { input, exprs } => {
+            let est = estimate(input, ctx);
+            let cols = exprs.iter().map(|(e, _)| expr_est(e, &est)).collect();
+            PlanEst { rows: est.rows, cols }
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind, residual } => {
+            let l = estimate(left, ctx);
+            let r = estimate(right, ctx);
+            join_est(&l, &r, left_keys, right_keys, *kind, residual.as_ref())
+        }
+        Plan::Agg { input, group_by, aggs } => {
+            let est = estimate(input, ctx);
+            let groups = if group_by.is_empty() {
+                1.0
+            } else {
+                group_by
+                    .iter()
+                    .map(|&g| est.cols.get(g).map(|c| c.ndv).unwrap_or(est.rows))
+                    .product::<f64>()
+                    .min(est.rows)
+                    .max(1.0)
+            };
+            let mut cols: Vec<ColEst> =
+                group_by.iter().map(|&g| est.cols[g].capped(groups)).collect();
+            for _ in aggs {
+                cols.push(ColEst::unknown(groups));
+            }
+            PlanEst { rows: groups, cols }
+        }
+        Plan::Sort { input, .. } => estimate(input, ctx),
+        Plan::Limit { input, n } => {
+            let est = estimate(input, ctx);
+            let rows = est.rows.min(*n as f64);
+            let cols = est.cols.iter().map(|c| c.capped(rows)).collect();
+            PlanEst { rows, cols }
+        }
+        Plan::Distinct { input } => {
+            let est = estimate(input, ctx);
+            let rows = est.cols.iter().map(|c| c.ndv).product::<f64>().min(est.rows).max(1.0);
+            let cols = est.cols.iter().map(|c| c.capped(rows)).collect();
+            PlanEst { rows, cols }
+        }
+    }
+}
+
+/// Applies a predicate to an estimate: scales rows by the selectivity and
+/// narrows the bounds of columns pinned by literal conjuncts.
+fn apply_predicate(est: &PlanEst, predicate: &Expr) -> PlanEst {
+    let mut out = est.clone();
+    let mut conj = Vec::new();
+    split_conjuncts(predicate, &mut conj);
+    let mut sel = 1.0;
+    for c in &conj {
+        sel *= selectivity(c, &out.cols);
+        narrow(&mut out.cols, c);
+    }
+    out.rows = (est.rows * sel.clamp(1e-7, 1.0)).max(1.0);
+    let rows = out.rows;
+    for c in &mut out.cols {
+        c.ndv = c.ndv.min(rows);
+    }
+    out
+}
+
+/// Narrows column bounds for `col op literal` conjuncts.
+fn narrow(cols: &mut [ColEst], conj: &Expr) {
+    let lit = |e: &Expr| match e {
+        Expr::Lit(v) => value_ord(v),
+        _ => None,
+    };
+    match conj {
+        Expr::Cmp(op, a, b) => {
+            let (col, v, op) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), e) => match lit(e) {
+                    Some(v) => (*i, v, *op),
+                    None => return,
+                },
+                (e, Expr::Col(i)) => match lit(e) {
+                    Some(v) => (*i, v, flip(*op)),
+                    None => return,
+                },
+                _ => return,
+            };
+            let Some(c) = cols.get_mut(col) else { return };
+            match op {
+                CmpOp::Eq => {
+                    c.ndv = 1.0;
+                    c.lo = Some(v);
+                    c.hi = Some(v);
+                }
+                CmpOp::Lt | CmpOp::Le => c.hi = Some(c.hi.map_or(v, |h| h.min(v))),
+                CmpOp::Gt | CmpOp::Ge => c.lo = Some(c.lo.map_or(v, |l| l.max(v))),
+                CmpOp::Ne => {}
+            }
+        }
+        Expr::InList(e, vals) => {
+            if let Expr::Col(i) = e.as_ref() {
+                if let Some(c) = cols.get_mut(*i) {
+                    c.ndv = c.ndv.min(vals.len().max(1) as f64);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq | CmpOp::Ne => op,
+    }
+}
+
+/// Estimated shape of a scalar expression over an input estimate.
+fn expr_est(e: &Expr, input: &PlanEst) -> ColEst {
+    match e {
+        Expr::Col(i) => input.cols.get(*i).cloned().unwrap_or_else(|| ColEst::unknown(input.rows)),
+        Expr::Lit(v) => {
+            let o = value_ord(v);
+            ColEst { ndv: 1.0, lo: o, hi: o }
+        }
+        Expr::Year(a) => {
+            let inner = expr_est(a, input);
+            let year = |d: f64| 1970.0 + (d / 365.2425).floor();
+            let lo = inner.lo.map(year);
+            let hi = inner.hi.map(year);
+            let ndv = match (lo, hi) {
+                (Some(a), Some(b)) => (b - a + 1.0).max(1.0),
+                _ => inner.ndv.min(8.0),
+            };
+            ColEst { ndv, lo, hi }
+        }
+        Expr::Arith(op, a, b) => {
+            let (ea, eb) = (expr_est(a, input), expr_est(b, input));
+            let ndv = (ea.ndv * eb.ndv).min(input.rows.max(1.0));
+            let bounds = match (ea.lo, ea.hi, eb.lo, eb.hi) {
+                (Some(al), Some(ah), Some(bl), Some(bh)) => {
+                    use crate::expr::ArithOp::*;
+                    match op {
+                        Add => Some((al + bl, ah + bh)),
+                        Sub => Some((al - bh, ah - bl)),
+                        Mul => {
+                            let p = [al * bl, al * bh, ah * bl, ah * bh];
+                            Some((
+                                p.iter().cloned().fold(f64::MAX, f64::min),
+                                p.iter().cloned().fold(f64::MIN, f64::max),
+                            ))
+                        }
+                        Div => None,
+                    }
+                }
+                _ => None,
+            };
+            ColEst { ndv, lo: bounds.map(|b| b.0), hi: bounds.map(|b| b.1) }
+        }
+        Expr::Case(_, t, f) => {
+            let (et, ef) = (expr_est(t, input), expr_est(f, input));
+            ColEst {
+                ndv: (et.ndv + ef.ndv).min(input.rows.max(1.0)),
+                lo: match (et.lo, ef.lo) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    _ => None,
+                },
+                hi: match (et.hi, ef.hi) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                },
+            }
+        }
+        Expr::Substr(a, _, _) => {
+            let inner = expr_est(a, input);
+            ColEst { ndv: inner.ndv, lo: None, hi: None }
+        }
+        Expr::Cmp(..)
+        | Expr::And(..)
+        | Expr::Or(..)
+        | Expr::Not(_)
+        | Expr::StartsWith(..)
+        | Expr::EndsWith(..)
+        | Expr::Contains(..)
+        | Expr::ContainsWordSeq(..)
+        | Expr::InList(..)
+        | Expr::IsNull(_) => ColEst { ndv: 2.0, lo: Some(0.0), hi: Some(1.0) },
+    }
+}
+
+/// Textbook selectivity of a boolean expression against column estimates.
+fn selectivity(e: &Expr, cols: &[ColEst]) -> f64 {
+    let input = PlanEst { rows: f64::MAX, cols: cols.to_vec() };
+    let s = match e {
+        Expr::And(a, b) => selectivity(a, cols) * selectivity(b, cols),
+        Expr::Or(a, b) => {
+            let (x, y) = (selectivity(a, cols), selectivity(b, cols));
+            x + y - x * y
+        }
+        Expr::Not(a) => 1.0 - selectivity(a, cols),
+        Expr::Cmp(op, a, b) => cmp_selectivity(*op, a, b, &input),
+        Expr::InList(a, vals) => {
+            let ndv = expr_est(a, &input).ndv;
+            (vals.len() as f64 / ndv.max(1.0)).min(1.0)
+        }
+        Expr::StartsWith(..) | Expr::EndsWith(..) => 0.05,
+        Expr::Contains(..) => 0.1,
+        Expr::ContainsWordSeq(..) => 0.02,
+        Expr::IsNull(_) => 0.02,
+        Expr::Lit(Value::Bool(true)) => 1.0,
+        Expr::Lit(Value::Bool(false)) => 0.0,
+        _ => 1.0 / 3.0,
+    };
+    s.clamp(1e-7, 1.0)
+}
+
+fn cmp_selectivity(op: CmpOp, a: &Expr, b: &Expr, input: &PlanEst) -> f64 {
+    let (ea, eb) = (expr_est(a, input), expr_est(b, input));
+    // Column-to-column comparisons.
+    let a_is_col = !matches!(a, Expr::Lit(_));
+    let b_is_col = !matches!(b, Expr::Lit(_));
+    if a_is_col && b_is_col && eb.point().is_none() && ea.point().is_none() {
+        return match op {
+            CmpOp::Eq => 1.0 / ea.ndv.max(eb.ndv).max(1.0),
+            CmpOp::Ne => 1.0 - 1.0 / ea.ndv.max(eb.ndv).max(1.0),
+            _ => 1.0 / 3.0,
+        };
+    }
+    // Normalize to column-vs-point.
+    let (col, point, op) = if let Some(p) = eb.point() {
+        (ea, p, op)
+    } else if let Some(p) = ea.point() {
+        (eb, p, flip(op))
+    } else {
+        return 1.0 / 3.0;
+    };
+    match op {
+        CmpOp::Eq => match (col.lo, col.hi) {
+            (Some(lo), Some(hi)) if point < lo || point > hi => 1e-7,
+            _ => 1.0 / col.ndv.max(1.0),
+        },
+        CmpOp::Ne => 1.0 - 1.0 / col.ndv.max(1.0),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let (Some(lo), Some(hi)) = (col.lo, col.hi) else { return 1.0 / 3.0 };
+            if hi <= lo {
+                return 0.5;
+            }
+            let frac = ((point - lo) / (hi - lo)).clamp(0.0, 1.0);
+            match op {
+                CmpOp::Lt | CmpOp::Le => frac,
+                _ => 1.0 - frac,
+            }
+        }
+    }
+}
+
+/// Join cardinality: the standard `|L|·|R| / max(ndv(lk), ndv(rk))` for
+/// inner joins, match-probability forms for semi/anti, and the
+/// `max(inner, |L|)` floor for outer joins.
+fn join_est(
+    l: &PlanEst,
+    r: &PlanEst,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    residual: Option<&Expr>,
+) -> PlanEst {
+    // Composite-key NDV: the product of per-column NDVs, capped by the
+    // side's row count (multiplying per-column selectivities would wildly
+    // underestimate composite primary keys like partsupp's).
+    let mut nl = 1.0f64;
+    let mut nr = 1.0f64;
+    for (&lk, &rk) in left_keys.iter().zip(right_keys) {
+        nl *= l.cols.get(lk).map(|c| c.ndv).unwrap_or(l.rows);
+        nr *= r.cols.get(rk).map(|c| c.ndv).unwrap_or(r.rows);
+    }
+    let key_sel = 1.0 / nl.min(l.rows.max(1.0)).max(nr.min(r.rows.max(1.0))).max(1.0);
+    let res_sel = match residual {
+        Some(e) => {
+            let concat: Vec<ColEst> = l.cols.iter().chain(&r.cols).cloned().collect();
+            selectivity(e, &concat)
+        }
+        None => 1.0,
+    };
+    match kind {
+        JoinKind::Inner | JoinKind::LeftOuter => {
+            let mut rows = (l.rows * r.rows * key_sel * res_sel).max(1.0);
+            if kind == JoinKind::LeftOuter {
+                rows = rows.max(l.rows);
+            }
+            let cols = l.cols.iter().chain(&r.cols).map(|c| c.capped(rows)).collect();
+            PlanEst { rows, cols }
+        }
+        JoinKind::Semi | JoinKind::Anti => {
+            // Expected matches per left row; P(>=1 match) ~= min(1, expected).
+            let matches = (r.rows * key_sel * res_sel).min(1.0);
+            let frac = if kind == JoinKind::Semi { matches } else { 1.0 - matches };
+            let rows = (l.rows * frac.clamp(1e-3, 1.0)).max(1.0);
+            let cols = l.cols.iter().map(|c| c.capped(rows)).collect();
+            PlanEst { rows, cols }
+        }
+    }
+}
+
+/// `C_out`: sum of estimated output cardinalities over all operators.
+fn cost_walk(plan: &Plan, ctx: &Ctx) -> f64 {
+    let mut total = estimate(plan, ctx).rows;
+    for c in plan.children() {
+        total += cost_walk(c, ctx);
+    }
+    total
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: predicate pushdown
+// ---------------------------------------------------------------------
+
+/// A predicate in flight, remembering whether it crossed an operator.
+struct Pending {
+    expr: Expr,
+    moved: bool,
+}
+
+/// Pushes filter conjuncts as close to the scans as semantics allow.
+/// Returns the rewritten plan and the number of conjuncts that ended up
+/// strictly below the operator where they started.
+pub fn push_predicates(plan: &Plan, lookup: &impl Fn(&str) -> Schema) -> (Plan, usize) {
+    let mut moved = 0usize;
+    let out = push(plan, Vec::new(), lookup, &mut moved);
+    (out, moved)
+}
+
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::And(a, b) = e {
+        split_conjuncts(a, out);
+        split_conjuncts(b, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+fn all_opt(preds: Vec<Expr>) -> Option<Expr> {
+    if preds.is_empty() {
+        None
+    } else {
+        Some(Expr::all(preds))
+    }
+}
+
+/// Wraps `plan` with the still-pending predicates (in original order).
+fn settle(plan: Plan, preds: Vec<Pending>, moved: &mut usize) -> Plan {
+    *moved += preds.iter().filter(|p| p.moved).count();
+    match all_opt(preds.into_iter().map(|p| p.expr).collect()) {
+        Some(p) => Plan::filtered(plan, p),
+        None => plan,
+    }
+}
+
+fn mark(mut preds: Vec<Pending>) -> Vec<Pending> {
+    for p in &mut preds {
+        p.moved = true;
+    }
+    preds
+}
+
+fn push(
+    plan: &Plan,
+    mut preds: Vec<Pending>,
+    lookup: &impl Fn(&str) -> Schema,
+    moved: &mut usize,
+) -> Plan {
+    match plan {
+        Plan::Select { input, predicate } => {
+            let mut conj = Vec::new();
+            split_conjuncts(predicate, &mut conj);
+            preds.extend(conj.into_iter().map(|expr| Pending { expr, moved: false }));
+            push(input, preds, lookup, moved)
+        }
+        Plan::Project { input, exprs } => {
+            // Substitute output expressions into the predicates: valid for
+            // any pure projection, and lets the predicate keep sinking.
+            let substituted = preds
+                .into_iter()
+                .map(|p| Pending { expr: substitute(&p.expr, exprs), moved: true })
+                .collect();
+            let inner = push(input, substituted, lookup, moved);
+            Plan::projected(inner, exprs.clone())
+        }
+        Plan::Sort { input, keys } => {
+            // Filtering commutes with (stable) sorting.
+            let inner = push(input, mark(preds), lookup, moved);
+            Plan::Sort { input: Box::new(inner), keys: keys.clone() }
+        }
+        Plan::Distinct { input } => {
+            let inner = push(input, mark(preds), lookup, moved);
+            Plan::deduplicated(inner)
+        }
+        Plan::Limit { input, n } => {
+            // Filtering does not commute with a row limit.
+            let inner = push(input, Vec::new(), lookup, moved);
+            settle(Plan::limited(inner, *n), preds, moved)
+        }
+        Plan::Agg { input, group_by, aggs } => {
+            // Conjuncts over group-key outputs filter groups exactly like
+            // they filter input rows; aggregate outputs must stay above.
+            let mut below = Vec::new();
+            let mut above = Vec::new();
+            for p in preds {
+                let mut cols = Vec::new();
+                p.expr.collect_cols(&mut cols);
+                if !cols.is_empty() && cols.iter().all(|&c| c < group_by.len()) {
+                    let remap = p.expr.map_cols(&|c| group_by[c]);
+                    below.push(Pending { expr: remap, moved: true });
+                } else {
+                    above.push(p);
+                }
+            }
+            let inner = push(input, below, lookup, moved);
+            settle(Plan::aggregated(inner, group_by.clone(), aggs.clone()), above, moved)
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind, residual } => {
+            let l_arity = left.schema(lookup).len();
+            let mut left_preds = Vec::new();
+            let mut right_preds = Vec::new();
+            let mut above = Vec::new();
+            let right_pushable = *kind == JoinKind::Inner;
+            for p in preds {
+                let mut cols = Vec::new();
+                p.expr.collect_cols(&mut cols);
+                let left_only = cols.iter().all(|&c| c < l_arity);
+                let right_only = !cols.is_empty() && cols.iter().all(|&c| c >= l_arity);
+                if left_only && !cols.is_empty() {
+                    // Valid below every join kind: semi/anti/outer all
+                    // preserve left rows and values.
+                    left_preds.push(Pending { expr: p.expr, moved: true });
+                } else if right_only && right_pushable {
+                    let expr = p.expr.map_cols(&|c| c - l_arity);
+                    right_preds.push(Pending { expr, moved: true });
+                } else {
+                    above.push(p);
+                }
+            }
+            // Residual conjuncts referencing one side only can sink too
+            // (right side: every kind — non-matching rows never matched;
+            // left side: inner and semi joins only — for anti joins a
+            // false left conjunct *keeps* the row).
+            let mut keep_residual = Vec::new();
+            if let Some(res) = residual {
+                let mut conj = Vec::new();
+                split_conjuncts(res, &mut conj);
+                for c in conj {
+                    let mut cols = Vec::new();
+                    c.collect_cols(&mut cols);
+                    let left_only = !cols.is_empty() && cols.iter().all(|&x| x < l_arity);
+                    let right_only = !cols.is_empty() && cols.iter().all(|&x| x >= l_arity);
+                    if right_only && *kind != JoinKind::LeftOuter {
+                        right_preds
+                            .push(Pending { expr: c.map_cols(&|x| x - l_arity), moved: true });
+                    } else if left_only && matches!(kind, JoinKind::Inner | JoinKind::Semi) {
+                        left_preds.push(Pending { expr: c, moved: true });
+                    } else {
+                        keep_residual.push(c);
+                    }
+                }
+            }
+            let new_left = push(left, left_preds, lookup, moved);
+            let new_right = push(right, right_preds, lookup, moved);
+            let joined = Plan::hash_join(
+                new_left,
+                new_right,
+                left_keys.clone(),
+                right_keys.clone(),
+                *kind,
+                all_opt(keep_residual),
+            );
+            settle(joined, above, moved)
+        }
+        Plan::Scan { .. } => settle(plan.clone(), preds, moved),
+    }
+}
+
+/// Replaces `Col(i)` with the `i`-th projection expression (valid for any
+/// pure projection).
+fn substitute(e: &Expr, exprs: &[(Expr, String)]) -> Expr {
+    match e {
+        Expr::Col(i) => exprs[*i].0.clone(),
+        other => other.map_children(&|child| substitute(child, exprs)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: join regions — flatten, infer, reorder, emit
+// ---------------------------------------------------------------------
+
+struct RegionSummary {
+    naive_order: Vec<String>,
+    chosen_order: Vec<String>,
+    naive_cost: f64,
+    chosen_cost: f64,
+}
+
+#[derive(Default)]
+struct PassStats {
+    inferred: usize,
+    regions: Vec<RegionSummary>,
+}
+
+fn leaf_name(plan: &Plan) -> String {
+    match plan {
+        Plan::Scan { table } => table.clone(),
+        Plan::Select { input, .. } => leaf_name(input),
+        Plan::Project { .. } => "(project)".to_string(),
+        Plan::Agg { .. } => "(agg)".to_string(),
+        Plan::Distinct { .. } => "(distinct)".to_string(),
+        Plan::Sort { .. } => "(sort)".to_string(),
+        Plan::Limit { .. } => "(limit)".to_string(),
+        Plan::HashJoin { kind: JoinKind::LeftOuter, .. } => "(outerjoin)".to_string(),
+        Plan::HashJoin { .. } => "(join)".to_string(),
+    }
+}
+
+struct RegionLeaf {
+    plan: Plan,
+    schema: Schema,
+    offset: usize,
+    name: String,
+}
+
+struct UnaryJoin {
+    kind: JoinKind,
+    right: Plan,
+    /// Global left-side key columns.
+    left_keys: Vec<usize>,
+    /// Right-side key columns (right-relative).
+    right_keys: Vec<usize>,
+    /// Residual with left columns global and right columns encoded as
+    /// `RIGHT_BASE + c`.
+    residual: Option<Expr>,
+}
+
+struct Region {
+    leaves: Vec<RegionLeaf>,
+    /// Predicates in global coordinates (over the concatenation of all
+    /// leaves in syntactic order).
+    preds: Vec<Expr>,
+    /// Equi edges between global columns.
+    edges: Vec<(usize, usize)>,
+    unaries: Vec<UnaryJoin>,
+}
+
+impl Region {
+    fn total_arity(&self) -> usize {
+        self.leaves.last().map(|l| l.offset + l.schema.len()).unwrap_or(0)
+    }
+
+    fn leaf_of(&self, global: usize) -> usize {
+        self.leaves
+            .iter()
+            .rposition(|l| l.offset <= global)
+            .expect("global column below first leaf offset")
+    }
+
+    fn leaves_of_expr(&self, e: &Expr) -> Vec<usize> {
+        let mut cols = Vec::new();
+        e.collect_cols(&mut cols);
+        let mut ls: Vec<usize> =
+            cols.iter().filter(|&&c| c < RIGHT_BASE).map(|&c| self.leaf_of(c)).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    }
+}
+
+/// Transforms a plan bottom-up, rebuilding every join region it contains.
+fn reorder_node(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats) -> Plan {
+    if region_root(plan) {
+        if let Some(rebuilt) = rebuild_region(plan, ctx, passes, stats) {
+            return rebuilt;
+        }
+        // Infeasible (disconnected graph): keep the node, optimize below.
+    }
+    structural(plan, ctx, passes, stats)
+}
+
+/// True when the node heads a join region: a select/join spine reaching an
+/// inner, semi, or anti hash join.
+fn region_root(plan: &Plan) -> bool {
+    match plan {
+        Plan::Select { input, .. } => region_root(input),
+        Plan::HashJoin { kind, .. } => *kind != JoinKind::LeftOuter,
+        _ => false,
+    }
+}
+
+fn structural(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats) -> Plan {
+    let rec = |p: &Plan, stats: &mut PassStats| Box::new(reorder_node(p, ctx, passes, stats));
+    match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Select { input, predicate } => {
+            Plan::Select { input: rec(input, stats), predicate: predicate.clone() }
+        }
+        Plan::Project { input, exprs } => {
+            Plan::Project { input: rec(input, stats), exprs: exprs.clone() }
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind, residual } => Plan::HashJoin {
+            left: rec(left, stats),
+            right: rec(right, stats),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            kind: *kind,
+            residual: residual.clone(),
+        },
+        Plan::Agg { input, group_by, aggs } => {
+            Plan::Agg { input: rec(input, stats), group_by: group_by.clone(), aggs: aggs.clone() }
+        }
+        Plan::Sort { input, keys } => Plan::Sort { input: rec(input, stats), keys: keys.clone() },
+        Plan::Limit { input, n } => Plan::Limit { input: rec(input, stats), n: *n },
+        Plan::Distinct { input } => Plan::Distinct { input: rec(input, stats) },
+    }
+}
+
+/// Flattens the region headed at `plan`; returns the subtree arity.
+fn flatten(
+    plan: &Plan,
+    base: usize,
+    region: &mut Region,
+    ctx: &Ctx,
+    passes: Passes,
+    stats: &mut PassStats,
+) -> usize {
+    match plan {
+        Plan::Select { input, predicate } => {
+            let arity = flatten(input, base, region, ctx, passes, stats);
+            let mut conj = Vec::new();
+            split_conjuncts(predicate, &mut conj);
+            for c in conj {
+                region.preds.push(c.map_cols(&|i| i + base));
+            }
+            arity
+        }
+        Plan::HashJoin { left, right, left_keys, right_keys, kind: JoinKind::Inner, residual } => {
+            let la = flatten(left, base, region, ctx, passes, stats);
+            let ra = flatten(right, base + la, region, ctx, passes, stats);
+            for (&lk, &rk) in left_keys.iter().zip(right_keys) {
+                region.edges.push((base + lk, base + la + rk));
+            }
+            if let Some(res) = residual {
+                let mut conj = Vec::new();
+                split_conjuncts(res, &mut conj);
+                for c in conj {
+                    region.preds.push(c.map_cols(&|i| i + base));
+                }
+            }
+            la + ra
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind: kind @ (JoinKind::Semi | JoinKind::Anti),
+            residual,
+        } => {
+            let la = flatten(left, base, region, ctx, passes, stats);
+            let right_opt = reorder_node(right, ctx, passes, stats);
+            region.unaries.push(UnaryJoin {
+                kind: *kind,
+                right: right_opt,
+                left_keys: left_keys.iter().map(|&k| base + k).collect(),
+                right_keys: right_keys.clone(),
+                residual: residual.as_ref().map(|r| {
+                    r.map_cols(&|c| if c < la { base + c } else { RIGHT_BASE + (c - la) })
+                }),
+            });
+            la
+        }
+        other => {
+            let sub = reorder_node(other, ctx, passes, stats);
+            let schema = sub.schema(&|t: &str| ctx.schema(t));
+            let arity = schema.len();
+            region.leaves.push(RegionLeaf {
+                name: leaf_name(&sub),
+                plan: sub,
+                schema,
+                offset: base,
+            });
+            arity
+        }
+    }
+}
+
+/// Rebuilds one join region: leaf predicates re-attached, inferred
+/// predicates added, join order chosen by DP (or kept syntactic), and
+/// semi/anti joins re-applied at their earliest feasible point. Returns
+/// `None` when the region's join graph cannot be emitted left-deep
+/// (disconnected), in which case the caller keeps the original shape.
+fn rebuild_region(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats) -> Option<Plan> {
+    let mut region =
+        Region { leaves: Vec::new(), preds: Vec::new(), edges: Vec::new(), unaries: Vec::new() };
+    flatten(plan, 0, &mut region, ctx, passes, stats);
+    let n = region.leaves.len();
+    if n >= 64 {
+        // Subsets are u64 bitsets; a region this wide keeps its original
+        // shape (the caller recurses into the children instead).
+        return None;
+    }
+    let total = region.total_arity();
+
+    // Promote cross-leaf equality predicates to edges.
+    let mut preds = Vec::new();
+    for p in std::mem::take(&mut region.preds) {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = &p {
+            if let (Expr::Col(x), Expr::Col(y)) = (a.as_ref(), b.as_ref()) {
+                if region.leaf_of(*x) != region.leaf_of(*y) {
+                    region.edges.push((*x, *y));
+                    continue;
+                }
+            }
+        }
+        preds.push(p);
+    }
+    region.preds = preds;
+
+    // Cross-conjunct inference over join-key equivalence classes.
+    if passes.inference {
+        stats.inferred += infer_predicates(&mut region);
+    }
+
+    // Partition predicates: single-leaf ones attach to their leaf.
+    let mut leaf_preds: Vec<Vec<Expr>> = vec![Vec::new(); n];
+    let mut joint_preds: Vec<Expr> = Vec::new();
+    for p in std::mem::take(&mut region.preds) {
+        match region.leaves_of_expr(&p).as_slice() {
+            [single] => {
+                let off = region.leaves[*single].offset;
+                leaf_preds[*single].push(p.map_cols(&|c| c - off));
+            }
+            _ => joint_preds.push(p),
+        }
+    }
+
+    // Leaf estimates (with their attached predicates applied).
+    let leaf_ests: Vec<PlanEst> = region
+        .leaves
+        .iter()
+        .enumerate()
+        .map(|(i, leaf)| {
+            let mut est = estimate(&leaf.plan, ctx);
+            for p in &leaf_preds[i] {
+                est = apply_predicate(&est, p);
+            }
+            est
+        })
+        .collect();
+
+    // Join graph: per-pair selectivity from the equi edges.
+    let col_est = |g: usize| -> ColEst {
+        let leaf = region.leaf_of(g);
+        let local = g - region.leaves[leaf].offset;
+        leaf_ests[leaf].cols.get(local).cloned().unwrap_or_else(|| ColEst::unknown(1.0))
+    };
+    let mut adj = vec![vec![false; n]; n];
+    let mut pair_edges: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for &(a, b) in &region.edges {
+        let (la, lb) = (region.leaf_of(a), region.leaf_of(b));
+        if la == lb {
+            continue;
+        }
+        adj[la][lb] = true;
+        adj[lb][la] = true;
+        let (key, cols) = if la < lb { ((la, lb), (a, b)) } else { ((lb, la), (b, a)) };
+        pair_edges.entry(key).or_default().push(cols);
+    }
+    // Per-pair selectivity with the composite-key rule: the product of
+    // per-column NDVs capped by the side's row count (same as `join_est`).
+    let mut pair_sel = vec![vec![1.0f64; n]; n];
+    for (&(la, lb), edges) in &pair_edges {
+        let mut na = 1.0f64;
+        let mut nb = 1.0f64;
+        for &(a, b) in edges {
+            na *= col_est(a).ndv;
+            nb *= col_est(b).ndv;
+        }
+        let s = 1.0
+            / na.min(leaf_ests[la].rows.max(1.0)).max(nb.min(leaf_ests[lb].rows.max(1.0))).max(1.0);
+        pair_sel[la][lb] = s;
+        pair_sel[lb][la] = s;
+    }
+    // Joint predicates contribute selectivity once all their leaves meet.
+    let global_cols: Vec<ColEst> = (0..total).map(col_est).collect();
+    let joint: Vec<(Vec<usize>, f64)> = joint_preds
+        .iter()
+        .map(|p| (region.leaves_of_expr(p), selectivity(p, &global_cols)))
+        .collect();
+
+    let card = |set: u64, memo: &mut HashMap<u64, f64>| -> f64 {
+        if let Some(&c) = memo.get(&set) {
+            return c;
+        }
+        let mut rows = 1.0f64;
+        for (i, est) in leaf_ests.iter().enumerate() {
+            if set & (1 << i) != 0 {
+                rows *= est.rows;
+            }
+        }
+        for (i, row) in pair_sel.iter().enumerate() {
+            for (j, &sel) in row.iter().enumerate().skip(i + 1) {
+                if set & (1 << i) != 0 && set & (1 << j) != 0 {
+                    rows *= sel;
+                }
+            }
+        }
+        for (leaves, sel) in &joint {
+            if leaves.len() >= 2 && leaves.iter().all(|&l| set & (1 << l) != 0) {
+                rows *= sel;
+            }
+        }
+        let rows = rows.max(1.0);
+        memo.insert(set, rows);
+        rows
+    };
+
+    let connected =
+        |i: usize, set: u64| -> bool { (0..n).any(|j| set & (1 << j) != 0 && adj[i][j]) };
+
+    let mut memo = HashMap::new();
+    let order_cost = |order: &[usize], memo: &mut HashMap<u64, f64>| -> Option<f64> {
+        let mut set = 1u64 << order[0];
+        let mut cost = 0.0;
+        for &next in &order[1..] {
+            if !connected(next, set) {
+                return None;
+            }
+            set |= 1 << next;
+            cost += card(set, memo);
+        }
+        Some(cost)
+    };
+
+    let naive_order: Vec<usize> = (0..n).collect();
+    let naive_cost = order_cost(&naive_order, &mut memo);
+
+    let chosen: Vec<usize> = if n <= 1 || !passes.join_reorder {
+        naive_order.clone()
+    } else if n <= DP_LIMIT {
+        best_order_dp(n, &card, &connected, &mut memo)?
+    } else {
+        best_order_greedy(n, &leaf_ests, &card, &connected, &mut memo)?
+    };
+    let chosen_cost = order_cost(&chosen, &mut memo)?;
+
+    // When the syntactic order is feasible and not worse, keep it — stable
+    // plans beat churn on ties.
+    let (chosen, chosen_cost) = match naive_cost {
+        Some(nc) if nc <= chosen_cost => (naive_order.clone(), nc),
+        _ => (chosen, chosen_cost),
+    };
+
+    let emitted = emit_region(&region, leaf_preds, joint_preds, &chosen)?;
+    stats.regions.push(RegionSummary {
+        naive_order: region.leaves.iter().map(|l| l.name.clone()).collect(),
+        chosen_order: chosen.iter().map(|&i| region.leaves[i].name.clone()).collect(),
+        naive_cost: naive_cost.unwrap_or(f64::INFINITY),
+        chosen_cost,
+    });
+    Some(emitted)
+}
+
+/// Exhaustive left-deep DP over connected subsets.
+fn best_order_dp(
+    n: usize,
+    card: &impl Fn(u64, &mut HashMap<u64, f64>) -> f64,
+    connected: &impl Fn(usize, u64) -> bool,
+    memo: &mut HashMap<u64, f64>,
+) -> Option<Vec<usize>> {
+    let full = (1u64 << n) - 1;
+    let mut dp: HashMap<u64, (f64, Vec<usize>)> = HashMap::new();
+    for i in 0..n {
+        dp.insert(1 << i, (0.0, vec![i]));
+    }
+    for set in 1..=full {
+        if set.count_ones() < 2 || !dp_feasible(set, &dp) {
+            continue;
+        }
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for last in 0..n {
+            if set & (1 << last) == 0 {
+                continue;
+            }
+            let rest = set & !(1 << last);
+            let Some((rest_cost, rest_order)) = dp.get(&rest) else { continue };
+            if !connected(last, rest) {
+                continue;
+            }
+            let cost = rest_cost + card(set, memo);
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                let mut order = rest_order.clone();
+                order.push(last);
+                best = Some((cost, order));
+            }
+        }
+        if let Some(b) = best {
+            dp.insert(set, b);
+        }
+    }
+    dp.remove(&full).map(|(_, order)| order)
+}
+
+fn dp_feasible(set: u64, dp: &HashMap<u64, (f64, Vec<usize>)>) -> bool {
+    // A subset is worth solving if removing some element leaves a solved set.
+    let mut s = set;
+    while s != 0 {
+        let bit = s & s.wrapping_neg();
+        if dp.contains_key(&(set & !bit)) {
+            return true;
+        }
+        s &= !bit;
+    }
+    false
+}
+
+/// Greedy construction for oversized regions: start from the smallest
+/// relation, repeatedly append the connected relation with the cheapest
+/// intermediate result.
+fn best_order_greedy(
+    n: usize,
+    leaf_ests: &[PlanEst],
+    card: &impl Fn(u64, &mut HashMap<u64, f64>) -> f64,
+    connected: &impl Fn(usize, u64) -> bool,
+    memo: &mut HashMap<u64, f64>,
+) -> Option<Vec<usize>> {
+    let first = (0..n).min_by(|&a, &b| {
+        leaf_ests[a].rows.partial_cmp(&leaf_ests[b].rows).expect("row estimates are finite")
+    })?;
+    let mut order = vec![first];
+    let mut set = 1u64 << first;
+    while order.len() < n {
+        let next =
+            (0..n).filter(|&i| set & (1 << i) == 0 && connected(i, set)).min_by(|&a, &b| {
+                let ca = card(set | (1 << a), memo);
+                let cb = card(set | (1 << b), memo);
+                ca.partial_cmp(&cb).expect("cardinalities are finite")
+            })?;
+        set |= 1 << next;
+        order.push(next);
+    }
+    Some(order)
+}
+
+/// Copies single-column literal predicates across join-key equivalence
+/// classes; returns how many were added.
+fn infer_predicates(region: &mut Region) -> usize {
+    let total = region.total_arity();
+    if total == 0 {
+        return 0;
+    }
+    // Union-find over global columns.
+    let mut parent: Vec<usize> = (0..total).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for &(a, b) in &region.edges.clone() {
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let transferable = |p: &Expr| -> Option<usize> {
+        match p {
+            Expr::Cmp(_, a, b) => match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Lit(_)) | (Expr::Lit(_), Expr::Col(i)) => Some(*i),
+                _ => None,
+            },
+            Expr::InList(a, _) => match a.as_ref() {
+                Expr::Col(i) => Some(*i),
+                _ => None,
+            },
+            _ => None,
+        }
+    };
+    let mut added = 0;
+    let existing = region.preds.clone();
+    let mut new_preds = Vec::new();
+    for p in &existing {
+        let Some(col) = transferable(p) else { continue };
+        let root = find(&mut parent, col);
+        for other in 0..total {
+            if other == col || find(&mut parent, other) != root {
+                continue;
+            }
+            if region.leaf_of(other) == region.leaf_of(col) {
+                continue;
+            }
+            let copy = p.map_cols(&|_| other);
+            if existing.contains(&copy) || new_preds.contains(&copy) {
+                continue;
+            }
+            new_preds.push(copy);
+            added += 1;
+        }
+    }
+    region.preds.extend(new_preds);
+    added
+}
+
+/// Emits the chosen left-deep order, re-attaching predicates and semi/anti
+/// joins at their earliest feasible point, and restoring the original
+/// column order with a final projection.
+fn emit_region(
+    region: &Region,
+    leaf_preds: Vec<Vec<Expr>>,
+    joint_preds: Vec<Expr>,
+    order: &[usize],
+) -> Option<Plan> {
+    let total = region.total_arity();
+    let leaf_plan = |i: usize| -> Plan {
+        let leaf = &region.leaves[i];
+        match all_opt(leaf_preds[i].clone()) {
+            Some(p) => Plan::filtered(leaf.plan.clone(), p),
+            None => leaf.plan.clone(),
+        }
+    };
+    let leaf_range =
+        |i: usize| region.leaves[i].offset..region.leaves[i].offset + region.leaves[i].schema.len();
+
+    // pos[g] = position of global column g in the current output.
+    let mut pos: HashMap<usize, usize> = HashMap::new();
+    let mut current = leaf_plan(order[0]);
+    let mut arity = 0usize;
+    for g in leaf_range(order[0]) {
+        pos.insert(g, arity);
+        arity += 1;
+    }
+
+    let mut joint_pending: Vec<Option<Expr>> = joint_preds.into_iter().map(Some).collect();
+    let mut unary_pending: Vec<bool> = vec![true; region.unaries.len()];
+
+    let placed_cols = |pos: &HashMap<usize, usize>, e: &Expr| -> bool {
+        let mut cols = Vec::new();
+        e.collect_cols(&mut cols);
+        cols.iter().all(|c| *c >= RIGHT_BASE || pos.contains_key(c))
+    };
+
+    // Applies every unary op whose columns are all available.
+    fn apply_unaries(
+        region: &Region,
+        unary_pending: &mut [bool],
+        pos: &HashMap<usize, usize>,
+        arity: usize,
+        mut current: Plan,
+    ) -> Plan {
+        for (u, pending) in region.unaries.iter().zip(unary_pending.iter_mut()) {
+            if !*pending {
+                continue;
+            }
+            let keys_ok = u.left_keys.iter().all(|k| pos.contains_key(k));
+            let res_ok = u.residual.as_ref().is_none_or(|r| {
+                let mut cols = Vec::new();
+                r.collect_cols(&mut cols);
+                cols.iter().all(|c| *c >= RIGHT_BASE || pos.contains_key(c))
+            });
+            if !(keys_ok && res_ok) {
+                continue;
+            }
+            let left_keys = u.left_keys.iter().map(|k| pos[k]).collect();
+            let residual = u.residual.as_ref().map(|r| {
+                r.map_cols(&|c| if c >= RIGHT_BASE { arity + (c - RIGHT_BASE) } else { pos[&c] })
+            });
+            current = Plan::hash_join(
+                current,
+                u.right.clone(),
+                left_keys,
+                u.right_keys.clone(),
+                u.kind,
+                residual,
+            );
+            *pending = false;
+        }
+        current
+    }
+
+    current = apply_unaries(region, &mut unary_pending, &pos, arity, current);
+
+    for &next in &order[1..] {
+        // Keys: every edge between the placed set and the incoming leaf.
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let next_range = leaf_range(next);
+        for &(a, b) in &region.edges {
+            let (g_placed, g_next) = if next_range.contains(&a) && pos.contains_key(&b) {
+                (b, a)
+            } else if next_range.contains(&b) && pos.contains_key(&a) {
+                (a, b)
+            } else {
+                continue;
+            };
+            let lk = pos[&g_placed];
+            let rk = g_next - region.leaves[next].offset;
+            let duplicate = left_keys
+                .iter()
+                .zip(&right_keys)
+                .any(|(&l, &r): (&usize, &usize)| l == lk && r == rk);
+            if !duplicate {
+                left_keys.push(lk);
+                right_keys.push(rk);
+            }
+        }
+        if left_keys.is_empty() {
+            return None; // disconnected: caller keeps the original shape
+        }
+        // Joint predicates that become closed by this leaf ride as the
+        // join's residual.
+        let mut residual = Vec::new();
+        let next_off = region.leaves[next].offset;
+        let next_len = region.leaves[next].schema.len();
+        for slot in joint_pending.iter_mut() {
+            let Some(p) = slot else { continue };
+            let mut cols = Vec::new();
+            p.collect_cols(&mut cols);
+            let closed = cols
+                .iter()
+                .all(|&c| pos.contains_key(&c) || (c >= next_off && c < next_off + next_len));
+            let uses_next = cols.iter().any(|&c| c >= next_off && c < next_off + next_len);
+            if closed && uses_next {
+                let p = p.map_cols(&|c| {
+                    if c >= next_off && c < next_off + next_len {
+                        arity + (c - next_off)
+                    } else {
+                        pos[&c]
+                    }
+                });
+                residual.push(p);
+                *slot = None;
+            }
+        }
+        current = Plan::hash_join(
+            current,
+            leaf_plan(next),
+            left_keys,
+            right_keys,
+            JoinKind::Inner,
+            all_opt(residual),
+        );
+        for g in leaf_range(next) {
+            pos.insert(g, arity);
+            arity += 1;
+        }
+        current = apply_unaries(region, &mut unary_pending, &pos, arity, current);
+    }
+
+    // Any joint predicate not closed by a join step (single-leaf regions,
+    // or predicates over one leaf plus semi-hidden columns) applies now.
+    let leftovers: Vec<Expr> = joint_pending
+        .iter()
+        .flatten()
+        .map(|p| {
+            debug_assert!(placed_cols(&pos, p), "unplaced predicate column");
+            p.map_cols(&|c| pos[&c])
+        })
+        .collect();
+    if let Some(p) = all_opt(leftovers) {
+        current = Plan::filtered(current, p);
+    }
+    if unary_pending.iter().any(|&p| p) {
+        return None; // a semi/anti join could not be re-attached
+    }
+
+    // Restore the original column order.
+    let identity = (0..total).all(|g| pos.get(&g) == Some(&g));
+    if !identity {
+        let mut exprs: Vec<(Expr, String)> = Vec::with_capacity(total);
+        for leaf in &region.leaves {
+            for (c, f) in leaf.schema.fields.iter().enumerate() {
+                exprs.push((Expr::Col(pos[&(leaf.offset + c)]), f.name.clone()));
+            }
+        }
+        current = Plan::projected(current, exprs);
+    }
+    Some(current)
+}
+
+// ---------------------------------------------------------------------
+// Stage driver
+// ---------------------------------------------------------------------
+
+fn rewrite_stage(plan: &Plan, ctx: &Ctx, passes: Passes, label: &str) -> (Plan, StageReport) {
+    let lookup = |t: &str| ctx.schema(t);
+    let (plan, pushed) =
+        if passes.pushdown { push_predicates(plan, &lookup) } else { (plan.clone(), 0) };
+    let mut stats = PassStats::default();
+    let plan = reorder_node(&plan, ctx, passes, &mut stats);
+    let est_rows = estimate(&plan, ctx).rows;
+    // Report the largest region of the stage (the interesting one).
+    let main = stats.regions.into_iter().max_by_key(|r| r.naive_order.len());
+    let (naive_order, chosen_order, naive_cost, chosen_cost) = match main {
+        Some(r) => (r.naive_order, r.chosen_order, r.naive_cost, r.chosen_cost),
+        None => (Vec::new(), Vec::new(), 0.0, 0.0),
+    };
+    (
+        plan,
+        StageReport {
+            stage: label.to_string(),
+            naive_order,
+            chosen_order,
+            naive_cost,
+            chosen_cost,
+            pushed_predicates: pushed,
+            inferred_predicates: stats.inferred,
+            est_rows,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use legobase_storage::{ColumnStats, Field, TableMeta, TableStatistics, Type};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, cols, rows) in [
+            ("big", vec![("b_id", Type::Int), ("b_fk", Type::Int), ("b_x", Type::Int)], 10_000),
+            ("mid", vec![("m_id", Type::Int), ("m_fk", Type::Int), ("m_y", Type::Int)], 1_000),
+            ("small", vec![("s_id", Type::Int), ("s_z", Type::Int)], 10),
+        ] {
+            let schema = Schema::new(cols.iter().map(|(n, t)| Field::new(n, *t)).collect());
+            let arity = schema.len();
+            cat.add(TableMeta::new(name, schema));
+            let mut stats_cols =
+                vec![ColumnStats::new(rows, Some(Value::Int(1)), Some(Value::Int(rows as i64)))];
+            for _ in 1..arity {
+                stats_cols.push(ColumnStats::new(
+                    (rows / 10).max(2),
+                    Some(Value::Int(0)),
+                    Some(Value::Int(100)),
+                ));
+            }
+            cat.set_stats(name, TableStatistics::analytic(rows, stats_cols));
+        }
+        cat
+    }
+
+    fn q(root: Plan) -> QueryPlan {
+        QueryPlan::new("t", root)
+    }
+
+    #[test]
+    fn estimates_follow_stats() {
+        let cat = catalog();
+        let scan = q(Plan::scan("big"));
+        assert_eq!(estimated_rows(&scan, &cat), 10_000.0);
+        // Equality on the unique key: one row.
+        let filtered =
+            q(Plan::filtered(Plan::scan("big"), Expr::eq(Expr::col(0), Expr::lit(5i64))));
+        assert!(estimated_rows(&filtered, &cat) < 2.0);
+        // Range halves.
+        let half =
+            q(Plan::filtered(Plan::scan("big"), Expr::lt(Expr::col(0), Expr::lit(5_000i64))));
+        let rows = estimated_rows(&half, &cat);
+        assert!((rows - 5_000.0).abs() < 500.0, "{rows}");
+        // Out-of-bounds equality: nearly zero.
+        let out =
+            q(Plan::filtered(Plan::scan("big"), Expr::eq(Expr::col(0), Expr::lit(999_999i64))));
+        assert!(estimated_rows(&out, &cat) <= 1.0);
+    }
+
+    #[test]
+    fn join_estimate_uses_key_ndv() {
+        let cat = catalog();
+        // big.b_fk (ndv 1000) joins mid.m_id (ndv 1000): 10k * 1k / 1k.
+        let join = q(Plan::hash_join(
+            Plan::scan("mid"),
+            Plan::scan("big"),
+            vec![0],
+            vec![1],
+            JoinKind::Inner,
+            None,
+        ));
+        let rows = estimated_rows(&join, &cat);
+        assert!((rows - 10_000.0).abs() < 2_000.0, "{rows}");
+    }
+
+    #[test]
+    fn pushdown_moves_filter_below_join() {
+        let cat = catalog();
+        let lookup = |t: &str| cat.table(t).schema.clone();
+        // Select over join, predicate on the right side only.
+        let join = Plan::hash_join(
+            Plan::scan("mid"),
+            Plan::scan("big"),
+            vec![0],
+            vec![1],
+            JoinKind::Inner,
+            None,
+        );
+        let plan = Plan::filtered(join, Expr::eq(Expr::col(3), Expr::lit(7i64)));
+        let (pushed, n) = push_predicates(&plan, &lookup);
+        assert_eq!(n, 1);
+        // The filter must now sit on the scan of `big`.
+        let Plan::HashJoin { right, .. } = &pushed else { panic!("join expected: {pushed:?}") };
+        let Plan::Select { input, predicate } = right.as_ref() else {
+            panic!("pushed select expected: {pushed:?}")
+        };
+        assert_eq!(**input, Plan::scan("big"));
+        assert_eq!(*predicate, Expr::eq(Expr::col(0), Expr::lit(7i64)));
+    }
+
+    #[test]
+    fn pushdown_respects_outer_and_limit() {
+        let cat = catalog();
+        let lookup = |t: &str| cat.table(t).schema.clone();
+        let join = Plan::hash_join(
+            Plan::scan("mid"),
+            Plan::scan("big"),
+            vec![0],
+            vec![1],
+            JoinKind::LeftOuter,
+            None,
+        );
+        let plan = Plan::filtered(join, Expr::eq(Expr::col(3), Expr::lit(7i64)));
+        let (pushed, n) = push_predicates(&plan, &lookup);
+        assert_eq!(n, 0, "right side of an outer join must not receive filters");
+        assert!(matches!(pushed, Plan::Select { .. }));
+
+        let limited = Plan::limited(Plan::scan("big"), 5);
+        let plan = Plan::filtered(limited, Expr::eq(Expr::col(0), Expr::lit(1i64)));
+        let (pushed, n) = push_predicates(&plan, &lookup);
+        assert_eq!(n, 0, "filters must not cross LIMIT");
+        assert!(matches!(pushed, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn reorder_puts_selective_side_first() {
+        let cat = catalog();
+        // Syntactic order big ⋈ mid ⋈ small; mid→small and big→mid edges.
+        // Cost-wise the small end should start the chain.
+        let j1 = Plan::hash_join(
+            Plan::scan("big"),
+            Plan::scan("mid"),
+            vec![1],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        );
+        let j2 = Plan::hash_join(j1, Plan::scan("small"), vec![4], vec![0], JoinKind::Inner, None);
+        let (opt, report) = optimize(&q(j2), &cat);
+        let root = report.root();
+        assert_eq!(root.naive_order, vec!["big", "mid", "small"]);
+        assert!(root.chosen_cost <= root.naive_cost);
+        // The optimized plan must compute the same schema (restored order).
+        let lookup = |t: &str| cat.table(t).schema.clone();
+        let orig_schema = q(Plan::hash_join(
+            Plan::hash_join(
+                Plan::scan("big"),
+                Plan::scan("mid"),
+                vec![1],
+                vec![0],
+                JoinKind::Inner,
+                None,
+            ),
+            Plan::scan("small"),
+            vec![4],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        ))
+        .root
+        .schema(&lookup);
+        assert_eq!(opt.root.schema(&lookup), orig_schema);
+    }
+
+    #[test]
+    fn inference_copies_key_literals() {
+        let cat = catalog();
+        let join = Plan::hash_join(
+            Plan::scan("mid"),
+            Plan::scan("big"),
+            vec![0],
+            vec![1],
+            JoinKind::Inner,
+            None,
+        );
+        // m_id = 3 propagates to b_fk = 3 across the join key.
+        let plan = Plan::filtered(join, Expr::eq(Expr::col(0), Expr::lit(3i64)));
+        let (_, report) = optimize(&q(plan), &cat);
+        assert_eq!(report.inferred(), 1);
+    }
+
+    #[test]
+    fn semi_join_reattaches() {
+        let cat = catalog();
+        let inner = Plan::hash_join(
+            Plan::scan("big"),
+            Plan::scan("mid"),
+            vec![1],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        );
+        let semi =
+            Plan::hash_join(inner, Plan::scan("small"), vec![0], vec![0], JoinKind::Semi, None);
+        let (opt, _) = optimize(&q(semi), &cat);
+        let mut semis = 0;
+        opt.root.walk(&mut |p| {
+            if let Plan::HashJoin { kind: JoinKind::Semi, .. } = p {
+                semis += 1;
+            }
+        });
+        assert_eq!(semis, 1, "{:?}", opt.root);
+    }
+
+    #[test]
+    fn cost_model_is_consistent() {
+        let cat = catalog();
+        let join = |l: Plan, r: Plan, lk: usize, rk: usize| {
+            Plan::hash_join(l, r, vec![lk], vec![rk], JoinKind::Inner, None)
+        };
+        let naive =
+            q(join(join(Plan::scan("big"), Plan::scan("mid"), 1, 0), Plan::scan("small"), 4, 0));
+        let (opt, _) = optimize(&naive, &cat);
+        assert!(estimated_cost(&opt, &cat) <= estimated_cost(&naive, &cat) * 1.01);
+    }
+}

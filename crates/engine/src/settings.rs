@@ -64,6 +64,13 @@ pub struct Settings {
     /// (per-morsel local sort + deterministic k-way merge). Same gating and
     /// decision flow as [`Settings::parallel_joins`].
     pub parallel_sorts: bool,
+    /// Runs the cost-based logical optimizer (predicate pushdown,
+    /// cross-conjunct inference, join reordering — `crate::optimizer`) on
+    /// plans arriving from the SQL frontend's naive lowering. Defaults to
+    /// `true` for every named [`Config`]; hand-built plans are never
+    /// rewritten (they are the oracle the optimizer is measured against).
+    /// CI's off-leg sets the `LEGOBASE_OPTIMIZE=0` environment override.
+    pub optimize: bool,
 }
 
 impl Settings {
@@ -83,6 +90,7 @@ impl Settings {
             parallelism: 1,
             parallel_joins: true,
             parallel_sorts: true,
+            optimize: true,
         }
     }
 
@@ -102,6 +110,7 @@ impl Settings {
             parallelism: 1,
             parallel_joins: true,
             parallel_sorts: true,
+            optimize: true,
         }
     }
 
@@ -234,6 +243,16 @@ mod tests {
         }
         assert_eq!(Settings::optimized().with_parallelism(4).parallelism, 4);
         assert_eq!(Settings::optimized().with_parallelism(0).parallelism, 1);
+    }
+
+    /// The cost-based optimizer is on by default in every configuration —
+    /// SQL text always benefits unless explicitly ablated.
+    #[test]
+    fn optimizer_defaults_on() {
+        for c in Config::ALL {
+            assert!(c.settings().optimize, "{c:?} must default to optimize");
+        }
+        assert!(!Settings::optimized().with(|s| s.optimize = false).optimize);
     }
 
     #[test]

@@ -1,12 +1,15 @@
--- TPC-H Q5: local supplier volume. The c_nationkey = s_nationkey condition
--- rides in the supplier ON clause (the hand plan keeps it as a residual).
+-- TPC-H Q5: local supplier volume. The FROM clause is written dimension-
+-- tables-first — NOT the hand-built plan's customer→orders→lineitem order —
+-- so the naive lowering produces a genuinely unoptimized join order that the
+-- cost-based optimizer must fix. The c_nationkey = s_nationkey condition
+-- rides in the customer ON clause.
 SELECT n_name, sum(l_extendedprice * (1.00 - l_discount)) AS revenue
-FROM customer
-JOIN orders ON c_custkey = o_custkey
-JOIN lineitem ON o_orderkey = l_orderkey
-JOIN supplier ON l_suppkey = s_suppkey AND c_nationkey = s_nationkey
-JOIN nation ON s_nationkey = n_nationkey
-JOIN region ON n_regionkey = r_regionkey
+FROM region
+JOIN nation ON n_regionkey = r_regionkey
+JOIN supplier ON s_nationkey = n_nationkey
+JOIN lineitem ON l_suppkey = s_suppkey
+JOIN orders ON o_orderkey = l_orderkey
+JOIN customer ON c_custkey = o_custkey AND c_nationkey = s_nationkey
 WHERE r_name = 'ASIA'
   AND o_orderdate >= DATE '1994-01-01'
   AND o_orderdate < DATE '1995-01-01'

@@ -1,15 +1,17 @@
 -- TPC-H Q7: volume shipping between France and Germany. The nation
--- self-join needs range variables (n1, n2).
+-- self-join needs range variables (n1, n2). Written nation-first — not the
+-- hand-built supplier→lineitem order — leaving join ordering to the
+-- optimizer.
 SELECT
   n1.n_name AS supp_nation,
   n2.n_name AS cust_nation,
   extract(year FROM l_shipdate) AS l_year,
   sum(l_extendedprice * (1.00 - l_discount)) AS revenue
-FROM supplier
-JOIN lineitem ON s_suppkey = l_suppkey
+FROM nation n1
+JOIN supplier ON s_nationkey = n1.n_nationkey
+JOIN lineitem ON l_suppkey = s_suppkey
 JOIN orders ON l_orderkey = o_orderkey
 JOIN customer ON o_custkey = c_custkey
-JOIN nation n1 ON s_nationkey = n1.n_nationkey
 JOIN nation n2 ON c_nationkey = n2.n_nationkey
 WHERE l_shipdate >= DATE '1995-01-01'
   AND l_shipdate <= DATE '1996-12-31'

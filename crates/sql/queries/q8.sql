@@ -1,17 +1,20 @@
--- TPC-H Q8: national market share.
+-- TPC-H Q8: national market share. Written lineitem-first (the biggest
+-- relation!) — the worst reasonable starting point, exercising the
+-- optimizer's join reordering; the hand-built plan starts from the highly
+-- selective part filter instead.
 SELECT
   extract(year FROM o_orderdate) AS o_year,
   sum(CASE WHEN n2.n_name = 'BRAZIL'
       THEN l_extendedprice * (1.00 - l_discount) ELSE 0.00 END)
     / sum(l_extendedprice * (1.00 - l_discount)) AS mkt_share
-FROM part
-JOIN lineitem ON p_partkey = l_partkey
-JOIN supplier ON l_suppkey = s_suppkey
+FROM lineitem
 JOIN orders ON l_orderkey = o_orderkey
 JOIN customer ON o_custkey = c_custkey
 JOIN nation n1 ON c_nationkey = n1.n_nationkey
 JOIN region ON n1.n_regionkey = r_regionkey
+JOIN supplier ON l_suppkey = s_suppkey
 JOIN nation n2 ON s_nationkey = n2.n_nationkey
+JOIN part ON p_partkey = l_partkey
 WHERE p_type = 'ECONOMY ANODIZED STEEL'
   AND o_orderdate >= DATE '1995-01-01'
   AND o_orderdate <= DATE '1996-12-31'

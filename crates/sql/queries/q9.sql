@@ -1,13 +1,15 @@
--- TPC-H Q9: product type profit measure.
+-- TPC-H Q9: product type profit measure. Written lineitem-first — the
+-- hand-built plan starts from the filtered part scan; recovering that shape
+-- (or better) is the optimizer's job.
 SELECT
   n_name AS nation,
   extract(year FROM o_orderdate) AS o_year,
   sum(l_extendedprice * (1.00 - l_discount) - ps_supplycost * l_quantity) AS sum_profit
-FROM part
-JOIN lineitem ON p_partkey = l_partkey
-JOIN supplier ON l_suppkey = s_suppkey
-JOIN partsupp ON l_suppkey = ps_suppkey AND l_partkey = ps_partkey
+FROM lineitem
 JOIN orders ON l_orderkey = o_orderkey
+JOIN partsupp ON ps_suppkey = l_suppkey AND ps_partkey = l_partkey
+JOIN part ON p_partkey = l_partkey
+JOIN supplier ON s_suppkey = l_suppkey
 JOIN nation ON s_nationkey = n_nationkey
 WHERE p_name LIKE '%green%'
 GROUP BY nation, o_year

@@ -38,14 +38,17 @@
 //! The dialect covers what the TPC-H workload needs, mapped onto what the
 //! engine can execute (see `lower` for the exact lowerings):
 //!
-//! * `SELECT [DISTINCT]` with expressions, `CASE WHEN … THEN … ELSE … END`,
+//! * `SELECT [DISTINCT]` with expressions, multi-`WHEN`
+//!   `CASE WHEN … THEN … [WHEN … THEN …]* ELSE … END`,
 //!   `EXTRACT(YEAR FROM …)`, `SUBSTRING(s, start, len)`, and the five
 //!   aggregates (plus `COUNT(DISTINCT c)`).
 //! * `FROM` with explicit join syntax: `[INNER] JOIN`, `LEFT [OUTER] JOIN`,
 //!   `SEMI JOIN`, `ANTI JOIN` (each `ON` needing at least one `left = right`
-//!   equality), and `CROSS JOIN` for single-row stages. Join order is the
-//!   source order — join *reordering* is an orthogonal concern here, exactly
-//!   as it is for the paper's hand-assembled physical plans.
+//!   equality), and `CROSS JOIN` for single-row stages. The lowering keeps
+//!   the source join order and leaves `WHERE` un-pushed — a deliberately
+//!   *naive canonical plan*; the cost-based optimizer in
+//!   `legobase_engine::optimizer` (run by `LegoBase::run_sql`) chooses the
+//!   actual join order and predicate placement.
 //! * `WHERE`/`HAVING` with `AND`/`OR`/`NOT`, `BETWEEN`, `IN` (value lists),
 //!   `LIKE` patterns matching the §3.4 dictionary kinds (`'p%'`, `'%s'`,
 //!   `'%infix%'`, `'%word1%word2%'`), `IS [NOT] NULL`.

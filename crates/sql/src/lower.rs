@@ -1,18 +1,20 @@
 //! Name resolution and lowering: AST → [`QueryPlan`].
 //!
-//! The lowering is syntax-directed and deliberately mirrors what the
-//! hand-written plans in `legobase_queries` do:
+//! The lowering is syntax-directed and produces a **naive canonical plan**
+//! — it performs *no* optimization; the cost-based optimizer in
+//! `legobase_engine::optimizer` (predicate pushdown, cross-conjunct
+//! inference, join reordering) runs between this lowering and execution:
 //!
-//! * `FROM a JOIN b ON …` chains become left-deep [`Plan::HashJoin`] trees in
-//!   source order (join *ordering* is out of scope, §2.1 of the paper — the
-//!   SQL author writes the physical join order, exactly like the plan
-//!   builder did).
-//! * `ON` conjuncts split into hash keys (`left = right` equalities), filters
-//!   pushed into the right input (right-only conjuncts), and residual
-//!   predicates over the concatenated row.
-//! * `WHERE` conjuncts referencing a single relation are pushed into its
-//!   scan; the rest filter the join result. Conjuncts containing subqueries
-//!   are lowered to the same flattened forms `queries.rs` builds by hand:
+//! * `FROM a JOIN b ON …` chains become left-deep [`Plan::HashJoin`] trees
+//!   in *syntactic* order — whatever order the author wrote, however bad.
+//! * `ON` conjuncts split into hash keys (`left = right` equalities),
+//!   right-only filters (applied to the right input, which for outer joins
+//!   is a semantic requirement, not an optimization — `ON` governs
+//!   *matching*, not row survival), and residual predicates over the
+//!   concatenated row.
+//! * `WHERE` conjuncts stay **un-pushed**: one [`Plan::Select`] above the
+//!   whole join tree, in source order. Conjuncts containing subqueries are
+//!   lowered to the same flattened forms `queries.rs` builds by hand:
 //!   `EXISTS`/`IN (SELECT …)` become semi/anti joins, scalar subqueries
 //!   become materialized stages — grouped by their correlation columns when
 //!   correlated — joined back and compared.
@@ -79,10 +81,6 @@ struct Item {
     /// Columns participate in unqualified/qualified lookups. Semi/anti join
     /// right sides are visible only inside their `ON` clause.
     visible: bool,
-    /// Single-relation `WHERE` conjuncts may be pushed into this item's scan
-    /// (false for `LEFT JOIN` right sides, where pushing would change
-    /// NULL-extension semantics).
-    pushable: bool,
 }
 
 impl Item {
@@ -118,7 +116,6 @@ impl Scope {
                 schema,
                 offset: 0,
                 visible: true,
-                pushable: false,
             }],
             arity,
         }
@@ -236,7 +233,6 @@ impl<'a> Lowerer<'a> {
          -> Result<()> {
             let (scan_name, schema) = self.resolve_table(tr)?;
             let visible = !matches!(kind, Some(JoinType::Semi) | Some(JoinType::Anti));
-            let pushable = visible && !matches!(kind, Some(JoinType::Left));
             let offset = if visible { scope.arity } else { usize::MAX };
             if visible {
                 scope.arity += schema.len();
@@ -247,7 +243,6 @@ impl<'a> Lowerer<'a> {
                 schema: schema.clone(),
                 offset,
                 visible,
-                pushable,
             });
             resolved.push((scan_name, schema));
             Ok(())
@@ -257,8 +252,10 @@ impl<'a> Lowerer<'a> {
             add_item(&mut scope, &mut resolved, &join.table, Some(join.kind))?;
         }
 
-        // Pass B: classify WHERE conjuncts against the full scope.
-        let mut pushed: Vec<Vec<Expr>> = vec![Vec::new(); scope.items.len()];
+        // Pass B: type-check the WHERE conjuncts. Un-pushed by design — the
+        // plain ones become one filter above the join tree (the cost-based
+        // optimizer relocates them later); correlated and subquery conjuncts
+        // are extracted for the flattening lowerings.
         let mut post: Vec<Expr> = Vec::new();
         let mut corr: Vec<Expr> = Vec::new();
         let mut ops: Vec<SubqOp<'s>> = Vec::new();
@@ -285,29 +282,21 @@ impl<'a> Lowerer<'a> {
                 }
                 if refs.outer {
                     corr.push(expr);
-                } else if refs.items.len() == 1 {
-                    let idx = *refs.items.iter().next().expect("one item");
-                    let item = &scope.items[idx];
-                    if item.pushable {
-                        let base = outer_arity + item.offset;
-                        pushed[idx].push(expr.map_cols(&|c| c - base));
-                    } else {
-                        post.push(expr.map_cols(&|c| c - outer_arity));
-                    }
                 } else {
                     post.push(expr.map_cols(&|c| c - outer_arity));
                 }
             }
         }
 
-        // Pass C: build the left-deep tree, classifying each ON clause.
+        // Pass C: build the left-deep tree in syntactic order, classifying
+        // each ON clause.
         let mut arity_so_far = resolved[0].1.len();
-        let mut node = self.scan_item(&resolved[0].0, &pushed[0]);
+        let mut node = self.scan_item(&resolved[0].0, &[]);
         for (j, join) in from.joins.iter().enumerate() {
             let idx = j + 1;
             let (scan_name, right_schema) = &resolved[idx];
             let right_arity = right_schema.len();
-            let mut right_filters = std::mem::take(&mut pushed[idx]);
+            let mut right_filters: Vec<Expr> = Vec::new();
             let mut keys: Vec<(usize, usize)> = Vec::new();
             let mut residual: Vec<Expr> = Vec::new();
             if let Some(on) = &join.on {
@@ -397,7 +386,8 @@ impl<'a> Lowerer<'a> {
         Ok((node, scope, corr, ops))
     }
 
-    /// Scans a base table or stage and applies pushed-down filters.
+    /// Scans a base table or stage, applying the right-side `ON` filters of
+    /// the join that introduces it (outer-join matching semantics).
     fn scan_item(&mut self, scan_name: &str, filters: &[Expr]) -> Node {
         let node = self.ctx.scan(scan_name);
         match all_opt(filters.to_vec()) {

@@ -579,23 +579,37 @@ impl Parser {
         }
     }
 
+    /// `CASE WHEN … THEN … [WHEN … THEN …]* ELSE … END`. Multi-WHEN forms
+    /// desugar into nested single-WHEN `Case` nodes (right to left), so the
+    /// AST and lowering stay unchanged.
     fn case_expr(&mut self) -> Result<Ast> {
         let start = self.expect_kw("case")?;
+        let mut arms = Vec::new();
         self.expect_kw("when")?;
-        let when = self.parse_expr()?;
-        self.expect_kw("then")?;
-        let then = self.parse_expr()?;
+        loop {
+            let when = self.parse_expr()?;
+            self.expect_kw("then")?;
+            let then = self.parse_expr()?;
+            arms.push((when, then));
+            if !self.eat_kw("when") {
+                break;
+            }
+        }
         self.expect_kw("else")?;
-        let otherwise = self.parse_expr()?;
+        let mut expr = self.parse_expr()?;
         let end = self.expect_kw("end")?;
-        Ok(Ast::new(
-            AstKind::Case {
-                when: Box::new(when),
-                then: Box::new(then),
-                otherwise: Box::new(otherwise),
-            },
-            start.merge(end),
-        ))
+        let span = start.merge(end);
+        for (when, then) in arms.into_iter().rev() {
+            expr = Ast::new(
+                AstKind::Case {
+                    when: Box::new(when),
+                    then: Box::new(then),
+                    otherwise: Box::new(expr),
+                },
+                span,
+            );
+        }
+        Ok(expr)
     }
 
     fn small_uint(&mut self, what: &str) -> Result<usize> {
@@ -732,6 +746,22 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.body.items.len(), 5);
+    }
+
+    /// Multi-WHEN CASE parses into nested single-WHEN nodes, right to left.
+    #[test]
+    fn multi_when_case_desugars() {
+        let q =
+            parse_query("SELECT CASE WHEN a > 2 THEN 2 WHEN a > 1 THEN 1 ELSE 0 END AS c FROM t")
+                .unwrap();
+        let SelectItem::Expr { expr, .. } = &q.body.items[0] else { panic!("expr item") };
+        let AstKind::Case { otherwise, .. } = &expr.kind else { panic!("case, got {expr:?}") };
+        assert!(
+            matches!(otherwise.kind, AstKind::Case { .. }),
+            "second WHEN nests into ELSE: {otherwise:?}"
+        );
+        // The WHEN keyword cannot start an arm without THEN.
+        assert!(parse_query("SELECT CASE WHEN a THEN 1 WHEN b ELSE 0 END AS c FROM t").is_err());
     }
 
     #[test]

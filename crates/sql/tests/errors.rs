@@ -68,6 +68,41 @@ fn type_mismatches_are_reported() {
     assert_spanned("SELECT sum(l_comment) AS s FROM lineitem", "numeric");
 }
 
+/// Multi-WHEN `CASE` desugars to nested single-WHEN `Case` expressions, and
+/// a branch-type mismatch anywhere in the chain is a spanned error.
+#[test]
+fn multi_when_case_lowers_and_typechecks() {
+    use legobase_engine::{Expr, Plan};
+    let catalog = legobase_tpch::catalog();
+    let q = plan(
+        "SELECT CASE WHEN l_quantity < 10.0 THEN 'small' \
+         WHEN l_quantity < 30.0 THEN 'medium' ELSE 'large' END AS bucket \
+         FROM lineitem",
+        &catalog,
+    )
+    .expect("multi-WHEN CASE lowers");
+    let Plan::Project { exprs, .. } = &q.root else { panic!("project expected: {:?}", q.root) };
+    let Expr::Case(_, _, otherwise) = &exprs[0].0 else {
+        panic!("case expected: {:?}", exprs[0].0)
+    };
+    assert!(
+        matches!(otherwise.as_ref(), Expr::Case(..)),
+        "second WHEN must nest into the ELSE branch: {otherwise:?}"
+    );
+
+    assert_spanned(
+        "SELECT CASE WHEN l_quantity < 10.0 THEN 1 \
+         WHEN l_quantity < 30.0 THEN 'oops' ELSE 0 END AS b FROM lineitem",
+        "same type",
+    );
+    // A WHEN chain still requires ELSE and END.
+    assert_spanned(
+        "SELECT CASE WHEN l_quantity < 10.0 THEN 1 WHEN l_quantity < 30.0 THEN 2 END AS b \
+         FROM lineitem",
+        "expected `ELSE`",
+    );
+}
+
 #[test]
 fn unclosed_string_is_spanned() {
     let sql = "SELECT * FROM lineitem WHERE l_returnflag = 'R";

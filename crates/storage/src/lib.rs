@@ -50,4 +50,5 @@ pub use date::Date;
 pub use dict::{DictKind, StringDictionary};
 pub use row::RowTable;
 pub use schema::{Catalog, Field, ForeignKey, Schema, TableMeta, Type};
+pub use stats::{ColumnStats, TableStatistics};
 pub use value::{Tuple, Value};

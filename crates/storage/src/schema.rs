@@ -166,10 +166,12 @@ impl TableMeta {
     }
 }
 
-/// The database catalog: all table definitions by name.
+/// The database catalog: all table definitions by name, plus the optimizer
+/// statistics attached to them at load time.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
     tables: HashMap<String, TableMeta>,
+    stats: HashMap<String, crate::stats::TableStatistics>,
 }
 
 impl Catalog {
@@ -191,6 +193,18 @@ impl Catalog {
     /// Panicking lookup for statically-known table names.
     pub fn table(&self, name: &str) -> &TableMeta {
         self.get(name).unwrap_or_else(|| panic!("unknown table `{name}`"))
+    }
+
+    /// Attaches optimizer statistics to a table (collected in one pass at
+    /// load time, or analytic — e.g. the TPC-H scale-factor formulas).
+    pub fn set_stats(&mut self, table: &str, stats: crate::stats::TableStatistics) {
+        self.stats.insert(table.to_string(), stats);
+    }
+
+    /// The optimizer statistics of a table, if any were attached. Cost-based
+    /// planning degrades gracefully to defaults when this returns `None`.
+    pub fn stats(&self, table: &str) -> Option<&crate::stats::TableStatistics> {
+        self.stats.get(table)
     }
 
     /// Registered table names, in insertion order.
@@ -260,6 +274,21 @@ mod tests {
             .with_foreign_key("l_orderkey", "orders", 0),
         );
         assert_eq!(cat.len(), 2);
+        assert!(cat.stats("orders").is_none());
+        cat.set_stats(
+            "orders",
+            crate::stats::TableStatistics::analytic(
+                1500,
+                vec![crate::stats::ColumnStats::new(
+                    1500,
+                    Some(crate::Value::Int(1)),
+                    Some(crate::Value::Int(6000)),
+                )],
+            ),
+        );
+        let stats = cat.stats("orders").expect("stats attached");
+        assert_eq!(stats.rows, 1500);
+        assert_eq!(stats.columns[0].distinct, 1500);
         let li = cat.table("lineitem");
         assert_eq!(li.primary_key, vec![0, 1]);
         assert_eq!(li.foreign_keys[0].references, "orders");

@@ -5,11 +5,18 @@
 //! loading" (Sections 3.2.2 and 3.5). These statistics also drive
 //! data-structure-initialization hoisting: the key domain `[min, max]` of an
 //! attribute determines the dense aggregation array.
+//!
+//! Beyond the sizing statistics, [`TableStatistics`] carries the *optimizer*
+//! statistics — per-table row counts and per-column distinct counts and
+//! `[min, max]` bounds for every attribute type — collected in one pass at
+//! load time and served through [`Catalog::stats`](crate::Catalog::stats).
+//! The cost-based optimizer in `legobase-engine` derives all of its
+//! cardinality estimates from them.
 
 use crate::column::{Column, ColumnTable};
 use crate::row::RowTable;
 use crate::value::Value;
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 
 /// Statistics of one integer-valued attribute.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +98,73 @@ impl TableStats {
     }
 }
 
+/// Optimizer statistics of one attribute, any type: distinct count plus
+/// `[min, max]` bounds under the storage total order (`None` for columns
+/// that are entirely NULL).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Exact (when collected) or estimated (when analytic) distinct count of
+    /// non-NULL values.
+    pub distinct: usize,
+    /// Smallest non-NULL value.
+    pub min: Option<Value>,
+    /// Largest non-NULL value.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    /// Analytic constructor for formula-derived statistics.
+    pub fn new(distinct: usize, min: Option<Value>, max: Option<Value>) -> ColumnStats {
+        ColumnStats { distinct, min, max }
+    }
+}
+
+/// Optimizer statistics of one relation: row count plus one
+/// [`ColumnStats`] per attribute, in schema order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TableStatistics {
+    /// Number of rows.
+    pub rows: usize,
+    /// Per-attribute statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStatistics {
+    /// Collects exact statistics in one pass over a row-layout table:
+    /// one ordered distinct-value set per column, whose size and extremes
+    /// become NDV and `[min, max]`.
+    pub fn collect(table: &RowTable) -> TableStatistics {
+        let arity = table.schema.len();
+        let mut sets: Vec<BTreeSet<&Value>> = vec![BTreeSet::new(); arity];
+        for row in &table.rows {
+            for (c, v) in row.iter().enumerate() {
+                if !v.is_null() {
+                    sets[c].insert(v);
+                }
+            }
+        }
+        let columns = sets
+            .into_iter()
+            .map(|set| ColumnStats {
+                distinct: set.len(),
+                min: set.iter().next().map(|v| (*v).clone()),
+                max: set.iter().next_back().map(|v| (*v).clone()),
+            })
+            .collect();
+        TableStatistics { rows: table.len(), columns }
+    }
+
+    /// Analytic constructor (e.g. from the TPC-H scale-factor formulas).
+    pub fn analytic(rows: usize, columns: Vec<ColumnStats>) -> TableStatistics {
+        TableStatistics { rows, columns }
+    }
+
+    /// The statistics of one column, if present.
+    pub fn column(&self, idx: usize) -> Option<&ColumnStats> {
+        self.columns.get(idx)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +187,30 @@ mod tests {
         assert!(s.is_dense(10));
         assert!(!s.is_dense(4));
         assert!(IntColumnStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn table_statistics_one_pass() {
+        let mut t = RowTable::new(Schema::of(&[("k", Type::Int), ("s", Type::Str)]));
+        for (k, s) in [(5i64, "b"), (9, "a"), (5, "b"), (7, "c")] {
+            t.push(vec![Value::Int(k), Value::from(s)]);
+        }
+        let stats = TableStatistics::collect(&t);
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.columns[0].distinct, 3);
+        assert_eq!(stats.columns[0].min, Some(Value::Int(5)));
+        assert_eq!(stats.columns[0].max, Some(Value::Int(9)));
+        assert_eq!(stats.columns[1].distinct, 3);
+        assert_eq!(stats.columns[1].min, Some(Value::from("a")));
+        assert_eq!(stats.columns[1].max, Some(Value::from("c")));
+        assert_eq!(stats.column(2), None);
+        // NULLs (outer-join results) are excluded from bounds and NDV.
+        let mut n = RowTable::new(Schema::of(&[("x", Type::Int)]));
+        n.push(vec![Value::Null]);
+        n.push(vec![Value::Int(1)]);
+        let s = TableStatistics::collect(&n);
+        assert_eq!(s.columns[0].distinct, 1);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
     }
 
     #[test]

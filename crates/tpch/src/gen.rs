@@ -97,7 +97,8 @@ impl TpchGenerator {
         SmallRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(stream))
     }
 
-    /// Runs the generator.
+    /// Runs the generator, attaching optimizer statistics — collected in one
+    /// pass per relation — to the catalog (`Catalog::stats`).
     pub fn generate(&self) -> TpchData {
         let cat = catalog();
         let (n_supp, n_part, n_cust, n_orders) = self.counts();
@@ -113,6 +114,10 @@ impl TpchGenerator {
         tables.insert("orders".to_string(), orders);
         tables.insert("lineitem".to_string(), lineitem);
 
+        let mut cat = cat;
+        for (name, table) in &tables {
+            cat.set_stats(name, legobase_storage::TableStatistics::collect(table));
+        }
         TpchData { catalog: cat, scale_factor: self.scale_factor, tables }
     }
 

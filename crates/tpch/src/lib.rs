@@ -27,7 +27,9 @@
 
 pub mod gen;
 pub mod schema;
+pub mod stats;
 pub mod text;
 
 pub use gen::{TpchData, TpchGenerator};
 pub use schema::{catalog, TABLES};
+pub use stats::{analytic_catalog, analytic_stats};

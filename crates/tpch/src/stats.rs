@@ -1,0 +1,245 @@
+//! Analytic optimizer statistics from the TPC-H scale-factor formulas.
+//!
+//! The spec fixes every relation's cardinality as a function of the scale
+//! factor (Clause 4.2.5), the key domains as dense (or, for `O_ORDERKEY`,
+//! sparse-by-formula) integer ranges, and the categorical attributes as
+//! draws from fixed value lists. That makes the optimizer statistics of a
+//! TPC-H database *computable without looking at the data* — this module
+//! derives them, mirroring the formulas `TpchGenerator` generates with.
+//!
+//! [`TpchData::generate`](crate::TpchData::generate) attaches **exact**
+//! statistics collected in one pass over the generated rows; the analytic
+//! variant here serves planning against a schema-only catalog (no data
+//! generated yet) and pins the generator's distributions in tests.
+
+use crate::gen::order_date_range;
+use crate::schema::catalog;
+use crate::text;
+use legobase_storage::{Catalog, ColumnStats, TableStatistics, Value};
+
+/// Row counts implied by the scale factor, mirroring the generator: the
+/// spec's linear formulas with small-SF floors keeping every relation
+/// non-empty.
+pub fn row_counts(sf: f64) -> [(&'static str, usize); 8] {
+    let supplier = ((10_000.0 * sf) as usize).max(10);
+    let part = ((200_000.0 * sf) as usize).max(200);
+    let customer = ((150_000.0 * sf) as usize).max(150);
+    let orders = ((1_500_000.0 * sf) as usize).max(1_500);
+    [
+        ("region", 5),
+        ("nation", 25),
+        ("supplier", supplier),
+        ("customer", customer),
+        ("part", part),
+        ("partsupp", part * 4),
+        ("orders", orders),
+        // 1–7 lines per order, uniform ⇒ 4 expected.
+        ("lineitem", orders * 4),
+    ]
+}
+
+fn int_col(distinct: usize, min: i64, max: i64) -> ColumnStats {
+    ColumnStats::new(distinct, Some(Value::Int(min)), Some(Value::Int(max)))
+}
+
+fn float_col(distinct: usize, min: f64, max: f64) -> ColumnStats {
+    ColumnStats::new(distinct, Some(Value::Float(min)), Some(Value::Float(max)))
+}
+
+fn date_col(min: legobase_storage::Date, max: legobase_storage::Date) -> ColumnStats {
+    ColumnStats::new(
+        (max.0 - min.0 + 1).max(1) as usize,
+        Some(Value::Date(min)),
+        Some(Value::Date(max)),
+    )
+}
+
+/// A string column modeled only by its distinct count.
+fn str_col(distinct: usize) -> ColumnStats {
+    ColumnStats::new(distinct.max(1), None, None)
+}
+
+/// The analytic statistics of every relation at scale factor `sf`, in
+/// catalog column order.
+pub fn analytic_stats(sf: f64) -> Vec<(&'static str, TableStatistics)> {
+    let counts: std::collections::HashMap<&str, usize> = row_counts(sf).into_iter().collect();
+    let n_supp = counts["supplier"];
+    let n_part = counts["part"];
+    let n_cust = counts["customer"];
+    let n_orders = counts["orders"];
+    let n_lines = counts["lineitem"];
+    let (odate_lo, odate_hi) = order_date_range();
+    // Only two thirds of customers place orders (custkey % 3 != 0).
+    let active_cust = (n_cust * 2 / 3).max(1);
+    let max_okey =
+        ((n_orders.saturating_sub(1) / 8) * 32 + n_orders.saturating_sub(1) % 8) as i64 + 1;
+    let n_clerks = (n_orders / 1_000).max(10);
+
+    vec![
+        ("region", TableStatistics::analytic(5, vec![int_col(5, 0, 4), str_col(5), str_col(5)])),
+        (
+            "nation",
+            TableStatistics::analytic(
+                25,
+                vec![int_col(25, 0, 24), str_col(25), int_col(5, 0, 4), str_col(25)],
+            ),
+        ),
+        (
+            "supplier",
+            TableStatistics::analytic(
+                n_supp,
+                vec![
+                    int_col(n_supp, 1, n_supp as i64),
+                    str_col(n_supp),
+                    str_col(n_supp),
+                    int_col(25.min(n_supp), 0, 24),
+                    str_col(n_supp),
+                    float_col(n_supp, -999.99, 9999.99),
+                    str_col(n_supp),
+                ],
+            ),
+        ),
+        (
+            "customer",
+            TableStatistics::analytic(
+                n_cust,
+                vec![
+                    int_col(n_cust, 1, n_cust as i64),
+                    str_col(n_cust),
+                    str_col(n_cust),
+                    int_col(25.min(n_cust), 0, 24),
+                    str_col(n_cust),
+                    float_col(n_cust, -999.99, 9999.99),
+                    str_col(text::SEGMENTS.len()),
+                    str_col(n_cust),
+                ],
+            ),
+        ),
+        (
+            "part",
+            TableStatistics::analytic(
+                n_part,
+                vec![
+                    int_col(n_part, 1, n_part as i64),
+                    str_col(n_part),
+                    str_col(5),
+                    str_col(25),
+                    str_col(150),
+                    int_col(50.min(n_part), 1, 50),
+                    str_col(40),
+                    float_col(n_part.min(20_001), 900.0, 2099.0),
+                    str_col(n_part),
+                ],
+            ),
+        ),
+        (
+            "partsupp",
+            TableStatistics::analytic(
+                n_part * 4,
+                vec![
+                    int_col(n_part, 1, n_part as i64),
+                    int_col(n_supp, 1, n_supp as i64),
+                    int_col(9_999.min(n_part * 4), 1, 9_999),
+                    float_col((n_part * 4).min(99_901), 1.0, 1000.0),
+                    str_col(n_part * 4),
+                ],
+            ),
+        ),
+        (
+            "orders",
+            TableStatistics::analytic(
+                n_orders,
+                vec![
+                    int_col(n_orders, 1, max_okey),
+                    int_col(active_cust, 1, n_cust as i64),
+                    str_col(3),
+                    float_col(n_orders, 800.0, 800_000.0),
+                    date_col(odate_lo, odate_hi),
+                    str_col(text::ORDER_PRIORITIES.len()),
+                    str_col(n_clerks),
+                    int_col(1, 0, 0),
+                    str_col(n_orders),
+                ],
+            ),
+        ),
+        (
+            "lineitem",
+            TableStatistics::analytic(
+                n_lines,
+                vec![
+                    int_col(n_orders, 1, max_okey),
+                    int_col(n_part, 1, n_part as i64),
+                    int_col(n_supp, 1, n_supp as i64),
+                    int_col(7, 1, 7),
+                    float_col(50, 1.0, 50.0),
+                    float_col(n_lines.min(1_000_000), 900.0, 104_950.0),
+                    float_col(11, 0.0, 0.10),
+                    float_col(9, 0.0, 0.08),
+                    str_col(3),
+                    str_col(2),
+                    date_col(odate_lo.add_days(1), odate_hi.add_days(121)),
+                    date_col(odate_lo.add_days(30), odate_hi.add_days(90)),
+                    date_col(odate_lo.add_days(2), odate_hi.add_days(151)),
+                    str_col(4),
+                    str_col(text::SHIP_MODES.len()),
+                    str_col(n_lines),
+                ],
+            ),
+        ),
+    ]
+}
+
+/// A schema-only catalog with the analytic statistics for scale factor `sf`
+/// attached — planning-quality statistics without generating a single row.
+pub fn analytic_catalog(sf: f64) -> Catalog {
+    let mut cat = catalog();
+    for (table, stats) in analytic_stats(sf) {
+        cat.set_stats(table, stats);
+    }
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TpchData;
+
+    /// Analytic statistics agree with the one-pass collected statistics of a
+    /// generated database: exact on row counts of the deterministic
+    /// relations, within sampling tolerance for the randomized ones, and
+    /// the analytic `[min, max]` bounds contain the observed ones.
+    #[test]
+    fn analytic_matches_collected() {
+        let sf = 0.002;
+        let data = TpchData::generate(sf);
+        for (table, analytic) in analytic_stats(sf) {
+            let collected = data.catalog.stats(table).expect("generate attaches stats");
+            assert_eq!(analytic.columns.len(), collected.columns.len(), "{table} arity");
+            let rows = collected.rows as f64;
+            let est = analytic.rows as f64;
+            assert!(
+                (est - rows).abs() <= (rows * 0.2).max(2.0),
+                "{table}: analytic {est} vs collected {rows} rows"
+            );
+            for (c, (a, b)) in analytic.columns.iter().zip(&collected.columns).enumerate() {
+                if let (Some(amin), Some(bmin)) = (&a.min, &b.min) {
+                    assert!(amin <= bmin, "{table}.{c}: analytic min {amin:?} > observed {bmin:?}");
+                }
+                if let (Some(amax), Some(bmax)) = (&a.max, &b.max) {
+                    assert!(amax >= bmax, "{table}.{c}: analytic max {amax:?} < observed {bmax:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_catalog_serves_stats() {
+        let cat = analytic_catalog(0.01);
+        let li = cat.stats("lineitem").expect("stats present");
+        assert_eq!(li.rows, 60_000);
+        assert_eq!(cat.stats("region").map(|s| s.rows), Some(5));
+        // The sparse order-key domain: 8 keys per 32-key window.
+        let ok = &cat.stats("orders").expect("orders").columns[0];
+        assert!(ok.max > Some(Value::Int(15_000)), "{ok:?}");
+    }
+}
