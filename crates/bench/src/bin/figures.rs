@@ -41,7 +41,7 @@ use legobase_bench::{geomean, ms, scale_factor, time_query};
 /// The figure subcommands, in `all` execution order (`baseline` is the CI
 /// perf gate and deliberately not part of `all`; `explain` takes a query
 /// argument).
-const SUBCOMMANDS: [&str; 14] = [
+const SUBCOMMANDS: [&str; 15] = [
     "fig16",
     "fig17",
     "fig18",
@@ -54,6 +54,7 @@ const SUBCOMMANDS: [&str; 14] = [
     "optimizer",
     "explain",
     "threads",
+    "serve",
     "baseline",
     "all",
 ];
@@ -66,7 +67,8 @@ fn usage() -> String {
          repetitions, default 3), LEGOBASE_THREADS_SF (threads figure, default 0.1),\n\
          LEGOBASE_BENCH_OUT (baseline output, default BENCH_PR4.json), \
          LEGOBASE_BASELINE (committed baseline to gate against; exit 1 on regression),\n\
-         LEGOBASE_OPTIMIZE (0 turns the cost-based SQL optimizer off)",
+         LEGOBASE_OPTIMIZE (0 turns the cost-based SQL optimizer off), \
+         LEGOBASE_SERVE_QUERIES (queries per serve concurrency level, default 440)",
         SUBCOMMANDS.join("|")
     )
 }
@@ -132,6 +134,7 @@ fn main() {
         "optimizer" => optimizer_figure(&system),
         "explain" => explain(&system, explain_query.expect("validated above")),
         "threads" => threads(),
+        "serve" => serve_figure(),
         "baseline" => baseline(&system),
         "all" => {
             fig16(&system);
@@ -145,6 +148,7 @@ fn main() {
             sql_frontend(&system);
             optimizer_figure(&system);
             threads();
+            serve_figure();
         }
         _ => unreachable!("parse_subcommand returned a validated name"),
     }
@@ -504,11 +508,27 @@ fn baseline(system: &LegoBase) {
         names.push(format!("Q{n}-sql"));
     }
     let times = min_times_plans(system, &plans, &Settings::optimized());
-    let rows: Vec<BenchRow> = times
+    let mut rows: Vec<BenchRow> = times
         .iter()
         .zip(&names)
         .map(|(&t, name)| BenchRow { query: name.clone(), min_ms: ms(t) })
         .collect();
+    // Service throughput rows (`serve-c1`, `serve-c8`): wall-clock of a
+    // fixed 44-query batch (the 22 SQL texts, twice) through one shared
+    // query service, minimum over the same number of timed rounds as the
+    // per-query rows — after one untimed round that warms the plan and
+    // prepared caches, mirroring a steady-state multi-tenant server.
+    let mut serve_system = LegoBase::generate(scale_factor());
+    for clients in [1usize, 8] {
+        let service = serve_system.serve_with(legobase::ServeOptions::default());
+        serve_batch(&service, clients);
+        let mut best = f64::INFINITY;
+        for _ in 0..legobase_bench::runs() {
+            best = best.min(serve_batch(&service, clients));
+        }
+        rows.push(BenchRow { query: format!("serve-c{clients}"), min_ms: best });
+        serve_system = service.into_system();
+    }
     let out_path = std::env::var("LEGOBASE_BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".into());
     let json = bench_json(scale_factor(), "OptC", legobase_bench::runs(), &rows);
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -538,6 +558,95 @@ fn baseline(system: &LegoBase) {
             }
             std::process::exit(1);
         }
+    }
+}
+
+/// One fixed batch through the query service: all 22 TPC-H SQL texts twice
+/// (44 queries), split round-robin across `clients` concurrent sessions.
+/// Returns wall-clock milliseconds for the whole batch.
+fn serve_batch(service: &legobase::QueryService, clients: usize) -> f64 {
+    const BATCH: usize = 44;
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let n = BATCH / clients + usize::from(c < BATCH % clients);
+            scope.spawn(move || {
+                let session = service.session();
+                for k in 0..n {
+                    let q = 1 + (c + k * clients) % 22;
+                    if let Err(e) = session.run_sql(legobase::sql::tpch_sql(q), Config::OptC) {
+                        eprintln!("serve batch Q{q}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            });
+        }
+    });
+    ms(start.elapsed())
+}
+
+/// Multi-tenant throughput of the query service (not a paper figure — the
+/// paper's engines run one query at a time): queries/sec of the shared
+/// morsel pool serving the whole 22-query SQL workload at client
+/// concurrency 1/8/64/512. Each level fires `LEGOBASE_SERVE_QUERIES`
+/// queries (default 440 — twenty rounds of the workload; raised to the
+/// client count when lower), round-robin over the texts with staggered
+/// starts so distinct queries overlap in flight.
+fn serve_figure() {
+    // Like `threads`: this figure's axis is client concurrency, so the
+    // LEGOBASE_PARALLELISM override (which rewrites default-serial requests)
+    // must not silently add intra-query parallelism on top.
+    if std::env::var_os("LEGOBASE_PARALLELISM").is_some() {
+        eprintln!("(serve: ignoring LEGOBASE_PARALLELISM; this figure varies client concurrency)");
+        std::env::remove_var("LEGOBASE_PARALLELISM");
+    }
+    let sf = scale_factor();
+    let per_level: usize =
+        std::env::var("LEGOBASE_SERVE_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or(440);
+    let mut system = LegoBase::generate(sf);
+    let workers = legobase::ServeOptions::default().workers;
+    println!(
+        "\n== Service throughput: {workers}-worker shared morsel pool, \
+         TPC-H SQL workload under Opt/C (SF {sf}) =="
+    );
+    println!(
+        "{:>8} {:>9} {:>11} {:>12} {:>10}",
+        "clients", "queries", "wall (s)", "queries/s", "cache hit"
+    );
+    for clients in [1usize, 8, 64, 512] {
+        let service = system.serve_with(legobase::ServeOptions::default());
+        let total = per_level.max(clients);
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            let service = &service;
+            for c in 0..clients {
+                let n = total / clients + usize::from(c < total % clients);
+                scope.spawn(move || {
+                    let session = service.session();
+                    for k in 0..n {
+                        let q = 1 + (c * 7 + k) % 22;
+                        if let Err(e) = session.run_sql(legobase::sql::tpch_sql(q), Config::OptC) {
+                            eprintln!("serve: Q{q} at {clients} clients failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let stats = service.stats();
+        let lookups = stats.prepared_cache_hits + stats.prepared_cache_misses;
+        let hit = if lookups == 0 {
+            0.0
+        } else {
+            100.0 * stats.prepared_cache_hits as f64 / lookups as f64
+        };
+        println!(
+            "{clients:>8} {total:>9} {wall:>11.2} {:>12.1} {:>9.1}%",
+            total as f64 / wall.max(1e-9),
+            hit
+        );
+        system = service.into_system();
     }
 }
 

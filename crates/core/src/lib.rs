@@ -33,12 +33,15 @@
 //! life-of-a-query walkthrough; `EXPERIMENTS.md` holds the
 //! paper-vs-measured record.
 
+mod service;
+
 pub use legobase_engine as engine;
 pub use legobase_queries as queries;
 pub use legobase_sc as sc;
 pub use legobase_sql as sql;
 pub use legobase_storage as storage;
 pub use legobase_tpch as tpch;
+pub use service::{QueryService, ServeOptions, ServeOutcome, ServiceError, ServiceStats, Session};
 
 pub use legobase_engine::{Config, OptReport, ResultTable, Settings, Specialization};
 pub use legobase_sc::CompileResult;
@@ -245,7 +248,7 @@ impl LegoBase {
 /// parallelism override only replaces the *default* serial request —
 /// settings that explicitly ask for a degree > 1 (ablations, the
 /// thread-scaling figure) keep their request.
-fn requested_settings(settings: &Settings) -> Settings {
+pub(crate) fn requested_settings(settings: &Settings) -> Settings {
     let mut s = *settings;
     if s.parallelism == 1 {
         if let Some(n) =

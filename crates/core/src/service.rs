@@ -1,0 +1,753 @@
+//! The multi-tenant query service: many sessions, one engine.
+//!
+//! Every [`crate::LegoBase::run_sql`] call is a complete, isolated pipeline —
+//! parse, optimize, compile, load, execute — with its own scoped worker set.
+//! That is the *oracle*: simple, deterministic, and measured throughout
+//! `EXPERIMENTS.md`. A service handling many clients at once cannot afford
+//! any of those per-call costs, so [`QueryService`] amortizes all of them
+//! while preserving the oracle's results bit for bit (DESIGN.md §3d):
+//!
+//! * **Shared morsel scheduler** — one long-lived
+//!   [`MorselPool`](legobase_engine::MorselPool) serves every in-flight
+//!   query; sessions attach it around execution, and the engine's
+//!   `run_morsels` primitive transparently schedules onto it. Which worker
+//!   (or which tenant's session thread) processes a morsel never influences
+//!   a result: morsel boundaries are fixed and results are assembled in
+//!   morsel-index order, so service results are bit-identical to the serial
+//!   path.
+//! * **Plan cache** — parse + lower + optimize costs a few milliseconds per
+//!   query text; the service pays it once per distinct text, keyed on the
+//!   canonicalized SQL ([`legobase_sql::cache_text`]), the catalog version,
+//!   and the optimize flag. A statistics refresh bumps the catalog version,
+//!   so stale plans are never served.
+//! * **Prepared cache** — the compiled + loaded form of a cached plan
+//!   (structures built per the specialization report), keyed additionally on
+//!   the full [`Settings`], shared read-only across sessions.
+//! * **Admission control and budgets** — a session ceiling
+//!   ([`ServeOptions::max_in_flight`]) and a per-query memory budget
+//!   ([`Session::with_memory_budget`]) with *typed* rejection
+//!   ([`ServiceError::OverBudget`]) — the service never panics at a tenant;
+//!   even a panicking kernel comes back as [`ServiceError::QueryPanicked`]
+//!   while every other session keeps serving.
+//!
+//! ```no_run
+//! use legobase::{Config, LegoBase};
+//!
+//! let service = LegoBase::generate(0.01).serve();
+//! let session = service.session();
+//! let out = session
+//!     .run_sql("SELECT count(*) AS n FROM lineitem", Config::OptC)
+//!     .expect("valid SQL");
+//! println!("{} ({} cached)", out.result.display(1), out.plan_cached);
+//! service.shutdown();
+//! ```
+
+use crate::{requested_settings, LegoBase, LoadedQuery};
+use legobase_engine::plan::{used_base_columns, Plan};
+use legobase_engine::settings::EngineKind;
+use legobase_engine::{optimizer, Config, MorselPool, OptReport, QueryPlan, ResultTable, Settings};
+use legobase_sql::SqlError;
+use legobase_storage::{Catalog, TableStatistics, Type};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`QueryService`] (see [`LegoBase::serve_with`]).
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Worker threads in the shared morsel pool. `0` is valid (every query
+    /// runs on its own session thread); the default leaves one hardware
+    /// thread for the session threads themselves.
+    pub workers: usize,
+    /// Maximum concurrently *executing* queries; further sessions block in
+    /// admission until a slot frees. `0` (the default) means unbounded.
+    pub max_in_flight: usize,
+    /// Default per-query memory budget in bytes applied to every session
+    /// (individual sessions override it with
+    /// [`Session::with_memory_budget`]). `None` (the default) admits
+    /// everything.
+    pub memory_budget: Option<usize>,
+    /// Plan-cache entries kept (distinct SQL texts × settings variants)
+    /// before FIFO eviction. `0` disables the cache.
+    pub plan_cache_capacity: usize,
+    /// Prepared-query cache entries kept (compiled + loaded form) before
+    /// FIFO eviction. `0` disables the cache.
+    pub prepared_cache_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ServeOptions {
+            workers: hw.saturating_sub(1).max(1),
+            max_in_flight: 0,
+            memory_budget: None,
+            plan_cache_capacity: 256,
+            prepared_cache_capacity: 64,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Sets the shared pool's worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> ServeOptions {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the concurrent-query ceiling (`0` = unbounded).
+    pub fn with_max_in_flight(mut self, n: usize) -> ServeOptions {
+        self.max_in_flight = n;
+        self
+    }
+
+    /// Sets the default per-query memory budget in bytes.
+    pub fn with_memory_budget(mut self, bytes: usize) -> ServeOptions {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the plan-cache capacity (`0` disables it).
+    pub fn with_plan_cache_capacity(mut self, n: usize) -> ServeOptions {
+        self.plan_cache_capacity = n;
+        self
+    }
+
+    /// Sets the prepared-query cache capacity (`0` disables it).
+    pub fn with_prepared_cache_capacity(mut self, n: usize) -> ServeOptions {
+        self.prepared_cache_capacity = n;
+        self
+    }
+}
+
+/// Why the service declined (or failed) a query. Every failure mode of the
+/// service is a typed variant — tenants never see a panic.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The SQL text failed to parse, resolve, or type-check (spanned).
+    Sql(SqlError),
+    /// The query's estimated load-time memory exceeds the session's budget.
+    OverBudget {
+        /// Estimated bytes the query's data structures would occupy.
+        estimated_bytes: usize,
+        /// The session's budget in bytes.
+        budget_bytes: usize,
+        /// The rejected query (canonicalized text or plan name).
+        query: String,
+    },
+    /// The service is shutting down and no longer admits queries.
+    ShuttingDown,
+    /// The query's kernel panicked during load or execution. The panic was
+    /// contained to this query: the shared pool and every other session
+    /// keep serving.
+    QueryPanicked {
+        /// The failing query (canonicalized text or plan name).
+        query: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Sql(e) => write!(f, "SQL error: {e}"),
+            ServiceError::OverBudget { estimated_bytes, budget_bytes, query } => write!(
+                f,
+                "query `{query}` rejected: estimated {estimated_bytes} bytes exceeds \
+                 the session budget of {budget_bytes} bytes"
+            ),
+            ServiceError::ShuttingDown => f.write_str("service is shutting down"),
+            ServiceError::QueryPanicked { query, message } => {
+                write!(f, "query `{query}` panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Sql(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SqlError> for ServiceError {
+    fn from(e: SqlError) -> ServiceError {
+        ServiceError::Sql(e)
+    }
+}
+
+/// The outcome of one query served by a [`Session`].
+pub struct ServeOutcome {
+    /// The query result — bit-identical to the serial
+    /// [`LegoBase::run_sql`] oracle for the same text and settings.
+    pub result: ResultTable,
+    /// Wall-clock duration of query execution (excludes cache lookups and
+    /// any load performed on a prepared-cache miss).
+    pub exec_time: Duration,
+    /// Wall-clock duration from admission to result, caches included.
+    pub total_time: Duration,
+    /// True when the plan came out of the plan cache (parse + optimize
+    /// skipped).
+    pub plan_cached: bool,
+    /// True when the compiled + loaded form came out of the prepared cache.
+    pub prepared_cached: bool,
+    /// The cost-based optimizer's decision record with
+    /// [`OptReport::actual_rows`] filled in — cached alongside the plan, so
+    /// hits report the same decisions the miss recorded. `None` when the
+    /// optimizer is off or on the [`Session::run_plan`] path.
+    pub opt: Option<OptReport>,
+}
+
+/// A point-in-time snapshot of the service's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Plan-cache lookups that found an entry.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that had to parse + optimize.
+    pub plan_cache_misses: u64,
+    /// Prepared-cache lookups that found a loaded query.
+    pub prepared_cache_hits: u64,
+    /// Prepared-cache lookups that had to compile + load.
+    pub prepared_cache_misses: u64,
+    /// Queries that completed successfully.
+    pub queries_ok: u64,
+    /// Queries rejected by admission control (over budget).
+    pub queries_rejected: u64,
+    /// Queries whose kernel panicked (contained, typed).
+    pub queries_panicked: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    prepared_hits: AtomicU64,
+    prepared_misses: AtomicU64,
+    ok: AtomicU64,
+    rejected: AtomicU64,
+    panicked: AtomicU64,
+}
+
+/// A bounded FIFO cache: hits do not reorder (no LRU bookkeeping contention
+/// on the hot path); when full, the oldest *inserted* entry is evicted.
+struct Cache<K, V> {
+    map: HashMap<K, Arc<V>>,
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> Cache<K, V> {
+    fn new(capacity: usize) -> Cache<K, V> {
+        Cache { map: HashMap::new(), order: VecDeque::new(), capacity }
+    }
+
+    fn get(&self, k: &K) -> Option<Arc<V>> {
+        self.map.get(k).cloned()
+    }
+
+    fn insert(&mut self, k: K, v: Arc<V>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.insert(k.clone(), v).is_none() {
+            self.order.push_back(k);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+}
+
+/// Plan-cache key: canonical SQL text, catalog version, optimize flag.
+type PlanKey = (String, u64, bool);
+/// Prepared-cache key: canonical SQL text, catalog version, full settings.
+type PreparedKey = (String, u64, Settings);
+
+/// A parsed (and, when enabled, optimized) plan with its decision record.
+struct CachedPlan {
+    plan: QueryPlan,
+    report: Option<OptReport>,
+}
+
+struct Gate {
+    in_flight: usize,
+    accepting: bool,
+}
+
+/// A long-lived query service over one TPC-H database: shared morsel pool,
+/// plan + prepared caches, admission control. Construct with
+/// [`LegoBase::serve`]; hand out [`Session`]s with [`QueryService::session`]
+/// (one per client thread — sessions are cheap handles).
+pub struct QueryService {
+    system: RwLock<LegoBase>,
+    pool: MorselPool,
+    options: ServeOptions,
+    gate: Mutex<Gate>,
+    admit: Condvar,
+    drained: Condvar,
+    plans: Mutex<Cache<PlanKey, CachedPlan>>,
+    prepared: Mutex<Cache<PreparedKey, LoadedQuery>>,
+    counters: Counters,
+}
+
+impl LegoBase {
+    /// Starts a [`QueryService`] over this database with default options.
+    /// The per-query [`LegoBase::run_sql`] path remains available on other
+    /// instances and is the service's correctness oracle.
+    pub fn serve(self) -> QueryService {
+        self.serve_with(ServeOptions::default())
+    }
+
+    /// Starts a [`QueryService`] with explicit [`ServeOptions`].
+    pub fn serve_with(self, options: ServeOptions) -> QueryService {
+        QueryService {
+            system: RwLock::new(self),
+            pool: MorselPool::new(options.workers),
+            gate: Mutex::new(Gate { in_flight: 0, accepting: true }),
+            admit: Condvar::new(),
+            drained: Condvar::new(),
+            plans: Mutex::new(Cache::new(options.plan_cache_capacity)),
+            prepared: Mutex::new(Cache::new(options.prepared_cache_capacity)),
+            counters: Counters::default(),
+            options,
+        }
+    }
+}
+
+/// Decrements the in-flight count (and wakes admission / drain waiters) when
+/// a query finishes, however it finishes.
+struct AdmissionSlot<'a> {
+    service: &'a QueryService,
+}
+
+impl Drop for AdmissionSlot<'_> {
+    fn drop(&mut self) {
+        let mut g = self.service.gate.lock().unwrap();
+        g.in_flight -= 1;
+        self.service.admit.notify_one();
+        if g.in_flight == 0 {
+            self.service.drained.notify_all();
+        }
+    }
+}
+
+impl QueryService {
+    /// Opens a session. Sessions are lightweight borrows — open one per
+    /// client thread; they inherit the service-wide default memory budget.
+    pub fn session(&self) -> Session<'_> {
+        Session { service: self, memory_budget: self.options.memory_budget }
+    }
+
+    /// The options the service was started with.
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
+    }
+
+    /// Worker threads in the shared morsel pool.
+    pub fn pool_workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Snapshot of the cache and outcome counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.counters;
+        ServiceStats {
+            plan_cache_hits: c.plan_hits.load(Ordering::Relaxed),
+            plan_cache_misses: c.plan_misses.load(Ordering::Relaxed),
+            prepared_cache_hits: c.prepared_hits.load(Ordering::Relaxed),
+            prepared_cache_misses: c.prepared_misses.load(Ordering::Relaxed),
+            queries_ok: c.ok.load(Ordering::Relaxed),
+            queries_rejected: c.rejected.load(Ordering::Relaxed),
+            queries_panicked: c.panicked.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replaces a table's optimizer statistics. Bumps the catalog version,
+    /// so every cached plan and prepared query keyed on the old version is
+    /// stale from this point on (the caches are also cleared eagerly — the
+    /// version key is the correctness mechanism, the clear is memory
+    /// hygiene).
+    pub fn update_stats(&self, table: &str, stats: TableStatistics) {
+        {
+            let mut system = self.system.write().unwrap_or_else(|e| e.into_inner());
+            system.data.catalog.set_stats(table, stats);
+        }
+        self.plans.lock().unwrap().clear();
+        self.prepared.lock().unwrap().clear();
+    }
+
+    /// Stops admitting queries, waits for every in-flight query to finish,
+    /// and joins the shared pool's workers. Idempotent. Sessions that were
+    /// blocked in admission (or arrive later) get
+    /// [`ServiceError::ShuttingDown`].
+    pub fn shutdown(&self) {
+        {
+            let mut g = self.gate.lock().unwrap();
+            g.accepting = false;
+            self.admit.notify_all();
+            while g.in_flight > 0 {
+                g = self.drained.wait(g).unwrap();
+            }
+        }
+        self.pool.shutdown();
+    }
+
+    /// Shuts the service down and returns the database, e.g. to restart a
+    /// service with different options over the same data.
+    pub fn into_system(self) -> LegoBase {
+        self.shutdown();
+        self.system.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn admit(&self) -> Result<AdmissionSlot<'_>, ServiceError> {
+        let mut g = self.gate.lock().unwrap();
+        loop {
+            if !g.accepting {
+                return Err(ServiceError::ShuttingDown);
+            }
+            if self.options.max_in_flight == 0 || g.in_flight < self.options.max_in_flight {
+                g.in_flight += 1;
+                return Ok(AdmissionSlot { service: self });
+            }
+            g = self.admit.wait(g).unwrap();
+        }
+    }
+
+    fn read_system(&self) -> std::sync::RwLockReadGuard<'_, LegoBase> {
+        self.system.read().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One client's handle on a [`QueryService`]. Sessions add per-client
+/// policy (the memory budget) on top of the shared machinery; open as many
+/// as you have client threads.
+pub struct Session<'a> {
+    service: &'a QueryService,
+    memory_budget: Option<usize>,
+}
+
+impl Session<'_> {
+    /// Caps the estimated load-time memory of this session's queries;
+    /// estimates above the cap get a typed [`ServiceError::OverBudget`]
+    /// rejection before any load work happens.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Serves one SQL query under a named configuration — the service-side
+    /// equivalent of [`LegoBase::run_sql`], with results guaranteed
+    /// bit-identical to it.
+    pub fn run_sql(&self, sql: &str, config: Config) -> Result<ServeOutcome, ServiceError> {
+        self.run_sql_with_settings(sql, &config.settings())
+    }
+
+    /// [`Session::run_sql`] with explicit settings.
+    pub fn run_sql_with_settings(
+        &self,
+        sql: &str,
+        settings: &Settings,
+    ) -> Result<ServeOutcome, ServiceError> {
+        let service = self.service;
+        let _slot = service.admit()?;
+        let t_total = Instant::now();
+        let settings = requested_settings(settings);
+        let system = service.read_system();
+        let text = legobase_sql::cache_text(sql);
+        let version = system.data.catalog.version();
+
+        let plan_key: PlanKey = (text.clone(), version, settings.optimize);
+        let lookup = service.plans.lock().unwrap().get(&plan_key);
+        let (cached_plan, plan_cached) = match lookup {
+            Some(p) => {
+                service.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                (p, true)
+            }
+            None => {
+                service.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+                let lowered = legobase_sql::plan(sql, &system.data.catalog)?;
+                let entry = if settings.optimize {
+                    let (plan, report) = optimizer::optimize(&lowered, &system.data.catalog);
+                    CachedPlan { plan, report: Some(report) }
+                } else {
+                    CachedPlan { plan: lowered, report: None }
+                };
+                let entry = Arc::new(entry);
+                service.plans.lock().unwrap().insert(plan_key, Arc::clone(&entry));
+                (entry, false)
+            }
+        };
+
+        if let Some(budget) = self.memory_budget {
+            let est = estimate_memory_bytes(&cached_plan.plan, &system.data.catalog, &settings);
+            if est > budget {
+                service.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::OverBudget {
+                    estimated_bytes: est,
+                    budget_bytes: budget,
+                    query: text,
+                });
+            }
+        }
+
+        let prep_key: PreparedKey = (text.clone(), version, settings);
+        let lookup = service.prepared.lock().unwrap().get(&prep_key);
+        let (prepared, prepared_cached) = match lookup {
+            Some(p) => {
+                service.counters.prepared_hits.fetch_add(1, Ordering::Relaxed);
+                (p, true)
+            }
+            None => {
+                service.counters.prepared_misses.fetch_add(1, Ordering::Relaxed);
+                // Loading happens outside the cache lock so a slow load never
+                // stalls other tenants' lookups; two sessions racing on the
+                // same key both load, and the loser's insert wins harmlessly
+                // (loads are deterministic, so the entries are identical).
+                let loaded = Arc::new(system.load(&cached_plan.plan, &settings));
+                service.prepared.lock().unwrap().insert(prep_key, Arc::clone(&loaded));
+                (loaded, false)
+            }
+        };
+
+        let _pool = service.pool.attach();
+        let t_exec = Instant::now();
+        let result = match catch_unwind(AssertUnwindSafe(|| prepared.execute())) {
+            Ok(r) => r,
+            Err(payload) => {
+                service.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::QueryPanicked {
+                    query: text,
+                    message: panic_message(&*payload),
+                });
+            }
+        };
+        let exec_time = t_exec.elapsed();
+        let opt = cached_plan.report.clone().map(|mut r| {
+            r.actual_rows = Some(result.len());
+            r
+        });
+        service.counters.ok.fetch_add(1, Ordering::Relaxed);
+        Ok(ServeOutcome {
+            result,
+            exec_time,
+            total_time: t_total.elapsed(),
+            plan_cached,
+            prepared_cached,
+            opt,
+        })
+    }
+
+    /// Serves one hand-built plan, uncached — the service-side equivalent
+    /// of [`LegoBase::run_plan`] (hand-built plans are the oracle; they are
+    /// never rewritten, and bypassing the caches keeps this path a faithful
+    /// per-call pipeline). A panic anywhere in compile, load, or execution
+    /// comes back as [`ServiceError::QueryPanicked`] without affecting any
+    /// other session.
+    pub fn run_plan(
+        &self,
+        query: &QueryPlan,
+        settings: &Settings,
+    ) -> Result<ServeOutcome, ServiceError> {
+        let service = self.service;
+        let _slot = service.admit()?;
+        let t_total = Instant::now();
+        let settings = requested_settings(settings);
+        let system = service.read_system();
+
+        if let Some(budget) = self.memory_budget {
+            let est = estimate_memory_bytes(query, &system.data.catalog, &settings);
+            if est > budget {
+                service.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::OverBudget {
+                    estimated_bytes: est,
+                    budget_bytes: budget,
+                    query: query.name.clone(),
+                });
+            }
+        }
+
+        let _pool = service.pool.attach();
+        match catch_unwind(AssertUnwindSafe(|| {
+            let loaded = system.load(query, &settings);
+            let t0 = Instant::now();
+            let result = loaded.execute();
+            (result, t0.elapsed())
+        })) {
+            Ok((result, exec_time)) => {
+                service.counters.ok.fetch_add(1, Ordering::Relaxed);
+                Ok(ServeOutcome {
+                    result,
+                    exec_time,
+                    total_time: t_total.elapsed(),
+                    plan_cached: false,
+                    prepared_cached: false,
+                    opt: None,
+                })
+            }
+            Err(payload) => {
+                service.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::QueryPanicked {
+                    query: query.name.clone(),
+                    message: panic_message(&*payload),
+                })
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Estimates the bytes the query's loaded data structures would occupy,
+/// from the catalog row counts — the admission-control analog of the
+/// paper's Fig. 20 memory accounting. Follows what the loaders actually do:
+/// the generic engines clone the *entire* dataset into row tuples, while
+/// the specialized loader builds typed columns (only the used ones when
+/// unused-field removal is on, dictionary codes instead of strings when
+/// dictionaries are on, plus a partitioning surcharge). Unestimable plans
+/// (unknown tables, tables without statistics) contribute zero: admission
+/// is a resource gate, not a validator — execution reports such plans
+/// through its own typed error.
+fn estimate_memory_bytes(query: &QueryPlan, catalog: &Catalog, settings: &Settings) -> usize {
+    let mut base_tables: BTreeSet<&str> = BTreeSet::new();
+    for p in query.plans() {
+        p.walk(&mut |n| {
+            if let Plan::Scan { table } = n {
+                if !table.starts_with('#') {
+                    base_tables.insert(table.as_str());
+                }
+            }
+        });
+    }
+    if base_tables.iter().any(|t| catalog.get(t).is_none()) {
+        return 0;
+    }
+    let col_bytes = |ty: Type| -> usize {
+        match ty {
+            Type::Int | Type::Float => 8,
+            Type::Date => 4,
+            Type::Bool => 1,
+            Type::Str => {
+                if settings.string_dict {
+                    8
+                } else {
+                    40
+                }
+            }
+        }
+    };
+    match settings.engine {
+        // The generic loaders materialize every table of the dataset as
+        // boxed-value row tuples, independent of the query.
+        EngineKind::Volcano | EngineKind::Push => catalog
+            .names()
+            .map(|t| {
+                let rows = catalog.stats(t).map_or(0, |s| s.rows);
+                rows * (32 * catalog.table(t).schema.len() + 24)
+            })
+            .sum(),
+        EngineKind::Specialized => {
+            // Unused-field removal shrinks the load to the touched columns;
+            // estimating it requires walking the plan's schemas, which can
+            // fail on malformed hand-built plans — fall back to whole-table
+            // columns rather than reject (or panic at) the tenant.
+            let used = if settings.field_removal {
+                catch_unwind(AssertUnwindSafe(|| {
+                    used_base_columns(query, &|t| catalog.table(t).schema.clone())
+                }))
+                .ok()
+            } else {
+                None
+            };
+            let mut bytes = 0usize;
+            for t in &base_tables {
+                let meta = catalog.table(t);
+                let rows = catalog.stats(t).map_or(0, |s| s.rows);
+                let cols: Vec<usize> = match used.as_ref().and_then(|u| u.get(*t)) {
+                    Some(keep) => keep.iter().copied().collect(),
+                    None => (0..meta.schema.len()).collect(),
+                };
+                bytes += cols.iter().map(|&c| rows * col_bytes(meta.schema.ty(c))).sum::<usize>();
+            }
+            if settings.partitioning {
+                // Partitioned copies + date indices: ~25% surcharge.
+                bytes += bytes / 4;
+            }
+            bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The FIFO cache honors its capacity and evicts oldest-inserted first.
+    #[test]
+    fn cache_fifo_eviction() {
+        let mut c: Cache<u32, u32> = Cache::new(2);
+        c.insert(1, Arc::new(10));
+        c.insert(2, Arc::new(20));
+        assert_eq!(c.get(&1).as_deref(), Some(&10));
+        c.insert(3, Arc::new(30));
+        assert!(c.get(&1).is_none(), "oldest entry evicted");
+        assert_eq!(c.get(&2).as_deref(), Some(&20));
+        assert_eq!(c.get(&3).as_deref(), Some(&30));
+        // Re-inserting an existing key neither duplicates nor evicts.
+        c.insert(2, Arc::new(21));
+        assert_eq!(c.get(&2).as_deref(), Some(&21));
+        assert_eq!(c.get(&3).as_deref(), Some(&30));
+        c.clear();
+        assert!(c.get(&2).is_none());
+    }
+
+    /// A zero-capacity cache stores nothing (the "disabled" setting).
+    #[test]
+    fn cache_capacity_zero_is_disabled() {
+        let mut c: Cache<u32, u32> = Cache::new(0);
+        c.insert(1, Arc::new(10));
+        assert!(c.get(&1).is_none());
+    }
+
+    /// Generic engines are estimated at the whole dataset; specialized with
+    /// field removal at only the touched columns — and an unknown table is
+    /// unestimable (zero), never a panic.
+    #[test]
+    fn memory_estimates_follow_the_loaders() {
+        let data = legobase_tpch::TpchData::generate(0.002);
+        let catalog = data.catalog.clone();
+        let q6 = legobase_queries::query(&catalog, 6);
+        let generic = estimate_memory_bytes(&q6, &catalog, &Settings::baseline());
+        let specialized = estimate_memory_bytes(&q6, &catalog, &Settings::optimized());
+        assert!(generic > 0 && specialized > 0);
+        assert!(
+            specialized < generic,
+            "columnar used-only load ({specialized}) must undercut \
+             whole-dataset rows ({generic})"
+        );
+        let bogus = QueryPlan::new("bogus", Plan::scan("no_such_table"));
+        assert_eq!(estimate_memory_bytes(&bogus, &catalog, &Settings::optimized()), 0);
+    }
+}

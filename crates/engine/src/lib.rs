@@ -27,6 +27,11 @@
 //!   hash-join build/probe, and sorts (beyond the paper, whose generated C
 //!   is single-threaded; deterministic per DESIGN.md §3). The scheduling
 //!   primitive itself lives in the crate-private `parallel` module.
+//! * [`pool`] — a long-lived shared worker pool that schedules morsels from
+//!   many in-flight queries at once: the scheduler substrate of the
+//!   multi-tenant query service (`legobase::service`, DESIGN.md §3d). A
+//!   session attaches the pool to its thread and every `run_morsels` call
+//!   transparently shares the pool's workers instead of spawning its own.
 //! * [`settings`] — the optimization toggles and the named configurations of
 //!   Table III.
 //! * [`optimizer`] — the cost-based logical optimizer that sits between the
@@ -51,6 +56,7 @@ pub mod kernel;
 pub mod optimizer;
 pub(crate) mod parallel;
 pub mod plan;
+pub mod pool;
 pub mod push;
 pub mod result;
 pub mod settings;
@@ -62,6 +68,7 @@ pub use db::{GenericDb, SpecializedDb};
 pub use expr::{AggKind, ArithOp, CmpOp, Expr};
 pub use optimizer::{OptReport, Passes};
 pub use plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
+pub use pool::MorselPool;
 pub use result::ResultTable;
 pub use settings::{Config, Settings};
 pub use spec::Specialization;

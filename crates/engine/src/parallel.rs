@@ -47,6 +47,13 @@ pub(crate) fn row_morsels(total: usize) -> Vec<Morsel> {
 /// With `degree <= 1` or a single item everything runs inline on the
 /// calling thread — same code path, no thread spawn.
 ///
+/// When a shared [`crate::pool::MorselPool`] is attached to the calling
+/// thread (the multi-tenant query service attaches one per query), the work
+/// items are submitted to that pool instead of spawning scoped threads: the
+/// caller claims items alongside up to `degree - 1` pool workers, and the
+/// results are assembled the same way — in item-index order — so the two
+/// scheduling substrates are result-identical at every degree.
+///
 /// # Panics
 /// Worker panics are resumed on the calling thread (the query fails with the
 /// original panic payload instead of a secondary "worker poisoned" error).
@@ -66,6 +73,9 @@ where
     if workers == 1 {
         let mut state = setup();
         return ms.iter().map(|&m| work(&mut state, m)).collect();
+    }
+    if let Some(shared) = crate::pool::current() {
+        return crate::pool::run_shared(&shared, degree, ms, &setup, &work);
     }
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = (0..ms.len()).map(|_| None).collect();

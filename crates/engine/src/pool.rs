@@ -1,0 +1,506 @@
+//! A long-lived shared worker pool scheduling morsels from many queries.
+//!
+//! `crate::parallel::run_morsels` — the single scheduling primitive of the
+//! morsel-parallel specialized engine — normally spawns a fresh
+//! `std::thread::scope` worker set per call. That is fine for one query at a
+//! time, but a multi-tenant service running many queries concurrently would
+//! oversubscribe the machine with one worker set *per query*. [`MorselPool`]
+//! replaces the per-call worker set with one long-lived pool shared by every
+//! in-flight query: sessions [`MorselPool::attach`] the pool to their thread,
+//! and every `run_morsels` call made while attached submits its work items as
+//! a *shared job* that the pool's workers help execute.
+//!
+//! Three properties make the pool safe and fair:
+//!
+//! 1. **The submitting thread always participates.** A query never *waits*
+//!    for pool capacity: the session thread claims items exactly like a pool
+//!    worker, so even a fully saturated (or shut down) pool cannot delay a
+//!    query indefinitely — helpers only add throughput. This is what makes a
+//!    fixed-size pool deadlock-free under any number of concurrent queries.
+//! 2. **FIFO help requests.** Each job enqueues at most `degree - 1` help
+//!    requests; workers take them in submission order, so morsels from many
+//!    in-flight queries interleave on the shared workers instead of one
+//!    query monopolizing them.
+//! 3. **Deterministic results.** Scheduling only decides *who* runs a work
+//!    item; results land in per-item slots and are assembled in item-index
+//!    order by the submitter, exactly like the scoped-thread path — which
+//!    worker (or which query's session thread) processed a morsel can never
+//!    influence the result (DESIGN.md §3, §3d).
+//!
+//! A panic inside a work item is contained to its job: the panic payload is
+//! captured, remaining claims for that job are cancelled, and the payload is
+//! resumed on the *submitting* thread. Pool workers survive and keep serving
+//! other queries — one tenant's panicking kernel cannot poison the pool.
+//!
+//! # Safety model
+//!
+//! Jobs borrow the submitting thread's stack (items, closures, result
+//! slots), so the pool erases their lifetimes behind raw pointers. Two
+//! invariants bound every such borrow:
+//!
+//! * workers count themselves into the job's latch *under the queue lock*
+//!   (in `worker_loop`, before releasing the lock that handed them the
+//!   job), and
+//! * the submitter retracts its un-taken help requests under that same lock
+//!   and then waits for the latch to drain before returning.
+//!
+//! After retraction, no worker can newly reach the job; after the latch
+//! drains, no worker still holds it — so the borrow never outlives the
+//! `run_shared` call.
+
+use std::any::Any;
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A lifetime-erased handle to a [`SharedJob`] living on a submitter's
+/// stack. `enter` must be called under the pool's queue lock (it counts the
+/// worker into the job's latch before the submitter can retract the ref);
+/// `run` participates in the job and counts the worker back out.
+#[derive(Clone, Copy)]
+struct JobRef {
+    job: *const (),
+    enter: unsafe fn(*const ()),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointee is kept alive by the submitting thread until the
+// queue no longer holds the ref and the job's latch has drained (see the
+// module-level safety model).
+unsafe impl Send for JobRef {}
+
+#[derive(Default)]
+struct Queue {
+    refs: VecDeque<JobRef>,
+    shutdown: bool,
+}
+
+/// Pool state shared between the owning [`MorselPool`], its workers, and the
+/// thread-local attachment used by `run_morsels`.
+pub(crate) struct PoolShared {
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    workers: usize,
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(r) = q.refs.pop_front() {
+                    // Count into the job's latch before releasing the queue
+                    // lock: the submitter's retraction path takes this same
+                    // lock, so once it has retracted, every worker that will
+                    // ever touch the job is already counted.
+                    unsafe { (r.enter)(r.job) };
+                    break r;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+        };
+        // `run` never unwinds (panics are captured into the job) and always
+        // counts the worker back out of the latch — the worker thread
+        // survives any tenant's panic and keeps serving other queries.
+        unsafe { (job.run)(job.job) };
+    }
+}
+
+/// Tracks how many workers are currently inside a job.
+struct Latch {
+    active: Mutex<usize>,
+    idle: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch { active: Mutex::new(0), idle: Condvar::new() }
+    }
+
+    fn enter(&self) {
+        *self.active.lock().unwrap() += 1;
+    }
+
+    fn exit(&self) {
+        let mut n = self.active.lock().unwrap();
+        *n -= 1;
+        if *n == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    fn wait_idle(&self) {
+        let mut n = self.active.lock().unwrap();
+        while *n > 0 {
+            n = self.idle.wait(n).unwrap();
+        }
+    }
+}
+
+/// One result slot, written exactly once by whichever participant claimed
+/// the item's index.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: each slot index is claimed exactly once (atomic fetch_add), so at
+// most one participant writes a given slot, and the submitter only reads the
+// slots after the job's latch has drained.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// A `run_morsels` call in shared form: the work-item list, the per-worker
+/// setup and work closures, the claim counter, and the result slots.
+struct SharedJob<'a, I, S, T, FSetup, FWork> {
+    items: &'a [I],
+    setup: &'a FSetup,
+    work: &'a FWork,
+    next: AtomicUsize,
+    slots: &'a [Slot<T>],
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    latch: Latch,
+    _state: PhantomData<fn() -> S>,
+}
+
+impl<I, S, T, FSetup, FWork> SharedJob<'_, I, S, T, FSetup, FWork>
+where
+    I: Copy + Sync,
+    T: Send,
+    FSetup: Fn() -> S + Sync,
+    FWork: Fn(&mut S, I) -> T + Sync,
+{
+    /// Claims and executes items until none remain. Called by the submitter
+    /// and by any pool worker that picked up one of the job's help requests;
+    /// every participant builds its own worker state, exactly like one
+    /// thread of the scoped path.
+    fn participate(&self) {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut state = (self.setup)();
+            loop {
+                let i = self.next.fetch_add(1, Ordering::Relaxed);
+                let Some(&item) = self.items.get(i) else { break };
+                let t = (self.work)(&mut state, item);
+                // SAFETY: index `i` was claimed exactly once (fetch_add),
+                // so this participant is the only writer of slot `i`.
+                unsafe { *self.slots[i].0.get() = Some(t) };
+            }
+        }));
+        if let Err(payload) = outcome {
+            // Poison the job: cancel all remaining claims and keep the
+            // first payload for the submitter to resume. The pool itself is
+            // untouched — other jobs keep running.
+            self.next.store(self.items.len(), Ordering::Relaxed);
+            let mut p = self.panic.lock().unwrap();
+            if p.is_none() {
+                *p = Some(payload);
+            }
+        }
+    }
+}
+
+unsafe fn enter_job<I, S, T, FSetup, FWork>(p: *const ())
+where
+    I: Copy + Sync,
+    T: Send,
+    FSetup: Fn() -> S + Sync,
+    FWork: Fn(&mut S, I) -> T + Sync,
+{
+    unsafe { (*(p as *const SharedJob<'_, I, S, T, FSetup, FWork>)).latch.enter() }
+}
+
+unsafe fn run_job<I, S, T, FSetup, FWork>(p: *const ())
+where
+    I: Copy + Sync,
+    T: Send,
+    FSetup: Fn() -> S + Sync,
+    FWork: Fn(&mut S, I) -> T + Sync,
+{
+    let job = unsafe { &*(p as *const SharedJob<'_, I, S, T, FSetup, FWork>) };
+    job.participate();
+    job.latch.exit();
+}
+
+/// Runs one `run_morsels` batch with the shared pool's help: the calling
+/// thread claims items alongside up to `degree - 1` pool workers, and the
+/// per-item results are returned in item-index order — bit-identical to the
+/// scoped-thread path at the same degree, by construction.
+pub(crate) fn run_shared<I, S, T, FSetup, FWork>(
+    shared: &PoolShared,
+    degree: usize,
+    items: &[I],
+    setup: &FSetup,
+    work: &FWork,
+) -> Vec<T>
+where
+    I: Copy + Sync,
+    T: Send,
+    FSetup: Fn() -> S + Sync,
+    FWork: Fn(&mut S, I) -> T + Sync,
+{
+    let slots: Vec<Slot<T>> = (0..items.len()).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let job = SharedJob {
+        items,
+        setup,
+        work,
+        next: AtomicUsize::new(0),
+        slots: &slots,
+        panic: Mutex::new(None),
+        latch: Latch::new(),
+        _state: PhantomData::<fn() -> S>,
+    };
+    let jr = JobRef {
+        job: &job as *const SharedJob<'_, I, S, T, FSetup, FWork> as *const (),
+        enter: enter_job::<I, S, T, FSetup, FWork>,
+        run: run_job::<I, S, T, FSetup, FWork>,
+    };
+    let helpers = degree.min(items.len()).saturating_sub(1).min(shared.workers);
+    if helpers > 0 {
+        let mut q = shared.queue.lock().unwrap();
+        for _ in 0..helpers {
+            q.refs.push_back(jr);
+        }
+        drop(q);
+        shared.ready.notify_all();
+    }
+    // The submitter always works its own job: progress never depends on the
+    // pool having free capacity.
+    job.participate();
+    if helpers > 0 {
+        // Retract help requests nobody picked up; workers that already
+        // popped one counted into the latch under this same lock.
+        let mut q = shared.queue.lock().unwrap();
+        q.refs.retain(|r| r.job != jr.job);
+    }
+    job.latch.wait_idle();
+    if let Some(payload) = job.panic.lock().unwrap().take() {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.0.into_inner().expect("every morsel produces exactly one result"))
+        .collect()
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<PoolShared>>> = const { RefCell::new(None) };
+}
+
+/// The pool attached to the current thread by [`MorselPool::attach`], if any.
+pub(crate) fn current() -> Option<Arc<PoolShared>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Reverts a [`MorselPool::attach`] when dropped (restoring any previously
+/// attached pool, so attachments nest).
+pub struct PoolGuard {
+    prev: Option<Arc<PoolShared>>,
+    // Attachment is a property of the attaching thread; the guard must be
+    // dropped there too.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// A long-lived shared worker pool for morsel-parallel execution across many
+/// concurrent queries — the scheduler substrate of the multi-tenant query
+/// service (`legobase::service`).
+pub struct MorselPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl MorselPool {
+    /// Spawns a pool with `workers` long-lived worker threads. `0` is valid:
+    /// an empty pool never helps, and every attached query simply runs on
+    /// its own session thread.
+    pub fn new(workers: usize) -> MorselPool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(Queue::default()),
+            ready: Condvar::new(),
+            workers,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("legobase-morsel-{i}"))
+                    .spawn(move || worker_loop(&s))
+                    .expect("spawn morsel pool worker")
+            })
+            .collect();
+        MorselPool { shared, handles: Mutex::new(handles) }
+    }
+
+    /// Number of worker threads the pool was created with.
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Attaches the pool to the current thread until the guard drops: every
+    /// `run_morsels` call made on this thread while attached submits its
+    /// morsels to the shared pool instead of spawning scoped threads.
+    pub fn attach(&self) -> PoolGuard {
+        let prev = CURRENT.with(|c| c.replace(Some(Arc::clone(&self.shared))));
+        PoolGuard { prev, _not_send: PhantomData }
+    }
+
+    /// Stops accepting help requests and joins all worker threads. Idempotent;
+    /// also invoked on drop. In-flight jobs are unaffected: their submitters
+    /// finish the remaining items themselves (and retract unclaimed help
+    /// requests), so shutdown can never strand a query.
+    pub fn shutdown(&self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.shutdown = true;
+        }
+        self.ready_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            // Worker bodies never unwind (job panics are captured into the
+            // job), so join errors cannot carry tenant panics.
+            h.join().expect("morsel pool worker exited cleanly");
+        }
+    }
+
+    /// True once [`MorselPool::shutdown`] has joined every worker.
+    pub fn is_shut_down(&self) -> bool {
+        self.handles.lock().unwrap().is_empty()
+    }
+
+    fn ready_all(&self) {
+        self.shared.ready.notify_all();
+    }
+}
+
+impl Drop for MorselPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::run_morsels;
+    use legobase_storage::morsel::morsels;
+
+    /// The shared path produces results in item order, identical to the
+    /// scoped path, at any helper count — including a zero-worker pool.
+    #[test]
+    fn shared_results_match_serial() {
+        let ms = morsels(100_000, 1_000);
+        let serial = run_morsels(1, &ms, || (), |(), m| (m.start, m.len()));
+        for workers in [0usize, 1, 3, 8] {
+            let pool = MorselPool::new(workers);
+            let _guard = pool.attach();
+            for degree in [2usize, 4, 16] {
+                let got = run_morsels(degree, &ms, || (), |(), m| (m.start, m.len()));
+                assert_eq!(got, serial, "workers {workers}, degree {degree}");
+            }
+        }
+    }
+
+    /// Detached threads keep using the scoped path; attachment is strictly
+    /// per thread and restores the previous pool on drop.
+    #[test]
+    fn attach_is_scoped_and_nested() {
+        assert!(current().is_none());
+        let a = MorselPool::new(1);
+        let b = MorselPool::new(1);
+        {
+            let _ga = a.attach();
+            assert!(current().is_some());
+            {
+                let _gb = b.attach();
+                let inner = current().expect("b attached");
+                assert!(std::ptr::eq(&*inner, &*b.shared as *const PoolShared));
+            }
+            let outer = current().expect("a restored");
+            assert!(std::ptr::eq(&*outer, &*a.shared as *const PoolShared));
+        }
+        assert!(current().is_none());
+    }
+
+    /// A panicking job resumes its payload on the submitting thread, and the
+    /// pool keeps serving other jobs afterwards — the worker threads survive.
+    #[test]
+    fn panicking_job_does_not_poison_the_pool() {
+        let pool = MorselPool::new(2);
+        let ms = morsels(50_000, 100);
+        for round in 0..3 {
+            let _guard = pool.attach();
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_morsels(
+                    4,
+                    &ms,
+                    || (),
+                    |(), m| {
+                        if m.start >= 25_000 {
+                            panic!("tenant kernel boom");
+                        }
+                        m.len()
+                    },
+                )
+            }));
+            let err = r.expect_err("panic must reach the submitter");
+            let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+            assert_eq!(msg, "tenant kernel boom", "round {round}");
+            // The pool still computes correct results for the next tenant.
+            let ok = run_morsels(4, &ms, || (), |(), m| m.len());
+            assert_eq!(ok.iter().sum::<usize>(), 50_000, "round {round}");
+        }
+        assert!(!pool.is_shut_down());
+    }
+
+    /// Many submitters share one pool concurrently; every job's results are
+    /// correct and in item order (morsels of different queries interleave on
+    /// the shared workers).
+    #[test]
+    fn concurrent_submitters_share_the_pool() {
+        let pool = MorselPool::new(3);
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let _guard = pool.attach();
+                    let ms = morsels(40_000 + t * 1_000, 512);
+                    let expect: Vec<usize> = ms.iter().map(|m| m.start * 2 + t).collect();
+                    for _ in 0..5 {
+                        let got = run_morsels(4, &ms, || (), |(), m| m.start * 2 + t);
+                        assert_eq!(got, expect, "tenant {t}");
+                    }
+                });
+            }
+        });
+    }
+
+    /// Shutdown joins all workers and never strands an in-flight submitter
+    /// (the submitter finishes alone); repeated start/stop cycles leak
+    /// nothing and never deadlock.
+    #[test]
+    fn shutdown_joins_and_restarts_cleanly() {
+        for _ in 0..5 {
+            let pool = MorselPool::new(2);
+            assert!(!pool.is_shut_down());
+            let ms = morsels(20_000, 256);
+            let _guard = pool.attach();
+            let got = run_morsels(4, &ms, || (), |(), m| m.len());
+            assert_eq!(got.iter().sum::<usize>(), 20_000);
+            pool.shutdown();
+            assert!(pool.is_shut_down());
+            // A shut-down pool still yields correct results: the submitter
+            // does all the work itself.
+            let got = run_morsels(4, &ms, || (), |(), m| m.len());
+            assert_eq!(got.iter().sum::<usize>(), 20_000);
+            pool.shutdown(); // idempotent
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! rationale).
 
 /// Which executor family runs the plan.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum EngineKind {
     /// Pull-based iterator engine over generic tuples (the DBX baseline).
     Volcano,
@@ -18,7 +18,12 @@ pub enum EngineKind {
 }
 
 /// The full optimization flag set.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// `Hash` because the flag set is part of cache keys: the multi-tenant query
+/// service keys its prepared-query cache on (SQL text, catalog version,
+/// settings) — two sessions only share a loaded, compiled query when every
+/// flag agrees.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct Settings {
     /// Which executor family runs the plan.
     pub engine: EngineKind,

@@ -77,3 +77,59 @@ pub use error::{Result, Span, SqlError};
 pub use lower::{plan, plan_named};
 pub use print::plan_to_sql;
 pub use tpch::{tpch_sql, TPCH_SQL};
+
+/// Canonicalizes a SQL text into a plan-cache key: the token spellings
+/// joined by single spaces, so whitespace layout and `--` comments never
+/// cause a cache miss (`SELECT  1` and `select 1 -- note` only differ by
+/// keyword case). Token *content* is preserved verbatim — identifiers stay
+/// case-sensitive and string literals keep their exact bytes — so two texts
+/// with the same cache key always lower to the same plan. Unlexable input
+/// is returned verbatim: such a text will fail to parse identically on
+/// every lookup, so any key works.
+pub fn cache_text(sql: &str) -> String {
+    match lexer::lex(sql) {
+        Ok(tokens) => {
+            let mut out = String::with_capacity(sql.len());
+            for t in &tokens {
+                if t.tok == lexer::Tok::Eof {
+                    break;
+                }
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(&sql[t.span.start..t.span.end]);
+            }
+            out
+        }
+        Err(_) => sql.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod cache_text_tests {
+    use super::cache_text;
+
+    #[test]
+    fn whitespace_and_comments_are_insignificant() {
+        let a = cache_text("SELECT   l_returnflag\nFROM lineitem -- trailing note");
+        let b = cache_text("SELECT l_returnflag FROM lineitem");
+        assert_eq!(a, b);
+        assert_eq!(a, "SELECT l_returnflag FROM lineitem");
+    }
+
+    #[test]
+    fn content_differences_stay_distinct() {
+        // Keyword case is content here (the parser is case-insensitive, but
+        // distinct cache entries for `select` vs `SELECT` are merely
+        // wasteful, never wrong); string literals and identifiers must
+        // never be conflated.
+        assert_ne!(cache_text("SELECT 'a  b'"), cache_text("SELECT 'a b'"));
+        assert_ne!(cache_text("SELECT x FROM t"), cache_text("SELECT y FROM t"));
+    }
+
+    #[test]
+    fn unlexable_text_round_trips() {
+        let bad = "SELECT ? FROM t";
+        assert_eq!(cache_text(bad), bad);
+    }
+}

@@ -172,6 +172,7 @@ impl TableMeta {
 pub struct Catalog {
     tables: HashMap<String, TableMeta>,
     stats: HashMap<String, crate::stats::TableStatistics>,
+    version: u64,
 }
 
 impl Catalog {
@@ -183,6 +184,7 @@ impl Catalog {
     /// Registers a table.
     pub fn add(&mut self, meta: TableMeta) {
         self.tables.insert(meta.name.clone(), meta);
+        self.version += 1;
     }
 
     /// Looks a table up by name.
@@ -199,6 +201,16 @@ impl Catalog {
     /// load time, or analytic — e.g. the TPC-H scale-factor formulas).
     pub fn set_stats(&mut self, table: &str, stats: crate::stats::TableStatistics) {
         self.stats.insert(table.to_string(), stats);
+        self.version += 1;
+    }
+
+    /// Monotonic change counter: every [`Catalog::add`] and
+    /// [`Catalog::set_stats`] bumps it. Caches keyed on catalog contents
+    /// (the query service's plan cache keys on SQL text + this version)
+    /// use it to invalidate entries when the statistics a cached plan was
+    /// optimized under go stale.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The optimizer statistics of a table, if any were attached. Cost-based
@@ -293,5 +305,22 @@ mod tests {
         assert_eq!(li.primary_key, vec![0, 1]);
         assert_eq!(li.foreign_keys[0].references, "orders");
         assert_eq!(cat.table("orders").primary_key, vec![0]);
+    }
+
+    /// Schema registration and statistics refreshes both advance the catalog
+    /// version — the invalidation signal for plan caches keyed on it.
+    #[test]
+    fn version_bumps_on_add_and_set_stats() {
+        let mut cat = Catalog::new();
+        assert_eq!(cat.version(), 0);
+        cat.add(TableMeta::new("t", Schema::of(&[("id", Type::Int)])));
+        let v1 = cat.version();
+        assert!(v1 > 0);
+        cat.set_stats("t", crate::stats::TableStatistics::analytic(10, Vec::new()));
+        let v2 = cat.version();
+        assert!(v2 > v1);
+        // Re-setting stats (same table) is still a change.
+        cat.set_stats("t", crate::stats::TableStatistics::analytic(20, Vec::new()));
+        assert!(cat.version() > v2);
     }
 }
