@@ -100,6 +100,32 @@ impl LegoBase {
         LegoBase { data }
     }
 
+    /// Loads a database from a persistent column archive with a single
+    /// `fs::read` (`tpch archive` writes one; CI caches it between runs so
+    /// the perf baseline never pays for regeneration). The reader verifies
+    /// magic, version, and per-column checksums before any payload is
+    /// trusted.
+    ///
+    /// ```no_run
+    /// use legobase::{Config, LegoBase};
+    /// let system = LegoBase::from_archive("tpch-sf0.1.lbca").expect("valid archive");
+    /// let service = system.serve();
+    /// ```
+    pub fn from_archive(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<LegoBase, tpch::archive::ArchiveError> {
+        Ok(LegoBase { data: tpch::archive::read(path.as_ref())? })
+    }
+
+    /// Writes this database to a persistent column archive
+    /// ([`LegoBase::from_archive`] loads it back losslessly).
+    pub fn write_archive(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), tpch::archive::ArchiveError> {
+        tpch::archive::write(&self.data, path.as_ref())
+    }
+
     /// Builds the physical plan of TPC-H query `n` (1–22).
     pub fn plan(&self, n: usize) -> QueryPlan {
         legobase_queries::query(&self.data.catalog, n)
@@ -269,6 +295,13 @@ pub(crate) fn requested_settings(settings: &Settings) -> Settings {
             s.optimize = false;
         }
     }
+    // Same one-way discipline for encoded columns: `LEGOBASE_ENCODING=0` is
+    // CI's plain-columns leg; anything else leaves the request alone.
+    if let Ok(v) = std::env::var("LEGOBASE_ENCODING") {
+        if matches!(v.trim(), "0" | "false" | "off") {
+            s.encoding = false;
+        }
+    }
     s
 }
 
@@ -285,6 +318,9 @@ fn decided_settings(settings: &Settings, spec: &Specialization) -> Settings {
     s.parallelism = spec.parallelism.max(1);
     s.parallel_joins = spec.parallel_joins > 0;
     s.parallel_sorts = spec.parallel_sorts > 0;
+    // Encoding follows the same rule: the flag survives only when the
+    // `Encode` transformer actually cleared columns for this query.
+    s.encoding = s.encoding && !spec.encoded_columns.is_empty();
     s
 }
 

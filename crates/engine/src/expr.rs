@@ -24,6 +24,20 @@ pub enum CmpOp {
     Ge,
 }
 
+impl CmpOp {
+    /// The operator with operands swapped: `a op b` ⇔ `b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
 /// Arithmetic operators (numeric promotion follows SQL: any float operand
 /// makes the result float).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -11,7 +11,7 @@
 
 use crate::expr::{ArithOp, CmpOp, Expr};
 use crate::interp;
-use legobase_storage::{Column, Schema, Value};
+use legobase_storage::{Column, PackedInts, Schema, Value};
 use std::sync::Arc;
 
 /// A columnar intermediate result.
@@ -167,6 +167,8 @@ fn numeric(e: &Expr, chunk: &Chunk) -> Option<F64K> {
                 Column::F64(v) => Some(Box::new(move |r| v[r])),
                 Column::Date(v) => Some(Box::new(move |r| v[r] as f64)),
                 Column::Bool(v) => Some(Box::new(move |r| v[r] as i64 as f64)),
+                Column::I64Packed(p) => Some(Box::new(move |r| p.get(r) as f64)),
+                Column::DatePacked(p) => Some(Box::new(move |r| p.get(r) as f64)),
                 _ => None,
             }
         }
@@ -208,6 +210,7 @@ fn date_kernel(e: &Expr, chunk: &Chunk) -> Option<Box<dyn Fn(usize) -> i32 + Sen
     match e {
         Expr::Col(i) => match chunk.cols[*i].clone() {
             Column::Date(v) => Some(Box::new(move |r| v[r])),
+            Column::DatePacked(p) => Some(Box::new(move |r| p.get(r) as i32)),
             _ => None,
         },
         Expr::Lit(Value::Date(d)) => {
@@ -219,6 +222,15 @@ fn date_kernel(e: &Expr, chunk: &Chunk) -> Option<Box<dyn Fn(usize) -> i32 + Sen
 }
 
 fn compile_cmp(op: CmpOp, a: &Expr, b: &Expr, chunk: &Chunk) -> BoolK {
+    // Packed column vs. literal: pre-encode the literal once and compare raw
+    // offsets — the scan never leaves the packed domain (PR 7's
+    // scan-without-decompress contract).
+    if let Some(k) = packed_cmp(op, a, b, chunk) {
+        return k;
+    }
+    if let Some(k) = packed_cmp(op.flip(), b, a, chunk) {
+        return k;
+    }
     // Numeric fast path (ints, floats, dates).
     if let (Some(fa), Some(fb)) = (numeric(a, chunk), numeric(b, chunk)) {
         return match op {
@@ -252,6 +264,20 @@ fn compile_cmp(op: CmpOp, a: &Expr, b: &Expr, chunk: &Chunk) -> BoolK {
             Column::Str(v) => {
                 return Box::new(move |r| str_cmp(op, &v[r], &s));
             }
+            Column::DictPacked(codes, dict) => {
+                // Same dictionary lowering, with the code column staying
+                // packed: equality pre-encodes the target code into the
+                // frame of reference, ordering indexes flags by code.
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    let eq = op == CmpOp::Eq;
+                    return match dict.code(&s).and_then(|t| codes.encode(t as i64)) {
+                        Some(raw) => Box::new(move |r| (codes.get_raw(r) == raw) == eq),
+                        None => Box::new(move |_| !eq),
+                    };
+                }
+                let flags = dict.matching_flags(|v| str_cmp(op, v, &s));
+                return Box::new(move |r| flags[codes.get(r) as usize]);
+            }
             _ => {}
         }
     }
@@ -273,6 +299,52 @@ fn compile_cmp(op: CmpOp, a: &Expr, b: &Expr, chunk: &Chunk) -> BoolK {
             CmpOp::Ge => ord.is_ge(),
         }
     })
+}
+
+/// Compiles `col op lit` over a packed column without decompressing: the
+/// literal is encoded into the column's frame of reference once, and the
+/// per-row test compares raw `width`-bit offsets (unsigned comparison is
+/// order-preserving because both sides are offsets from the same base).
+/// Literals outside the encodable domain clamp to a constant predicate.
+fn packed_cmp(op: CmpOp, a: &Expr, b: &Expr, chunk: &Chunk) -> Option<BoolK> {
+    let Expr::Col(i) = a else { return None };
+    if chunk.nulls[*i].is_some() {
+        return None;
+    }
+    let lit = match b {
+        Expr::Lit(Value::Int(v)) => *v,
+        Expr::Lit(Value::Date(d)) => d.0 as i64,
+        _ => return None,
+    };
+    let p = match &chunk.cols[*i] {
+        Column::I64Packed(p) | Column::DatePacked(p) => Arc::clone(p),
+        _ => return None,
+    };
+    Some(packed_lit_kernel(op, p, lit))
+}
+
+fn packed_lit_kernel(op: CmpOp, p: Arc<PackedInts>, lit: i64) -> BoolK {
+    match p.encode(lit) {
+        Some(raw) => match op {
+            CmpOp::Eq => Box::new(move |r| p.get_raw(r) == raw),
+            CmpOp::Ne => Box::new(move |r| p.get_raw(r) != raw),
+            CmpOp::Lt => Box::new(move |r| p.get_raw(r) < raw),
+            CmpOp::Le => Box::new(move |r| p.get_raw(r) <= raw),
+            CmpOp::Gt => Box::new(move |r| p.get_raw(r) > raw),
+            CmpOp::Ge => Box::new(move |r| p.get_raw(r) >= raw),
+        },
+        None => {
+            // Every stored value is on one side of the literal.
+            let all_below_lit = lit > p.max();
+            let result = match op {
+                CmpOp::Eq => false,
+                CmpOp::Ne => true,
+                CmpOp::Lt | CmpOp::Le => all_below_lit,
+                CmpOp::Gt | CmpOp::Ge => !all_below_lit,
+            };
+            Box::new(move |_| result)
+        }
+    }
 }
 
 fn str_cmp(op: CmpOp, a: &str, b: &str) -> bool {
@@ -325,6 +397,21 @@ fn compile_str_pred(a: &Expr, chunk: &Chunk, pattern: String, op: StrOp) -> Bool
             Column::Str(v) => {
                 return Box::new(move |r| op.test(&v[r], &pattern));
             }
+            Column::DictPacked(codes, dict) => {
+                if matches!(op, StrOp::StartsWith)
+                    && dict.kind() == legobase_storage::DictKind::Ordered
+                {
+                    return match dict.prefix_range(&pattern) {
+                        Some((lo, hi)) => Box::new(move |r| {
+                            let c = codes.get(r) as u32;
+                            c >= lo && c <= hi
+                        }),
+                        None => Box::new(|_| false),
+                    };
+                }
+                let flags = dict.matching_flags(|v| op.test(v, &pattern));
+                return Box::new(move |r| flags[codes.get(r) as usize]);
+            }
             _ => {}
         }
     }
@@ -355,6 +442,19 @@ fn compile_word_seq(a: &Expr, chunk: &Chunk, w1: String, w2: String) -> BoolK {
             }
             Column::Str(v) => {
                 return Box::new(move |r| interp::word_seq(&v[r], &w1, &w2));
+            }
+            Column::DictPacked(codes, dict) => {
+                if dict.kind() == legobase_storage::DictKind::WordToken {
+                    let (c1, c2) = (dict.word_code(&w1), dict.word_code(&w2));
+                    return match (c1, c2) {
+                        (Some(c1), Some(c2)) => {
+                            Box::new(move |r| dict.contains_word_seq(codes.get(r) as u32, c1, c2))
+                        }
+                        _ => Box::new(|_| false),
+                    };
+                }
+                let flags = dict.matching_flags(|v| interp::word_seq(v, &w1, &w2));
+                return Box::new(move |r| flags[codes.get(r) as usize]);
             }
             _ => {}
         }
@@ -400,6 +500,29 @@ fn compile_in_list(a: &Expr, vals: &[Value], chunk: &Chunk) -> BoolK {
                     .collect();
                 return Box::new(move |r| set.contains(&v[r]));
             }
+            Column::I64Packed(p) => {
+                // Pre-encode the list; members outside the column domain can
+                // never match and drop out here.
+                let set: Vec<u64> = vals
+                    .iter()
+                    .filter_map(|x| match x {
+                        Value::Int(n) => p.encode(*n),
+                        _ => None,
+                    })
+                    .collect();
+                return Box::new(move |r| set.contains(&p.get_raw(r)));
+            }
+            Column::DictPacked(codes, dict) => {
+                let mut flags = vec![false; dict.len()];
+                for v in vals {
+                    if let Value::Str(s) = v {
+                        if let Some(c) = dict.code(s) {
+                            flags[c as usize] = true;
+                        }
+                    }
+                }
+                return Box::new(move |r| flags[codes.get(r) as usize]);
+            }
             _ => {}
         }
     }
@@ -432,6 +555,12 @@ pub fn code_kernel(col: usize, chunk: &Chunk) -> Option<I64K> {
         Column::Date(v) => Some(Box::new(move |r| v[r] as i64)),
         Column::Dict(codes, _) => Some(Box::new(move |r| codes[r] as i64)),
         Column::Bool(v) => Some(Box::new(move |r| v[r] as i64)),
+        // Packed columns group on decoded values/codes directly — the key
+        // code an aggregation sees is identical to the plain layout's, so
+        // grouped results stay bit-identical.
+        Column::I64Packed(p) => Some(Box::new(move |r| p.get(r))),
+        Column::DatePacked(p) => Some(Box::new(move |r| p.get(r))),
+        Column::DictPacked(p, _) => Some(Box::new(move |r| p.get(r))),
         _ => None,
     }
 }
@@ -511,6 +640,17 @@ mod tests {
         }
     }
 
+    /// Re-encodes every encodable column in place (packed ints/dates/codes).
+    fn encode_chunk(mut ch: Chunk) -> Chunk {
+        let stats = legobase_storage::ColumnStats::new(0, None, None);
+        for c in ch.cols.iter_mut() {
+            if let Some(enc) = c.encode(&stats) {
+                *c = enc;
+            }
+        }
+        ch
+    }
+
     /// Kernels must agree with the interpreter on every row, with and
     /// without dictionary encoding.
     #[test]
@@ -539,13 +679,50 @@ mod tests {
         for dict in
             [None, Some(DictKind::Normal), Some(DictKind::Ordered), Some(DictKind::WordToken)]
         {
-            let ch = chunk(dict);
-            for e in &exprs {
-                let k = compile_bool(e, &ch);
-                for r in 0..ch.total {
-                    let row = ch.row_values(r);
-                    assert_eq!(k(r), interp::eval_pred(e, &row), "expr {e} row {r} dict {dict:?}");
+            for encoded in [false, true] {
+                let ch = if encoded { encode_chunk(chunk(dict)) } else { chunk(dict) };
+                for e in &exprs {
+                    let k = compile_bool(e, &ch);
+                    for r in 0..ch.total {
+                        let row = ch.row_values(r);
+                        assert_eq!(
+                            k(r),
+                            interp::eval_pred(e, &row),
+                            "expr {e} row {r} dict {dict:?} encoded {encoded}"
+                        );
+                    }
                 }
+            }
+        }
+    }
+
+    /// The packed fast path must clamp out-of-domain literals per operator
+    /// and agree with plain evaluation inside the domain, including when the
+    /// literal sits on the left.
+    #[test]
+    fn packed_comparisons_match_plain() {
+        let plain = chunk(None);
+        let packed = encode_chunk(chunk(None));
+        assert!(matches!(packed.cols[0], Column::I64Packed(_)));
+        assert!(matches!(packed.cols[3], Column::DatePacked(_)));
+        let mut exprs = Vec::new();
+        // Column values are 0..8; -3 and 99 are outside the packed domain.
+        for lit in [-3i64, 0, 4, 7, 99] {
+            for (a, b) in [
+                (Expr::col(0), Expr::lit(lit)),
+                (Expr::lit(lit), Expr::col(0)), // literal on the left
+            ] {
+                for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+                    exprs.push(Expr::Cmp(op, Box::new(a.clone()), Box::new(b.clone())));
+                }
+            }
+        }
+        exprs.push(Expr::lt(Expr::col(3), Expr::lit(Date::from_ymd(1994, 6, 1))));
+        exprs.push(Expr::ge(Expr::col(3), Expr::lit(Date::from_ymd(1800, 1, 1))));
+        for e in &exprs {
+            let (kp, ke) = (compile_bool(e, &plain), compile_bool(e, &packed));
+            for r in 0..plain.total {
+                assert_eq!(kp(r), ke(r), "expr {e} row {r}");
             }
         }
     }
@@ -579,6 +756,15 @@ mod tests {
         assert_eq!(dk(4), 0); // same mode repeats
         assert!(code_kernel(2, &chunk(None)).is_none()); // plain strings
         assert!(code_kernel(3, &ch).is_some()); // dates
+
+        // Packed layouts produce the same key codes as plain ones.
+        let enc = encode_chunk(chunk(Some(DictKind::Normal)));
+        for col in [0usize, 2, 3] {
+            let (kp, ke) = (code_kernel(col, &ch).unwrap(), code_kernel(col, &enc).unwrap());
+            for r in 0..ch.total {
+                assert_eq!(kp(r), ke(r), "col {col} row {r}");
+            }
+        }
     }
 
     #[test]

@@ -70,5 +70,5 @@ pub use optimizer::{OptReport, Passes};
 pub use plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
 pub use pool::MorselPool;
 pub use result::ResultTable;
-pub use settings::{Config, Settings};
+pub use settings::{Config, EngineKind, Settings};
 pub use spec::Specialization;

@@ -76,6 +76,14 @@ pub struct Settings {
     /// rewritten (they are the oracle the optimizer is measured against).
     /// CI's off-leg sets the `LEGOBASE_OPTIMIZE=0` environment override.
     pub optimize: bool,
+    /// Allows encoded base-table columns (frame-of-reference bit-packed
+    /// ints/dates, bit-packed dictionary codes) that kernels scan without
+    /// decompressing. Defaults to `true`; like parallelism, this is a
+    /// *request* — the SC pipeline's `Encode` transformer decides per query
+    /// which columns actually encode (recorded in the specialization
+    /// report), and `decided_settings` clears the flag when nothing was
+    /// cleared for encoding. CI's off-leg sets `LEGOBASE_ENCODING=0`.
+    pub encoding: bool,
 }
 
 impl Settings {
@@ -96,6 +104,7 @@ impl Settings {
             parallel_joins: true,
             parallel_sorts: true,
             optimize: true,
+            encoding: true,
         }
     }
 
@@ -116,6 +125,7 @@ impl Settings {
             parallel_joins: true,
             parallel_sorts: true,
             optimize: true,
+            encoding: true,
         }
     }
 
@@ -258,6 +268,16 @@ mod tests {
             assert!(c.settings().optimize, "{c:?} must default to optimize");
         }
         assert!(!Settings::optimized().with(|s| s.optimize = false).optimize);
+    }
+
+    /// Encoding is a default-on request in every configuration — the SC
+    /// pipeline decides per query, and `LEGOBASE_ENCODING=0` ablates.
+    #[test]
+    fn encoding_defaults_on() {
+        for c in Config::ALL {
+            assert!(c.settings().encoding, "{c:?} must default to encoding");
+        }
+        assert!(!Settings::optimized().with(|s| s.encoding = false).encoding);
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct Specialization {
     /// Number of sort operators cleared for the morsel-parallel local-sort +
     /// deterministic k-way merge path (`0` = sorts run serial).
     pub parallel_sorts: usize,
+    /// Base-table columns the `Encode` transformer cleared for encoded
+    /// storage (frame-of-reference bit-packed ints/dates, bit-packed
+    /// dictionary codes). The loader re-encodes exactly these columns after
+    /// the partition/index/dictionary builds; kernels then scan them without
+    /// decompressing. Empty = the query runs entirely on plain columns.
+    pub encoded_columns: Vec<PartitionSpec>,
 }
 
 impl Default for Specialization {
@@ -73,6 +79,7 @@ impl Default for Specialization {
             parallelism: 1,
             parallel_joins: 0,
             parallel_sorts: 0,
+            encoded_columns: Vec::new(),
         }
     }
 }
@@ -117,6 +124,16 @@ impl Specialization {
     /// Requests a date-year index (Section 3.2.3).
     pub fn add_date_index(&mut self, table: &str, column: usize) {
         Self::push_unique(&mut self.date_indexes, table, column);
+    }
+
+    /// Clears `(table, column)` for encoded (packed) storage.
+    pub fn add_encoded_column(&mut self, table: &str, column: usize) {
+        Self::push_unique(&mut self.encoded_columns, table, column);
+    }
+
+    /// True when `(table, column)` was cleared for encoded storage.
+    pub fn has_encoded_column(&self, table: &str, column: usize) -> bool {
+        self.encoded_columns.iter().any(|p| p.table == table && p.column == column)
     }
 
     /// Registers (or upgrades) a dictionary decision. Kind upgrades follow

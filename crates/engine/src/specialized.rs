@@ -251,7 +251,7 @@ impl<'a> Exec<'a> {
         let conjuncts = split_conjuncts(predicate);
         // Find an indexed date column constrained by the conjuncts.
         for (col_idx, col) in chunk.cols.iter().enumerate() {
-            if !matches!(col, Column::Date(_)) {
+            if !matches!(col, Column::Date(_) | Column::DatePacked(_)) {
                 continue;
             }
             let Some(index) = self.db.date_indexes.get(&(table.to_string(), col_idx)) else {
@@ -277,7 +277,7 @@ impl<'a> Exec<'a> {
                     residual.iter().fold(Expr::lit(true), |acc, e| Expr::and(acc, (*e).clone()));
                 Some(self.pred(&combined, &chunk))
             };
-            let days = chunk.cols[col_idx].as_date();
+            let days = chunk.cols[col_idx].date_reader().expect("date-indexed column");
             let sel = self.date_index_scan(index, days, lo, hi, &res_pred);
             let mut out = chunk;
             out.sel = Some(Arc::new(sel));
@@ -294,7 +294,7 @@ impl<'a> Exec<'a> {
     fn date_index_scan(
         &self,
         index: &legobase_storage::dateindex::DateYearIndex,
-        days: &[i32],
+        days: legobase_storage::DateReader<'_>,
         lo: Date,
         hi: Date,
         res_pred: &Option<BoolK>,
@@ -321,8 +321,10 @@ impl<'a> Exec<'a> {
                 |(), seg: RangeSegment| {
                     let mut sel = Vec::new();
                     for &row in &row_ids[seg.start..seg.end] {
-                        let in_range =
-                            seg.full || (days[row as usize] >= lo.0 && days[row as usize] <= hi.0);
+                        let in_range = seg.full || {
+                            let d = days.get(row as usize);
+                            d >= lo.0 && d <= hi.0
+                        };
                         if in_range && res_pred.as_ref().is_none_or(|p| p(row as usize)) {
                             sel.push(row);
                         }
@@ -332,12 +334,23 @@ impl<'a> Exec<'a> {
             );
             return parts.concat();
         }
+        // Serial path: consuming the segments in order reproduces
+        // `DateYearIndex::scan_range`'s emission order bit for bit (proven by
+        // `segments_replay_scan_range_order` in the dateindex tests), and the
+        // reader keeps the scan working over packed day counts.
+        let row_ids = index.row_ids();
         let mut sel = Vec::new();
-        index.scan_range(days, lo, hi, |row| {
-            if res_pred.as_ref().is_none_or(|p| p(row as usize)) {
-                sel.push(row);
+        for s in &segments {
+            for &row in &row_ids[s.start..s.end] {
+                let in_range = s.full || {
+                    let d = days.get(row as usize);
+                    d >= lo.0 && d <= hi.0
+                };
+                if in_range && res_pred.as_ref().is_none_or(|p| p(row as usize)) {
+                    sel.push(row);
+                }
             }
-        });
+        }
         sel
     }
 
@@ -2070,6 +2083,18 @@ fn gather_column(chunk: &Chunk, c: usize, rows: &[u32]) -> (Column, Option<Arc<V
         Column::Dict(codes, dict) => {
             Column::Dict(Arc::new(rows.iter().map(|&p| codes[p as usize]).collect()), dict.clone())
         }
+        // Encoded at rest, plain intermediates: gathers out of a packed base
+        // column decode the touched rows into an uncompressed column.
+        Column::I64Packed(p) => {
+            Column::I64(Arc::new(rows.iter().map(|&r| p.get(r as usize)).collect()))
+        }
+        Column::DatePacked(p) => {
+            Column::Date(Arc::new(rows.iter().map(|&r| p.get(r as usize) as i32).collect()))
+        }
+        Column::DictPacked(p, dict) => Column::Dict(
+            Arc::new(rows.iter().map(|&r| p.get(r as usize) as u32).collect()),
+            dict.clone(),
+        ),
         Column::Absent => Column::Absent,
     };
     (col, mask)
@@ -2109,6 +2134,22 @@ fn gather_column_nullable(
         Column::Dict(codes, dict) => Column::Dict(
             Arc::new(
                 rows.iter().map(|&p| if p == u32::MAX { 0 } else { codes[p as usize] }).collect(),
+            ),
+            dict.clone(),
+        ),
+        Column::I64Packed(pk) => Column::I64(Arc::new(
+            rows.iter().map(|&p| if p == u32::MAX { 0 } else { pk.get(p as usize) }).collect(),
+        )),
+        Column::DatePacked(pk) => Column::Date(Arc::new(
+            rows.iter()
+                .map(|&p| if p == u32::MAX { 0 } else { pk.get(p as usize) as i32 })
+                .collect(),
+        )),
+        Column::DictPacked(pk, dict) => Column::Dict(
+            Arc::new(
+                rows.iter()
+                    .map(|&p| if p == u32::MAX { 0 } else { pk.get(p as usize) as u32 })
+                    .collect(),
             ),
             dict.clone(),
         ),

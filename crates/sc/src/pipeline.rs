@@ -11,11 +11,11 @@ use crate::cgen;
 use crate::ir::Program;
 use crate::rules::{TransformCtx, Transformer};
 use crate::transform::{
-    Cleanup, CodeMotionHoisting, ColumnStore, FieldPromotion, FineGrained, HashMapLowering,
+    Cleanup, CodeMotionHoisting, ColumnStore, Encode, FieldPromotion, FineGrained, HashMapLowering,
     HorizontalFusion, Parallelize, PartitioningAndDateIndices, ScalaToCLowering,
     SingletonHashMapToValue, StringDictionary,
 };
-use legobase_engine::{QueryPlan, Settings, Specialization};
+use legobase_engine::{EngineKind, QueryPlan, Settings, Specialization};
 use legobase_storage::Catalog;
 use std::time::{Duration, Instant};
 
@@ -62,6 +62,13 @@ impl Pipeline {
         if settings.column_store || settings.field_removal {
             p.add(ColumnStore);
             p.add(Cleanup);
+        }
+        if settings.encoding && settings.engine == EngineKind::Specialized {
+            // Clears touched Int/Date/dictionary base columns for packed
+            // storage; runs after StringDictionary so the dictionary
+            // decisions it piggybacks on are final. Only the specialized
+            // executor consumes encoded columns.
+            p.add(Encode);
         }
         if settings.code_motion {
             p.add(CodeMotionHoisting);
@@ -183,6 +190,8 @@ mod tests {
         let pos = |n: &str| names.iter().position(|x| *x == n).unwrap();
         assert!(pos("PartitioningAndDateIndices") < pos("HashMapLowering"));
         assert!(pos("HashMapLowering") < pos("StringDictionary"));
+        // Encode piggybacks on the dictionary decisions, so it runs after.
+        assert!(pos("StringDictionary") < pos("Encode"));
         assert_eq!(*names.last().unwrap(), "ParamPromDCEAndPartiallyEvaluate");
         // Loop fusion runs before the data-structure phases; field promotion
         // after the layout has settled.
@@ -200,6 +209,12 @@ mod tests {
 
         let naive = Pipeline::for_settings(&Config::NaiveC.settings());
         assert!(!naive.phase_names().contains(&"HashMapLowering"));
+        // Encoding is a specialized-executor decision: the row engines never
+        // see packed columns, and the LEGOBASE_ENCODING=0 ablation drops the
+        // phase entirely.
+        assert!(!naive.phase_names().contains(&"Encode"));
+        let unencoded = Pipeline::for_settings(&Settings::optimized().with(|s| s.encoding = false));
+        assert!(!unencoded.phase_names().contains(&"Encode"));
         // The interpreted variants skip the compiled-code passes entirely.
         let scala = Pipeline::for_settings(&Config::OptScala.settings());
         assert!(!scala.phase_names().contains(&"FieldPromotion"));
@@ -242,6 +257,34 @@ mod tests {
         // Unused-field removal keeps only the referenced lineitem columns.
         let used = &result.spec.used_columns["lineitem"];
         assert!(used.len() <= 5, "Q6 references 4 attributes, got {used:?}");
+    }
+
+    #[test]
+    fn encode_clears_touched_int_date_and_dict_columns() {
+        let cat = catalog();
+        let q = legobase_queries::query(&cat, 1);
+        let result = compile(&q, &cat, &Settings::optimized());
+        let li = |name: &str| cat.table("lineitem").schema.col(name);
+        // Q1's scanned attributes: the shipdate filter and the two
+        // dictionary-coded group keys pack; the float measures do not.
+        assert!(result.spec.has_encoded_column("lineitem", li("l_shipdate")));
+        assert!(result.spec.has_encoded_column("lineitem", li("l_returnflag")));
+        assert!(result.spec.has_encoded_column("lineitem", li("l_linestatus")));
+        assert!(!result.spec.has_encoded_column("lineitem", li("l_extendedprice")));
+        assert!(result.c_source.contains("encoded column scan"));
+
+        // Q6 touches only lineitem; the shipdate filter packs, the float
+        // measures (quantity, discount, extendedprice) never do.
+        let q6 = legobase_queries::query(&cat, 6);
+        let r6 = compile(&q6, &cat, &Settings::optimized());
+        assert!(r6.spec.has_encoded_column("lineitem", li("l_shipdate")));
+        assert!(!r6.spec.has_encoded_column("lineitem", li("l_quantity")));
+        assert!(r6.spec.encoded_columns.iter().all(|p| p.table == "lineitem"));
+
+        // The ablation leaves the decision record empty.
+        let off = compile(&q, &cat, &Settings::optimized().with(|s| s.encoding = false));
+        assert!(off.spec.encoded_columns.is_empty());
+        assert!(!off.c_source.contains("encoded column scan"));
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Encode (DESIGN.md §3e): clears the base-table columns a query touches
+//! for packed storage — frame-of-reference bit-packed integers and dates,
+//! and bit-packed dictionary codes.
+//!
+//! Like `Parallelize`, this transformer is a pure decision pass: it leaves
+//! the IR untouched (the kernels already scan packed columns without
+//! decompressing) and records which `(table, column)` pairs the loader
+//! should re-encode after the partition/index/dictionary builds. Only
+//! integer, date, and dictionary-coded string attributes are cleared —
+//! floats, booleans, and raw strings always stay plain — and the loader's
+//! profitability check ([`legobase_storage::Column::encode`]) may still
+//! keep a cleared column plain when packing would not shrink it.
+use super::plan_info::*;
+use crate::ir::{Program, Stmt};
+use crate::rules::{TransformCtx, Transformer};
+use legobase_engine::expr::Expr as PExpr;
+use legobase_engine::plan::Plan;
+use legobase_storage::Type;
+
+/// Clears touched Int/Date/dictionary base columns for packed storage.
+pub struct Encode;
+
+impl Transformer for Encode {
+    fn name(&self) -> &'static str {
+        "Encode"
+    }
+
+    fn run(&self, mut prog: Program, ctx: &mut TransformCtx<'_>) -> Program {
+        // ---- analysis: every base (table, column) the query reads, via the
+        // same plan-level provenance the other decision passes use.
+        let mut touched: Vec<(String, usize)> = Vec::new();
+        walk_plans(ctx, |plan, resolve| match plan {
+            Plan::Select { input, predicate } => {
+                collect_col_refs(predicate, &resolve(input), &mut touched)
+            }
+            Plan::Project { input, exprs } => {
+                let p = resolve(input);
+                for (e, _) in exprs {
+                    collect_col_refs(e, &p, &mut touched);
+                }
+            }
+            Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
+                let l = resolve(left);
+                let r = resolve(right);
+                for &k in left_keys {
+                    push_prov(&l, k, &mut touched);
+                }
+                for &k in right_keys {
+                    push_prov(&r, k, &mut touched);
+                }
+                if let Some(res) = residual {
+                    let mut p = l;
+                    p.extend(r);
+                    collect_col_refs(res, &p, &mut touched);
+                }
+            }
+            Plan::Agg { input, group_by, aggs } => {
+                let p = resolve(input);
+                for a in aggs {
+                    collect_col_refs(&a.expr, &p, &mut touched);
+                }
+                for &g in group_by {
+                    push_prov(&p, g, &mut touched);
+                }
+            }
+            Plan::Sort { input, keys } => {
+                let p = resolve(input);
+                for (k, _) in keys {
+                    push_prov(&p, *k, &mut touched);
+                }
+            }
+            _ => {}
+        });
+
+        // ---- decision: ints and dates pack directly; strings pack their
+        // codes only when a dictionary decision exists (StringDictionary runs
+        // earlier in the pipeline); everything else stays plain.
+        for (t, c) in touched {
+            match ctx.catalog.table(&t).schema.ty(c) {
+                Type::Int | Type::Date => ctx.spec.add_encoded_column(&t, c),
+                Type::Str if ctx.spec.dict_kind(&t, c).is_some() => {
+                    ctx.spec.add_encoded_column(&t, c)
+                }
+                _ => {}
+            }
+        }
+
+        let n = ctx.spec.encoded_columns.len();
+        if n > 0 {
+            // The banner lands in the generated C, like Parallelize's.
+            prog.stmts
+                .insert(0, Stmt::Comment(format!("encoded column scan: {n} column(s) bit-packed")));
+        }
+        prog
+    }
+}
+
+fn push_prov(prov: &Prov, idx: usize, out: &mut Vec<(String, usize)>) {
+    if let Some(Some((t, c))) = prov.get(idx) {
+        out.push((t.clone(), *c));
+    }
+}
+
+fn collect_col_refs(e: &PExpr, prov: &Prov, out: &mut Vec<(String, usize)>) {
+    match e {
+        PExpr::Col(i) => push_prov(prov, *i, out),
+        PExpr::Lit(_) => {}
+        PExpr::Cmp(_, a, b) | PExpr::Arith(_, a, b) | PExpr::And(a, b) | PExpr::Or(a, b) => {
+            collect_col_refs(a, prov, out);
+            collect_col_refs(b, prov, out);
+        }
+        PExpr::Case(c, t, f) => {
+            collect_col_refs(c, prov, out);
+            collect_col_refs(t, prov, out);
+            collect_col_refs(f, prov, out);
+        }
+        PExpr::Not(a)
+        | PExpr::StartsWith(a, _)
+        | PExpr::EndsWith(a, _)
+        | PExpr::Contains(a, _)
+        | PExpr::ContainsWordSeq(a, _, _)
+        | PExpr::Substr(a, _, _)
+        | PExpr::InList(a, _)
+        | PExpr::IsNull(a)
+        | PExpr::Year(a) => collect_col_refs(a, prov, out),
+    }
+}

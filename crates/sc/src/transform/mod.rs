@@ -18,6 +18,7 @@ mod plan_info;
 
 mod cleanup;
 mod column;
+mod encode;
 mod finegrained;
 mod fusion;
 mod hashmap;
@@ -34,6 +35,7 @@ pub use cleanup::{
     common_subexpression_eliminate, constant_fold, dead_code_eliminate, scalar_replace, Cleanup,
 };
 pub use column::ColumnStore;
+pub use encode::Encode;
 pub use finegrained::FineGrained;
 pub use fusion::{horizontal_fuse, HorizontalFusion};
 pub use hashmap::HashMapLowering;

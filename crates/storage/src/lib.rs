@@ -26,6 +26,9 @@
 //!   deterministic k-way merge ([`morsel::merge_sorted_runs`]) behind the
 //!   morsel-parallel sort (no paper counterpart — the paper's generated C
 //!   is single-threaded; DESIGN.md §3 specifies the determinism contract).
+//! * [`packed`] — frame-of-reference bit-packed integer storage behind the
+//!   encoded column variants (PR 7): kernels scan packed words and
+//!   dictionary codes without decompressing.
 //! * [`metrics`] — portable proxy counters standing in for the paper's CPU
 //!   performance counters (Fig. 18).
 //! * [`stats`] — the loading-time statistics LegoBase uses to size
@@ -37,6 +40,7 @@ pub mod dateindex;
 pub mod dict;
 pub mod metrics;
 pub mod morsel;
+pub mod packed;
 pub mod partition;
 pub mod pool;
 pub mod row;
@@ -45,9 +49,10 @@ pub mod specialized;
 pub mod stats;
 pub mod value;
 
-pub use column::{Column, ColumnTable};
+pub use column::{CodeReader, Column, ColumnError, ColumnTable, DateReader, I64Reader};
 pub use date::Date;
 pub use dict::{DictKind, StringDictionary};
+pub use packed::PackedInts;
 pub use row::RowTable;
 pub use schema::{Catalog, Field, ForeignKey, Schema, TableMeta, Type};
 pub use stats::{ColumnStats, TableStatistics};

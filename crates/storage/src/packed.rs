@@ -1,0 +1,274 @@
+//! Frame-of-reference bit-packed integer storage.
+//!
+//! The encoded column variants (PR 7) all bottom out here: values are stored
+//! as unsigned offsets from the column minimum (*frame of reference*), each
+//! offset occupying exactly `width` bits inside a dense `Vec<u64>`. Kernels
+//! scan the packed words directly — range predicates pre-encode their literal
+//! via [`PackedInts::encode`] and compare raw offsets, so a filter over an
+//! encoded column never materializes the decoded vector.
+//!
+//! The layout is deliberately boring: little-endian bit order inside each
+//! word, values may straddle a word boundary (read via a two-word fetch),
+//! `width == 0` means every value equals `base` and no words are stored.
+
+/// Frame-of-reference bit-packed integers: `value = base + offset`, each
+/// offset stored in `width` bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedInts {
+    base: i64,
+    max: i64,
+    width: u8,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedInts {
+    /// Packs a slice of values. The frame of reference (`base`) is the
+    /// minimum and the bit width is the smallest that represents
+    /// `max - min`. Offsets use wrapping arithmetic so the full `i64`
+    /// domain round-trips (an all-domain column simply packs at width 64).
+    pub fn from_values(values: &[i64]) -> PackedInts {
+        let (mut min, mut max) = (i64::MAX, i64::MIN);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if values.is_empty() {
+            (min, max) = (0, 0);
+        }
+        let span = max.wrapping_sub(min) as u64;
+        let width = (64 - span.leading_zeros()) as u8;
+        let mut packed = PackedInts {
+            base: min,
+            max,
+            width,
+            len: values.len(),
+            words: vec![0u64; Self::words_for(values.len(), width)],
+        };
+        for (i, &v) in values.iter().enumerate() {
+            packed.set_raw(i, v.wrapping_sub(min) as u64);
+        }
+        packed
+    }
+
+    /// Reassembles a packed column from its serialized parts (the archive
+    /// loader). Returns `None` when the parts are inconsistent — truncated
+    /// word payloads must surface as corruption, not a later panic.
+    pub fn from_parts(
+        base: i64,
+        max: i64,
+        width: u8,
+        len: usize,
+        words: Vec<u64>,
+    ) -> Option<PackedInts> {
+        if width > 64 || words.len() != Self::words_for(len, width) {
+            return None;
+        }
+        // The width is canonical — exactly what from_values derives from the
+        // declared [base, max] span — so a tampered header cannot claim a
+        // domain its offsets do not fit.
+        let span = max.wrapping_sub(base) as u64;
+        if (64 - span.leading_zeros()) as u8 != width {
+            return None;
+        }
+        Some(PackedInts { base, max, width, len, words })
+    }
+
+    /// Number of `u64` words needed to hold `len` values at `width` bits
+    /// (the archive reader sizes its reads with this).
+    pub fn words_for(len: usize, width: u8) -> usize {
+        (len * width as usize).div_ceil(64)
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    fn set_raw(&mut self, i: usize, raw: u64) {
+        let w = self.width as usize;
+        if w == 0 {
+            return;
+        }
+        let bit = i * w;
+        let (word, shift) = (bit / 64, bit % 64);
+        self.words[word] |= raw << shift;
+        if shift + w > 64 {
+            self.words[word + 1] |= raw >> (64 - shift);
+        }
+    }
+
+    /// The raw `width`-bit offset at row `i` (no frame-of-reference add).
+    /// This is what encoding-aware kernels compare against a pre-encoded
+    /// literal.
+    #[inline]
+    pub fn get_raw(&self, i: usize) -> u64 {
+        debug_assert!(i < self.len);
+        let w = self.width as usize;
+        if w == 0 {
+            return 0;
+        }
+        let bit = i * w;
+        let (word, shift) = (bit / 64, bit % 64);
+        let mut raw = self.words[word] >> shift;
+        if shift + w > 64 {
+            raw |= self.words[word + 1] << (64 - shift);
+        }
+        raw & self.mask()
+    }
+
+    /// The decoded value at row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        self.base.wrapping_add(self.get_raw(i) as i64)
+    }
+
+    /// Pre-encodes a comparison literal: the raw offset this value would
+    /// pack to, or `None` when it lies outside `[base, max]` (the caller
+    /// clamps the predicate to constant true/false per operator).
+    #[inline]
+    pub fn encode(&self, v: i64) -> Option<u64> {
+        if v < self.base || v > self.max {
+            None
+        } else {
+            Some(v.wrapping_sub(self.base) as u64)
+        }
+    }
+
+    /// Number of values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The frame of reference (column minimum).
+    pub fn base(&self) -> i64 {
+        self.base
+    }
+
+    /// The column maximum (upper end of the encodable domain).
+    pub fn max(&self) -> i64 {
+        self.max
+    }
+
+    /// Bits per stored offset (0 for a constant column).
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// The packed word payload (archive serialization).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Decoded values in row order.
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        (0..self.len).map(|i| self.get(i))
+    }
+
+    /// Heap footprint in bytes (words only — header is inline).
+    pub fn approx_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_small() {
+        let vals = vec![100, 103, 100, 107, 101];
+        let p = PackedInts::from_values(&vals);
+        assert_eq!(p.base(), 100);
+        assert_eq!(p.width(), 3);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn constant_column_has_width_zero() {
+        let p = PackedInts::from_values(&[42; 1000]);
+        assert_eq!(p.width(), 0);
+        assert!(p.words().is_empty());
+        assert_eq!(p.get(999), 42);
+        assert_eq!(p.get_raw(500), 0);
+    }
+
+    #[test]
+    fn straddling_reads() {
+        // Width 13 guarantees values straddle word boundaries.
+        let vals: Vec<i64> = (0..500).map(|i| (i * 17) % 8000).collect();
+        let p = PackedInts::from_values(&vals);
+        assert_eq!(p.width(), 13);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(p.get(i), v, "row {i}");
+        }
+    }
+
+    #[test]
+    fn full_domain_packs_at_width_64() {
+        let vals = vec![i64::MIN, 0, i64::MAX, -1, 1];
+        let p = PackedInts::from_values(&vals);
+        assert_eq!(p.width(), 64);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn negative_values() {
+        let vals = vec![-50, -7, -50, -1, -23];
+        let p = PackedInts::from_values(&vals);
+        assert_eq!(p.base(), -50);
+        assert_eq!(p.iter().collect::<Vec<_>>(), vals);
+    }
+
+    #[test]
+    fn encode_literal() {
+        let p = PackedInts::from_values(&[10, 20, 30]);
+        assert_eq!(p.encode(10), Some(0));
+        assert_eq!(p.encode(30), Some(20));
+        assert_eq!(p.encode(9), None);
+        assert_eq!(p.encode(31), None);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = PackedInts::from_values(&[]);
+        assert_eq!(p.len(), 0);
+        assert!(p.is_empty());
+        assert_eq!(p.width(), 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_wrong_word_count() {
+        let p = PackedInts::from_values(&[1, 2, 3, 4]);
+        let mut words = p.words().to_vec();
+        words.push(0);
+        assert!(PackedInts::from_parts(p.base(), p.max(), p.width(), p.len(), words).is_none());
+        assert!(PackedInts::from_parts(0, 0, 65, 0, vec![]).is_none());
+    }
+
+    #[test]
+    fn every_width_roundtrips() {
+        // One value per possible offset width 1..=64 (the proptest suite
+        // covers random fills; this pins the exact boundary arithmetic).
+        for width in 1..=64u32 {
+            let hi = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let vals: Vec<i64> =
+                (0..130u64).map(|i| (hi.wrapping_mul(i).wrapping_add(i) & hi) as i64).collect();
+            let p = PackedInts::from_values(&vals);
+            assert!(p.width() as u32 <= width, "width {width}");
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(p.get(i), v, "width {width} row {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! The persistent column archive (`.lbca`).
+//!
+//! `dbgen` runs are deterministic but not free — at SF 0.1 the generator is
+//! already the dominant cost of a cold benchmark run. The archive persists a
+//! generated database in a dependency-free columnar format so later runs
+//! (and CI, which caches the file as an artifact) load with a single
+//! `fs::read` instead of regenerating.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "LBCA" | version u32 | scale_factor f64 | table_count u32
+//! per table:   name (u16 len + bytes) | row_count u64 | col_count u32
+//! per column:  tag u8 | payload_len u64 | payload | fnv1a(payload) u64
+//! ```
+//!
+//! Integer and date columns store the same frame-of-reference bit-packed
+//! form the engine scans ([`legobase_storage::PackedInts`]) whenever packing
+//! shrinks them — the encoding tag per column records the choice, and the
+//! reader rejects tampered headers and payloads with typed
+//! [`ArchiveError`]s (checksums are verified *before* any payload is
+//! parsed).
+
+use crate::gen::TpchData;
+use crate::schema::{catalog, TABLES};
+use legobase_storage::{Date, PackedInts, RowTable, TableStatistics, Type, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+
+/// File magic: "LegoBase Column Archive".
+pub const MAGIC: [u8; 4] = *b"LBCA";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Everything that can go wrong writing or reading an archive.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is not [`VERSION`].
+    BadVersion(u32),
+    /// The file ends before its structure says it should.
+    Truncated,
+    /// A checksum mismatch or malformed payload.
+    Corrupt(String),
+    /// The file's tables do not match the compiled-in TPC-H catalog.
+    SchemaMismatch(String),
+    /// The database holds a value the format cannot represent.
+    Unsupported(String),
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "archive I/O: {e}"),
+            ArchiveError::BadMagic => write!(f, "not a LegoBase column archive (bad magic)"),
+            ArchiveError::BadVersion(v) => {
+                write!(f, "unsupported archive version {v} (expected {VERSION})")
+            }
+            ArchiveError::Truncated => write!(f, "archive truncated"),
+            ArchiveError::Corrupt(m) => write!(f, "archive corrupt: {m}"),
+            ArchiveError::SchemaMismatch(m) => write!(f, "archive schema mismatch: {m}"),
+            ArchiveError::Unsupported(m) => write!(f, "archive cannot represent: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<std::io::Error> for ArchiveError {
+    fn from(e: std::io::Error) -> ArchiveError {
+        ArchiveError::Io(e)
+    }
+}
+
+// Per-column encoding tags.
+const TAG_I64_RAW: u8 = 0;
+const TAG_I64_PACKED: u8 = 1;
+const TAG_F64: u8 = 2;
+const TAG_DATE_RAW: u8 = 3;
+const TAG_DATE_PACKED: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_BOOL: u8 = 6;
+
+/// FNV-1a over a byte slice — the format's checksum (dependency-free and
+/// byte-order independent).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Serializes a database to the archive byte format.
+pub fn to_bytes(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&data.scale_factor.to_le_bytes());
+    out.extend_from_slice(&(TABLES.len() as u32).to_le_bytes());
+    // TABLES order keeps the bytes deterministic for a given database.
+    for &name in &TABLES {
+        let table = data.table(name);
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(table.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(table.schema.len() as u32).to_le_bytes());
+        for c in 0..table.schema.len() {
+            let (tag, payload) = encode_column(name, table, c)?;
+            out.push(tag);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            let sum = fnv1a(&payload);
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&sum.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Writes the archive file for a database.
+pub fn write(data: &TpchData, path: &Path) -> Result<(), ArchiveError> {
+    Ok(std::fs::write(path, to_bytes(data)?)?)
+}
+
+fn encode_column(name: &str, table: &RowTable, c: usize) -> Result<(u8, Vec<u8>), ArchiveError> {
+    let col = || format!("{name}.{}", table.schema.fields[c].name);
+    let mismatch = |v: &Value| {
+        ArchiveError::Unsupported(format!("{} holds {v:?}, not a {}", col(), table.schema.ty(c)))
+    };
+    match table.schema.ty(c) {
+        Type::Int => {
+            let mut vals = Vec::with_capacity(table.len());
+            for row in &table.rows {
+                match &row[c] {
+                    Value::Int(v) => vals.push(*v),
+                    other => return Err(mismatch(other)),
+                }
+            }
+            Ok(pack_or_raw(&vals, 8, TAG_I64_PACKED, TAG_I64_RAW, || {
+                let mut payload = Vec::with_capacity(vals.len() * 8);
+                for v in &vals {
+                    payload.extend_from_slice(&v.to_le_bytes());
+                }
+                payload
+            }))
+        }
+        Type::Date => {
+            let mut vals = Vec::with_capacity(table.len());
+            for row in &table.rows {
+                match &row[c] {
+                    Value::Date(d) => vals.push(d.0 as i64),
+                    other => return Err(mismatch(other)),
+                }
+            }
+            Ok(pack_or_raw(&vals, 4, TAG_DATE_PACKED, TAG_DATE_RAW, || {
+                let mut payload = Vec::with_capacity(vals.len() * 4);
+                for v in &vals {
+                    payload.extend_from_slice(&(*v as i32).to_le_bytes());
+                }
+                payload
+            }))
+        }
+        Type::Float => {
+            let mut payload = Vec::with_capacity(table.len() * 8);
+            for row in &table.rows {
+                match &row[c] {
+                    Value::Float(v) => payload.extend_from_slice(&v.to_bits().to_le_bytes()),
+                    other => return Err(mismatch(other)),
+                }
+            }
+            Ok((TAG_F64, payload))
+        }
+        Type::Str => {
+            let mut payload = Vec::new();
+            for row in &table.rows {
+                match &row[c] {
+                    Value::Str(s) => {
+                        payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                        payload.extend_from_slice(s.as_bytes());
+                    }
+                    other => return Err(mismatch(other)),
+                }
+            }
+            Ok((TAG_STR, payload))
+        }
+        Type::Bool => {
+            let mut payload = Vec::with_capacity(table.len());
+            for row in &table.rows {
+                match &row[c] {
+                    Value::Bool(b) => payload.push(*b as u8),
+                    other => return Err(mismatch(other)),
+                }
+            }
+            Ok((TAG_BOOL, payload))
+        }
+    }
+}
+
+/// Packs `vals` frame-of-reference when that beats `raw_width` bytes per
+/// value; otherwise calls `raw` for the plain payload.
+fn pack_or_raw(
+    vals: &[i64],
+    raw_width: usize,
+    packed_tag: u8,
+    raw_tag: u8,
+    raw: impl FnOnce() -> Vec<u8>,
+) -> (u8, Vec<u8>) {
+    let p = PackedInts::from_values(vals);
+    if !vals.is_empty() && 17 + p.words().len() * 8 < vals.len() * raw_width {
+        let mut payload = Vec::with_capacity(17 + p.words().len() * 8);
+        payload.extend_from_slice(&p.base().to_le_bytes());
+        payload.extend_from_slice(&p.max().to_le_bytes());
+        payload.push(p.width());
+        for w in p.words() {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        (packed_tag, payload)
+    } else {
+        (raw_tag, raw())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian cursor over the archive bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
+        let end = self.pos.checked_add(n).ok_or(ArchiveError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ArchiveError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ArchiveError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ArchiveError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ArchiveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ArchiveError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, ArchiveError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, ArchiveError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Reads an archive file back into a database with a single `fs::read`.
+/// Statistics are re-collected on load, so the catalog matches a freshly
+/// generated database bit for bit.
+pub fn read(path: &Path) -> Result<TpchData, ArchiveError> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+/// Parses the archive byte format.
+pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.take(4)? != MAGIC {
+        return Err(ArchiveError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(ArchiveError::BadVersion(version));
+    }
+    let scale_factor = cur.f64()?;
+    let table_count = cur.u32()? as usize;
+    if table_count != TABLES.len() {
+        return Err(ArchiveError::SchemaMismatch(format!(
+            "{table_count} tables, expected {}",
+            TABLES.len()
+        )));
+    }
+    let mut cat = catalog();
+    let mut tables = HashMap::new();
+    for _ in 0..table_count {
+        let name_len = cur.u16()? as usize;
+        let name = std::str::from_utf8(cur.take(name_len)?)
+            .map_err(|_| ArchiveError::Corrupt("non-UTF-8 table name".into()))?
+            .to_string();
+        if !TABLES.contains(&name.as_str()) {
+            return Err(ArchiveError::SchemaMismatch(format!("unknown table `{name}`")));
+        }
+        let rows = cur.u64()? as usize;
+        let schema = cat.table(&name).schema.clone();
+        let col_count = cur.u32()? as usize;
+        if col_count != schema.len() {
+            return Err(ArchiveError::SchemaMismatch(format!(
+                "`{name}` has {col_count} columns, expected {}",
+                schema.len()
+            )));
+        }
+        let mut columns: Vec<Vec<Value>> = Vec::with_capacity(col_count);
+        for c in 0..col_count {
+            let tag = cur.u8()?;
+            let payload_len = cur.u64()? as usize;
+            let payload = cur.take(payload_len)?;
+            let sum = cur.u64()?;
+            if fnv1a(payload) != sum {
+                return Err(ArchiveError::Corrupt(format!(
+                    "checksum mismatch in `{name}` column {c}"
+                )));
+            }
+            columns.push(decode_column(&name, c, schema.ty(c), tag, payload, rows)?);
+        }
+        let mut table = RowTable::with_capacity(schema, rows);
+        for r in 0..rows {
+            table.push(columns.iter().map(|col| col[r].clone()).collect());
+        }
+        tables.insert(name, table);
+    }
+    if cur.pos != bytes.len() {
+        return Err(ArchiveError::Corrupt("trailing bytes after last table".into()));
+    }
+    for (name, table) in &tables {
+        cat.set_stats(name, TableStatistics::collect(table));
+    }
+    Ok(TpchData::from_parts(cat, scale_factor, tables))
+}
+
+fn decode_column(
+    name: &str,
+    c: usize,
+    ty: Type,
+    tag: u8,
+    payload: &[u8],
+    rows: usize,
+) -> Result<Vec<Value>, ArchiveError> {
+    let corrupt = |m: &str| ArchiveError::Corrupt(format!("`{name}` column {c}: {m}"));
+    let wrong_tag = || corrupt(&format!("tag {tag} does not store a {ty} column"));
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let mut out = Vec::with_capacity(rows);
+    match (ty, tag) {
+        (Type::Int, TAG_I64_RAW) => {
+            for _ in 0..rows {
+                out.push(Value::Int(cur.i64()?));
+            }
+        }
+        (Type::Int, TAG_I64_PACKED) => {
+            for v in read_packed(&mut cur, rows, &corrupt)? {
+                out.push(Value::Int(v));
+            }
+        }
+        (Type::Date, TAG_DATE_RAW) => {
+            for _ in 0..rows {
+                out.push(Value::Date(Date(cur.u32()? as i32)));
+            }
+        }
+        (Type::Date, TAG_DATE_PACKED) => {
+            for v in read_packed(&mut cur, rows, &corrupt)? {
+                let d = i32::try_from(v).map_err(|_| corrupt("day count out of i32 range"))?;
+                out.push(Value::Date(Date(d)));
+            }
+        }
+        (Type::Float, TAG_F64) => {
+            for _ in 0..rows {
+                out.push(Value::Float(cur.f64()?));
+            }
+        }
+        (Type::Str, TAG_STR) => {
+            for _ in 0..rows {
+                let len = cur.u32()? as usize;
+                let s =
+                    std::str::from_utf8(cur.take(len)?).map_err(|_| corrupt("non-UTF-8 string"))?;
+                out.push(Value::Str(s.to_string()));
+            }
+        }
+        (Type::Bool, TAG_BOOL) => {
+            for _ in 0..rows {
+                match cur.u8()? {
+                    0 => out.push(Value::Bool(false)),
+                    1 => out.push(Value::Bool(true)),
+                    b => return Err(corrupt(&format!("byte {b} is not a boolean"))),
+                }
+            }
+        }
+        _ => return Err(wrong_tag()),
+    }
+    if cur.pos != payload.len() {
+        return Err(corrupt("payload longer than its row count"));
+    }
+    Ok(out)
+}
+
+/// Reads a frame-of-reference payload, re-validating the header through
+/// [`PackedInts::from_parts`] (which rejects tampered widths and word
+/// counts) before decoding.
+fn read_packed(
+    cur: &mut Cursor<'_>,
+    rows: usize,
+    corrupt: &impl Fn(&str) -> ArchiveError,
+) -> Result<Vec<i64>, ArchiveError> {
+    let base = cur.i64()?;
+    let max = cur.i64()?;
+    let width = cur.u8()?;
+    let n_words = PackedInts::words_for(rows, width);
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(cur.u64()?);
+    }
+    let p = PackedInts::from_parts(base, max, width, rows, words)
+        .ok_or_else(|| corrupt("invalid frame-of-reference header"))?;
+    let vals: Vec<i64> = p.iter().collect();
+    if vals.iter().any(|&v| v > p.max()) {
+        return Err(corrupt("packed value above declared maximum"));
+    }
+    Ok(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TpchData {
+        TpchData::generate(0.002)
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let data = tiny();
+        let bytes = to_bytes(&data).expect("serialize");
+        let back = from_bytes(&bytes).expect("parse");
+        assert_eq!(back.scale_factor, data.scale_factor);
+        for &name in &TABLES {
+            let (a, b) = (data.table(name), back.table(name));
+            assert_eq!(a.schema, b.schema, "{name} schema");
+            assert_eq!(a.rows, b.rows, "{name} rows");
+        }
+        // Statistics re-collect to the same values the generator attached.
+        for &name in &TABLES {
+            let (a, b) = (
+                data.catalog.stats(name).expect("generated stats"),
+                back.catalog.stats(name).expect("loaded stats"),
+            );
+            assert_eq!(a.rows, b.rows, "{name} stats rows");
+        }
+    }
+
+    #[test]
+    fn archive_beats_raw_row_bytes() {
+        let data = tiny();
+        let bytes = to_bytes(&data).expect("serialize");
+        assert!(
+            bytes.len() < data.approx_bytes(),
+            "archive ({}) should be smaller than the row data ({})",
+            bytes.len(),
+            data.approx_bytes()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = to_bytes(&tiny()).expect("serialize");
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(from_bytes(&wrong), Err(ArchiveError::BadMagic)));
+        bytes[4] = 99;
+        assert!(matches!(from_bytes(&bytes), Err(ArchiveError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_and_payload_corruption() {
+        let bytes = to_bytes(&tiny()).expect("serialize");
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() - 3]),
+            Err(ArchiveError::Truncated | ArchiveError::Corrupt(_))
+        ));
+        // Flip one byte in the middle of the first table's payloads: the
+        // checksum (or, for a header byte, the FoR validation) must catch it.
+        let mut corrupt = bytes.clone();
+        let mid = bytes.len() / 3;
+        corrupt[mid] ^= 0x40;
+        assert!(
+            matches!(
+                from_bytes(&corrupt),
+                Err(ArchiveError::Corrupt(_)
+                    | ArchiveError::Truncated
+                    | ArchiveError::SchemaMismatch(_))
+            ),
+            "a flipped byte must not parse cleanly"
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("legobase-archive-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("tpch-sf0.002.lbca");
+        let data = tiny();
+        write(&data, &path).expect("write");
+        let back = read(&path).expect("read");
+        assert_eq!(back.table("lineitem").rows, data.table("lineitem").rows);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_readable() {
+        assert!(ArchiveError::BadMagic.to_string().contains("magic"));
+        assert!(ArchiveError::BadVersion(7).to_string().contains('7'));
+        assert!(ArchiveError::Corrupt("x".into()).to_string().contains("corrupt"));
+    }
+}

@@ -51,6 +51,16 @@ impl TpchData {
         TpchGenerator { scale_factor, ..Default::default() }.generate()
     }
 
+    /// Reassembles a database from its parts (the archive reader's
+    /// constructor).
+    pub(crate) fn from_parts(
+        catalog: Catalog,
+        scale_factor: f64,
+        tables: HashMap<String, RowTable>,
+    ) -> TpchData {
+        TpchData { catalog, scale_factor, tables }
+    }
+
     /// A generated relation by name (panics if absent).
     pub fn table(&self, name: &str) -> &RowTable {
         self.tables.get(name).unwrap_or_else(|| panic!("unknown table `{name}`"))

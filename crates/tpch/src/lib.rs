@@ -25,6 +25,7 @@
 //! [`schema`] the catalog the SC pipeline reads, [`text`] the comment-text
 //! machinery behind the Q13/Q16 patterns.
 
+pub mod archive;
 pub mod gen;
 pub mod schema;
 pub mod stats;

@@ -51,6 +51,32 @@ fn q18_to_q22_sql_matches_hand_built() {
     check_sql_queries(18..=22);
 }
 
+/// The SQL-lowered plans (which shape predicates and projections differently
+/// from the hand-built ones, so the `Encode` transformer sees different
+/// expression trees) must also be insensitive to the encoded-column
+/// representation: bit-identical rows with encoding on vs forced off, under
+/// the fully specialized configuration and at parallelism 4.
+#[test]
+fn sql_plans_encoded_match_plain() {
+    let system = LegoBase::generate(SCALE);
+    let optimized = legobase::Settings::optimized();
+    for n in 1..=22 {
+        let sql = tpch_sql(n);
+        let parsed = plan_named(sql, &format!("Q{n}"), &system.data.catalog)
+            .unwrap_or_else(|e| panic!("Q{n} failed to lower:\n{}", e.render(sql)));
+        for settings in [optimized, optimized.with_parallelism(4)] {
+            let on = system.run_plan(&parsed, &settings);
+            let off = system.run_plan(&parsed, &settings.with(|s| s.encoding = false));
+            assert_eq!(
+                on.result.sorted_rows(),
+                off.result.sorted_rows(),
+                "Q{n} (SQL plan, degree {}): encoded diverges from plain",
+                settings.parallelism
+            );
+        }
+    }
+}
+
 /// The selective queries that are empty at the tiny default scale must stay
 /// equal at a scale where they produce rows (mirrors the guard in
 /// `tpch_equivalence`), so the oracle is not vacuous for them.
