@@ -41,7 +41,7 @@ use legobase_bench::{geomean, ms, scale_factor, time_query};
 /// The figure subcommands, in `all` execution order (`baseline` is the CI
 /// perf gate and deliberately not part of `all`; `explain` takes a query
 /// argument).
-const SUBCOMMANDS: [&str; 16] = [
+const SUBCOMMANDS: [&str; 17] = [
     "fig16",
     "fig17",
     "fig18",
@@ -53,6 +53,7 @@ const SUBCOMMANDS: [&str; 16] = [
     "memory",
     "sql",
     "optimizer",
+    "esterr",
     "explain",
     "threads",
     "serve",
@@ -69,6 +70,7 @@ fn usage() -> String {
          LEGOBASE_BENCH_OUT (baseline output, default BENCH_PR4.json), \
          LEGOBASE_BASELINE (committed baseline to gate against; exit 1 on regression),\n\
          LEGOBASE_OPTIMIZE (0 turns the cost-based SQL optimizer off), \
+         LEGOBASE_FEEDBACK (0 turns adaptive estimation feedback off; esterr warm leg),\n\
          LEGOBASE_SERVE_QUERIES (queries per serve concurrency level, default 440),\n\
          LEGOBASE_ENCODING (0 keeps every column plain), \
          LEGOBASE_ARCHIVE_DIR (cache generated data as column archives; CI caches the dir)",
@@ -136,6 +138,7 @@ fn main() {
         "memory" => memory(&system),
         "sql" => sql_frontend(&system),
         "optimizer" => optimizer_figure(&system),
+        "esterr" => esterr(&system),
         "explain" => explain(&system, explain_query.expect("validated above")),
         "threads" => threads(),
         "serve" => serve_figure(),
@@ -152,6 +155,7 @@ fn main() {
             memory(&system);
             sql_frontend(&system);
             optimizer_figure(&system);
+            esterr(&system);
             threads();
             serve_figure();
         }
@@ -525,6 +529,64 @@ fn optimizer_figure(system: &LegoBase) {
         eprintln!("optimized plans diverged from the hand-built plans");
         std::process::exit(1);
     }
+}
+
+/// Estimation quality: per-query estimated vs actual final-stage
+/// cardinality and its q-error `max(est/actual, actual/est)`, cold (from
+/// the histograms alone) and warm (the same text twice through one query
+/// service session, so the adaptive feedback loop has absorbed the first
+/// run's actuals). `LEGOBASE_FEEDBACK=0` shows the ablation: the warm
+/// column stays at the cold estimate.
+fn esterr(system: &LegoBase) {
+    use legobase_bench::geomean;
+    println!("\n== Cardinality estimation: cold (histograms) vs warm (one feedback round) ==");
+    println!(
+        "{:<5} {:>12} {:>8} {:>10} {:>12} {:>10} {:>9}",
+        "query", "cold est", "actual", "cold qerr", "warm est", "warm qerr", "absorbed"
+    );
+    let q_error = |est: f64, actual: f64| {
+        let (e, a) = (est.max(1.0), actual.max(1.0));
+        (e / a).max(a / e)
+    };
+    // The warm leg needs a service (the facade never mutates its catalog),
+    // over data generated at the same scale so the two columns compare.
+    let service = LegoBase::generate(legobase_bench::scale_factor())
+        .serve_with(legobase::ServeOptions::default().with_workers(1));
+    let session = service.session();
+    let (mut cold_errs, mut warm_errs) = (Vec::new(), Vec::new());
+    for n in 1..=22 {
+        let text = legobase::sql::tpch_sql(n);
+        let out = match system.run_sql(text, Config::OptC) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("Q{n}: embedded SQL failed to lower:\n{}", e.render(text));
+                std::process::exit(1);
+            }
+        };
+        let Some(cold) = out.opt else {
+            println!("(optimizer disabled via LEGOBASE_OPTIMIZE; no estimates to measure)");
+            service.shutdown();
+            return;
+        };
+        session.run_sql(text, Config::OptC).expect("warm-leg cold run");
+        let warm_out = session.run_sql(text, Config::OptC).expect("warm-leg warm run");
+        let warm = warm_out.opt.expect("service attaches reports when optimizing");
+        let actual = out.result.len() as f64;
+        let (cq, wq) = (q_error(cold.est_rows(), actual), q_error(warm.est_rows(), actual));
+        cold_errs.push(cq);
+        warm_errs.push(wq);
+        println!(
+            "Q{n:<4} {:>12.1} {:>8} {:>10.2} {:>12.1} {:>10.2} {:>9}",
+            cold.est_rows(),
+            out.result.len(),
+            cq,
+            warm.est_rows(),
+            wq,
+            if warm.root().feedback_applied { "yes" } else { "-" }
+        );
+    }
+    println!("geomean q-error: cold {:.2}, warm {:.2}", geomean(&cold_errs), geomean(&warm_errs));
+    service.shutdown();
 }
 
 /// `EXPLAIN` for one TPC-H query: the optimizer's report plus the optimized
@@ -901,6 +963,17 @@ mod tests {
         assert_eq!(parse_subcommand("memory"), Ok("memory"));
         let usage = usage();
         for needle in ["memory", "LEGOBASE_ENCODING", "LEGOBASE_ARCHIVE_DIR"] {
+            assert!(usage.contains(needle), "usage must mention `{needle}`: {usage}");
+        }
+    }
+
+    /// The PR-8 addition is pinned: the estimation-error figure and the
+    /// feedback ablation knob it documents.
+    #[test]
+    fn esterr_subcommand_and_feedback_env_exist() {
+        assert_eq!(parse_subcommand("esterr"), Ok("esterr"));
+        let usage = usage();
+        for needle in ["esterr", "LEGOBASE_FEEDBACK"] {
             assert!(usage.contains(needle), "usage must mention `{needle}`: {usage}");
         }
     }

@@ -302,6 +302,13 @@ pub(crate) fn requested_settings(settings: &Settings) -> Settings {
             s.encoding = false;
         }
     }
+    // And for the adaptive-estimation loop: `LEGOBASE_FEEDBACK=0` is the
+    // ablation leg proving feedback never changes results, only estimates.
+    if let Ok(v) = std::env::var("LEGOBASE_FEEDBACK") {
+        if matches!(v.trim(), "0" | "false" | "off") {
+            s.feedback = false;
+        }
+    }
     s
 }
 

@@ -28,7 +28,19 @@
 //!   ([`Session::with_memory_budget`]) with *typed* rejection
 //!   ([`ServiceError::OverBudget`]) — the service never panics at a tenant;
 //!   even a panicking kernel comes back as [`ServiceError::QueryPanicked`]
-//!   while every other session keeps serving.
+//!   while every other session keeps serving. Budget estimates reuse the
+//!   catalog's histograms and distinct sketches: packed and dictionary
+//!   column widths are priced from the observed value domain, not from a
+//!   fixed per-type guess.
+//! * **Adaptive estimation feedback** — after a query executes, the session
+//!   compares the optimizer's root estimate against the observed row count
+//!   and, when they disagree by more than 2× (and [`Settings::feedback`] is
+//!   on), absorbs the actual into the catalog's feedback store
+//!   ([`Catalog::absorb_actuals`]). Feedback only sharpens estimates — it
+//!   bumps the stats epoch, never the catalog version, so version-keyed
+//!   cache entries stay valid and results stay bit-identical; reports
+//!   served from the plan cache are patched with the corrected numbers on
+//!   the way out.
 //!
 //! ```no_run
 //! use legobase::{Config, LegoBase};
@@ -47,7 +59,8 @@ use legobase_engine::plan::{used_base_columns, Plan};
 use legobase_engine::settings::EngineKind;
 use legobase_engine::{optimizer, Config, MorselPool, OptReport, QueryPlan, ResultTable, Settings};
 use legobase_sql::SqlError;
-use legobase_storage::{Catalog, TableStatistics, Type};
+use legobase_storage::stats::value_rank;
+use legobase_storage::{Catalog, ColumnStats, TableStatistics, Type};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::hash::Hash;
@@ -539,8 +552,30 @@ impl Session<'_> {
         let exec_time = t_exec.elapsed();
         let opt = cached_plan.report.clone().map(|mut r| {
             r.actual_rows = Some(result.len());
+            // Cached reports were recorded before any feedback existed;
+            // patch them from the store first, so a second run of a
+            // mis-estimated query *reports* the corrected estimate …
+            r.apply_feedback(&system.data.catalog);
             r
         });
+        // … and only then judge *this* run: a root estimate more than 2×
+        // off from the observed cardinality is absorbed back into the
+        // catalog. Absorbing bumps the stats epoch, never the catalog
+        // version — feedback sharpens estimates without invalidating the
+        // correctness-keyed caches (results are bit-identical either way).
+        if settings.feedback && settings.optimize {
+            if let Some(r) = &opt {
+                let root = r.root();
+                let est = root.est_rows.max(1.0);
+                let actual = (result.len() as f64).max(1.0);
+                if (est / actual).max(actual / est) > 2.0 {
+                    let fp = root.fingerprint.clone();
+                    drop(system);
+                    let mut sys = service.system.write().unwrap_or_else(|e| e.into_inner());
+                    sys.data.catalog.absorb_actuals(&[(fp, result.len() as f64)]);
+                }
+            }
+        }
         service.counters.ok.fetch_add(1, Ordering::Relaxed);
         Ok(ServeOutcome {
             result,
@@ -621,15 +656,20 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// Estimates the bytes the query's loaded data structures would occupy,
-/// from the catalog row counts — the admission-control analog of the
+/// from the catalog statistics — the admission-control analog of the
 /// paper's Fig. 20 memory accounting. Follows what the loaders actually do:
 /// the generic engines clone the *entire* dataset into row tuples, while
 /// the specialized loader builds typed columns (only the used ones when
 /// unused-field removal is on, dictionary codes instead of strings when
-/// dictionaries are on, plus a partitioning surcharge). Unestimable plans
-/// (unknown tables, tables without statistics) contribute zero: admission
-/// is a resource gate, not a validator — execution reports such plans
-/// through its own typed error.
+/// dictionaries are on, plus a partitioning surcharge). Column widths reuse
+/// the optimizer's histograms and sketches: an encodable int or date column
+/// is priced at its frame-of-reference packed width (from the histogram's
+/// value domain), a dictionary column at the code width its distinct count
+/// needs — so admission tracks what the encoded store will really hold
+/// instead of charging every column its full declared width. Unestimable
+/// plans (unknown tables, tables without statistics) contribute zero:
+/// admission is a resource gate, not a validator — execution reports such
+/// plans through its own typed error.
 fn estimate_memory_bytes(query: &QueryPlan, catalog: &Catalog, settings: &Settings) -> usize {
     let mut base_tables: BTreeSet<&str> = BTreeSet::new();
     for p in query.plans() {
@@ -644,14 +684,54 @@ fn estimate_memory_bytes(query: &QueryPlan, catalog: &Catalog, settings: &Settin
     if base_tables.iter().any(|t| catalog.get(t).is_none()) {
         return 0;
     }
-    let col_bytes = |ty: Type| -> usize {
+    // The `[min, max]` value domain of a column, preferring the histogram's
+    // pinned extremes (exact for collected statistics) over the raw bounds.
+    let domain = |col: &ColumnStats| -> Option<(f64, f64)> {
+        if let Some(h) = &col.histogram {
+            return Some((h.bounds[0], *h.bounds.last()?));
+        }
+        let lo = value_rank(col.min.as_ref()?)?;
+        let hi = value_rank(col.max.as_ref()?)?;
+        Some((lo, hi))
+    };
+    // Bytes per value after frame-of-reference packing of `[lo, hi]`.
+    let packed_bytes = |lo: f64, hi: f64| -> usize {
+        let span = (hi - lo).max(0.0) as u64;
+        let bits = (64 - span.leading_zeros() as usize).max(1);
+        bits.div_ceil(8)
+    };
+    // Bytes per dictionary code for `ndv` distinct values.
+    let code_bytes = |ndv: usize| -> usize {
+        let bits = (usize::BITS as usize - ndv.saturating_sub(1).leading_zeros() as usize).max(1);
+        bits.div_ceil(8)
+    };
+    let col_bytes = |stats: Option<&TableStatistics>, c: usize, ty: Type| -> usize {
+        let col = stats.and_then(|s| s.columns.get(c));
         match ty {
-            Type::Int | Type::Float => 8,
-            Type::Date => 4,
+            Type::Int => match col.and_then(domain) {
+                Some((lo, hi)) if settings.encoding => packed_bytes(lo, hi),
+                _ => 8,
+            },
+            Type::Float => 8,
+            Type::Date => match col.and_then(domain) {
+                Some((lo, hi)) if settings.encoding => packed_bytes(lo, hi),
+                _ => 4,
+            },
             Type::Bool => 1,
             Type::Str => {
                 if settings.string_dict {
-                    8
+                    let ndv = col.map_or(0, |c| {
+                        if c.distinct > 0 {
+                            c.distinct
+                        } else {
+                            c.sketch.as_ref().map_or(0, |s| s.estimate() as usize)
+                        }
+                    });
+                    if ndv > 0 {
+                        code_bytes(ndv)
+                    } else {
+                        8
+                    }
                 } else {
                     40
                 }
@@ -684,12 +764,16 @@ fn estimate_memory_bytes(query: &QueryPlan, catalog: &Catalog, settings: &Settin
             let mut bytes = 0usize;
             for t in &base_tables {
                 let meta = catalog.table(t);
-                let rows = catalog.stats(t).map_or(0, |s| s.rows);
+                let stats = catalog.stats(t);
+                let rows = stats.map_or(0, |s| s.rows);
                 let cols: Vec<usize> = match used.as_ref().and_then(|u| u.get(*t)) {
                     Some(keep) => keep.iter().copied().collect(),
                     None => (0..meta.schema.len()).collect(),
                 };
-                bytes += cols.iter().map(|&c| rows * col_bytes(meta.schema.ty(c))).sum::<usize>();
+                bytes += cols
+                    .iter()
+                    .map(|&c| rows * col_bytes(stats, c, meta.schema.ty(c)))
+                    .sum::<usize>();
             }
             if settings.partitioning {
                 // Partitioned copies + date indices: ~25% surcharge.

@@ -15,37 +15,51 @@
 //!    keys, and join sides where semantics allow (never through the
 //!    NULL-extending side of an outer join, never out of an anti join's
 //!    residual).
-//! 2. **Join-region rebuild** — maximal regions of inner hash joins (with
+//! 2. **Join-region rebuild** — single-use pure-join stages dissolve into
+//!    their consumers, then maximal regions of inner hash joins (with
 //!    their interleaved semi/anti joins lifted out as deferred filters)
 //!    are flattened into a join graph of leaves, equi edges, and
 //!    predicates. Cross-conjunct **inference** ([`Passes::inference`])
 //!    copies literal predicates across join-key equivalence classes, and
-//!    **join reordering** ([`Passes::join_reorder`]) picks a new left-deep
-//!    order by dynamic programming over connected subsets (sequential
-//!    greedy above [`DP_LIMIT`] relations), costed with the `C_out` sum of
-//!    intermediate cardinalities. Semi/anti joins re-attach at the
-//!    earliest point where their columns exist. A final projection
-//!    restores the original column order, so results are bit-compatible
-//!    with the naive plan.
-//! 3. **Estimation** — every decision is driven by textbook cardinality
-//!    estimation over the [`Catalog::stats`] collected at load time
-//!    (row counts, per-column distinct counts and `[min, max]` bounds).
+//!    **join reordering** ([`Passes::join_reorder`]) picks a join tree —
+//!    bushy shapes included — by exact dynamic programming over connected
+//!    subsets (sequential greedy above [`DP_LIMIT`] relations). The cost
+//!    is `C_out` priced in *bytes*: every operator's output volume
+//!    (estimated rows × row width) plus every non-exempt hash-build's
+//!    input volume, where a build is exempt when the engine serves it
+//!    from a load-time primary/foreign-key partition. Semi/anti joins
+//!    re-attach wherever pricing says — at the earliest subtree containing
+//!    their keys, or deferred to the region root when thinning buys less
+//!    than the early materialization costs. A final projection restores
+//!    the original column order, so results are bit-compatible with the
+//!    naive plan.
+//! 3. **Estimation** — every decision is driven by cardinality estimation
+//!    over the [`Catalog::stats`] collected at load time: row counts,
+//!    per-column distinct-count sketches, `[min, max]` bounds, and
+//!    equi-depth histograms that price range and equality predicates by
+//!    bucket mass instead of uniform fractions. Estimates the runtime
+//!    observed to be off by more than 2× come back through
+//!    [`Catalog::absorb_actuals`] as per-stage feedback, so repeated
+//!    queries re-plan from measured truth (the adaptive loop; disable
+//!    with `LEGOBASE_FEEDBACK=0`).
 //!
 //! [`optimize`] returns the rewritten plan plus an [`OptReport`] — the
 //! per-stage record of what moved (analogous to the SC pipeline's
 //! [`Specialization`](crate::spec::Specialization) report): naive vs
-//! chosen join order, estimated costs, and the push/inference counters.
-//! [`estimated_cost`] exposes the cost model for any plan, which is how
-//! tests assert that the chosen order is at least as good as the
-//! hand-built one.
+//! chosen join order and shape, estimated costs, and the push/inference
+//! counters. [`estimated_cost`] exposes the cost model for any plan,
+//! which is how tests assert that the chosen order is at least as good
+//! as the hand-built one.
 
 use crate::expr::{CmpOp, Expr};
 use crate::plan::{JoinKind, Plan, QueryPlan};
-use legobase_storage::{Catalog, Schema, Value};
+use legobase_storage::{Catalog, Histogram, Schema, Type, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// Exhaustive dynamic programming is used up to this many relations per
-/// join region; larger regions fall back to a greedy construction.
+/// Exhaustive dynamic programming (over bushy join trees) is used up to
+/// this many relations per join region; larger regions fall back to a
+/// greedy left-deep construction.
 pub const DP_LIMIT: usize = 10;
 
 /// Column indices at or above this sentinel refer to the right side of a
@@ -91,12 +105,23 @@ pub struct StageReport {
     pub naive_cost: f64,
     /// Estimated `C_out` cost of the chosen order.
     pub chosen_cost: f64,
+    /// Parenthesized join-tree shape the optimizer chose (empty when the
+    /// stage has no join region). Left-deep chains nest to the left;
+    /// anything else is a bushy plan.
+    pub chosen_shape: String,
     /// `WHERE` conjuncts relocated below the operator they started at.
     pub pushed_predicates: usize,
     /// Predicates copied across join-key equivalence classes.
     pub inferred_predicates: usize,
     /// Estimated output rows of the optimized stage.
     pub est_rows: f64,
+    /// Stable identity of this stage's optimized plan (an FNV-1a digest
+    /// over the stage lineage) — the key observed actuals are absorbed
+    /// under in the catalog's feedback store.
+    pub fingerprint: String,
+    /// True when `est_rows` came from the feedback store (an observed
+    /// actual of an earlier run) rather than the cost model.
+    pub feedback_applied: bool,
 }
 
 impl StageReport {
@@ -145,6 +170,25 @@ impl OptReport {
         self.root().est_rows
     }
 
+    /// Patches stage estimates from the catalog's feedback store (observed
+    /// actuals absorbed from earlier runs of the same stages). Returns
+    /// true when any estimate changed. The facade calls this before
+    /// reporting a run, so even plan-cache hits — whose reports were
+    /// recorded before the feedback existed — surface corrected numbers.
+    pub fn apply_feedback(&mut self, catalog: &Catalog) -> bool {
+        let mut changed = false;
+        for s in &mut self.stages {
+            if let Some(rows) = catalog.feedback_rows(&s.fingerprint) {
+                if rows != s.est_rows {
+                    s.est_rows = rows;
+                    s.feedback_applied = true;
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
     /// Multi-line human-readable summary (used by `EXPLAIN`).
     pub fn summary(&self) -> String {
         let mut out = String::new();
@@ -165,13 +209,28 @@ impl OptReport {
                     s.chosen_cost,
                     if s.reordered() { ", reordered" } else { "" },
                 ));
+                // Surface non-left-deep (bushy) shapes explicitly.
+                let left_deep = s
+                    .chosen_order
+                    .iter()
+                    .skip(1)
+                    .fold(s.chosen_order.first().cloned().unwrap_or_default(), |acc, n| {
+                        format!("({acc} \u{22c8} {n})")
+                    });
+                if !s.chosen_shape.is_empty() && s.chosen_shape != left_deep {
+                    out.push_str(&format!("  {}: bushy shape {}\n", s.stage, s.chosen_shape));
+                }
             }
         }
         let actual = match self.actual_rows {
             Some(n) => format!("{n}"),
             None => "?".to_string(),
         };
-        out.push_str(&format!("  estimated rows {:.0}, actual rows {actual}\n", self.est_rows()));
+        let source = if self.root().feedback_applied { " (feedback-corrected)" } else { "" };
+        out.push_str(&format!(
+            "  estimated rows {:.0}{source}, actual rows {actual}\n",
+            self.est_rows()
+        ));
         out
     }
 }
@@ -183,16 +242,31 @@ pub fn optimize(query: &QueryPlan, catalog: &Catalog) -> (QueryPlan, OptReport) 
 
 /// Optimizes a query with an explicit pass selection.
 pub fn rewrite(query: &QueryPlan, catalog: &Catalog, passes: Passes) -> (QueryPlan, OptReport) {
+    // Single-use pure-join stages dissolve into their consumer first, so
+    // join reordering can cross the stage boundaries the frontend drew.
+    let query = if passes.join_reorder { inline_pure_stages(query) } else { query.clone() };
     let mut ctx = Ctx::new(catalog);
     let mut stages = Vec::new();
     let mut reports = Vec::new();
+    // Stage fingerprints accumulate into a lineage string so identical
+    // subplans in *different* queries (or positions) never collide in the
+    // feedback store.
+    let mut lineage = String::new();
     for (name, plan) in &query.stages {
-        let (p, rep) = rewrite_stage(plan, &ctx, passes, &format!("#{name}"));
+        let (p, rep) = rewrite_stage(plan, &ctx, passes, &format!("#{name}"), &lineage);
         ctx.register_stage(&format!("#{name}"), &p);
+        // An observed actual from an earlier run of this stage overrides
+        // the model for everything planned downstream of it.
+        if rep.feedback_applied {
+            if let Some(e) = ctx.stage_ests.get_mut(&format!("#{name}")) {
+                e.rows = rep.est_rows.max(1.0);
+            }
+        }
+        lineage.push_str(&rep.fingerprint);
         stages.push((name.clone(), p));
         reports.push(rep);
     }
-    let (root, rep) = rewrite_stage(&query.root, &ctx, passes, "root");
+    let (root, rep) = rewrite_stage(&query.root, &ctx, passes, "root", &lineage);
     reports.push(rep);
     let out = QueryPlan { name: query.name.clone(), stages, root };
     (out, OptReport { query: query.name.clone(), stages: reports, actual_rows: None })
@@ -285,22 +359,41 @@ impl<'a> Ctx<'a> {
         if let Some(e) = self.stage_ests.get(table) {
             return e.clone();
         }
+        let schema = self.schema(table);
         if let Some(stats) = self.catalog.stats(table) {
             let rows = (stats.rows as f64).max(1.0);
             let cols = stats
                 .columns
                 .iter()
-                .map(|c| ColEst {
-                    ndv: (c.distinct as f64).max(1.0),
+                .enumerate()
+                .map(|(i, c)| ColEst {
+                    // An exact distinct count when the collector kept the
+                    // value set; the sketch estimate otherwise.
+                    ndv: if c.distinct > 0 {
+                        c.distinct as f64
+                    } else {
+                        c.sketch.as_ref().map_or(1.0, |s| s.estimate())
+                    }
+                    .max(1.0),
                     lo: c.min.as_ref().and_then(value_ord),
                     hi: c.max.as_ref().and_then(value_ord),
+                    width: schema.fields.get(i).map_or(8.0, |f| type_width(f.ty)),
+                    hist: c.histogram.clone().map(Arc::new),
                 })
                 .collect();
             return PlanEst { rows, cols };
         }
         // No statistics: degrade to fixed defaults.
-        let arity = self.schema(table).len();
-        PlanEst { rows: 1000.0, cols: vec![ColEst { ndv: 100.0, lo: None, hi: None }; arity] }
+        let cols = (0..schema.len())
+            .map(|i| ColEst {
+                ndv: 100.0,
+                lo: None,
+                hi: None,
+                width: type_width(schema.ty(i)),
+                hist: None,
+            })
+            .collect();
+        PlanEst { rows: 1000.0, cols }
     }
 }
 
@@ -310,17 +403,25 @@ impl<'a> Ctx<'a> {
 
 /// Estimated shape of one column: distinct count plus numeric-ordinal
 /// bounds (integers and floats as themselves, dates as day counts,
-/// booleans as 0/1; strings carry no bounds).
+/// booleans as 0/1; strings carry no bounds), the materialized width in
+/// bytes, and — when load-time statistics kept one — the equi-depth
+/// histogram of the column's base distribution.
 #[derive(Clone, Debug)]
 struct ColEst {
     ndv: f64,
     lo: Option<f64>,
     hi: Option<f64>,
+    /// Bytes one value of this column occupies in a materialized
+    /// intermediate (the byte-pricing input of the cost model).
+    width: f64,
+    /// Shared so narrowing a region-wide estimate never copies bucket
+    /// arrays; `[lo, hi]` tracks the surviving range within it.
+    hist: Option<Arc<Histogram>>,
 }
 
 impl ColEst {
     fn unknown(rows: f64) -> ColEst {
-        ColEst { ndv: rows.max(1.0), lo: None, hi: None }
+        ColEst { ndv: rows.max(1.0), lo: None, hi: None, width: 8.0, hist: None }
     }
 
     fn point(&self) -> Option<f64> {
@@ -331,7 +432,31 @@ impl ColEst {
     }
 
     fn capped(&self, rows: f64) -> ColEst {
-        ColEst { ndv: self.ndv.min(rows.max(1.0)), lo: self.lo, hi: self.hi }
+        ColEst { ndv: self.ndv.min(rows.max(1.0)), ..self.clone() }
+    }
+
+    /// Fraction of the histogram's population inside the current bounds —
+    /// the denominator that renormalizes bucket masses after narrowing.
+    fn hist_base(&self) -> Option<(&Histogram, f64)> {
+        let h = self.hist.as_deref()?;
+        let base = h.range_selectivity(self.lo, self.hi);
+        if base > 0.0 {
+            Some((h, base))
+        } else {
+            None
+        }
+    }
+}
+
+/// Materialized width of one value, in bytes. Strings price at a fixed
+/// planning width (they materialize as pointers plus short payloads; the
+/// exact heap size is unknowable at plan time).
+fn type_width(ty: Type) -> f64 {
+    match ty {
+        Type::Int | Type::Float => 8.0,
+        Type::Date => 4.0,
+        Type::Bool => 1.0,
+        Type::Str => 16.0,
     }
 }
 
@@ -340,6 +465,13 @@ impl ColEst {
 struct PlanEst {
     rows: f64,
     cols: Vec<ColEst>,
+}
+
+impl PlanEst {
+    /// Bytes per materialized row.
+    fn row_width(&self) -> f64 {
+        self.cols.iter().map(|c| c.width).sum::<f64>().max(1.0)
+    }
 }
 
 fn value_ord(v: &Value) -> Option<f64> {
@@ -448,6 +580,8 @@ fn narrow(cols: &mut [ColEst], conj: &Expr) {
                     c.ndv = 1.0;
                     c.lo = Some(v);
                     c.hi = Some(v);
+                    // A pinned point no longer follows the base distribution.
+                    c.hist = None;
                 }
                 CmpOp::Lt | CmpOp::Le => c.hi = Some(c.hi.map_or(v, |h| h.min(v))),
                 CmpOp::Gt | CmpOp::Ge => c.lo = Some(c.lo.map_or(v, |l| l.max(v))),
@@ -481,7 +615,13 @@ fn expr_est(e: &Expr, input: &PlanEst) -> ColEst {
         Expr::Col(i) => input.cols.get(*i).cloned().unwrap_or_else(|| ColEst::unknown(input.rows)),
         Expr::Lit(v) => {
             let o = value_ord(v);
-            ColEst { ndv: 1.0, lo: o, hi: o }
+            let width = match v {
+                Value::Int(_) | Value::Float(_) => 8.0,
+                Value::Date(_) => 4.0,
+                Value::Bool(_) | Value::Null => 1.0,
+                Value::Str(_) => 16.0,
+            };
+            ColEst { ndv: 1.0, lo: o, hi: o, width, hist: None }
         }
         Expr::Year(a) => {
             let inner = expr_est(a, input);
@@ -492,7 +632,7 @@ fn expr_est(e: &Expr, input: &PlanEst) -> ColEst {
                 (Some(a), Some(b)) => (b - a + 1.0).max(1.0),
                 _ => inner.ndv.min(8.0),
             };
-            ColEst { ndv, lo, hi }
+            ColEst { ndv, lo, hi, width: 8.0, hist: None }
         }
         Expr::Arith(op, a, b) => {
             let (ea, eb) = (expr_est(a, input), expr_est(b, input));
@@ -515,7 +655,7 @@ fn expr_est(e: &Expr, input: &PlanEst) -> ColEst {
                 }
                 _ => None,
             };
-            ColEst { ndv, lo: bounds.map(|b| b.0), hi: bounds.map(|b| b.1) }
+            ColEst { ndv, lo: bounds.map(|b| b.0), hi: bounds.map(|b| b.1), width: 8.0, hist: None }
         }
         Expr::Case(_, t, f) => {
             let (et, ef) = (expr_est(t, input), expr_est(f, input));
@@ -529,11 +669,13 @@ fn expr_est(e: &Expr, input: &PlanEst) -> ColEst {
                     (Some(a), Some(b)) => Some(a.max(b)),
                     _ => None,
                 },
+                width: et.width.max(ef.width),
+                hist: None,
             }
         }
         Expr::Substr(a, _, _) => {
             let inner = expr_est(a, input);
-            ColEst { ndv: inner.ndv, lo: None, hi: None }
+            ColEst { ndv: inner.ndv, lo: None, hi: None, width: 16.0, hist: None }
         }
         Expr::Cmp(..)
         | Expr::And(..)
@@ -544,7 +686,9 @@ fn expr_est(e: &Expr, input: &PlanEst) -> ColEst {
         | Expr::Contains(..)
         | Expr::ContainsWordSeq(..)
         | Expr::InList(..)
-        | Expr::IsNull(_) => ColEst { ndv: 2.0, lo: Some(0.0), hi: Some(1.0) },
+        | Expr::IsNull(_) => {
+            ColEst { ndv: 2.0, lo: Some(0.0), hi: Some(1.0), width: 1.0, hist: None }
+        }
     }
 }
 
@@ -560,8 +704,21 @@ fn selectivity(e: &Expr, cols: &[ColEst]) -> f64 {
         Expr::Not(a) => 1.0 - selectivity(a, cols),
         Expr::Cmp(op, a, b) => cmp_selectivity(*op, a, b, &input),
         Expr::InList(a, vals) => {
-            let ndv = expr_est(a, &input).ndv;
-            (vals.len() as f64 / ndv.max(1.0)).min(1.0)
+            let est = expr_est(a, &input);
+            let uniform = 1.0 / est.ndv.max(1.0);
+            match est.hist_base() {
+                // Sum the histogram's per-value masses: heavy dictionary
+                // values (a nation, a shipmode) count what they weigh, not
+                // an even 1/ndv share.
+                Some((h, base)) => vals
+                    .iter()
+                    .map(|v| {
+                        value_ord(v).and_then(|x| h.point_mass(x)).map_or(uniform, |m| m / base)
+                    })
+                    .sum::<f64>()
+                    .min(1.0),
+                None => (vals.len() as f64 * uniform).min(1.0),
+            }
         }
         Expr::StartsWith(..) | Expr::EndsWith(..) => 0.05,
         Expr::Contains(..) => 0.1,
@@ -597,10 +754,35 @@ fn cmp_selectivity(op: CmpOp, a: &Expr, b: &Expr, input: &PlanEst) -> f64 {
     match op {
         CmpOp::Eq => match (col.lo, col.hi) {
             (Some(lo), Some(hi)) if point < lo || point > hi => 1e-7,
-            _ => 1.0 / col.ndv.max(1.0),
+            _ => match col.hist_base() {
+                Some((h, base)) => match h.point_mass(point) {
+                    Some(mass) => (mass / base).clamp(1e-7, 1.0),
+                    None => 1.0 / col.ndv.max(1.0),
+                },
+                None => 1.0 / col.ndv.max(1.0),
+            },
         },
         CmpOp::Ne => 1.0 - 1.0 / col.ndv.max(1.0),
         CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            // Equi-depth buckets give the true quantile of the cut point
+            // (renormalized to the surviving `[lo, hi]` range); fall back
+            // to uniform interpolation between the bounds without one.
+            if let Some((h, base)) = col.hist_base() {
+                let below_lo = col.lo.map_or(0.0, |l| h.fraction_below(l, false));
+                let frac = match op {
+                    CmpOp::Lt => h.fraction_below(point, false) - below_lo,
+                    CmpOp::Le => h.fraction_below(point, true) - below_lo,
+                    CmpOp::Gt => {
+                        col.hi.map_or(1.0, |x| h.fraction_below(x, true))
+                            - h.fraction_below(point, true)
+                    }
+                    _ => {
+                        col.hi.map_or(1.0, |x| h.fraction_below(x, true))
+                            - h.fraction_below(point, false)
+                    }
+                };
+                return (frac / base).clamp(0.0, 1.0);
+            }
             let (Some(lo), Some(hi)) = (col.lo, col.hi) else { return 1.0 / 3.0 };
             if hi <= lo {
                 return 0.5;
@@ -652,8 +834,13 @@ fn join_est(
             PlanEst { rows, cols }
         }
         JoinKind::Semi | JoinKind::Anti => {
-            // Expected matches per left row; P(>=1 match) ~= min(1, expected).
-            let matches = (r.rows * key_sel * res_sel).min(1.0);
+            // Expected matches per left row, under a Poisson approximation:
+            // P(>=1 match) = 1 - e^-E. The saturating min(1, E) form it
+            // replaces zeroes the anti-join survivor fraction as soon as
+            // E >= 1, which underestimated Q21's anti join by 100x and made
+            // a hash build over it look free.
+            let expected = r.rows * key_sel * res_sel;
+            let matches = 1.0 - (-expected).exp();
             let frac = if kind == JoinKind::Semi { matches } else { 1.0 - matches };
             let rows = (l.rows * frac.clamp(1e-3, 1.0)).max(1.0);
             let cols = l.cols.iter().map(|c| c.capped(rows)).collect();
@@ -662,13 +849,89 @@ fn join_est(
     }
 }
 
-/// `C_out`: sum of estimated output cardinalities over all operators.
+/// One planning "word" of materialized data — costs are expressed in
+/// 8-byte units so an all-integer single-column plan prices like plain
+/// `C_out` row counts.
+const WIDTH_UNIT: f64 = 8.0;
+
+/// Byte-priced `C_out`: every operator contributes its estimated output
+/// *volume* (rows × row width, in [`WIDTH_UNIT`]s), and hash joins
+/// additionally pay to copy their build side into a hash table — unless a
+/// key partition serves the probe directly ([`partition_serves`]), in
+/// which case the build is free, exactly as the specialized engine
+/// executes it.
 fn cost_walk(plan: &Plan, ctx: &Ctx) -> f64 {
-    let mut total = estimate(plan, ctx).rows;
+    let est = estimate(plan, ctx);
+    let mut total = est.rows * est.row_width() / WIDTH_UNIT;
+    if let Plan::HashJoin { right, right_keys, .. } = plan {
+        if !partition_serves(right, right_keys, ctx.catalog) {
+            let r = estimate(right, ctx);
+            total += r.rows * r.row_width() / WIDTH_UNIT;
+        }
+    }
     for c in plan.children() {
         total += cost_walk(c, ctx);
     }
     total
+}
+
+/// True when the specialized engine would probe `right` through a
+/// pre-built key partition instead of building a hash table at run time: a
+/// (filtered/projected) base-table scan, joined on a single column that is
+/// the table's single-column primary key or a declared foreign key.
+/// Mirrors the partitioned-probe gate of the specialization pipeline.
+fn partition_serves(right: &Plan, right_keys: &[usize], catalog: &Catalog) -> bool {
+    if right_keys.len() != 1 {
+        return false;
+    }
+    let Some((table, col)) = base_column(right, right_keys[0]) else { return false };
+    let Some(meta) = catalog.get(&table) else { return false };
+    meta.primary_key == [col] || meta.foreign_keys.iter().any(|fk| fk.column == col)
+}
+
+/// Resolves an output column of a select/project spine over a base-table
+/// scan back to the base column it carries.
+/// When a plan's join-key columns trace to base columns forming exactly the
+/// primary key of one base table, returns that table's base row count — the
+/// key domain the other side's values are drawn from under PK–FK
+/// containment.
+fn pk_domain(plan: &Plan, locals: &[usize], catalog: &Catalog) -> Option<f64> {
+    let mut table: Option<String> = None;
+    let mut cols: Vec<usize> = Vec::new();
+    for &c in locals {
+        let (t, bc) = base_column(plan, c)?;
+        match &table {
+            Some(existing) if *existing != t => return None,
+            _ => table = Some(t),
+        }
+        if !cols.contains(&bc) {
+            cols.push(bc);
+        }
+    }
+    let t = table?;
+    let meta = catalog.get(&t)?;
+    if meta.primary_key.is_empty() {
+        return None;
+    }
+    let mut pk = meta.primary_key.clone();
+    cols.sort_unstable();
+    pk.sort_unstable();
+    if cols != pk {
+        return None;
+    }
+    Some((catalog.stats(&t)?.rows as f64).max(1.0))
+}
+
+fn base_column(plan: &Plan, col: usize) -> Option<(String, usize)> {
+    match plan {
+        Plan::Scan { table } if !table.starts_with('#') => Some((table.clone(), col)),
+        Plan::Select { input, .. } => base_column(input, col),
+        Plan::Project { input, exprs } => match &exprs.get(col)?.0 {
+            Expr::Col(i) => base_column(input, *i),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -697,6 +960,54 @@ fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
     } else {
         out.push(e.clone());
     }
+}
+
+fn split_disjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Or(a, b) = e {
+        split_disjuncts(a, out);
+        split_disjuncts(b, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// OR-factoring: from a disjunction whose every branch holds at least one
+/// conjunct over the requested join side alone, derives the implied
+/// side-only predicate — the OR of each branch's side-only conjunct group.
+/// A row failing the derived predicate falsifies one conjunct of every
+/// branch, hence the whole disjunction, so pushing it below the join is
+/// sound; the original stays behind as the exact filter.
+///
+/// TPC-H Q7's nation pair-OR is the canonical case: `(n1 = 'FRANCE' AND
+/// n2 = 'GERMANY') OR (n1 = 'GERMANY' AND n2 = 'FRANCE')` yields
+/// `n1 ∈ {FRANCE, GERMANY}` and `n2 ∈ {FRANCE, GERMANY}` for the two
+/// nation leaves, collapsing the join's candidate pairs before the
+/// residual ever runs.
+fn factor_disjunction(e: &Expr, l_arity: usize, side_left: bool) -> Option<Expr> {
+    let mut branches = Vec::new();
+    split_disjuncts(e, &mut branches);
+    if branches.len() < 2 {
+        return None;
+    }
+    let mut derived: Vec<Expr> = Vec::new();
+    for b in &branches {
+        let mut conj = Vec::new();
+        split_conjuncts(b, &mut conj);
+        let side: Vec<Expr> = conj
+            .into_iter()
+            .filter(|c| {
+                let mut cols = Vec::new();
+                c.collect_cols(&mut cols);
+                !cols.is_empty()
+                    && cols.iter().all(|&x| if side_left { x < l_arity } else { x >= l_arity })
+            })
+            .collect();
+        if side.is_empty() {
+            return None; // this branch leaves the side unconstrained
+        }
+        derived.push(Expr::all(side));
+    }
+    derived.into_iter().reduce(Expr::or)
 }
 
 fn all_opt(preds: Vec<Expr>) -> Option<Expr> {
@@ -797,6 +1108,19 @@ fn push(
                     let expr = p.expr.map_cols(&|c| c - l_arity);
                     right_preds.push(Pending { expr, moved: true });
                 } else {
+                    // OR-factoring: a straddling disjunction still implies
+                    // weaker side-only disjunctions that can sink (inner
+                    // joins only — the derived filters drop rows). The
+                    // original stays above as the exact filter.
+                    if *kind == JoinKind::Inner {
+                        if let Some(d) = factor_disjunction(&p.expr, l_arity, true) {
+                            left_preds.push(Pending { expr: d, moved: true });
+                        }
+                        if let Some(d) = factor_disjunction(&p.expr, l_arity, false) {
+                            let expr = d.map_cols(&|c| c - l_arity);
+                            right_preds.push(Pending { expr, moved: true });
+                        }
+                    }
                     above.push(p);
                 }
             }
@@ -819,6 +1143,23 @@ fn push(
                     } else if left_only && matches!(kind, JoinKind::Inner | JoinKind::Semi) {
                         left_preds.push(Pending { expr: c, moved: true });
                     } else {
+                        // OR-factoring of straddling residual disjunctions,
+                        // under the same side rules as plain conjuncts: a
+                        // row (or build entry) failing every branch's
+                        // side-only group can never satisfy the residual.
+                        if *kind != JoinKind::LeftOuter {
+                            if let Some(d) = factor_disjunction(&c, l_arity, false) {
+                                right_preds.push(Pending {
+                                    expr: d.map_cols(&|x| x - l_arity),
+                                    moved: true,
+                                });
+                            }
+                        }
+                        if matches!(kind, JoinKind::Inner | JoinKind::Semi) {
+                            if let Some(d) = factor_disjunction(&c, l_arity, true) {
+                                left_preds.push(Pending { expr: d, moved: true });
+                            }
+                        }
                         keep_residual.push(c);
                     }
                 }
@@ -855,6 +1196,7 @@ fn substitute(e: &Expr, exprs: &[(Expr, String)]) -> Expr {
 struct RegionSummary {
     naive_order: Vec<String>,
     chosen_order: Vec<String>,
+    chosen_shape: String,
     naive_cost: f64,
     chosen_cost: f64,
 }
@@ -869,7 +1211,9 @@ fn leaf_name(plan: &Plan) -> String {
     match plan {
         Plan::Scan { table } => table.clone(),
         Plan::Select { input, .. } => leaf_name(input),
-        Plan::Project { .. } => "(project)".to_string(),
+        // A projection over a scan still *is* that relation for join-order
+        // purposes (hand plans project dimension leaves early).
+        Plan::Project { input, .. } => leaf_name(input),
         Plan::Agg { .. } => "(agg)".to_string(),
         Plan::Distinct { .. } => "(distinct)".to_string(),
         Plan::Sort { .. } => "(sort)".to_string(),
@@ -1077,7 +1421,11 @@ fn rebuild_region(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats)
                 }
             }
         }
-        preds.push(p);
+        // Dedup: re-optimizing an already-factored plan must not stack a
+        // second copy of a derived disjunction.
+        if !preds.contains(&p) {
+            preds.push(p);
+        }
     }
     region.preds = preds;
 
@@ -1100,7 +1448,7 @@ fn rebuild_region(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats)
     }
 
     // Leaf estimates (with their attached predicates applied).
-    let leaf_ests: Vec<PlanEst> = region
+    let base_ests: Vec<PlanEst> = region
         .leaves
         .iter()
         .enumerate()
@@ -1112,13 +1460,65 @@ fn rebuild_region(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats)
             est
         })
         .collect();
+    // Semi/anti unaries thin whatever subtree they re-attach to, and two
+    // placements are legal (a semi/anti filter over left columns commutes
+    // with the downstream inner joins): **early**, at the first subtree
+    // containing the keys — for single-leaf keys, directly on that leaf —
+    // which shrinks every later join but materializes the unary's output
+    // up front; and **late**, at the region root, which runs the joins at
+    // full cardinality but applies the unary to whatever little survives
+    // them. Fold each single-leaf unary into a second estimate vector so
+    // both placements can be priced: without the fold the enumeration
+    // cannot see the thinning at all (Q21's anti join made a hash build
+    // over its output look free), and without the late option the emitted
+    // plan materializes a ~98%-survivor semi scan of lineitem that the
+    // original query applied to a few dozen post-join rows.
+    let mut folded_ests = base_ests.clone();
+    // Per folded unary: its leaf, survivor fraction, and folded output rows.
+    let mut folds: Vec<(usize, f64, f64)> = Vec::new();
+    for u in &region.unaries {
+        let mut key_leaves: Vec<usize> = u.left_keys.iter().map(|&k| region.leaf_of(k)).collect();
+        key_leaves.sort_unstable();
+        key_leaves.dedup();
+        let [leaf] = key_leaves.as_slice() else { continue };
+        let (off, l_arity) = (region.leaves[*leaf].offset, region.leaves[*leaf].schema.len());
+        let res_local = match &u.residual {
+            None => None,
+            Some(r) => {
+                let mut cols = Vec::new();
+                r.collect_cols(&mut cols);
+                if cols.iter().all(|&c| c >= RIGHT_BASE || (c >= off && c < off + l_arity)) {
+                    Some(r.map_cols(&|c| {
+                        if c >= RIGHT_BASE {
+                            l_arity + (c - RIGHT_BASE)
+                        } else {
+                            c - off
+                        }
+                    }))
+                } else {
+                    // Residual touches other leaves: the unary attaches
+                    // later; estimating its key selectivity alone is still
+                    // better than ignoring it.
+                    None
+                }
+            }
+        };
+        let left_keys: Vec<usize> = u.left_keys.iter().map(|&k| k - off).collect();
+        let r_est = estimate(&u.right, ctx);
+        let before = folded_ests[*leaf].rows.max(1.0);
+        let est = join_est(
+            &folded_ests[*leaf],
+            &r_est,
+            &left_keys,
+            &u.right_keys,
+            u.kind,
+            res_local.as_ref(),
+        );
+        folds.push((*leaf, (est.rows / before).min(1.0), est.rows));
+        folded_ests[*leaf] = est;
+    }
 
-    // Join graph: per-pair selectivity from the equi edges.
-    let col_est = |g: usize| -> ColEst {
-        let leaf = region.leaf_of(g);
-        let local = g - region.leaves[leaf].offset;
-        leaf_ests[leaf].cols.get(local).cloned().unwrap_or_else(|| ColEst::unknown(1.0))
-    };
+    // Join graph from the equi edges (estimate-independent).
     let mut adj = vec![vec![false; n]; n];
     let mut pair_edges: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
     for &(a, b) in &region.edges {
@@ -1131,34 +1531,80 @@ fn rebuild_region(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats)
         let (key, cols) = if la < lb { ((la, lb), (a, b)) } else { ((lb, la), (b, a)) };
         pair_edges.entry(key).or_default().push(cols);
     }
-    // Per-pair selectivity with the composite-key rule: the product of
-    // per-column NDVs capped by the side's row count (same as `join_est`).
-    let mut pair_sel = vec![vec![1.0f64; n]; n];
-    for (&(la, lb), edges) in &pair_edges {
-        let mut na = 1.0f64;
-        let mut nb = 1.0f64;
-        for &(a, b) in edges {
-            na *= col_est(a).ndv;
-            nb *= col_est(b).ndv;
-        }
-        let s = 1.0
-            / na.min(leaf_ests[la].rows.max(1.0)).max(nb.min(leaf_ests[lb].rows.max(1.0))).max(1.0);
-        pair_sel[la][lb] = s;
-        pair_sel[lb][la] = s;
-    }
-    // Joint predicates contribute selectivity once all their leaves meet.
-    let global_cols: Vec<ColEst> = (0..total).map(col_est).collect();
-    let joint: Vec<(Vec<usize>, f64)> = joint_preds
-        .iter()
-        .map(|p| (region.leaves_of_expr(p), selectivity(p, &global_cols)))
-        .collect();
 
-    let card = |set: u64, memo: &mut HashMap<u64, f64>| -> f64 {
+    // One placement mode's selectivity model: per-pair join selectivities
+    // plus joint-predicate selectivities, built from that mode's
+    // leaf-estimate vector.
+    struct SelModel {
+        pair_sel: Vec<Vec<f64>>,
+        joint: Vec<(Vec<usize>, f64)>,
+    }
+
+    // The selectivity model as a function of a leaf-estimate vector — each
+    // placement mode builds its own. Per-pair selectivity follows the
+    // composite-key rule: the product of per-column NDVs capped by the
+    // side's row count (same as `join_est`); joint predicates contribute
+    // selectivity once all their leaves meet.
+    let build_model = |ests: &[PlanEst]| -> SelModel {
+        let col_est = |g: usize| -> ColEst {
+            let leaf = region.leaf_of(g);
+            let local = g - region.leaves[leaf].offset;
+            ests[leaf].cols.get(local).cloned().unwrap_or_else(|| ColEst::unknown(1.0))
+        };
+        let mut pair_sel = vec![vec![1.0f64; n]; n];
+        for (&(la, lb), edges) in &pair_edges {
+            let mut na = 1.0f64;
+            let mut nb = 1.0f64;
+            for &(a, b) in edges {
+                na *= col_est(a).ndv;
+                nb *= col_est(b).ndv;
+            }
+            let mut va = na.min(ests[la].rows.max(1.0));
+            let mut vb = nb.min(ests[lb].rows.max(1.0));
+            // PK–FK containment: when one side's key columns are exactly its
+            // base table's primary key, the other side's values are drawn
+            // from that key domain, so its distinct count cannot exceed the
+            // base row count. Without this cap the composite-key NDV product
+            // inflates the probe side and prices an N:1 lookup as if it
+            // filtered — Q9's lineitem ⋈ partsupp produces one row per
+            // lineitem (60k at SF 0.01), not the 8k the product implied.
+            let locals = |leaf: usize, side: fn(&(usize, usize)) -> usize| -> Vec<usize> {
+                edges.iter().map(|e| side(e) - region.leaves[leaf].offset).collect()
+            };
+            if let Some(dom) = pk_domain(&region.leaves[la].plan, &locals(la, |e| e.0), ctx.catalog)
+            {
+                vb = vb.min(dom);
+            }
+            if let Some(dom) = pk_domain(&region.leaves[lb].plan, &locals(lb, |e| e.1), ctx.catalog)
+            {
+                va = va.min(dom);
+            }
+            let s = 1.0 / va.max(vb).max(1.0);
+            pair_sel[la][lb] = s;
+            pair_sel[lb][la] = s;
+        }
+        let global_cols: Vec<ColEst> = (0..total).map(col_est).collect();
+        let joint: Vec<(Vec<usize>, f64)> = joint_preds
+            .iter()
+            .map(|p| (region.leaves_of_expr(p), selectivity(p, &global_cols)))
+            .collect();
+        SelModel { pair_sel, joint }
+    };
+
+    /// Memoized subset cardinality under one mode's model: the product of
+    /// its leaf rows, pair selectivities, and closed joint selectivities.
+    fn subset_rows(
+        set: u64,
+        ests: &[PlanEst],
+        pair_sel: &[Vec<f64>],
+        joint: &[(Vec<usize>, f64)],
+        memo: &mut HashMap<u64, f64>,
+    ) -> f64 {
         if let Some(&c) = memo.get(&set) {
             return c;
         }
         let mut rows = 1.0f64;
-        for (i, est) in leaf_ests.iter().enumerate() {
+        for (i, est) in ests.iter().enumerate() {
             if set & (1 << i) != 0 {
                 rows *= est.rows;
             }
@@ -1170,7 +1616,7 @@ fn rebuild_region(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats)
                 }
             }
         }
-        for (leaves, sel) in &joint {
+        for (leaves, sel) in joint {
             if leaves.len() >= 2 && leaves.iter().all(|&l| set & (1 << l) != 0) {
                 rows *= sel;
             }
@@ -1178,105 +1624,282 @@ fn rebuild_region(plan: &Plan, ctx: &Ctx, passes: Passes, stats: &mut PassStats)
         let rows = rows.max(1.0);
         memo.insert(set, rows);
         rows
+    }
+
+    let early_model = build_model(&folded_ests);
+    let card_early = |set: u64, memo: &mut HashMap<u64, f64>| -> f64 {
+        subset_rows(set, &folded_ests, &early_model.pair_sel, &early_model.joint, memo)
     };
 
     let connected =
         |i: usize, set: u64| -> bool { (0..n).any(|j| set & (1 << j) != 0 && adj[i][j]) };
 
-    let mut memo = HashMap::new();
-    let order_cost = |order: &[usize], memo: &mut HashMap<u64, f64>| -> Option<f64> {
-        let mut set = 1u64 << order[0];
-        let mut cost = 0.0;
-        for &next in &order[1..] {
-            if !connected(next, set) {
-                return None;
+    // Byte pricing: a subset's row width is the sum of its leaves' widths
+    // (widths are type-determined, so both modes share one vector).
+    let leaf_width: Vec<f64> = base_ests.iter().map(PlanEst::row_width).collect();
+    let width_of = |set: u64| -> f64 {
+        (0..n).filter(|i| set & (1 << i) != 0).map(|i| leaf_width[i]).sum::<f64>().max(1.0)
+    };
+    let mut nbr = vec![0u64; n];
+    for (i, row) in adj.iter().enumerate() {
+        for (j, &a) in row.iter().enumerate() {
+            if a {
+                nbr[i] |= 1 << j;
             }
-            set |= 1 << next;
-            cost += card(set, memo);
         }
-        Some(cost)
+    }
+    let cross =
+        |s1: u64, s2: u64| -> bool { (0..n).any(|i| s1 & (1 << i) != 0 && nbr[i] & s2 != 0) };
+    // Build-side exemption: a single leaf probed from `probe` on exactly
+    // one key column that resolves to a base-table primary/foreign key —
+    // the specialized engine serves that probe from its load-time
+    // partition without building a hash table.
+    let exempt = |i: usize, probe: u64| -> bool {
+        let mut key_cols: Vec<usize> = Vec::new();
+        for &(a, b) in &region.edges {
+            let (la, lb) = (region.leaf_of(a), region.leaf_of(b));
+            let g = if la == i && probe & (1 << lb) != 0 {
+                a
+            } else if lb == i && probe & (1 << la) != 0 {
+                b
+            } else {
+                continue;
+            };
+            if !key_cols.contains(&g) {
+                key_cols.push(g);
+            }
+        }
+        if key_cols.len() != 1 {
+            return false;
+        }
+        let local = key_cols[0] - region.leaves[i].offset;
+        match base_column(&region.leaves[i].plan, local) {
+            Some((t, c)) => ctx.catalog.get(&t).is_some_and(|m| {
+                m.primary_key == [c] || m.foreign_keys.iter().any(|fk| fk.column == c)
+            }),
+            None => false,
+        }
     };
 
     let naive_order: Vec<usize> = (0..n).collect();
-    let naive_cost = order_cost(&naive_order, &mut memo);
+    let naive_tree = JoinTree::left_deep(&naive_order);
 
-    let chosen: Vec<usize> = if n <= 1 || !passes.join_reorder {
-        naive_order.clone()
-    } else if n <= DP_LIMIT {
-        best_order_dp(n, &card, &connected, &mut memo)?
+    // Price one placement mode: the naive and best trees under its
+    // cardinality model, with the naive-not-worse tie-break applied inside
+    // the mode — when the syntactic order is feasible and not worse, keep
+    // it; stable plans beat churn on ties.
+    let plan_mode = |ests: &[PlanEst],
+                     card: &dyn Fn(u64, &mut HashMap<u64, f64>) -> f64|
+     -> Option<(Option<f64>, JoinTree, f64)> {
+        let mut memo = HashMap::new();
+        let naive_cost = tree_cost(&naive_tree, &card, &width_of, &cross, &exempt, &mut memo);
+        let chosen_tree: JoinTree = if n <= 1 || !passes.join_reorder {
+            naive_tree.clone()
+        } else if n <= DP_LIMIT {
+            best_tree_dp(n, &card, &width_of, &cross, &exempt, &mut memo)?
+        } else {
+            JoinTree::left_deep(&best_order_greedy(n, ests, &card, &connected, &mut memo)?)
+        };
+        let chosen_cost = tree_cost(&chosen_tree, &card, &width_of, &cross, &exempt, &mut memo)?;
+        match naive_cost {
+            Some(nc) if nc <= chosen_cost => Some((naive_cost, naive_tree.clone(), nc)),
+            _ => Some((naive_cost, chosen_tree, chosen_cost)),
+        }
+    };
+
+    // Placement extras — the unary volumes each mode adds on top of its
+    // join-tree cost. Early: each folded unary materializes its output at
+    // its leaf's width. Late: each unary applies at the root, pricing its
+    // output at the full region width over whatever survives the joins.
+    // The unary's build side is identical either way and cancels out.
+    let full = (1u64 << n) - 1;
+    let early_extra: f64 =
+        folds.iter().map(|&(leaf, _, rows_out)| rows_out * leaf_width[leaf] / WIDTH_UNIT).sum();
+    let early = plan_mode(&folded_ests, &card_early);
+
+    // The late model only differs from the early one when a unary folded.
+    let (use_early, extra, (naive_cost, chosen_tree, chosen_cost)) = if folds.is_empty() {
+        (true, 0.0, early?)
     } else {
-        best_order_greedy(n, &leaf_ests, &card, &connected, &mut memo)?
+        let late_model = build_model(&base_ests);
+        let card_late = |set: u64, memo: &mut HashMap<u64, f64>| -> f64 {
+            subset_rows(set, &base_ests, &late_model.pair_sel, &late_model.joint, memo)
+        };
+        let late_extra: f64 = {
+            let mut memo = HashMap::new();
+            let mut rows = card_late(full, &mut memo);
+            let w = width_of(full);
+            folds
+                .iter()
+                .map(|&(_, frac, _)| {
+                    rows = (rows * frac).max(1.0);
+                    rows * w / WIDTH_UNIT
+                })
+                .sum()
+        };
+        let late = plan_mode(&base_ests, &card_late);
+        match (early, late) {
+            (Some(e), Some(l)) => {
+                if e.2 + early_extra <= l.2 + late_extra {
+                    (true, early_extra, e)
+                } else {
+                    (false, late_extra, l)
+                }
+            }
+            (Some(e), None) => (true, early_extra, e),
+            (None, Some(l)) => (false, late_extra, l),
+            (None, None) => return None,
+        }
     };
-    let chosen_cost = order_cost(&chosen, &mut memo)?;
 
-    // When the syntactic order is feasible and not worse, keep it — stable
-    // plans beat churn on ties.
-    let (chosen, chosen_cost) = match naive_cost {
-        Some(nc) if nc <= chosen_cost => (naive_order.clone(), nc),
-        _ => (chosen, chosen_cost),
-    };
-
-    let emitted = emit_region(&region, leaf_preds, joint_preds, &chosen)?;
+    let emitted = emit_region(&region, leaf_preds, joint_preds, &chosen_tree, use_early)?;
+    let names: Vec<String> = region.leaves.iter().map(|l| l.name.clone()).collect();
+    let mut chosen_leaves = Vec::new();
+    chosen_tree.leaves(&mut chosen_leaves);
     stats.regions.push(RegionSummary {
-        naive_order: region.leaves.iter().map(|l| l.name.clone()).collect(),
-        chosen_order: chosen.iter().map(|&i| region.leaves[i].name.clone()).collect(),
-        naive_cost: naive_cost.unwrap_or(f64::INFINITY),
-        chosen_cost,
+        chosen_order: chosen_leaves.iter().map(|&i| names[i].clone()).collect(),
+        chosen_shape: chosen_tree.render(&names),
+        naive_order: names,
+        naive_cost: naive_cost.map_or(f64::INFINITY, |nc| nc + extra),
+        chosen_cost: chosen_cost + extra,
     });
     Some(emitted)
 }
 
-/// Exhaustive left-deep DP over connected subsets.
-fn best_order_dp(
+/// A join tree over region leaves. The right child of every [`Join`] is
+/// the build side. Left-deep trees are the special case where every right
+/// child is a leaf; the DP explores the full bushy space.
+///
+/// [`Join`]: JoinTree::Join
+#[derive(Clone, Debug)]
+enum JoinTree {
+    Leaf(usize),
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    fn set(&self) -> u64 {
+        match self {
+            JoinTree::Leaf(i) => 1 << i,
+            JoinTree::Join(l, r) => l.set() | r.set(),
+        }
+    }
+
+    fn leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            JoinTree::Leaf(i) => out.push(*i),
+            JoinTree::Join(l, r) => {
+                l.leaves(out);
+                r.leaves(out);
+            }
+        }
+    }
+
+    fn left_deep(order: &[usize]) -> JoinTree {
+        let mut t = JoinTree::Leaf(order[0]);
+        for &i in &order[1..] {
+            t = JoinTree::Join(Box::new(t), Box::new(JoinTree::Leaf(i)));
+        }
+        t
+    }
+
+    /// Parenthesized rendering with leaf names — surfaces bushy shapes in
+    /// `EXPLAIN` output.
+    fn render(&self, names: &[String]) -> String {
+        match self {
+            JoinTree::Leaf(i) => names[*i].clone(),
+            JoinTree::Join(l, r) => {
+                format!("({} \u{22c8} {})", l.render(names), r.render(names))
+            }
+        }
+    }
+}
+
+/// Byte-priced cost of a join tree under the region's cardinality model:
+/// every join pays its output volume plus its build side's volume (unless
+/// a key partition serves the build — see [`partition_serves`]). `None`
+/// when any join in the tree would be a cross product.
+fn tree_cost(
+    tree: &JoinTree,
+    card: &impl Fn(u64, &mut HashMap<u64, f64>) -> f64,
+    width_of: &impl Fn(u64) -> f64,
+    cross: &impl Fn(u64, u64) -> bool,
+    exempt: &impl Fn(usize, u64) -> bool,
+    memo: &mut HashMap<u64, f64>,
+) -> Option<f64> {
+    match tree {
+        JoinTree::Leaf(_) => Some(0.0),
+        JoinTree::Join(l, r) => {
+            let (sl, sr) = (l.set(), r.set());
+            if !cross(sl, sr) {
+                return None;
+            }
+            let cl = tree_cost(l, card, width_of, cross, exempt, memo)?;
+            let cr = tree_cost(r, card, width_of, cross, exempt, memo)?;
+            let out = sl | sr;
+            let mut cost = cl + cr + card(out, memo) * width_of(out) / WIDTH_UNIT;
+            let build_free = match r.as_ref() {
+                JoinTree::Leaf(i) => exempt(*i, sl),
+                _ => false,
+            };
+            if !build_free {
+                cost += card(sr, memo) * width_of(sr) / WIDTH_UNIT;
+            }
+            Some(cost)
+        }
+    }
+}
+
+/// Exhaustive DP over connected subsets, bushy trees included: every
+/// subset's best tree is the cheapest (probe, build) split whose halves
+/// are joinable. `O(3^n)` splits, bounded by [`DP_LIMIT`].
+fn best_tree_dp(
     n: usize,
     card: &impl Fn(u64, &mut HashMap<u64, f64>) -> f64,
-    connected: &impl Fn(usize, u64) -> bool,
+    width_of: &impl Fn(u64) -> f64,
+    cross: &impl Fn(u64, u64) -> bool,
+    exempt: &impl Fn(usize, u64) -> bool,
     memo: &mut HashMap<u64, f64>,
-) -> Option<Vec<usize>> {
+) -> Option<JoinTree> {
     let full = (1u64 << n) - 1;
-    let mut dp: HashMap<u64, (f64, Vec<usize>)> = HashMap::new();
+    let mut dp: HashMap<u64, (f64, JoinTree)> = HashMap::new();
     for i in 0..n {
-        dp.insert(1 << i, (0.0, vec![i]));
+        dp.insert(1 << i, (0.0, JoinTree::Leaf(i)));
     }
+    // Numeric order visits every proper subset before its supersets.
     for set in 1..=full {
-        if set.count_ones() < 2 || !dp_feasible(set, &dp) {
+        if set.count_ones() < 2 {
             continue;
         }
-        let mut best: Option<(f64, Vec<usize>)> = None;
-        for last in 0..n {
-            if set & (1 << last) == 0 {
-                continue;
+        let mut best: Option<(f64, JoinTree)> = None;
+        let mut s1 = (set - 1) & set;
+        while s1 != 0 {
+            let s2 = set ^ s1;
+            // Both (s1, s2) and (s2, s1) orderings occur as `s1` walks the
+            // subsets, so each half is tried as probe and as build.
+            if cross(s1, s2) {
+                let build = if s2.count_ones() == 1 && exempt(s2.trailing_zeros() as usize, s1) {
+                    0.0
+                } else {
+                    card(s2, memo) * width_of(s2) / WIDTH_UNIT
+                };
+                if let (Some((c1, t1)), Some((c2, t2))) = (dp.get(&s1), dp.get(&s2)) {
+                    let cost = c1 + c2 + card(set, memo) * width_of(set) / WIDTH_UNIT + build;
+                    if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                        best = Some((
+                            cost,
+                            JoinTree::Join(Box::new(t1.clone()), Box::new(t2.clone())),
+                        ));
+                    }
+                }
             }
-            let rest = set & !(1 << last);
-            let Some((rest_cost, rest_order)) = dp.get(&rest) else { continue };
-            if !connected(last, rest) {
-                continue;
-            }
-            let cost = rest_cost + card(set, memo);
-            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                let mut order = rest_order.clone();
-                order.push(last);
-                best = Some((cost, order));
-            }
+            s1 = (s1 - 1) & set;
         }
         if let Some(b) = best {
             dp.insert(set, b);
         }
     }
-    dp.remove(&full).map(|(_, order)| order)
-}
-
-fn dp_feasible(set: u64, dp: &HashMap<u64, (f64, Vec<usize>)>) -> bool {
-    // A subset is worth solving if removing some element leaves a solved set.
-    let mut s = set;
-    while s != 0 {
-        let bit = s & s.wrapping_neg();
-        if dp.contains_key(&(set & !bit)) {
-            return true;
-        }
-        s &= !bit;
-    }
-    false
+    dp.remove(&full).map(|(_, t)| t)
 }
 
 /// Greedy construction for oversized regions: start from the smallest
@@ -1367,14 +1990,19 @@ fn infer_predicates(region: &mut Region) -> usize {
     added
 }
 
-/// Emits the chosen left-deep order, re-attaching predicates and semi/anti
-/// joins at their earliest feasible point, and restoring the original
-/// column order with a final projection.
+/// Emits the chosen join tree, re-attaching predicates at the earliest
+/// subtree where their columns exist, and restoring the original column
+/// order with a final projection. Joint predicates that straddle a join's
+/// two subtrees ride as that join's residual. Semi/anti joins attach at
+/// the earliest feasible subtree when `unaries_early` is set, and only at
+/// the region root otherwise — `rebuild_region` prices both placements and
+/// passes the cheaper one.
 fn emit_region(
     region: &Region,
     leaf_preds: Vec<Vec<Expr>>,
     joint_preds: Vec<Expr>,
-    order: &[usize],
+    tree: &JoinTree,
+    unaries_early: bool,
 ) -> Option<Plan> {
     let total = region.total_arity();
     let leaf_plan = |i: usize| -> Plan {
@@ -1384,37 +2012,108 @@ fn emit_region(
             None => leaf.plan.clone(),
         }
     };
-    let leaf_range =
-        |i: usize| region.leaves[i].offset..region.leaves[i].offset + region.leaves[i].schema.len();
-
-    // pos[g] = position of global column g in the current output.
-    let mut pos: HashMap<usize, usize> = HashMap::new();
-    let mut current = leaf_plan(order[0]);
-    let mut arity = 0usize;
-    for g in leaf_range(order[0]) {
-        pos.insert(g, arity);
-        arity += 1;
-    }
 
     let mut joint_pending: Vec<Option<Expr>> = joint_preds.into_iter().map(Some).collect();
     let mut unary_pending: Vec<bool> = vec![true; region.unaries.len()];
 
-    let placed_cols = |pos: &HashMap<usize, usize>, e: &Expr| -> bool {
-        let mut cols = Vec::new();
-        e.collect_cols(&mut cols);
-        cols.iter().all(|c| *c >= RIGHT_BASE || pos.contains_key(c))
-    };
-
-    // Applies every unary op whose columns are all available.
-    fn apply_unaries(
+    /// Emits one subtree; returns its plan plus the global columns of its
+    /// output, in output order.
+    fn emit(
+        tree: &JoinTree,
         region: &Region,
+        leaf_plan: &impl Fn(usize) -> Plan,
+        joint_pending: &mut [Option<Expr>],
         unary_pending: &mut [bool],
-        pos: &HashMap<usize, usize>,
-        arity: usize,
-        mut current: Plan,
-    ) -> Plan {
+        unaries_early: bool,
+        at_root: bool,
+    ) -> Option<(Plan, Vec<usize>)> {
+        let (mut plan, globals) = match tree {
+            JoinTree::Leaf(i) => {
+                let leaf = &region.leaves[*i];
+                let globals: Vec<usize> = (leaf.offset..leaf.offset + leaf.schema.len()).collect();
+                (leaf_plan(*i), globals)
+            }
+            JoinTree::Join(l, r) => {
+                let (pl, gl) =
+                    emit(l, region, leaf_plan, joint_pending, unary_pending, unaries_early, false)?;
+                let (pr, gr) =
+                    emit(r, region, leaf_plan, joint_pending, unary_pending, unaries_early, false)?;
+                let pos_l: HashMap<usize, usize> =
+                    gl.iter().enumerate().map(|(p, &g)| (g, p)).collect();
+                let pos_r: HashMap<usize, usize> =
+                    gr.iter().enumerate().map(|(p, &g)| (g, p)).collect();
+                // Keys: every edge between the two subtrees.
+                let mut left_keys: Vec<usize> = Vec::new();
+                let mut right_keys: Vec<usize> = Vec::new();
+                for &(a, b) in &region.edges {
+                    let (ga, gb) = if pos_l.contains_key(&a) && pos_r.contains_key(&b) {
+                        (a, b)
+                    } else if pos_l.contains_key(&b) && pos_r.contains_key(&a) {
+                        (b, a)
+                    } else {
+                        continue;
+                    };
+                    let (lk, rk) = (pos_l[&ga], pos_r[&gb]);
+                    if !left_keys.iter().zip(&right_keys).any(|(&l, &r)| l == lk && r == rk) {
+                        left_keys.push(lk);
+                        right_keys.push(rk);
+                    }
+                }
+                if left_keys.is_empty() {
+                    return None; // cross product: caller keeps the original shape
+                }
+                let l_arity = gl.len();
+                // Joint predicates straddling the two subtrees become this
+                // join's residual.
+                let mut residual = Vec::new();
+                for slot in joint_pending.iter_mut() {
+                    let Some(p) = slot else { continue };
+                    let mut cols = Vec::new();
+                    p.collect_cols(&mut cols);
+                    let closed =
+                        cols.iter().all(|c| pos_l.contains_key(c) || pos_r.contains_key(c));
+                    let uses_both = cols.iter().any(|c| pos_l.contains_key(c))
+                        && cols.iter().any(|c| pos_r.contains_key(c));
+                    if closed && uses_both {
+                        residual.push(p.map_cols(&|c| {
+                            pos_l.get(&c).copied().unwrap_or_else(|| l_arity + pos_r[&c])
+                        }));
+                        *slot = None;
+                    }
+                }
+                let plan = Plan::hash_join(
+                    pl,
+                    pr,
+                    left_keys,
+                    right_keys,
+                    JoinKind::Inner,
+                    all_opt(residual),
+                );
+                let mut globals = gl;
+                globals.extend(gr);
+                (plan, globals)
+            }
+        };
+        // Attach whatever this subtree newly closes: joint predicates whose
+        // columns all live here (possible in bushy shapes, where a pred's
+        // leaves meet inside one subtree), then semi/anti joins.
+        let pos: HashMap<usize, usize> = globals.iter().enumerate().map(|(p, &g)| (g, p)).collect();
+        let mut filters = Vec::new();
+        for slot in joint_pending.iter_mut() {
+            let Some(p) = slot else { continue };
+            let mut cols = Vec::new();
+            p.collect_cols(&mut cols);
+            if !cols.is_empty() && cols.iter().all(|c| pos.contains_key(c)) {
+                filters.push(p.map_cols(&|c| pos[&c]));
+                *slot = None;
+            }
+        }
+        if let Some(p) = all_opt(filters) {
+            plan = Plan::filtered(plan, p);
+        }
+        let arity = globals.len();
         for (u, pending) in region.unaries.iter().zip(unary_pending.iter_mut()) {
-            if !*pending {
+            if !*pending || !(unaries_early || at_root) {
                 continue;
             }
             let keys_ok = u.left_keys.iter().all(|k| pos.contains_key(k));
@@ -1430,8 +2129,8 @@ fn emit_region(
             let residual = u.residual.as_ref().map(|r| {
                 r.map_cols(&|c| if c >= RIGHT_BASE { arity + (c - RIGHT_BASE) } else { pos[&c] })
             });
-            current = Plan::hash_join(
-                current,
+            plan = Plan::hash_join(
+                plan,
                 u.right.clone(),
                 left_keys,
                 u.right_keys.clone(),
@@ -1440,88 +2139,33 @@ fn emit_region(
             );
             *pending = false;
         }
-        current
+        Some((plan, globals))
     }
 
-    current = apply_unaries(region, &mut unary_pending, &pos, arity, current);
+    let (mut current, globals) = emit(
+        tree,
+        region,
+        &leaf_plan,
+        &mut joint_pending,
+        &mut unary_pending,
+        unaries_early,
+        true,
+    )?;
+    let pos: HashMap<usize, usize> = globals.iter().enumerate().map(|(p, &g)| (g, p)).collect();
 
-    for &next in &order[1..] {
-        // Keys: every edge between the placed set and the incoming leaf.
-        let mut left_keys = Vec::new();
-        let mut right_keys = Vec::new();
-        let next_range = leaf_range(next);
-        for &(a, b) in &region.edges {
-            let (g_placed, g_next) = if next_range.contains(&a) && pos.contains_key(&b) {
-                (b, a)
-            } else if next_range.contains(&b) && pos.contains_key(&a) {
-                (a, b)
-            } else {
-                continue;
-            };
-            let lk = pos[&g_placed];
-            let rk = g_next - region.leaves[next].offset;
-            let duplicate = left_keys
-                .iter()
-                .zip(&right_keys)
-                .any(|(&l, &r): (&usize, &usize)| l == lk && r == rk);
-            if !duplicate {
-                left_keys.push(lk);
-                right_keys.push(rk);
-            }
+    // Column-free predicates (constant folds) apply at the top; anything
+    // else still pending could not be placed — keep the original shape.
+    let mut leftovers = Vec::new();
+    for slot in joint_pending.iter_mut() {
+        let Some(p) = slot else { continue };
+        let mut cols = Vec::new();
+        p.collect_cols(&mut cols);
+        if !cols.iter().all(|c| pos.contains_key(c)) {
+            return None;
         }
-        if left_keys.is_empty() {
-            return None; // disconnected: caller keeps the original shape
-        }
-        // Joint predicates that become closed by this leaf ride as the
-        // join's residual.
-        let mut residual = Vec::new();
-        let next_off = region.leaves[next].offset;
-        let next_len = region.leaves[next].schema.len();
-        for slot in joint_pending.iter_mut() {
-            let Some(p) = slot else { continue };
-            let mut cols = Vec::new();
-            p.collect_cols(&mut cols);
-            let closed = cols
-                .iter()
-                .all(|&c| pos.contains_key(&c) || (c >= next_off && c < next_off + next_len));
-            let uses_next = cols.iter().any(|&c| c >= next_off && c < next_off + next_len);
-            if closed && uses_next {
-                let p = p.map_cols(&|c| {
-                    if c >= next_off && c < next_off + next_len {
-                        arity + (c - next_off)
-                    } else {
-                        pos[&c]
-                    }
-                });
-                residual.push(p);
-                *slot = None;
-            }
-        }
-        current = Plan::hash_join(
-            current,
-            leaf_plan(next),
-            left_keys,
-            right_keys,
-            JoinKind::Inner,
-            all_opt(residual),
-        );
-        for g in leaf_range(next) {
-            pos.insert(g, arity);
-            arity += 1;
-        }
-        current = apply_unaries(region, &mut unary_pending, &pos, arity, current);
+        leftovers.push(p.map_cols(&|c| pos[&c]));
+        *slot = None;
     }
-
-    // Any joint predicate not closed by a join step (single-leaf regions,
-    // or predicates over one leaf plus semi-hidden columns) applies now.
-    let leftovers: Vec<Expr> = joint_pending
-        .iter()
-        .flatten()
-        .map(|p| {
-            debug_assert!(placed_cols(&pos, p), "unplaced predicate column");
-            p.map_cols(&|c| pos[&c])
-        })
-        .collect();
     if let Some(p) = all_opt(leftovers) {
         current = Plan::filtered(current, p);
     }
@@ -1547,18 +2191,29 @@ fn emit_region(
 // Stage driver
 // ---------------------------------------------------------------------
 
-fn rewrite_stage(plan: &Plan, ctx: &Ctx, passes: Passes, label: &str) -> (Plan, StageReport) {
+fn rewrite_stage(
+    plan: &Plan,
+    ctx: &Ctx,
+    passes: Passes,
+    label: &str,
+    lineage: &str,
+) -> (Plan, StageReport) {
     let lookup = |t: &str| ctx.schema(t);
     let (plan, pushed) =
         if passes.pushdown { push_predicates(plan, &lookup) } else { (plan.clone(), 0) };
     let mut stats = PassStats::default();
     let plan = reorder_node(&plan, ctx, passes, &mut stats);
-    let est_rows = estimate(&plan, ctx).rows;
+    let fingerprint = fnv_hex(&format!("{lineage}|{label}|{plan:?}"));
+    let model_rows = estimate(&plan, ctx).rows;
+    let (est_rows, feedback_applied) = match ctx.catalog.feedback_rows(&fingerprint) {
+        Some(rows) => (rows, true),
+        None => (model_rows, false),
+    };
     // Report the largest region of the stage (the interesting one).
     let main = stats.regions.into_iter().max_by_key(|r| r.naive_order.len());
-    let (naive_order, chosen_order, naive_cost, chosen_cost) = match main {
-        Some(r) => (r.naive_order, r.chosen_order, r.naive_cost, r.chosen_cost),
-        None => (Vec::new(), Vec::new(), 0.0, 0.0),
+    let (naive_order, chosen_order, chosen_shape, naive_cost, chosen_cost) = match main {
+        Some(r) => (r.naive_order, r.chosen_order, r.chosen_shape, r.naive_cost, r.chosen_cost),
+        None => (Vec::new(), Vec::new(), String::new(), 0.0, 0.0),
     };
     (
         plan,
@@ -1566,18 +2221,114 @@ fn rewrite_stage(plan: &Plan, ctx: &Ctx, passes: Passes, label: &str) -> (Plan, 
             stage: label.to_string(),
             naive_order,
             chosen_order,
+            chosen_shape,
             naive_cost,
             chosen_cost,
             pushed_predicates: pushed,
             inferred_predicates: stats.inferred,
             est_rows,
+            fingerprint,
+            feedback_applied,
         },
     )
+}
+
+/// FNV-1a digest, hex-rendered — the stable stage identity the feedback
+/// store keys on.
+fn fnv_hex(s: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Inlines single-use stages that are pure join pipelines (scans, filters,
+/// projections, inner joins — no aggregation, ordering, or truncation)
+/// into their consumer, dissolving the stage boundary the SQL frontend
+/// drew so join reordering can work across it. Pure substitution:
+/// a stage's output schema equals its plan's, so consumer column indices
+/// are unaffected.
+fn inline_pure_stages(query: &QueryPlan) -> QueryPlan {
+    let mut stages = query.stages.clone();
+    let mut root = query.root.clone();
+    loop {
+        let mut refs: HashMap<String, usize> = HashMap::new();
+        for p in stages.iter().map(|(_, p)| p).chain(std::iter::once(&root)) {
+            p.walk(&mut |q| {
+                if let Plan::Scan { table } = q {
+                    if table.starts_with('#') {
+                        *refs.entry(table.clone()).or_insert(0) += 1;
+                    }
+                }
+            });
+        }
+        let Some(idx) = stages.iter().position(|(name, plan)| {
+            pure_join_tree(plan) && refs.get(&format!("#{name}")).copied() == Some(1)
+        }) else {
+            break;
+        };
+        let (name, plan) = stages.remove(idx);
+        let key = format!("#{name}");
+        for (_, p) in &mut stages {
+            *p = replace_scan(p, &key, &plan);
+        }
+        root = replace_scan(&root, &key, &plan);
+    }
+    QueryPlan { name: query.name.clone(), stages, root }
+}
+
+/// True for plans made only of scans, filters, projections, and inner
+/// joins — the shapes `flatten` can absorb into a join region.
+fn pure_join_tree(plan: &Plan) -> bool {
+    match plan {
+        Plan::Scan { .. } => true,
+        Plan::Select { input, .. } | Plan::Project { input, .. } => pure_join_tree(input),
+        Plan::HashJoin { left, right, kind: JoinKind::Inner, .. } => {
+            pure_join_tree(left) && pure_join_tree(right)
+        }
+        _ => false,
+    }
+}
+
+/// Substitutes every `Scan` of `key` with `replacement`.
+fn replace_scan(plan: &Plan, key: &str, replacement: &Plan) -> Plan {
+    let rec = |p: &Plan| Box::new(replace_scan(p, key, replacement));
+    match plan {
+        Plan::Scan { table } => {
+            if table == key {
+                replacement.clone()
+            } else {
+                plan.clone()
+            }
+        }
+        Plan::Select { input, predicate } => {
+            Plan::Select { input: rec(input), predicate: predicate.clone() }
+        }
+        Plan::Project { input, exprs } => Plan::Project { input: rec(input), exprs: exprs.clone() },
+        Plan::HashJoin { left, right, left_keys, right_keys, kind, residual } => Plan::HashJoin {
+            left: rec(left),
+            right: rec(right),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            kind: *kind,
+            residual: residual.clone(),
+        },
+        Plan::Agg { input, group_by, aggs } => {
+            Plan::Agg { input: rec(input), group_by: group_by.clone(), aggs: aggs.clone() }
+        }
+        Plan::Sort { input, keys } => Plan::Sort { input: rec(input), keys: keys.clone() },
+        Plan::Limit { input, n } => Plan::Limit { input: rec(input), n: *n },
+        Plan::Distinct { input } => Plan::Distinct { input: rec(input) },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::AggKind;
+    use crate::plan::AggSpec;
     use legobase_storage::{ColumnStats, Field, TableMeta, TableStatistics, Type};
 
     fn catalog() -> Catalog {
@@ -1771,6 +2522,171 @@ mod tests {
             }
         });
         assert_eq!(semis, 1, "{:?}", opt.root);
+    }
+
+    /// Attaches a skewed histogram to `big.b_x` and checks that equality
+    /// and range selectivities follow the distribution, not 1/ndv.
+    #[test]
+    fn histogram_sharpens_selectivity() {
+        let mut cat = catalog();
+        // 10k rows of b_x: 90% value 7, the rest spread over 0..100.
+        let mut ranks: Vec<f64> = vec![7.0; 9_000];
+        ranks.extend((0..1_000).map(|i| (i % 101) as f64));
+        let hist = Histogram::build(ranks, 64).unwrap();
+        let mut stats = cat.stats("big").unwrap().clone();
+        stats.columns[2].histogram = Some(hist);
+        cat.set_stats("big", stats);
+        let hot = q(Plan::filtered(Plan::scan("big"), Expr::eq(Expr::col(2), Expr::lit(7i64))));
+        let hot_rows = estimated_rows(&hot, &cat);
+        assert!(hot_rows > 8_000.0, "heavy hitter must estimate heavy: {hot_rows}");
+        let cold = q(Plan::filtered(Plan::scan("big"), Expr::lt(Expr::col(2), Expr::lit(5i64))));
+        let cold_rows = estimated_rows(&cold, &cat);
+        assert!(cold_rows < 1_000.0, "below-hitter range must estimate light: {cold_rows}");
+    }
+
+    /// A straddling OR whose branches each pin one side sinks derived
+    /// disjunctions to both inputs while the exact filter stays above.
+    #[test]
+    fn or_factoring_pushes_side_disjunctions() {
+        let cat = catalog();
+        let lookup = |t: &str| cat.table(t).schema.clone();
+        let join = Plan::hash_join(
+            Plan::scan("mid"),
+            Plan::scan("big"),
+            vec![0],
+            vec![1],
+            JoinKind::Inner,
+            None,
+        );
+        // (m_y = 1 AND b_x = 2) OR (m_y = 3 AND b_x = 4)
+        let pair_or = Expr::or(
+            Expr::and(
+                Expr::eq(Expr::col(2), Expr::lit(1i64)),
+                Expr::eq(Expr::col(5), Expr::lit(2i64)),
+            ),
+            Expr::and(
+                Expr::eq(Expr::col(2), Expr::lit(3i64)),
+                Expr::eq(Expr::col(5), Expr::lit(4i64)),
+            ),
+        );
+        let plan = Plan::filtered(join, pair_or.clone());
+        let (pushed, n) = push_predicates(&plan, &lookup);
+        assert_eq!(n, 2, "both derived disjunctions must sink: {pushed:?}");
+        // Exact filter still on top; each side now holds a Select.
+        let Plan::Select { input, predicate } = &pushed else {
+            panic!("original OR must stay above: {pushed:?}")
+        };
+        assert_eq!(*predicate, pair_or);
+        let Plan::HashJoin { left, right, .. } = input.as_ref() else {
+            panic!("join expected: {pushed:?}")
+        };
+        assert!(matches!(left.as_ref(), Plan::Select { .. }), "{left:?}");
+        assert!(matches!(right.as_ref(), Plan::Select { .. }), "{right:?}");
+    }
+
+    /// A single-use pure-join stage dissolves into its consumer, so the
+    /// reorderer sees one region spanning the former boundary.
+    #[test]
+    fn pure_stages_inline_across_boundaries() {
+        let cat = catalog();
+        let sub = Plan::hash_join(
+            Plan::scan("mid"),
+            Plan::scan("small"),
+            vec![2],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        );
+        let root = Plan::hash_join(
+            Plan::scan("big"),
+            Plan::scan("#sub"),
+            vec![1],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        );
+        let query = QueryPlan::new("t", root).with_stage("sub", sub);
+        let (opt, report) = optimize(&query, &cat);
+        assert!(opt.stages.is_empty(), "stage must inline: {opt:?}");
+        assert_eq!(report.root().naive_order, vec!["big", "mid", "small"]);
+        // An aggregating stage must NOT inline.
+        let agg_sub = Plan::aggregated(
+            Plan::scan("mid"),
+            vec![0],
+            vec![AggSpec::new(AggKind::Sum, Expr::col(2), "s")],
+        );
+        let root = Plan::hash_join(
+            Plan::scan("big"),
+            Plan::scan("#sub"),
+            vec![1],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        );
+        let query = QueryPlan::new("t", root).with_stage("sub", agg_sub);
+        let (opt, _) = optimize(&query, &cat);
+        assert_eq!(opt.stages.len(), 1, "aggregating stage must stay: {opt:?}");
+    }
+
+    /// Absorbed actuals override the model's estimate on the next plan of
+    /// the same query, and the report says so.
+    #[test]
+    fn feedback_overrides_estimates() {
+        let mut cat = catalog();
+        let plan =
+            || q(Plan::filtered(Plan::scan("big"), Expr::lt(Expr::col(0), Expr::lit(5_000i64))));
+        let (_, report) = optimize(&plan(), &cat);
+        let fp = report.root().fingerprint.clone();
+        assert!(!report.root().feedback_applied);
+        assert!(cat.absorb_actuals(&[(fp.clone(), 42.0)]));
+        let (_, report) = optimize(&plan(), &cat);
+        assert_eq!(report.root().fingerprint, fp, "fingerprint must be stable");
+        assert!(report.root().feedback_applied);
+        assert_eq!(report.root().est_rows, 42.0);
+        assert!(report.summary().contains("feedback-corrected"));
+        // apply_feedback patches a stale report the same way.
+        let mut stale = OptReport {
+            query: "t".into(),
+            stages: vec![StageReport {
+                stage: "root".into(),
+                naive_order: vec![],
+                chosen_order: vec![],
+                chosen_shape: String::new(),
+                naive_cost: 0.0,
+                chosen_cost: 0.0,
+                pushed_predicates: 0,
+                inferred_predicates: 0,
+                est_rows: 5_000.0,
+                fingerprint: fp,
+                feedback_applied: false,
+            }],
+            actual_rows: None,
+        };
+        assert!(stale.apply_feedback(&cat));
+        assert_eq!(stale.root().est_rows, 42.0);
+    }
+
+    /// With a primary key declared, probing that dimension pays no build
+    /// cost — the same join gets cheaper once the catalog knows the key.
+    #[test]
+    fn partitioned_builds_are_free() {
+        let mut cat = catalog();
+        let plan = q(Plan::hash_join(
+            Plan::scan("big"),
+            Plan::scan("mid"),
+            vec![1],
+            vec![0],
+            JoinKind::Inner,
+            None,
+        ));
+        let cost_unkeyed = estimated_cost(&plan, &cat);
+        let schema = cat.table("mid").schema.clone();
+        cat.add(TableMeta::new("mid", schema).with_primary_key(&["m_id"]));
+        let cost_keyed = estimated_cost(&plan, &cat);
+        assert!(
+            cost_keyed < cost_unkeyed,
+            "pk-partitioned build must be free: {cost_keyed} vs {cost_unkeyed}"
+        );
     }
 
     #[test]

@@ -84,6 +84,14 @@ pub struct Settings {
     /// report), and `decided_settings` clears the flag when nothing was
     /// cleared for encoding. CI's off-leg sets `LEGOBASE_ENCODING=0`.
     pub encoding: bool,
+    /// Closes the adaptive-estimation loop: after execution, observed
+    /// cardinalities are absorbed back into the catalog
+    /// ([`Catalog::absorb_actuals`](legobase_storage::Catalog::absorb_actuals))
+    /// so repeated queries re-plan under corrected estimates. Defaults to
+    /// `true`; `LEGOBASE_FEEDBACK=0` ablates the loop. Feedback only
+    /// sharpens estimates — it never changes results, so the flag is safe
+    /// to flip at any time.
+    pub feedback: bool,
 }
 
 impl Settings {
@@ -105,6 +113,7 @@ impl Settings {
             parallel_sorts: true,
             optimize: true,
             encoding: true,
+            feedback: true,
         }
     }
 
@@ -126,6 +135,7 @@ impl Settings {
             parallel_sorts: true,
             optimize: true,
             encoding: true,
+            feedback: true,
         }
     }
 
@@ -278,6 +288,16 @@ mod tests {
             assert!(c.settings().encoding, "{c:?} must default to encoding");
         }
         assert!(!Settings::optimized().with(|s| s.encoding = false).encoding);
+    }
+
+    /// Adaptive feedback is a default-on request in every configuration;
+    /// `LEGOBASE_FEEDBACK=0` ablates the loop.
+    #[test]
+    fn feedback_defaults_on() {
+        for c in Config::ALL {
+            assert!(c.settings().feedback, "{c:?} must default to feedback");
+        }
+        assert!(!Settings::optimized().with(|s| s.feedback = false).feedback);
     }
 
     #[test]

@@ -55,5 +55,5 @@ pub use dict::{DictKind, StringDictionary};
 pub use packed::PackedInts;
 pub use row::RowTable;
 pub use schema::{Catalog, Field, ForeignKey, Schema, TableMeta, Type};
-pub use stats::{ColumnStats, TableStatistics};
+pub use stats::{ColumnStats, DistinctSketch, Histogram, TableStatistics};
 pub use value::{Tuple, Value};

@@ -173,6 +173,8 @@ pub struct Catalog {
     tables: HashMap<String, TableMeta>,
     stats: HashMap<String, crate::stats::TableStatistics>,
     version: u64,
+    feedback: HashMap<String, f64>,
+    stats_epoch: u64,
 }
 
 impl Catalog {
@@ -217,6 +219,55 @@ impl Catalog {
     /// planning degrades gracefully to defaults when this returns `None`.
     pub fn stats(&self, table: &str) -> Option<&crate::stats::TableStatistics> {
         self.stats.get(table)
+    }
+
+    /// Absorbs executed-plan cardinalities into the adaptive-feedback store:
+    /// each entry maps a plan fingerprint to the row count the plan actually
+    /// produced. Returns `true` — and bumps the [stats epoch](Self::stats_epoch)
+    /// — only when an observation materially changes what the catalog
+    /// already knew (a new fingerprint, or an actual drifted more than 5%
+    /// from the remembered one), so repeated identical executions converge
+    /// instead of re-planning forever.
+    ///
+    /// Deliberately does **not** bump [`Catalog::version`]: plans optimized
+    /// under older feedback remain *correct* (feedback only sharpens
+    /// estimates), so version-keyed caches stay valid.
+    pub fn absorb_actuals(&mut self, actuals: &[(String, f64)]) -> bool {
+        let mut changed = false;
+        for (fingerprint, rows) in actuals {
+            let rows = rows.max(0.0);
+            match self.feedback.get(fingerprint) {
+                Some(prev) => {
+                    let (lo, hi) = (prev.min(rows).max(1.0), prev.max(rows).max(1.0));
+                    if hi / lo > 1.05 {
+                        self.feedback.insert(fingerprint.clone(), rows);
+                        changed = true;
+                    }
+                }
+                None => {
+                    self.feedback.insert(fingerprint.clone(), rows);
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.stats_epoch += 1;
+        }
+        changed
+    }
+
+    /// The remembered actual cardinality for a plan fingerprint, if one was
+    /// absorbed by [`Catalog::absorb_actuals`].
+    pub fn feedback_rows(&self, fingerprint: &str) -> Option<f64> {
+        self.feedback.get(fingerprint).copied()
+    }
+
+    /// Monotonic counter of *estimate-relevant* knowledge: bumped whenever
+    /// [`Catalog::absorb_actuals`] learns something new. Caches that want to
+    /// re-plan on fresh feedback key on `(version, stats_epoch)`; caches
+    /// that only care about correctness key on `version` alone.
+    pub fn stats_epoch(&self) -> u64 {
+        self.stats_epoch
     }
 
     /// Registered table names, in insertion order.
@@ -305,6 +356,29 @@ mod tests {
         assert_eq!(li.primary_key, vec![0, 1]);
         assert_eq!(li.foreign_keys[0].references, "orders");
         assert_eq!(cat.table("orders").primary_key, vec![0]);
+    }
+
+    /// Feedback absorption advances the stats epoch (the re-planning
+    /// signal), converges on repeated identical observations, and never
+    /// touches the correctness-keyed catalog version.
+    #[test]
+    fn absorb_actuals_converges_and_keeps_version() {
+        let mut cat = Catalog::new();
+        cat.add(TableMeta::new("t", Schema::of(&[("id", Type::Int)])));
+        let v = cat.version();
+        assert_eq!(cat.stats_epoch(), 0);
+        assert!(cat.absorb_actuals(&[("q7:root".into(), 4.0)]));
+        assert_eq!(cat.stats_epoch(), 1);
+        assert_eq!(cat.feedback_rows("q7:root"), Some(4.0));
+        assert_eq!(cat.feedback_rows("unseen"), None);
+        // Same observation again: within tolerance, no epoch churn.
+        assert!(!cat.absorb_actuals(&[("q7:root".into(), 4.0)]));
+        assert_eq!(cat.stats_epoch(), 1);
+        // A materially different actual re-opens the entry.
+        assert!(cat.absorb_actuals(&[("q7:root".into(), 400.0)]));
+        assert_eq!(cat.stats_epoch(), 2);
+        assert_eq!(cat.feedback_rows("q7:root"), Some(400.0));
+        assert_eq!(cat.version(), v, "feedback never invalidates plan correctness");
     }
 
     /// Schema registration and statistics refreshes both advance the catalog

@@ -1,0 +1,128 @@
+//! Property tests for the optimizer statistics (PR 8): equi-depth histogram
+//! invariants and distinct-sketch accuracy over random distributions. These
+//! are the contracts the cost model leans on — a histogram whose buckets
+//! drift from the ideal depth or whose full range estimates less than the
+//! whole table silently mis-prices every plan.
+
+use legobase_storage::stats::{value_rank, Histogram};
+use legobase_storage::{Date, DistinctSketch, Value};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Checks every structural histogram invariant for one rank multiset.
+fn check_invariants(ranks: Vec<f64>, buckets: usize) {
+    let n = ranks.len();
+    let lo = ranks.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = ranks.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let h = Histogram::build(ranks, buckets).expect("non-empty input builds");
+    // Bounds are sorted and pinned to the column extremes.
+    prop_assert!(h.bounds.windows(2).all(|w| w[0] <= w[1]), "bounds unsorted");
+    prop_assert_eq!(h.bounds[0], lo);
+    prop_assert_eq!(*h.bounds.last().unwrap(), hi);
+    // Every bucket holds the ideal depth within one row.
+    let b = h.counts.len();
+    prop_assert!(b <= buckets && b >= 1);
+    let depth = n as f64 / b as f64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        prop_assert!((c as f64 - depth).abs() < 1.0, "bucket {i} holds {c}, depth {depth}");
+    }
+    prop_assert_eq!(h.total(), n as u64);
+    // The full range — closed, open, and clamped beyond the extremes —
+    // estimates exactly the whole table.
+    prop_assert_eq!(h.range_selectivity(None, None), 1.0);
+    prop_assert_eq!(h.range_selectivity(Some(lo), Some(hi)), 1.0);
+    prop_assert_eq!(h.range_selectivity(Some(lo - 1.0), Some(hi + 1.0)), 1.0);
+    // Any sub-range estimate is a valid fraction.
+    let mid = (lo + hi) / 2.0;
+    let s = h.range_selectivity(Some(lo), Some(mid));
+    prop_assert!((0.0..=1.0).contains(&s));
+}
+
+/// Relative-error check for one sketched value sequence.
+fn check_sketch(values: &[Value]) {
+    let mut sketch = DistinctSketch::new();
+    let mut exact: HashSet<String> = HashSet::new();
+    for v in values {
+        sketch.insert(v);
+        exact.insert(format!("{v:?}"));
+    }
+    let (est, truth) = (sketch.estimate(), exact.len() as f64);
+    prop_assert!(
+        (est - truth).abs() / truth <= 0.15,
+        "sketch estimated {est} for true NDV {truth}"
+    );
+}
+
+proptest! {
+    /// Histogram invariants over random integer multisets (arbitrary
+    /// duplication and skew) and random bucket budgets.
+    #[test]
+    fn histogram_invariants_over_ints(
+        values in proptest::collection::vec(-10_000i64..10_000, 1..400),
+        buckets in 1usize..80,
+    ) {
+        let ranks = values.iter().map(|&v| v as f64).collect();
+        check_invariants(ranks, buckets);
+    }
+
+    /// The same invariants over date columns (ranks are day numbers).
+    #[test]
+    fn histogram_invariants_over_dates(
+        days in proptest::collection::vec(8000i32..11000, 1..400),
+        buckets in 1usize..80,
+    ) {
+        let ranks: Vec<f64> = days
+            .iter()
+            .map(|&d| value_rank(&Value::Date(Date(d))).expect("dates are orderable"))
+            .collect();
+        check_invariants(ranks, buckets);
+    }
+
+    /// Heavy-hitter skew: a dominant value must surface as point mass close
+    /// to its true frequency, never as an interpolated smear.
+    #[test]
+    fn histogram_point_mass_tracks_skew(
+        hitter in -100i64..100,
+        dominance in 60usize..300,
+        noise in proptest::collection::vec(-100i64..100, 1..40),
+    ) {
+        let mut ranks: Vec<f64> = vec![hitter as f64; dominance];
+        ranks.extend(noise.iter().map(|&v| v as f64));
+        let n = ranks.len() as f64;
+        let truth = ranks.iter().filter(|&&r| r == hitter as f64).count() as f64 / n;
+        let h = Histogram::build(ranks, 32).unwrap();
+        let mass = h.point_mass(hitter as f64).expect("dominant value resolves");
+        // Positional bucketing loses at most one bucket of rows (a depth of
+        // n/32, plus rounding) at each end of the hitter's run.
+        let slack = 2.0 / 32.0 + 2.0 / n;
+        prop_assert!((mass - truth).abs() <= slack, "mass {mass}, truth {truth}");
+    }
+
+    /// Sketch NDV stays within 15% relative error for random i64 columns.
+    #[test]
+    fn sketch_accuracy_over_ints(
+        values in proptest::collection::vec(-3000i64..3000, 1..2000),
+    ) {
+        let vals: Vec<Value> = values.into_iter().map(Value::Int).collect();
+        check_sketch(&vals);
+    }
+
+    /// … and for date columns.
+    #[test]
+    fn sketch_accuracy_over_dates(
+        days in proptest::collection::vec(6000i32..12000, 1..2000),
+    ) {
+        let vals: Vec<Value> = days.into_iter().map(|d| Value::Date(Date(d))).collect();
+        check_sketch(&vals);
+    }
+
+    /// … and for dictionary-style string columns (small alphabets produce
+    /// exactly the collision-heavy distributions dictionaries see).
+    #[test]
+    fn sketch_accuracy_over_dict_strings(
+        words in proptest::collection::vec("[a-e]{1,4}", 1..1500),
+    ) {
+        let vals: Vec<Value> = words.into_iter().map(Value::Str).collect();
+        check_sketch(&vals);
+    }
+}

@@ -12,6 +12,8 @@
 //! magic "LBCA" | version u32 | scale_factor f64 | table_count u32
 //! per table:   name (u16 len + bytes) | row_count u64 | col_count u32
 //! per column:  tag u8 | payload_len u64 | payload | fnv1a(payload) u64
+//! v2 only, after the last table, one stats block per table (TABLES order):
+//!              payload_len u64 | payload | fnv1a(payload) u64
 //! ```
 //!
 //! Integer and date columns store the same frame-of-reference bit-packed
@@ -20,18 +22,31 @@
 //! reader rejects tampered headers and payloads with typed
 //! [`ArchiveError`]s (checksums are verified *before* any payload is
 //! parsed).
+//!
+//! Version 2 appends the optimizer statistics — row counts, per-column
+//! distinct counts and bounds, equi-depth histograms, and distinct sketches
+//! — so a loaded archive serves the same estimates as a fresh `dbgen` run
+//! without a collection pass over the data. Version 1 archives (no stats
+//! block) still load; their statistics are re-collected. A corrupt stats
+//! block is a typed [`ArchiveError::Corrupt`], never a panic, and never a
+//! silent fall-back to stale estimates.
 
 use crate::gen::TpchData;
 use crate::schema::{catalog, TABLES};
-use legobase_storage::{Date, PackedInts, RowTable, TableStatistics, Type, Value};
+use legobase_storage::{
+    ColumnStats, Date, DistinctSketch, Histogram, PackedInts, RowTable, TableStatistics, Type,
+    Value,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 
 /// File magic: "LegoBase Column Archive".
 pub const MAGIC: [u8; 4] = *b"LBCA";
-/// Current format version.
-pub const VERSION: u32 = 1;
+/// Current format version (v2 = v1 + persisted optimizer statistics).
+pub const VERSION: u32 = 2;
+/// Oldest version the reader still accepts.
+pub const MIN_VERSION: u32 = 1;
 
 /// Everything that can go wrong writing or reading an archive.
 #[derive(Debug)]
@@ -100,11 +115,23 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 // Writing
 // ---------------------------------------------------------------------------
 
-/// Serializes a database to the archive byte format.
+/// Serializes a database to the current archive byte format (v2: columns
+/// plus the optimizer-statistics block).
 pub fn to_bytes(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
+    serialize(data, VERSION)
+}
+
+/// Serializes to the legacy v1 format (no statistics block) — kept so
+/// compatibility tests can mint genuine old archives, and as an escape
+/// hatch for tooling that still speaks v1.
+pub fn to_bytes_v1(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
+    serialize(data, 1)
+}
+
+fn serialize(data: &TpchData, version: u32) -> Result<Vec<u8>, ArchiveError> {
     let mut out = Vec::new();
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&data.scale_factor.to_le_bytes());
     out.extend_from_slice(&(TABLES.len() as u32).to_le_bytes());
     // TABLES order keeps the bytes deterministic for a given database.
@@ -123,7 +150,91 @@ pub fn to_bytes(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
             out.extend_from_slice(&sum.to_le_bytes());
         }
     }
+    if version >= 2 {
+        for &name in &TABLES {
+            let stats = match data.catalog.stats(name) {
+                Some(s) => s.clone(),
+                // The archive always carries statistics; collect on the
+                // spot if this database was assembled without them.
+                None => TableStatistics::collect(data.table(name)),
+            };
+            let payload = encode_stats(&stats);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            let sum = fnv1a(&payload);
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&sum.to_le_bytes());
+        }
+    }
     Ok(out)
+}
+
+// Tags of the stats block's serialized `Value` bounds.
+const VAL_NONE: u8 = 0;
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_STR: u8 = 3;
+const VAL_DATE: u8 = 4;
+const VAL_BOOL: u8 = 5;
+
+fn encode_value(out: &mut Vec<u8>, v: Option<&Value>) {
+    match v {
+        None | Some(Value::Null) => out.push(VAL_NONE),
+        Some(Value::Int(i)) => {
+            out.push(VAL_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Some(Value::Float(f)) => {
+            out.push(VAL_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Some(Value::Str(s)) => {
+            out.push(VAL_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Some(Value::Date(d)) => {
+            out.push(VAL_DATE);
+            out.extend_from_slice(&d.0.to_le_bytes());
+        }
+        Some(Value::Bool(b)) => {
+            out.push(VAL_BOOL);
+            out.push(*b as u8);
+        }
+    }
+}
+
+/// Serializes one table's [`TableStatistics`] into a stats-block payload.
+fn encode_stats(stats: &TableStatistics) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(stats.rows as u64).to_le_bytes());
+    out.extend_from_slice(&(stats.columns.len() as u32).to_le_bytes());
+    for col in &stats.columns {
+        out.extend_from_slice(&(col.distinct as u64).to_le_bytes());
+        encode_value(&mut out, col.min.as_ref());
+        encode_value(&mut out, col.max.as_ref());
+        match &col.histogram {
+            Some(h) => {
+                out.push(1);
+                out.extend_from_slice(&(h.bounds.len() as u32).to_le_bytes());
+                for b in &h.bounds {
+                    out.extend_from_slice(&b.to_bits().to_le_bytes());
+                }
+                for c in &h.counts {
+                    out.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+            None => out.push(0),
+        }
+        match &col.sketch {
+            Some(s) => {
+                out.push(1);
+                out.extend_from_slice(&(s.registers().len() as u32).to_le_bytes());
+                out.extend_from_slice(s.registers());
+            }
+            None => out.push(0),
+        }
+    }
+    out
 }
 
 /// Writes the archive file for a database.
@@ -276,8 +387,9 @@ impl<'a> Cursor<'a> {
 }
 
 /// Reads an archive file back into a database with a single `fs::read`.
-/// Statistics are re-collected on load, so the catalog matches a freshly
-/// generated database bit for bit.
+/// A v2 archive serves the statistics it carries (histograms and sketches
+/// included); a v1 archive re-collects them on load — either way the
+/// catalog matches a freshly generated database bit for bit.
 pub fn read(path: &Path) -> Result<TpchData, ArchiveError> {
     from_bytes(&std::fs::read(path)?)
 }
@@ -289,7 +401,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
         return Err(ArchiveError::BadMagic);
     }
     let version = cur.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ArchiveError::BadVersion(version));
     }
     let scale_factor = cur.f64()?;
@@ -338,11 +450,34 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
         }
         tables.insert(name, table);
     }
+    if version >= 2 {
+        // v2: the statistics travelled with the data — decode, validate,
+        // and serve them without a collection pass.
+        for &name in &TABLES {
+            let payload_len = cur.u64()? as usize;
+            let payload = cur.take(payload_len)?;
+            let sum = cur.u64()?;
+            if fnv1a(payload) != sum {
+                return Err(ArchiveError::Corrupt(format!(
+                    "checksum mismatch in `{name}` statistics block"
+                )));
+            }
+            let table = tables.get(name).ok_or_else(|| {
+                ArchiveError::SchemaMismatch(format!("table `{name}` missing from archive"))
+            })?;
+            let stats = decode_stats(name, payload, table.len(), table.schema.len())?;
+            cat.set_stats(name, stats);
+        }
+    }
     if cur.pos != bytes.len() {
         return Err(ArchiveError::Corrupt("trailing bytes after last table".into()));
     }
-    for (name, table) in &tables {
-        cat.set_stats(name, TableStatistics::collect(table));
+    if version < 2 {
+        // v1 archives carry no statistics: re-collect, so the catalog
+        // matches a freshly generated database bit for bit.
+        for (name, table) in &tables {
+            cat.set_stats(name, TableStatistics::collect(table));
+        }
     }
     Ok(TpchData::from_parts(cat, scale_factor, tables))
 }
@@ -411,6 +546,98 @@ fn decode_column(
     Ok(out)
 }
 
+fn decode_value(
+    cur: &mut Cursor<'_>,
+    corrupt: &impl Fn(&str) -> ArchiveError,
+) -> Result<Option<Value>, ArchiveError> {
+    Ok(match cur.u8()? {
+        VAL_NONE => None,
+        VAL_INT => Some(Value::Int(cur.i64()?)),
+        VAL_FLOAT => Some(Value::Float(cur.f64()?)),
+        VAL_STR => {
+            let len = cur.u32()? as usize;
+            let s = std::str::from_utf8(cur.take(len)?)
+                .map_err(|_| corrupt("non-UTF-8 string bound"))?;
+            Some(Value::Str(s.to_string()))
+        }
+        VAL_DATE => Some(Value::Date(Date(cur.u32()? as i32))),
+        VAL_BOOL => Some(Value::Bool(cur.u8()? != 0)),
+        t => return Err(corrupt(&format!("unknown value tag {t}"))),
+    })
+}
+
+/// Decodes and validates one table's statistics-block payload. Every
+/// structural error — a row count disagreeing with the column data, a
+/// histogram whose bounds and counts don't line up, unsorted or non-finite
+/// bounds, a sketch with the wrong register count — is a typed
+/// [`ArchiveError::Corrupt`].
+fn decode_stats(
+    name: &str,
+    payload: &[u8],
+    rows: usize,
+    cols: usize,
+) -> Result<TableStatistics, ArchiveError> {
+    let corrupt = |m: &str| ArchiveError::Corrupt(format!("`{name}` statistics: {m}"));
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    let stat_rows = cur.u64()? as usize;
+    if stat_rows != rows {
+        return Err(corrupt(&format!("claims {stat_rows} rows, table holds {rows}")));
+    }
+    let col_count = cur.u32()? as usize;
+    if col_count != cols {
+        return Err(corrupt(&format!("claims {col_count} columns, schema has {cols}")));
+    }
+    let mut columns = Vec::with_capacity(col_count);
+    for c in 0..col_count {
+        let col_corrupt = |m: &str| corrupt(&format!("column {c}: {m}"));
+        let distinct = cur.u64()? as usize;
+        let min = decode_value(&mut cur, &col_corrupt)?;
+        let max = decode_value(&mut cur, &col_corrupt)?;
+        let histogram = match cur.u8()? {
+            0 => None,
+            1 => {
+                let n_bounds = cur.u32()? as usize;
+                if n_bounds < 2 {
+                    return Err(col_corrupt("histogram needs at least two bounds"));
+                }
+                let mut bounds = Vec::with_capacity(n_bounds);
+                for _ in 0..n_bounds {
+                    bounds.push(cur.f64()?);
+                }
+                if bounds.iter().any(|b| !b.is_finite()) {
+                    return Err(col_corrupt("non-finite histogram bound"));
+                }
+                if bounds.windows(2).any(|w| w[0] > w[1]) {
+                    return Err(col_corrupt("histogram bounds unsorted"));
+                }
+                let mut counts = Vec::with_capacity(n_bounds - 1);
+                for _ in 0..n_bounds - 1 {
+                    counts.push(cur.u64()?);
+                }
+                Some(Histogram { bounds, counts })
+            }
+            t => return Err(col_corrupt(&format!("bad histogram marker {t}"))),
+        };
+        let sketch = match cur.u8()? {
+            0 => None,
+            1 => {
+                let len = cur.u32()? as usize;
+                let registers = cur.take(len)?.to_vec();
+                Some(
+                    DistinctSketch::from_registers(registers)
+                        .ok_or_else(|| col_corrupt("sketch register count mismatch"))?,
+                )
+            }
+            t => return Err(col_corrupt(&format!("bad sketch marker {t}"))),
+        };
+        columns.push(ColumnStats { distinct, min, max, histogram, sketch });
+    }
+    if cur.pos != payload.len() {
+        return Err(corrupt("trailing bytes after last column"));
+    }
+    Ok(TableStatistics { rows, columns })
+}
+
 /// Reads a frame-of-reference payload, re-validating the header through
 /// [`PackedInts::from_parts`] (which rejects tampered widths and word
 /// counts) before decoding.
@@ -455,13 +682,14 @@ mod tests {
             assert_eq!(a.schema, b.schema, "{name} schema");
             assert_eq!(a.rows, b.rows, "{name} rows");
         }
-        // Statistics re-collect to the same values the generator attached.
+        // The persisted statistics decode to exactly what the generator
+        // attached — histograms and sketches included.
         for &name in &TABLES {
             let (a, b) = (
                 data.catalog.stats(name).expect("generated stats"),
                 back.catalog.stats(name).expect("loaded stats"),
             );
-            assert_eq!(a.rows, b.rows, "{name} stats rows");
+            assert_eq!(a, b, "{name} statistics");
         }
     }
 

@@ -1,0 +1,171 @@
+//! The estimation-error regression harness (PR 8).
+//!
+//! The histogram-backed cost model is only as good as its cardinality
+//! estimates, so this suite pins them down three ways:
+//!
+//! 1. **Cold q-error bounds** — for every TPC-H query, the q-error
+//!    `max(est/actual, actual/est)` of the final-stage cardinality must
+//!    stay within a committed per-query bound. The bounds are measured
+//!    values with roughly 2× headroom: tight enough that a regression in
+//!    the histograms or selectivity arithmetic trips them, loose enough
+//!    that data-dependent jitter does not.
+//! 2. **Warm convergence** — after one feedback round through a
+//!    `QueryService` session, every query's q-error drops to ≤ 2 (most to
+//!    exactly 1): the adaptive loop absorbs observed actuals for any
+//!    estimate that was more than 2× off.
+//! 3. **Q7 join order** — the naive-lowered Q7 must leave its catastrophic
+//!    syntactic order and price at (or below) the hand plan's estimated
+//!    cost, with the selective nation pair driving the join — the shape
+//!    the hand plan reaches by construction.
+//!
+//! CI's `LEGOBASE_OPTIMIZE=0` leg has no estimates to check; the suite
+//! no-ops there. The `LEGOBASE_FEEDBACK=0` ablation leg is asserted in
+//! `tests/optimizer_equivalence.rs`.
+
+use legobase::engine::optimizer;
+use legobase::sql::tpch_sql;
+use legobase::{Config, LegoBase, ServeOptions};
+use std::sync::OnceLock;
+
+const SCALE: f64 = 0.002;
+
+fn system() -> &'static LegoBase {
+    static SYSTEM: OnceLock<LegoBase> = OnceLock::new();
+    SYSTEM.get_or_init(|| LegoBase::generate(SCALE))
+}
+
+fn optimizer_forced_off() -> bool {
+    std::env::var("LEGOBASE_OPTIMIZE").is_ok_and(|v| matches!(v.trim(), "0" | "false" | "off"))
+}
+
+fn feedback_forced_off() -> bool {
+    std::env::var("LEGOBASE_FEEDBACK").is_ok_and(|v| matches!(v.trim(), "0" | "false" | "off"))
+}
+
+fn q_error(est: f64, actual: f64) -> f64 {
+    let (est, actual) = (est.max(1.0), actual.max(1.0));
+    (est / actual).max(actual / est)
+}
+
+/// Committed cold q-error bound per query at SF 0.002 (measured value in
+/// the comment; bound ≈ 2× measured, minimum 2). Tightening one of these
+/// is progress; loosening one is a regression that needs justification.
+const COLD_BOUNDS: [f64; 22] = [
+    3.0,   // Q1:  1.50 — four line-status groups estimated from NDVs
+    2.0,   // Q2:  1.00
+    2.0,   // Q3:  1.00
+    2.0,   // Q4:  1.00
+    8.0,   // Q5:  4.17 — region→nation fan-out assumed uniform
+    2.0,   // Q6:  1.00
+    300.0, // Q7:  192.9 — nation-pair OR priced before factoring; feedback fixes warm
+    3.0,   // Q8:  1.50
+    4.0,   // Q9:  1.86
+    2.0,   // Q10: 1.00
+    4.0,   // Q11: 1.78
+    2.0,   // Q12: 1.00
+    25.0,  // Q13: 13.6 — comment anti-join correlation invisible to stats
+    2.0,   // Q14: 1.00
+    2.0,   // Q15: 1.00
+    2.5,   // Q16: 1.07
+    2.0,   // Q17: 1.00
+    150.0, // Q18: 100 — LIMIT over a misestimated HAVING; feedback fixes warm
+    2.0,   // Q19: 1.00
+    20.0,  // Q20: 9.33 — nested semi-join selectivity stacked independently
+    25.0,  // Q21: 12.8 — Poisson anti-join survivor fraction vs correlated keys
+    12.0,  // Q22: 6.00 — anti-join over a substring domain
+];
+
+/// Every query's cold estimate stays inside its committed q-error bound.
+#[test]
+fn cold_q_errors_within_committed_bounds() {
+    if optimizer_forced_off() {
+        return;
+    }
+    let sys = system();
+    let mut table = String::new();
+    for (i, &bound) in COLD_BOUNDS.iter().enumerate() {
+        let q = i + 1;
+        let out = sys.run_sql(tpch_sql(q), Config::OptC).unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        let rep = out.opt.expect("optimizer report attached");
+        let qe = q_error(rep.est_rows(), out.result.len() as f64);
+        table.push_str(&format!(
+            "Q{q:02}: est {:.1}, actual {}, q-error {qe:.2} (bound {bound})\n",
+            rep.est_rows(),
+            out.result.len()
+        ));
+        assert!(
+            qe <= bound,
+            "Q{q}: q-error {qe:.2} exceeds the committed bound {bound}\n{}\n{table}",
+            rep.summary()
+        );
+    }
+}
+
+/// One feedback round later, every estimate lands within 2× of the truth —
+/// the loop absorbs exactly the estimates worth correcting.
+#[test]
+fn warm_q_errors_converge_after_feedback() {
+    if optimizer_forced_off() || feedback_forced_off() {
+        return;
+    }
+    let service = LegoBase::generate(SCALE).serve_with(ServeOptions::default().with_workers(1));
+    let session = service.session();
+    for q in 1..=22 {
+        let sql = tpch_sql(q);
+        session.run_sql(sql, Config::OptC).unwrap_or_else(|e| panic!("Q{q} cold: {e}"));
+        let warm = session.run_sql(sql, Config::OptC).unwrap_or_else(|e| panic!("Q{q} warm: {e}"));
+        let rep = warm.opt.expect("optimizer report attached");
+        let qe = q_error(rep.est_rows(), warm.result.len() as f64);
+        assert!(qe <= 2.0, "Q{q}: warm q-error {qe:.2} after a feedback round\n{}", rep.summary());
+    }
+    service.shutdown();
+}
+
+/// The naive-lowered Q7 abandons its syntactic order for a plan that the
+/// cost model prices at (or below) the hand-built plan, driven by the
+/// selective nation pair — cold, from the histograms alone; the feedback
+/// round then corrects its cardinality estimate without disturbing the
+/// join order.
+#[test]
+fn q7_reaches_hand_plan_join_order() {
+    if optimizer_forced_off() {
+        return;
+    }
+    let sys = system();
+    let sql = tpch_sql(7);
+    let naive = legobase::sql::plan_named(sql, "Q7", &sys.data.catalog)
+        .unwrap_or_else(|e| panic!("Q7 failed to lower:\n{}", e.render(sql)));
+    let (optimized, report) = optimizer::optimize(&naive, &sys.data.catalog);
+    let root = report.root();
+    assert!(root.reordered(), "Q7 must leave the syntactic order\n{}", report.summary());
+    assert_eq!(root.chosen_order[0], "nation", "{}", report.summary());
+    let opt_cost = optimizer::estimated_cost(&optimized, &sys.data.catalog);
+    let hand_cost = optimizer::estimated_cost(&sys.plan(7), &sys.data.catalog);
+    assert!(
+        opt_cost <= hand_cost,
+        "Q7: optimized cost {opt_cost:.0} must reach the hand plan's {hand_cost:.0}\n{}",
+        report.summary()
+    );
+
+    if feedback_forced_off() {
+        return;
+    }
+    let service = LegoBase::generate(SCALE).serve_with(ServeOptions::default().with_workers(1));
+    let session = service.session();
+    let cold = session.run_sql(sql, Config::OptC).expect("Q7 cold");
+    let warm = session.run_sql(sql, Config::OptC).expect("Q7 warm");
+    let (crep, wrep) = (cold.opt.expect("cold report"), warm.opt.expect("warm report"));
+    assert_eq!(
+        crep.root().chosen_order,
+        wrep.root().chosen_order,
+        "feedback must not disturb the chosen order"
+    );
+    assert!(wrep.root().feedback_applied, "{}", wrep.summary());
+    assert!(
+        q_error(wrep.est_rows(), warm.result.len() as f64) <= 2.0,
+        "Q7 warm estimate uncorrected: {}",
+        wrep.summary()
+    );
+    assert!(cold.result.rows() == warm.result.rows(), "feedback changed Q7's result");
+    service.shutdown();
+}

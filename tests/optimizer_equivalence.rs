@@ -184,6 +184,58 @@ fn facade_reports_and_explains() {
     assert!(err.message.contains("nowhere"), "{err}");
 }
 
+/// The adaptive-estimation loop: a mis-estimated query run twice through
+/// one `QueryService` session self-corrects — the second `OptReport`'s
+/// estimate strictly improves (to the observed cardinality) while the
+/// result stays bit-identical. Under CI's `LEGOBASE_FEEDBACK=0` leg the
+/// same test asserts the ablation: no absorption, estimates unchanged,
+/// results identical either way — feedback only ever touches estimates.
+#[test]
+fn feedback_loop_sharpens_repeated_queries() {
+    let optimize_off =
+        std::env::var("LEGOBASE_OPTIMIZE").is_ok_and(|v| matches!(v.trim(), "0" | "false" | "off"));
+    if optimize_off {
+        return; // no OptReport to correct
+    }
+    let feedback_off =
+        std::env::var("LEGOBASE_FEEDBACK").is_ok_and(|v| matches!(v.trim(), "0" | "false" | "off"));
+    let service =
+        LegoBase::generate(SCALE).serve_with(legobase::ServeOptions::default().with_workers(1));
+    let session = service.session();
+    // Q18's one-group result is badly over-estimated cold (the committed
+    // bound in tests/estimation_error.rs documents by how much).
+    let sql = legobase::sql::tpch_sql(18);
+    let first = session.run_sql(sql, Config::OptC).expect("Q18");
+    let second = session.run_sql(sql, Config::OptC).expect("Q18 repeated");
+    assert!(first.result.rows() == second.result.rows(), "feedback must never change results");
+    let (a, b) = (first.opt.expect("first report"), second.opt.expect("second report"));
+    let actual = (first.result.len() as f64).max(1.0);
+    let q_error = |est: f64| {
+        let est = est.max(1.0);
+        (est / actual).max(actual / est)
+    };
+    assert!(q_error(a.est_rows()) > 2.0, "Q18 must start mis-estimated: {}", a.summary());
+    if feedback_off {
+        assert!(!b.root().feedback_applied, "ablated loop must not correct:\n{}", b.summary());
+        assert_eq!(a.est_rows(), b.est_rows(), "ablated loop must leave estimates alone");
+    } else {
+        assert!(b.root().feedback_applied, "second run must be corrected:\n{}", b.summary());
+        assert!(
+            q_error(b.est_rows()) < q_error(a.est_rows()),
+            "estimates must strictly improve: {} -> {} (actual {actual})",
+            a.est_rows(),
+            b.est_rows(),
+        );
+        assert_eq!(
+            b.est_rows(),
+            first.result.len() as f64,
+            "the loop converges on the observed cardinality"
+        );
+        assert!(b.summary().contains("feedback-corrected"), "{}", b.summary());
+    }
+    service.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // Property tests: random plans are result-invariant under each rewrite
 // rule (compact sibling of tests/random_plans.rs).
