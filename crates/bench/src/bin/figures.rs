@@ -65,6 +65,8 @@ fn usage() -> String {
     format!(
         "usage: figures [{}]\n\
          figures explain <q1..q22>  (EXPLAIN one TPC-H query: optimized plan + report)\n\
+         figures serve [--tcp]  (service throughput; --tcp drives the workload through \
+         loopback legobase-wire-v1 connections instead of in-process sessions)\n\
          env: LEGOBASE_SF (scale factor, default 0.02), LEGOBASE_RUNS (timed \
          repetitions, default 3), LEGOBASE_THREADS_SF (threads figure, default 0.1),\n\
          LEGOBASE_BENCH_OUT (baseline output, default BENCH_PR4.json), \
@@ -123,6 +125,18 @@ fn main() {
     } else {
         None
     };
+    let serve_tcp = if cmd == "serve" {
+        match std::env::args().nth(2).as_deref() {
+            None => false,
+            Some("--tcp") => true,
+            Some(other) => {
+                eprintln!("unknown serve option `{other}` (expected --tcp)\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+    } else {
+        false
+    };
     let sf = scale_factor();
     eprintln!("# scale factor {sf}, {} timed runs per cell", legobase_bench::runs());
     let system = system_at(sf);
@@ -141,7 +155,7 @@ fn main() {
         "esterr" => esterr(&system),
         "explain" => explain(&system, explain_query.expect("validated above")),
         "threads" => threads(),
-        "serve" => serve_figure(),
+        "serve" => serve_figure(serve_tcp),
         "baseline" => baseline(&system),
         "all" => {
             fig16(&system);
@@ -157,7 +171,7 @@ fn main() {
             optimizer_figure(&system);
             esterr(&system);
             threads();
-            serve_figure();
+            serve_figure(false);
         }
         _ => unreachable!("parse_subcommand returned a validated name"),
     }
@@ -655,6 +669,20 @@ fn baseline(system: &LegoBase) {
         rows.push(BenchRow { query: format!("serve-c{clients}"), min_ms: best });
         serve_system = service.into_system();
     }
+    // TCP front-door row (`serve-tcp-c8`): the serve-c8 batch again, but
+    // through 8 loopback `legobase-wire-v1` connections — the same queries
+    // plus framing, checksumming, and socket copies. Gated like serve-c8.
+    let server = serve_system
+        .serve_tcp("127.0.0.1:0", legobase::ServeOptions::default())
+        .expect("serve-tcp-c8 row: cannot bind a loopback port");
+    let addr = server.local_addr();
+    serve_batch_tcp(addr, 8);
+    let mut best = f64::INFINITY;
+    for _ in 0..legobase_bench::runs() {
+        best = best.min(serve_batch_tcp(addr, 8));
+    }
+    rows.push(BenchRow { query: "serve-tcp-c8".into(), min_ms: best });
+    server.shutdown();
     // SF 0.1 headline rows (`Q1-sql-sf0.1`, `Q6-sql-sf0.1`): the optimized
     // SQL scan queries at the next scale step, so the trajectory records
     // more than the tiny default SF. The archive cache (system_at) keeps the
@@ -734,8 +762,11 @@ fn serve_batch(service: &legobase::QueryService, clients: usize) -> f64 {
 /// concurrency 1/8/64/512. Each level fires `LEGOBASE_SERVE_QUERIES`
 /// queries (default 440 — twenty rounds of the workload; raised to the
 /// client count when lower), round-robin over the texts with staggered
-/// starts so distinct queries overlap in flight.
-fn serve_figure() {
+/// starts so distinct queries overlap in flight. With `--tcp` the same
+/// workload goes through loopback `legobase-wire-v1` connections instead
+/// of in-process sessions, measuring the front door's framing + socket
+/// overhead (levels 1/8/64 — a thread and file descriptor per connection).
+fn serve_figure(tcp: bool) {
     // Like `threads`: this figure's axis is client concurrency, so the
     // LEGOBASE_PARALLELISM override (which rewrites default-serial requests)
     // must not silently add intra-query parallelism on top.
@@ -746,6 +777,9 @@ fn serve_figure() {
     let sf = scale_factor();
     let per_level: usize =
         std::env::var("LEGOBASE_SERVE_QUERIES").ok().and_then(|v| v.parse().ok()).unwrap_or(440);
+    if tcp {
+        return serve_tcp_figure(sf, per_level);
+    }
     let mut system = LegoBase::generate(sf);
     let workers = legobase::ServeOptions::default().workers;
     println!(
@@ -791,6 +825,94 @@ fn serve_figure() {
         );
         system = service.into_system();
     }
+}
+
+/// The `serve --tcp` variant: one TCP server on an ephemeral loopback port,
+/// each client a `legobase-wire-v1` connection (its own tenant in the fair
+/// scheduler). One server serves every level — `TcpServer` owns its system,
+/// so unlike the in-process figure the service is not rebuilt per level and
+/// cache-hit rates are reported per level from counter deltas.
+fn serve_tcp_figure(sf: f64, per_level: usize) {
+    use legobase::client::Client;
+    use legobase::QueryRequest;
+    let workers = legobase::ServeOptions::default().workers;
+    let server = LegoBase::generate(sf)
+        .serve_tcp("127.0.0.1:0", legobase::ServeOptions::default())
+        .expect("serve --tcp: cannot bind a loopback port");
+    let addr = server.local_addr();
+    println!(
+        "\n== TCP front door (legobase-wire-v1 on {addr}): {workers}-worker shared morsel \
+         pool, TPC-H SQL workload under Opt/C (SF {sf}) =="
+    );
+    println!(
+        "{:>8} {:>9} {:>11} {:>12} {:>10}",
+        "clients", "queries", "wall (s)", "queries/s", "cache hit"
+    );
+    let (mut prev_hits, mut prev_lookups) = (0u64, 0u64);
+    for clients in [1usize, 8, 64] {
+        let total = per_level.max(clients);
+        let start = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..clients {
+                let n = total / clients + usize::from(c < total % clients);
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("serve --tcp: connect");
+                    for k in 0..n {
+                        let q = 1 + (c * 7 + k) % 22;
+                        let request =
+                            QueryRequest::sql(legobase::sql::tpch_sql(q)).with_config(Config::OptC);
+                        if let Err(e) = client.run(&request) {
+                            eprintln!("serve --tcp: Q{q} at {clients} clients failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let stats = server.stats();
+        let lookups = stats.prepared_cache_hits + stats.prepared_cache_misses;
+        let (level_hits, level_lookups) =
+            (stats.prepared_cache_hits - prev_hits, lookups - prev_lookups);
+        (prev_hits, prev_lookups) = (stats.prepared_cache_hits, lookups);
+        let hit =
+            if level_lookups == 0 { 0.0 } else { 100.0 * level_hits as f64 / level_lookups as f64 };
+        println!(
+            "{clients:>8} {total:>9} {wall:>11.2} {:>12.1} {:>9.1}%",
+            total as f64 / wall.max(1e-9),
+            hit
+        );
+    }
+    server.shutdown();
+}
+
+/// The `serve_batch` twin over TCP: the same fixed 44-query batch, but each
+/// of the `clients` threads drives a loopback `legobase-wire-v1` connection
+/// (connect + handshake included in the wall clock, mirroring how
+/// `serve_batch` opens a fresh session per thread).
+fn serve_batch_tcp(addr: std::net::SocketAddr, clients: usize) -> f64 {
+    use legobase::client::Client;
+    use legobase::QueryRequest;
+    const BATCH: usize = 44;
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let n = BATCH / clients + usize::from(c < BATCH % clients);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("serve-tcp batch: connect");
+                for k in 0..n {
+                    let q = 1 + (c + k * clients) % 22;
+                    let request =
+                        QueryRequest::sql(legobase::sql::tpch_sql(q)).with_config(Config::OptC);
+                    if let Err(e) = client.run(&request) {
+                        eprintln!("serve-tcp batch Q{q}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            });
+        }
+    });
+    ms(start.elapsed())
 }
 
 /// Thread scaling of the morsel-driven specialized engine (not a paper
@@ -974,6 +1096,18 @@ mod tests {
         assert_eq!(parse_subcommand("esterr"), Ok("esterr"));
         let usage = usage();
         for needle in ["esterr", "LEGOBASE_FEEDBACK"] {
+            assert!(usage.contains(needle), "usage must mention `{needle}`: {usage}");
+        }
+    }
+
+    /// The PR-9 addition is pinned: `serve` stays a subcommand and usage
+    /// documents its `--tcp` front-door mode (main validates the option and
+    /// exits 2 on anything else).
+    #[test]
+    fn serve_tcp_mode_is_documented() {
+        assert_eq!(parse_subcommand("serve"), Ok("serve"));
+        let usage = usage();
+        for needle in ["serve [--tcp]", "legobase-wire-v1"] {
             assert!(usage.contains(needle), "usage must mention `{needle}`: {usage}");
         }
     }

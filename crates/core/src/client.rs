@@ -1,0 +1,141 @@
+//! Blocking `legobase-wire-v1` client (DESIGN.md §3f).
+//!
+//! [`Client`] is the reference consumer of the wire protocol: the
+//! loopback-equivalence suite drives all 22 TPC-H queries through it and
+//! compares bytes against the in-process surfaces, and `figures -- serve
+//! --tcp` uses it to measure the TCP front door's throughput. It is
+//! deliberately minimal — `std::net::TcpStream`, one in-flight request per
+//! connection, no pooling — because the protocol, not the client, is the
+//! contract.
+//!
+//! ```no_run
+//! use legobase::client::Client;
+//! use legobase::QueryRequest;
+//!
+//! let mut client = Client::connect("127.0.0.1:4666")?;
+//! let resp = client.run(&QueryRequest::sql("SELECT count(*) AS n FROM lineitem"))?;
+//! println!("{}", resp.result.display(10));
+//! # Ok::<(), legobase::client::ClientError>(())
+//! ```
+
+use crate::request::{QueryError, QueryResponse};
+use crate::wire::{self, FrameKind, WireError};
+use crate::QueryRequest;
+use legobase_engine::ResultTable;
+use legobase_storage::RowTable;
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+/// Why a client call failed: a transport/protocol problem, or the server's
+/// *typed* query error carried back whole over the error frame.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The conversation itself broke (socket, framing, version, checksums).
+    Wire(WireError),
+    /// The server declined or failed the query — the same [`QueryError`]
+    /// an in-process caller would have matched, spans and all.
+    Query(QueryError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Query(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            ClientError::Query(e) => Some(e),
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A blocking connection to a [`TcpServer`](crate::server::TcpServer).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+        stream.set_nodelay(true).ok();
+        wire::client_handshake(&mut stream)?;
+        Ok(Client { stream })
+    }
+
+    /// Runs one request and collects the full response. Plan-kind requests
+    /// must be rendered to SQL first ([`QueryRequest::rendered`]); the
+    /// encoder returns a typed error otherwise.
+    ///
+    /// [`QueryResponse::total_time`] is measured client-side (network
+    /// included); [`QueryResponse::exec_time`] is the server's measurement
+    /// from the response header.
+    pub fn run(&mut self, request: &QueryRequest) -> Result<QueryResponse, ClientError> {
+        let t0 = Instant::now();
+        let payload = wire::encode_request(request)?;
+        wire::write_frame(&mut self.stream, FrameKind::Request, &payload).map_err(WireError::Io)?;
+
+        let header = match wire::read_frame(&mut self.stream)? {
+            (FrameKind::ResponseHeader, p) => wire::decode_header(&p)?,
+            (FrameKind::Error, p) => return Err(ClientError::Query(wire::decode_error(&p)?)),
+            (kind, _) => {
+                return Err(WireError::Corrupt(format!("expected header, got {kind:?}")).into())
+            }
+        };
+        let mut table = RowTable::with_capacity(header.schema.clone(), header.rows as usize);
+        loop {
+            match wire::read_frame(&mut self.stream)? {
+                (FrameKind::ResultBatch, p) => {
+                    for row in wire::decode_batch(&p)? {
+                        table.rows.push(row);
+                    }
+                }
+                (FrameKind::ResponseEnd, _) => break,
+                (FrameKind::Error, p) => return Err(ClientError::Query(wire::decode_error(&p)?)),
+                (kind, _) => {
+                    return Err(
+                        WireError::Corrupt(format!("expected batch or end, got {kind:?}")).into()
+                    )
+                }
+            }
+        }
+        if table.rows.len() as u64 != header.rows {
+            return Err(WireError::Corrupt(format!(
+                "header announced {} rows, stream delivered {}",
+                header.rows,
+                table.rows.len()
+            ))
+            .into());
+        }
+        Ok(QueryResponse {
+            result: ResultTable(table),
+            exec_time: header.exec_time,
+            total_time: t0.elapsed(),
+            plan_cached: header.plan_cached,
+            prepared_cached: header.prepared_cached,
+            opt: None,
+            explanation: header.explanation,
+            plan: None,
+            detail: None,
+        })
+    }
+}

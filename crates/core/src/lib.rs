@@ -33,7 +33,11 @@
 //! life-of-a-query walkthrough; `EXPERIMENTS.md` holds the
 //! paper-vs-measured record.
 
+pub mod client;
+mod request;
+pub mod server;
 mod service;
+pub mod wire;
 
 pub use legobase_engine as engine;
 pub use legobase_queries as queries;
@@ -41,6 +45,7 @@ pub use legobase_sc as sc;
 pub use legobase_sql as sql;
 pub use legobase_storage as storage;
 pub use legobase_tpch as tpch;
+pub use request::{QueryError, QueryKind, QueryRequest, QueryResponse, RunDetail};
 pub use service::{QueryService, ServeOptions, ServeOutcome, ServiceError, ServiceStats, Session};
 
 pub use legobase_engine::{Config, OptReport, ResultTable, Settings, Specialization};
@@ -48,7 +53,7 @@ pub use legobase_sc::CompileResult;
 pub use legobase_tpch::TpchData;
 
 use legobase_engine::settings::EngineKind;
-use legobase_engine::{optimizer, GenericDb, QueryPlan, SpecializedDb};
+use legobase_engine::{GenericDb, QueryPlan, SpecializedDb};
 use std::time::Duration;
 
 /// The outcome of compiling, loading, and executing one query.
@@ -168,42 +173,49 @@ impl LegoBase {
     /// overrides), the naive lowered plan goes through the cost-based
     /// optimizer first and the outcome carries the [`OptReport`] with
     /// actual row counts filled in.
+    ///
+    /// Legacy surface: this is a thin wrapper over [`LegoBase::query`] with
+    /// `QueryRequest::sql(sql).with_settings(*settings)` — new code should
+    /// build a [`QueryRequest`], which adds explain, budgets, and deadlines
+    /// on the same path.
     pub fn run_sql_with_settings(
         &self,
         sql: &str,
         settings: &Settings,
     ) -> Result<RunOutcome, legobase_sql::SqlError> {
-        let plan = legobase_sql::plan(sql, &self.data.catalog)?;
-        let settings = requested_settings(settings);
-        if !settings.optimize {
-            return Ok(self.run_plan(&plan, &settings));
-        }
-        let (optimized, mut report) = optimizer::optimize(&plan, &self.data.catalog);
-        let mut outcome = self.run_plan(&optimized, &settings);
-        report.actual_rows = Some(outcome.result.len());
-        outcome.opt = Some(report);
-        Ok(outcome)
+        self.query(&QueryRequest::sql(sql).with_settings(*settings))
+            .map(QueryResponse::into_run_outcome)
+            .map_err(|e| match e {
+                QueryError::Sql(e) => e,
+                // This wrapper sets no budget and no deadline, so no other
+                // decline can occur on the single-shot path.
+                other => unreachable!("unexpected single-shot error: {other}"),
+            })
     }
 
     /// Parses and optimizes a SQL query, returning — without executing —
     /// the plan that [`LegoBase::run_sql`] would run, its rendering back to
     /// dialect SQL, and the optimizer's [`OptReport`]. The `EXPLAIN` of the
     /// system (`figures -- explain <query>` prints it).
+    ///
+    /// Legacy surface: this is a thin wrapper over [`LegoBase::query`] with
+    /// `QueryRequest::sql(sql).with_config(config).with_explain(true)`.
     pub fn explain_sql(
         &self,
         sql: &str,
         config: Config,
     ) -> Result<SqlExplanation, legobase_sql::SqlError> {
-        let plan = legobase_sql::plan(sql, &self.data.catalog)?;
-        let settings = requested_settings(&config.settings());
-        let (plan, report) = if settings.optimize {
-            let (p, r) = optimizer::optimize(&plan, &self.data.catalog);
-            (p, Some(r))
-        } else {
-            (plan, None)
-        };
-        let sql = legobase_sql::plan_to_sql(&plan, &self.data.catalog);
-        Ok(SqlExplanation { plan, sql, report })
+        let resp = self
+            .query(&QueryRequest::sql(sql).with_config(config).with_explain(true))
+            .map_err(|e| match e {
+                QueryError::Sql(e) => e,
+                other => unreachable!("unexpected explain error: {other}"),
+            })?;
+        Ok(SqlExplanation {
+            plan: resp.plan.expect("explain responses carry the plan"),
+            sql: resp.explanation.expect("explain responses carry the rendering"),
+            report: resp.opt,
+        })
     }
 
     /// Same as [`LegoBase::run`] with explicit settings (ablations).
@@ -222,7 +234,23 @@ impl LegoBase {
     /// runs the whole suite parallel-enabled), the `Parallelize` transformer
     /// records the per-query decision in the specialization report, and the
     /// specialized executor runs with the recorded degree.
+    ///
+    /// Legacy surface: this is a thin wrapper over [`LegoBase::query`] with
+    /// `QueryRequest::plan(query.clone()).with_settings(*settings)`. Unlike
+    /// the unified path it returns the bare [`RunOutcome`] and lets engine
+    /// panics propagate — the behavior the oracle suites pin.
     pub fn run_plan(&self, query: &QueryPlan, settings: &Settings) -> RunOutcome {
+        self.query(&QueryRequest::plan(query.clone()).with_settings(*settings))
+            .unwrap_or_else(|e| {
+                // Plan requests parse nothing and this wrapper sets no
+                // budget and no deadline — no decline can occur.
+                unreachable!("unexpected plan-run error: {e}")
+            })
+            .into_run_outcome()
+    }
+
+    /// The execution heart of [`LegoBase::query`]: compile, load, execute.
+    fn execute_plan(&self, query: &QueryPlan, settings: &Settings) -> RunOutcome {
         let settings = &requested_settings(settings);
         let compilation = legobase_sc::compile(query, &self.data.catalog, settings);
         let settings = &decided_settings(settings, &compilation.spec);

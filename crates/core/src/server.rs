@@ -1,0 +1,254 @@
+//! The TCP front door: `legobase-wire-v1` over `std::net`, one
+//! [`Session`](crate::Session) per connection, every connection a tenant of
+//! the service's fair scheduler (DESIGN.md §3f).
+//!
+//! [`LegoBase::serve_tcp`] starts a [`QueryService`] and an accept loop;
+//! each accepted connection gets its own thread, its own session (hence its
+//! own tenant identity and weight in the pool's weighted deficit
+//! round-robin), and runs the request/response loop until the client hangs
+//! up. Failure discipline mirrors the in-process service: a bad query is a
+//! typed error *frame* and the connection keeps serving; only protocol
+//! violations (bad magic, corrupt frames) close the connection. Nothing a
+//! client sends can panic the server thread — and if something deeper does,
+//! the catch-all around the connection loop turns it into a dropped
+//! connection, never a dead server.
+//!
+//! Shutdown is graceful: [`TcpServer::shutdown`] stops accepting, lets every
+//! connection finish the request it is serving (connections poll a shutdown
+//! flag between requests), then drains the service itself.
+
+use crate::service::{QueryService, ServeOptions};
+use crate::wire::{self, FrameKind, WireError};
+use crate::{LegoBase, QueryResponse};
+use std::io::{ErrorKind, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How often an idle connection (or the accept loop via its listener pokes)
+/// re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+/// Patience for the *rest* of a frame once its first byte has arrived; a
+/// peer that stalls longer mid-frame is treated as gone.
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+/// Result rows per result-batch frame.
+const BATCH_ROWS: usize = 1024;
+
+struct ConnCount {
+    n: Mutex<usize>,
+    zero: Condvar,
+}
+
+struct Shared {
+    service: QueryService,
+    stop: AtomicBool,
+    conns: ConnCount,
+}
+
+/// A running TCP server. Dropping it (or calling [`TcpServer::shutdown`])
+/// stops the accept loop, drains connections and in-flight queries, and
+/// joins every thread.
+pub struct TcpServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LegoBase {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port) and
+    /// serves this database over `legobase-wire-v1` with the given service
+    /// options. Results are bit-identical to the in-process surfaces for
+    /// the same request.
+    ///
+    /// ```no_run
+    /// use legobase::{LegoBase, ServeOptions};
+    ///
+    /// let server = LegoBase::generate(0.01)
+    ///     .serve_tcp("127.0.0.1:4666", ServeOptions::default())
+    ///     .expect("bind");
+    /// println!("serving on {}", server.local_addr());
+    /// // … later:
+    /// server.shutdown();
+    /// ```
+    pub fn serve_tcp(
+        self,
+        addr: impl ToSocketAddrs,
+        options: ServeOptions,
+    ) -> std::io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service: self.serve_with(options),
+            stop: AtomicBool::new(false),
+            conns: ConnCount { n: Mutex::new(0), zero: Condvar::new() },
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(TcpServer { shared, addr, accept: Some(accept) })
+    }
+}
+
+impl TcpServer {
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the underlying service's counters.
+    pub fn stats(&self) -> crate::ServiceStats {
+        self.shared.service.stats()
+    }
+
+    /// Stops accepting, waits for every connection to finish its in-flight
+    /// request and disconnect, then shuts the service down (drains queries,
+    /// joins the pool). Idempotent through [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else { return };
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a self-connect wakes it so it
+        // can observe the flag. The connect can race the listener closing —
+        // either way the loop exits, so the result does not matter.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+        let mut n = self.shared.conns.n.lock().unwrap();
+        while *n > 0 {
+            n = self.shared.conns.zero.wait(n).unwrap();
+        }
+        drop(n);
+        self.shared.service.shutdown();
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        *shared.conns.n.lock().unwrap() += 1;
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            // A panic below would skip the count decrement and hang
+            // shutdown; contain it (the connection dies, the server lives).
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = serve_connection(&stream, &shared);
+                let _ = stream.shutdown(Shutdown::Both);
+            }));
+            let mut n = shared.conns.n.lock().unwrap();
+            *n -= 1;
+            if *n == 0 {
+                shared.conns.zero.notify_all();
+            }
+        });
+    }
+}
+
+/// Reads the first byte of the next frame, polling so the thread notices
+/// shutdown between requests. `Ok(None)` means the client closed cleanly
+/// (or shutdown was requested) and the connection should end.
+fn poll_first_byte(stream: &TcpStream, shared: &Shared) -> Result<Option<u8>, WireError> {
+    let mut kind = [0u8; 1];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match (&mut (&*stream)).read(&mut kind) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(kind[0])),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+}
+
+fn serve_connection(stream: &TcpStream, shared: &Shared) -> Result<(), WireError> {
+    // Small frames answer point queries: without TCP_NODELAY, Nagle holds
+    // the response header back against the client's delayed ACK and every
+    // request pays tens of milliseconds of idle wire time.
+    stream.set_nodelay(true).ok();
+    // Handshake under the frame timeout: a client that connects and says
+    // nothing cannot pin the thread forever.
+    stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+    let mut s = stream;
+    wire::server_handshake(&mut s)?;
+    let session = shared.service.session();
+    loop {
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let Some(first) = poll_first_byte(stream, shared)? else { return Ok(()) };
+        // Committed to a frame: give the rest of it the longer timeout (a
+        // stall mid-frame is a dead peer, surfaced as a timeout Io error).
+        stream.set_read_timeout(Some(FRAME_TIMEOUT))?;
+        let mut s = stream;
+        let request = match wire::read_frame_after_kind(&mut s, first) {
+            Ok((FrameKind::Request, payload)) => match wire::decode_request(&payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    // The frame itself was sound, so framing is still in
+                    // sync: answer with a protocol complaint and close (the
+                    // client's next frame may be built on the same bug).
+                    let msg = format!("undecodable request: {e}");
+                    let _ = wire::write_frame(
+                        &mut s,
+                        FrameKind::Error,
+                        &wire::encode_protocol_error(&msg),
+                    );
+                    return Err(e);
+                }
+            },
+            Ok((kind, _)) => {
+                let msg = format!("unexpected client frame {kind:?}");
+                let _ =
+                    wire::write_frame(&mut s, FrameKind::Error, &wire::encode_protocol_error(&msg));
+                return Err(WireError::Corrupt(msg));
+            }
+            // Corrupt / oversized / truncated framing: the stream position
+            // is unknowable, so there is nothing sound left to write on.
+            Err(e) => return Err(e),
+        };
+        match session.query(&request) {
+            Ok(resp) => write_response(&mut s, resp)?,
+            // Typed query errors keep the connection serving — exactly the
+            // in-process contract, one frame longer.
+            Err(e) => wire::write_frame(&mut s, FrameKind::Error, &wire::encode_error(&e))?,
+        }
+    }
+}
+
+fn write_response(s: &mut impl std::io::Write, resp: QueryResponse) -> Result<(), WireError> {
+    let header = wire::ResponseHeader {
+        schema: resp.result.0.schema.clone(),
+        rows: resp.result.0.rows.len() as u64,
+        exec_time: resp.exec_time,
+        total_time: resp.total_time,
+        plan_cached: resp.plan_cached,
+        prepared_cached: resp.prepared_cached,
+        explanation: resp.explanation,
+    };
+    wire::write_frame(s, FrameKind::ResponseHeader, &wire::encode_header(&header))?;
+    for chunk in resp.result.0.rows.chunks(BATCH_ROWS) {
+        wire::write_frame(s, FrameKind::ResultBatch, &wire::encode_batch(chunk))?;
+    }
+    wire::write_frame(s, FrameKind::ResponseEnd, &[])?;
+    Ok(())
+}

@@ -54,7 +54,9 @@
 //! service.shutdown();
 //! ```
 
+use crate::request::{QueryError, QueryKind, QueryRequest, QueryResponse};
 use crate::{requested_settings, LegoBase, LoadedQuery};
+use legobase_engine::cancel::{self, Cancelled};
 use legobase_engine::plan::{used_base_columns, Plan};
 use legobase_engine::settings::EngineKind;
 use legobase_engine::{optimizer, Config, MorselPool, OptReport, QueryPlan, ResultTable, Settings};
@@ -90,6 +92,13 @@ pub struct ServeOptions {
     /// Prepared-query cache entries kept (compiled + loaded form) before
     /// FIFO eviction. `0` disables the cache.
     pub prepared_cache_capacity: usize,
+    /// Default scheduling weight of every session in the shared pool's
+    /// weighted deficit round-robin (individual sessions override it with
+    /// [`Session::with_weight`]). Each tenant gets `weight` consecutive
+    /// morsel-help grants per scheduler rotation; equal weights (the
+    /// default, `1`) give plain round-robin across tenants, which for a
+    /// single tenant is exactly the old FIFO behavior.
+    pub default_weight: u32,
 }
 
 impl Default for ServeOptions {
@@ -101,6 +110,7 @@ impl Default for ServeOptions {
             memory_budget: None,
             plan_cache_capacity: 256,
             prepared_cache_capacity: 64,
+            default_weight: 1,
         }
     }
 }
@@ -135,10 +145,20 @@ impl ServeOptions {
         self.prepared_cache_capacity = n;
         self
     }
+
+    /// Sets the default per-session scheduling weight (clamped to ≥ 1).
+    pub fn with_default_weight(mut self, weight: u32) -> ServeOptions {
+        self.default_weight = weight.max(1);
+        self
+    }
 }
 
 /// Why the service declined (or failed) a query. Every failure mode of the
 /// service is a typed variant — tenants never see a panic.
+///
+/// Legacy surface: the unified [`QueryError`] carries the same variants
+/// (plus nothing extra) and converts to and from this type losslessly; new
+/// code should match [`QueryError`] via [`Session::query`].
 #[derive(Debug)]
 pub enum ServiceError {
     /// The SQL text failed to parse, resolve, or type-check (spanned).
@@ -163,6 +183,17 @@ pub enum ServiceError {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The request's deadline fired before the query completed (the twin of
+    /// [`QueryError::DeadlineExceeded`], reachable only through requests
+    /// that arm a deadline).
+    DeadlineExceeded {
+        /// The expired query (canonicalized text or plan name).
+        query: String,
+        /// The deadline the request asked for.
+        deadline: Duration,
+        /// Wall-clock time actually elapsed when expiry was observed.
+        elapsed: Duration,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -178,6 +209,10 @@ impl fmt::Display for ServiceError {
             ServiceError::QueryPanicked { query, message } => {
                 write!(f, "query `{query}` panicked: {message}")
             }
+            ServiceError::DeadlineExceeded { query, deadline, elapsed } => write!(
+                f,
+                "query `{query}` exceeded its deadline of {deadline:?} (elapsed {elapsed:?})"
+            ),
         }
     }
 }
@@ -219,6 +254,22 @@ pub struct ServeOutcome {
     pub opt: Option<OptReport>,
 }
 
+impl ServeOutcome {
+    /// Projects a unified [`QueryResponse`] down to the legacy outcome
+    /// shape (drops the explain-only fields, which the legacy entry points
+    /// never populate).
+    fn from_response(resp: QueryResponse) -> ServeOutcome {
+        ServeOutcome {
+            result: resp.result,
+            exec_time: resp.exec_time,
+            total_time: resp.total_time,
+            plan_cached: resp.plan_cached,
+            prepared_cached: resp.prepared_cached,
+            opt: resp.opt,
+        }
+    }
+}
+
 /// A point-in-time snapshot of the service's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -236,6 +287,8 @@ pub struct ServiceStats {
     pub queries_rejected: u64,
     /// Queries whose kernel panicked (contained, typed).
     pub queries_panicked: u64,
+    /// Queries whose deadline fired before completion (cancelled, typed).
+    pub queries_expired: u64,
 }
 
 #[derive(Default)]
@@ -247,6 +300,7 @@ struct Counters {
     ok: AtomicU64,
     rejected: AtomicU64,
     panicked: AtomicU64,
+    expired: AtomicU64,
 }
 
 /// A bounded FIFO cache: hits do not reorder (no LRU bookkeeping contention
@@ -302,6 +356,13 @@ struct Gate {
     accepting: bool,
 }
 
+/// Why admission declined — mapped to the caller's error type with the
+/// query label attached.
+enum AdmitDecline {
+    ShuttingDown,
+    Expired,
+}
+
 /// A long-lived query service over one TPC-H database: shared morsel pool,
 /// plan + prepared caches, admission control. Construct with
 /// [`LegoBase::serve`]; hand out [`Session`]s with [`QueryService::session`]
@@ -316,6 +377,10 @@ pub struct QueryService {
     plans: Mutex<Cache<PlanKey, CachedPlan>>,
     prepared: Mutex<Cache<PreparedKey, LoadedQuery>>,
     counters: Counters,
+    /// Monotonic tenant-id source: every session gets a fresh identity in
+    /// the pool's weighted deficit round-robin. Starts at 1 — tenant 0 is
+    /// the anonymous [`MorselPool::attach`] identity.
+    next_tenant: AtomicU64,
 }
 
 impl LegoBase {
@@ -337,6 +402,7 @@ impl LegoBase {
             plans: Mutex::new(Cache::new(options.plan_cache_capacity)),
             prepared: Mutex::new(Cache::new(options.prepared_cache_capacity)),
             counters: Counters::default(),
+            next_tenant: AtomicU64::new(1),
             options,
         }
     }
@@ -361,9 +427,16 @@ impl Drop for AdmissionSlot<'_> {
 
 impl QueryService {
     /// Opens a session. Sessions are lightweight borrows — open one per
-    /// client thread; they inherit the service-wide default memory budget.
+    /// client thread; they inherit the service-wide default memory budget
+    /// and scheduling weight, and each session is its own *tenant* in the
+    /// shared pool's weighted deficit round-robin.
     pub fn session(&self) -> Session<'_> {
-        Session { service: self, memory_budget: self.options.memory_budget }
+        Session {
+            service: self,
+            memory_budget: self.options.memory_budget,
+            tenant: self.next_tenant.fetch_add(1, Ordering::Relaxed),
+            weight: self.options.default_weight.max(1),
+        }
     }
 
     /// The options the service was started with.
@@ -387,6 +460,7 @@ impl QueryService {
             queries_ok: c.ok.load(Ordering::Relaxed),
             queries_rejected: c.rejected.load(Ordering::Relaxed),
             queries_panicked: c.panicked.load(Ordering::Relaxed),
+            queries_expired: c.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -427,17 +501,29 @@ impl QueryService {
         self.system.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 
-    fn admit(&self) -> Result<AdmissionSlot<'_>, ServiceError> {
+    /// Waits for an admission slot. A request with an armed deadline stops
+    /// waiting when the deadline passes — queueing time counts against the
+    /// deadline, so a flooded service declines instead of blocking forever.
+    fn admit_until(&self, deadline: Option<Instant>) -> Result<AdmissionSlot<'_>, AdmitDecline> {
         let mut g = self.gate.lock().unwrap();
         loop {
             if !g.accepting {
-                return Err(ServiceError::ShuttingDown);
+                return Err(AdmitDecline::ShuttingDown);
             }
             if self.options.max_in_flight == 0 || g.in_flight < self.options.max_in_flight {
                 g.in_flight += 1;
                 return Ok(AdmissionSlot { service: self });
             }
-            g = self.admit.wait(g).unwrap();
+            match deadline {
+                None => g = self.admit.wait(g).unwrap(),
+                Some(t) => {
+                    let now = Instant::now();
+                    if now >= t {
+                        return Err(AdmitDecline::Expired);
+                    }
+                    g = self.admit.wait_timeout(g, t - now).unwrap().0;
+                }
+            }
         }
     }
 
@@ -447,104 +533,196 @@ impl QueryService {
 }
 
 /// One client's handle on a [`QueryService`]. Sessions add per-client
-/// policy (the memory budget) on top of the shared machinery; open as many
-/// as you have client threads.
+/// policy (the memory budget and scheduling weight) on top of the shared
+/// machinery; open as many as you have client threads. Each session is one
+/// *tenant* of the shared pool's weighted deficit round-robin.
 pub struct Session<'a> {
     service: &'a QueryService,
     memory_budget: Option<usize>,
+    tenant: u64,
+    weight: u32,
 }
 
 impl Session<'_> {
     /// Caps the estimated load-time memory of this session's queries;
-    /// estimates above the cap get a typed [`ServiceError::OverBudget`]
-    /// rejection before any load work happens.
+    /// estimates above the cap get a typed [`QueryError::OverBudget`]
+    /// rejection before any load work happens. A request's own
+    /// [`QueryRequest::with_memory_budget`] takes precedence.
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
         self.memory_budget = Some(bytes);
         self
     }
 
-    /// Serves one SQL query under a named configuration — the service-side
-    /// equivalent of [`LegoBase::run_sql`], with results guaranteed
-    /// bit-identical to it.
-    pub fn run_sql(&self, sql: &str, config: Config) -> Result<ServeOutcome, ServiceError> {
-        self.run_sql_with_settings(sql, &config.settings())
+    /// Sets this session's scheduling weight in the shared pool's weighted
+    /// deficit round-robin (clamped to ≥ 1): the tenant gets `weight`
+    /// consecutive morsel-help grants per scheduler rotation.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
     }
 
-    /// [`Session::run_sql`] with explicit settings.
-    pub fn run_sql_with_settings(
-        &self,
-        sql: &str,
-        settings: &Settings,
-    ) -> Result<ServeOutcome, ServiceError> {
+    /// This session's tenant id in the shared pool's scheduler.
+    pub fn tenant(&self) -> u64 {
+        self.tenant
+    }
+
+    /// Serves one [`QueryRequest`] — **the** implementation of the unified
+    /// API: admission (deadline-aware), plan + prepared caches for SQL
+    /// requests, budget checks, tenant-fair scheduling, cooperative
+    /// deadline cancellation, typed errors throughout. Every legacy entry
+    /// point ([`Session::run_sql`], [`Session::run_sql_with_settings`],
+    /// [`Session::run_plan`]) and the TCP server's connection loop are thin
+    /// wrappers over this method.
+    pub fn query(&self, request: &QueryRequest) -> Result<QueryResponse, QueryError> {
         let service = self.service;
-        let _slot = service.admit()?;
         let t_total = Instant::now();
-        let settings = requested_settings(settings);
+        let deadline = request.deadline().map(|d| t_total + d);
+        let expired = |when: Duration| {
+            service.counters.expired.fetch_add(1, Ordering::Relaxed);
+            QueryError::DeadlineExceeded {
+                query: request.label(),
+                deadline: request.deadline().unwrap_or_default(),
+                elapsed: when,
+            }
+        };
+        let _slot = service.admit_until(deadline).map_err(|d| match d {
+            AdmitDecline::ShuttingDown => QueryError::ShuttingDown,
+            AdmitDecline::Expired => expired(t_total.elapsed()),
+        })?;
+        let settings = requested_settings(request.settings());
         let system = service.read_system();
-        let text = legobase_sql::cache_text(sql);
         let version = system.data.catalog.version();
 
-        let plan_key: PlanKey = (text.clone(), version, settings.optimize);
-        let lookup = service.plans.lock().unwrap().get(&plan_key);
-        let (cached_plan, plan_cached) = match lookup {
-            Some(p) => {
-                service.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
-                (p, true)
+        // Resolve the executable plan. SQL requests go through the plan
+        // cache (parse + optimize paid once per distinct text); hand-built
+        // plans are the oracle — never rewritten, never cached.
+        let (cached_plan, plan_cached, label) = match request.kind() {
+            QueryKind::Sql(sql) => {
+                let text = legobase_sql::cache_text(sql);
+                let plan_key: PlanKey = (text.clone(), version, settings.optimize);
+                let lookup = service.plans.lock().unwrap().get(&plan_key);
+                match lookup {
+                    Some(p) => {
+                        service.counters.plan_hits.fetch_add(1, Ordering::Relaxed);
+                        (p, true, text)
+                    }
+                    None => {
+                        service.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
+                        let lowered = legobase_sql::plan(sql, &system.data.catalog)?;
+                        let entry = if settings.optimize {
+                            let (plan, report) =
+                                optimizer::optimize(&lowered, &system.data.catalog);
+                            CachedPlan { plan, report: Some(report) }
+                        } else {
+                            CachedPlan { plan: lowered, report: None }
+                        };
+                        let entry = Arc::new(entry);
+                        service.plans.lock().unwrap().insert(plan_key, Arc::clone(&entry));
+                        (entry, false, text)
+                    }
+                }
             }
-            None => {
-                service.counters.plan_misses.fetch_add(1, Ordering::Relaxed);
-                let lowered = legobase_sql::plan(sql, &system.data.catalog)?;
-                let entry = if settings.optimize {
-                    let (plan, report) = optimizer::optimize(&lowered, &system.data.catalog);
-                    CachedPlan { plan, report: Some(report) }
-                } else {
-                    CachedPlan { plan: lowered, report: None }
-                };
-                let entry = Arc::new(entry);
-                service.plans.lock().unwrap().insert(plan_key, Arc::clone(&entry));
-                (entry, false)
+            QueryKind::Plan(plan) => {
+                let entry = Arc::new(CachedPlan { plan: plan.clone(), report: None });
+                (entry, false, plan.name.clone())
             }
         };
 
-        if let Some(budget) = self.memory_budget {
+        if request.explain() {
+            let sql = legobase_sql::plan_to_sql(&cached_plan.plan, &system.data.catalog);
+            let opt = cached_plan.report.clone().map(|mut r| {
+                r.apply_feedback(&system.data.catalog);
+                r
+            });
+            let mut resp =
+                QueryResponse::explanation(cached_plan.plan.clone(), sql, opt, t_total.elapsed());
+            resp.plan_cached = plan_cached;
+            return Ok(resp);
+        }
+
+        if let Some(budget) = request.memory_budget().or(self.memory_budget) {
             let est = estimate_memory_bytes(&cached_plan.plan, &system.data.catalog, &settings);
             if est > budget {
                 service.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::OverBudget {
+                return Err(QueryError::OverBudget {
                     estimated_bytes: est,
                     budget_bytes: budget,
-                    query: text,
+                    query: label,
                 });
             }
         }
 
-        let prep_key: PreparedKey = (text.clone(), version, settings);
-        let lookup = service.prepared.lock().unwrap().get(&prep_key);
-        let (prepared, prepared_cached) = match lookup {
-            Some(p) => {
-                service.counters.prepared_hits.fetch_add(1, Ordering::Relaxed);
-                (p, true)
+        // Compiled + loaded form: prepared cache for SQL requests, a fresh
+        // per-call load for plan requests. Loads can panic on malformed
+        // hand plans — contained to a typed error like everything else.
+        let (prepared, prepared_cached) = match request.kind() {
+            QueryKind::Sql(_) => {
+                let prep_key: PreparedKey = (label.clone(), version, settings);
+                let lookup = service.prepared.lock().unwrap().get(&prep_key);
+                match lookup {
+                    Some(p) => {
+                        service.counters.prepared_hits.fetch_add(1, Ordering::Relaxed);
+                        (p, true)
+                    }
+                    None => {
+                        service.counters.prepared_misses.fetch_add(1, Ordering::Relaxed);
+                        // Loading happens outside the cache lock so a slow
+                        // load never stalls other tenants' lookups; two
+                        // sessions racing on the same key both load, and the
+                        // loser's insert wins harmlessly (loads are
+                        // deterministic, so the entries are identical).
+                        let loaded = match catch_unwind(AssertUnwindSafe(|| {
+                            system.load(&cached_plan.plan, &settings)
+                        })) {
+                            Ok(l) => Arc::new(l),
+                            Err(payload) => {
+                                service.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                                return Err(QueryError::QueryPanicked {
+                                    query: label,
+                                    message: panic_message(&*payload),
+                                });
+                            }
+                        };
+                        service.prepared.lock().unwrap().insert(prep_key, Arc::clone(&loaded));
+                        (loaded, false)
+                    }
+                }
             }
-            None => {
-                service.counters.prepared_misses.fetch_add(1, Ordering::Relaxed);
-                // Loading happens outside the cache lock so a slow load never
-                // stalls other tenants' lookups; two sessions racing on the
-                // same key both load, and the loser's insert wins harmlessly
-                // (loads are deterministic, so the entries are identical).
-                let loaded = Arc::new(system.load(&cached_plan.plan, &settings));
-                service.prepared.lock().unwrap().insert(prep_key, Arc::clone(&loaded));
+            QueryKind::Plan(_) => {
+                let loaded = match catch_unwind(AssertUnwindSafe(|| {
+                    system.load(&cached_plan.plan, &settings)
+                })) {
+                    Ok(l) => Arc::new(l),
+                    Err(payload) => {
+                        service.counters.panicked.fetch_add(1, Ordering::Relaxed);
+                        return Err(QueryError::QueryPanicked {
+                            query: label,
+                            message: panic_message(&*payload),
+                        });
+                    }
+                };
                 (loaded, false)
             }
         };
 
-        let _pool = service.pool.attach();
+        // Execute under this session's tenant identity (fair scheduling)
+        // and, when armed, the request's deadline (cooperative cancellation
+        // at morsel boundaries — engine::cancel).
+        let _pool = service.pool.attach_as(self.tenant, self.weight);
+        if deadline.is_some_and(|t| Instant::now() >= t) {
+            return Err(expired(t_total.elapsed()));
+        }
+        let _armed = deadline.map(cancel::deadline_scope);
         let t_exec = Instant::now();
         let result = match catch_unwind(AssertUnwindSafe(|| prepared.execute())) {
             Ok(r) => r,
+            Err(payload) if payload.is::<Cancelled>() => {
+                return Err(expired(t_total.elapsed()));
+            }
             Err(payload) => {
                 service.counters.panicked.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::QueryPanicked {
-                    query: text,
+                return Err(QueryError::QueryPanicked {
+                    query: label,
                     message: panic_message(&*payload),
                 });
             }
@@ -577,14 +755,42 @@ impl Session<'_> {
             }
         }
         service.counters.ok.fetch_add(1, Ordering::Relaxed);
-        Ok(ServeOutcome {
+        Ok(QueryResponse {
             result,
             exec_time,
             total_time: t_total.elapsed(),
             plan_cached,
             prepared_cached,
             opt,
+            explanation: None,
+            plan: None,
+            detail: None,
         })
+    }
+
+    /// Serves one SQL query under a named configuration — the service-side
+    /// equivalent of [`LegoBase::run_sql`], with results guaranteed
+    /// bit-identical to it.
+    ///
+    /// Legacy surface: a thin wrapper over [`Session::query`] with
+    /// `QueryRequest::sql(sql).with_config(config)`.
+    pub fn run_sql(&self, sql: &str, config: Config) -> Result<ServeOutcome, ServiceError> {
+        self.run_sql_with_settings(sql, &config.settings())
+    }
+
+    /// [`Session::run_sql`] with explicit settings.
+    ///
+    /// Legacy surface: a thin wrapper over [`Session::query`] with
+    /// `QueryRequest::sql(sql).with_settings(*settings)` — new code should
+    /// build a [`QueryRequest`] and match the unified [`QueryError`].
+    pub fn run_sql_with_settings(
+        &self,
+        sql: &str,
+        settings: &Settings,
+    ) -> Result<ServeOutcome, ServiceError> {
+        self.query(&QueryRequest::sql(sql).with_settings(*settings))
+            .map(ServeOutcome::from_response)
+            .map_err(ServiceError::from)
     }
 
     /// Serves one hand-built plan, uncached — the service-side equivalent
@@ -593,55 +799,17 @@ impl Session<'_> {
     /// per-call pipeline). A panic anywhere in compile, load, or execution
     /// comes back as [`ServiceError::QueryPanicked`] without affecting any
     /// other session.
+    ///
+    /// Legacy surface: a thin wrapper over [`Session::query`] with
+    /// `QueryRequest::plan(query.clone()).with_settings(*settings)`.
     pub fn run_plan(
         &self,
         query: &QueryPlan,
         settings: &Settings,
     ) -> Result<ServeOutcome, ServiceError> {
-        let service = self.service;
-        let _slot = service.admit()?;
-        let t_total = Instant::now();
-        let settings = requested_settings(settings);
-        let system = service.read_system();
-
-        if let Some(budget) = self.memory_budget {
-            let est = estimate_memory_bytes(query, &system.data.catalog, &settings);
-            if est > budget {
-                service.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(ServiceError::OverBudget {
-                    estimated_bytes: est,
-                    budget_bytes: budget,
-                    query: query.name.clone(),
-                });
-            }
-        }
-
-        let _pool = service.pool.attach();
-        match catch_unwind(AssertUnwindSafe(|| {
-            let loaded = system.load(query, &settings);
-            let t0 = Instant::now();
-            let result = loaded.execute();
-            (result, t0.elapsed())
-        })) {
-            Ok((result, exec_time)) => {
-                service.counters.ok.fetch_add(1, Ordering::Relaxed);
-                Ok(ServeOutcome {
-                    result,
-                    exec_time,
-                    total_time: t_total.elapsed(),
-                    plan_cached: false,
-                    prepared_cached: false,
-                    opt: None,
-                })
-            }
-            Err(payload) => {
-                service.counters.panicked.fetch_add(1, Ordering::Relaxed);
-                Err(ServiceError::QueryPanicked {
-                    query: query.name.clone(),
-                    message: panic_message(&*payload),
-                })
-            }
-        }
+        self.query(&QueryRequest::plan(query.clone()).with_settings(*settings))
+            .map(ServeOutcome::from_response)
+            .map_err(ServiceError::from)
     }
 }
 
@@ -670,7 +838,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// plans (unknown tables, tables without statistics) contribute zero:
 /// admission is a resource gate, not a validator — execution reports such
 /// plans through its own typed error.
-fn estimate_memory_bytes(query: &QueryPlan, catalog: &Catalog, settings: &Settings) -> usize {
+pub(crate) fn estimate_memory_bytes(
+    query: &QueryPlan,
+    catalog: &Catalog,
+    settings: &Settings,
+) -> usize {
     let mut base_tables: BTreeSet<&str> = BTreeSet::new();
     for p in query.plans() {
         p.walk(&mut |n| {

@@ -1,0 +1,99 @@
+//! Cooperative query cancellation at morsel boundaries.
+//!
+//! A query's deadline rides on the *submitting* thread as a thread-local
+//! ([`deadline_scope`]); `run_morsels` captures it once per batch and every
+//! participant — the submitter, a scoped worker, or a shared-pool worker
+//! helping the job — re-checks it before claiming the next work item. On
+//! expiry the participant unwinds with the [`Cancelled`] sentinel payload
+//! (via `resume_unwind`, so no panic hook fires and no backtrace is
+//! printed), which travels through the existing per-job panic containment:
+//! remaining claims are cancelled and the payload resumes on the submitter,
+//! where the query service maps it to a typed `DeadlineExceeded` error.
+//!
+//! The contract is *cooperative*: cancellation points are morsel claims, so
+//! a query that never enters a morsel-parallel operator (degree 1, or inputs
+//! below the parallel threshold) is only checked before execution starts.
+//! Determinism is untouched — a query either completes with bytes identical
+//! to the undeadlined run, or it is cancelled and returns no result at all.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// Unwind payload marking a cooperative deadline cancellation. The service
+/// layer downcasts captured payloads to this type to distinguish "the
+/// deadline fired" from a genuine kernel panic.
+pub struct Cancelled;
+
+thread_local! {
+    static DEADLINE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Restores the previous deadline (if any) when dropped, so scopes nest.
+pub struct DeadlineGuard {
+    prev: Option<Instant>,
+    // The deadline is a property of the submitting thread; the guard must
+    // be dropped there too.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        DEADLINE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Arms a deadline for every `run_morsels` batch submitted by this thread
+/// until the guard drops.
+pub fn deadline_scope(deadline: Instant) -> DeadlineGuard {
+    let prev = DEADLINE.with(|c| c.replace(Some(deadline)));
+    DeadlineGuard { prev, _not_send: PhantomData }
+}
+
+/// The deadline armed on the current thread, if any.
+pub(crate) fn current() -> Option<Instant> {
+    DEADLINE.with(|c| c.get())
+}
+
+/// Checks `deadline` (a snapshot of [`current`] taken at batch submission)
+/// and unwinds with [`Cancelled`] when it has passed. `None` short-circuits
+/// without reading the clock.
+pub(crate) fn check(deadline: Option<Instant>) {
+    if deadline.is_some_and(|t| Instant::now() >= t) {
+        // resume_unwind (not panic!) so cancellation does not invoke the
+        // panic hook: a deadline firing is an expected, typed outcome.
+        std::panic::resume_unwind(Box::new(Cancelled));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        assert!(current().is_none());
+        let t1 = Instant::now() + Duration::from_secs(60);
+        let t2 = Instant::now() + Duration::from_secs(1);
+        {
+            let _g1 = deadline_scope(t1);
+            assert_eq!(current(), Some(t1));
+            {
+                let _g2 = deadline_scope(t2);
+                assert_eq!(current(), Some(t2));
+            }
+            assert_eq!(current(), Some(t1));
+        }
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn check_unwinds_with_the_sentinel_only_when_expired() {
+        check(None);
+        check(Some(Instant::now() + Duration::from_secs(60)));
+        let r = std::panic::catch_unwind(|| check(Some(Instant::now() - Duration::from_secs(1))));
+        let payload = r.expect_err("expired deadline must unwind");
+        assert!(payload.is::<Cancelled>());
+    }
+}

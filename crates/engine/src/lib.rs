@@ -32,6 +32,13 @@
 //!   multi-tenant query service (`legobase::service`, DESIGN.md §3d). A
 //!   session attaches the pool to its thread and every `run_morsels` call
 //!   transparently shares the pool's workers instead of spawning its own.
+//!   Help requests queue per tenant and are granted by weighted deficit
+//!   round-robin, so one tenant's flood cannot starve another's point query
+//!   (DESIGN.md §3f).
+//! * [`cancel`] — cooperative deadline cancellation at morsel boundaries:
+//!   the service arms a per-query deadline, every scheduling path re-checks
+//!   it before claiming an item, and expiry unwinds with the
+//!   [`cancel::Cancelled`] sentinel that the service maps to a typed error.
 //! * [`settings`] — the optimization toggles and the named configurations of
 //!   Table III.
 //! * [`optimizer`] — the cost-based logical optimizer that sits between the
@@ -47,6 +54,7 @@
 //! * [`interop`] — the inter-operator optimization of Fig. 9 (aggregation
 //!   merged into the join's materialization).
 
+pub mod cancel;
 pub mod closure;
 pub mod db;
 pub mod expr;

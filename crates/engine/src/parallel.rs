@@ -54,9 +54,15 @@ pub(crate) fn row_morsels(total: usize) -> Vec<Morsel> {
 /// results are assembled the same way — in item-index order — so the two
 /// scheduling substrates are result-identical at every degree.
 ///
+/// Every path re-checks the submitting thread's armed deadline
+/// ([`crate::cancel::deadline_scope`]) before claiming each item — the
+/// morsel boundary is the engine's cooperative cancellation point.
+///
 /// # Panics
 /// Worker panics are resumed on the calling thread (the query fails with the
 /// original panic payload instead of a secondary "worker poisoned" error).
+/// A fired deadline unwinds the same way, with the
+/// [`crate::cancel::Cancelled`] sentinel as the payload.
 pub(crate) fn run_morsels<I, S, T, FSetup, FWork>(
     degree: usize,
     ms: &[I],
@@ -70,12 +76,19 @@ where
     FWork: Fn(&mut S, I) -> T + Sync,
 {
     let workers = degree.min(ms.len()).max(1);
+    let deadline = crate::cancel::current();
     if workers == 1 {
         let mut state = setup();
-        return ms.iter().map(|&m| work(&mut state, m)).collect();
+        return ms
+            .iter()
+            .map(|&m| {
+                crate::cancel::check(deadline);
+                work(&mut state, m)
+            })
+            .collect();
     }
-    if let Some(shared) = crate::pool::current() {
-        return crate::pool::run_shared(&shared, degree, ms, &setup, &work);
+    if let Some(att) = crate::pool::current() {
+        return crate::pool::run_shared(&att, degree, ms, &setup, &work);
     }
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<T>> = (0..ms.len()).map(|_| None).collect();
@@ -86,6 +99,7 @@ where
                     let mut state = setup();
                     let mut produced = Vec::new();
                     loop {
+                        crate::cancel::check(deadline);
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&m) = ms.get(i) else { break };
                         produced.push((i, work(&mut state, m)));

@@ -17,10 +17,15 @@
 //!    worker, so even a fully saturated (or shut down) pool cannot delay a
 //!    query indefinitely — helpers only add throughput. This is what makes a
 //!    fixed-size pool deadlock-free under any number of concurrent queries.
-//! 2. **FIFO help requests.** Each job enqueues at most `degree - 1` help
-//!    requests; workers take them in submission order, so morsels from many
-//!    in-flight queries interleave on the shared workers instead of one
-//!    query monopolizing them.
+//! 2. **Weighted deficit round-robin across tenants.** Help requests queue
+//!    per *tenant* (sessions attach with [`MorselPool::attach_as`]), and
+//!    workers drain the tenants round-robin, each tenant getting `weight`
+//!    consecutive grants per visit before the scheduler rotates on. A
+//!    512-query flood from one tenant therefore cannot starve another
+//!    tenant's point query: the point query's help requests are granted
+//!    within one scheduling rotation. A single tenant degenerates to exact
+//!    FIFO (the pre-WDRR behavior), and equal weights give plain round-robin
+//!    — the FIFO ablation of the fairness suite.
 //! 3. **Deterministic results.** Scheduling only decides *who* runs a work
 //!    item; results land in per-item slots and are assembled in item-index
 //!    order by the submitter, exactly like the scoped-thread path — which
@@ -50,12 +55,13 @@
 
 use std::any::Any;
 use std::cell::{RefCell, UnsafeCell};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A lifetime-erased handle to a [`SharedJob`] living on a submitter's
 /// stack. `enter` must be called under the pool's queue lock (it counts the
@@ -73,10 +79,86 @@ struct JobRef {
 // module-level safety model).
 unsafe impl Send for JobRef {}
 
+/// One tenant's pending help requests plus its deficit round-robin state.
+struct TenantQueue {
+    refs: VecDeque<JobRef>,
+    weight: u32,
+    /// Grants remaining in the tenant's current visit; replenished to
+    /// `weight` when the scheduler's rotation reaches the tenant.
+    deficit: u32,
+}
+
+/// The pool's job queue: per-tenant FIFO deques drained by weighted deficit
+/// round-robin. [`Queue::pop`] grants each active tenant up to `weight`
+/// consecutive refs per visit, then rotates — so no tenant's backlog can
+/// starve another tenant, while a lone tenant still gets exact FIFO order.
 #[derive(Default)]
 struct Queue {
-    refs: VecDeque<JobRef>,
+    tenants: HashMap<u64, TenantQueue>,
+    /// Tenants with pending refs, in rotation order.
+    active: VecDeque<u64>,
     shutdown: bool,
+}
+
+impl Queue {
+    fn push(&mut self, tenant: u64, weight: u32, r: JobRef) {
+        let t = self.tenants.entry(tenant).or_insert_with(|| TenantQueue {
+            refs: VecDeque::new(),
+            weight: weight.max(1),
+            deficit: 0,
+        });
+        t.weight = weight.max(1);
+        if t.refs.is_empty() {
+            self.active.push_back(tenant);
+        }
+        t.refs.push_back(r);
+    }
+
+    /// Weighted deficit round-robin: serve the tenant at the head of the
+    /// rotation, decrement its deficit, and rotate it to the back once the
+    /// deficit is spent. Tenants are dropped from the map as soon as their
+    /// deque drains — tenant ids are fresh per session, so the map never
+    /// accumulates dead entries.
+    fn pop(&mut self) -> Option<JobRef> {
+        while let Some(&tenant) = self.active.front() {
+            let Some(t) = self.tenants.get_mut(&tenant) else {
+                self.active.pop_front();
+                continue;
+            };
+            if t.refs.is_empty() {
+                self.active.pop_front();
+                self.tenants.remove(&tenant);
+                continue;
+            }
+            if t.deficit == 0 {
+                t.deficit = t.weight;
+            }
+            let r = t.refs.pop_front().expect("tenant deque checked non-empty");
+            t.deficit -= 1;
+            if t.refs.is_empty() {
+                self.active.pop_front();
+                self.tenants.remove(&tenant);
+            } else if t.deficit == 0 {
+                self.active.pop_front();
+                self.active.push_back(tenant);
+            }
+            return Some(r);
+        }
+        None
+    }
+
+    /// Removes every un-taken help request of `job` (identified by its
+    /// erased pointer) from `tenant`'s deque — the submitter's retraction
+    /// path, still a single operation under the queue lock.
+    fn retract(&mut self, tenant: u64, job: *const ()) {
+        if let Some(t) = self.tenants.get_mut(&tenant) {
+            t.refs.retain(|r| r.job != job);
+            if t.refs.is_empty() {
+                self.tenants.remove(&tenant);
+                self.active.retain(|&x| x != tenant);
+            }
+        }
+    }
 }
 
 /// Pool state shared between the owning [`MorselPool`], its workers, and the
@@ -92,7 +174,7 @@ fn worker_loop(shared: &PoolShared) {
         let job = {
             let mut q = shared.queue.lock().unwrap();
             loop {
-                if let Some(r) = q.refs.pop_front() {
+                if let Some(r) = q.pop() {
                     // Count into the job's latch before releasing the queue
                     // lock: the submitter's retraction path takes this same
                     // lock, so once it has retracted, every worker that will
@@ -163,6 +245,10 @@ struct SharedJob<'a, I, S, T, FSetup, FWork> {
     slots: &'a [Slot<T>],
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     latch: Latch,
+    /// The submitting query's deadline, snapshotted at submission so pool
+    /// workers helping the job observe it too (they have no access to the
+    /// submitter's thread-local). Checked before every item claim.
+    deadline: Option<Instant>,
     _state: PhantomData<fn() -> S>,
 }
 
@@ -181,6 +267,10 @@ where
         let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut state = (self.setup)();
             loop {
+                // A fired deadline unwinds with the `Cancelled` sentinel;
+                // the catch below then poisons the job exactly like a panic
+                // (claims cancelled, payload resumed on the submitter).
+                crate::cancel::check(self.deadline);
                 let i = self.next.fetch_add(1, Ordering::Relaxed);
                 let Some(&item) = self.items.get(i) else { break };
                 let t = (self.work)(&mut state, item);
@@ -227,9 +317,11 @@ where
 /// Runs one `run_morsels` batch with the shared pool's help: the calling
 /// thread claims items alongside up to `degree - 1` pool workers, and the
 /// per-item results are returned in item-index order — bit-identical to the
-/// scoped-thread path at the same degree, by construction.
+/// scoped-thread path at the same degree, by construction. Help requests
+/// queue under the attachment's tenant id and are granted by the queue's
+/// weighted deficit round-robin.
 pub(crate) fn run_shared<I, S, T, FSetup, FWork>(
-    shared: &PoolShared,
+    att: &Attachment,
     degree: usize,
     items: &[I],
     setup: &FSetup,
@@ -241,6 +333,7 @@ where
     FSetup: Fn() -> S + Sync,
     FWork: Fn(&mut S, I) -> T + Sync,
 {
+    let shared = &*att.shared;
     let slots: Vec<Slot<T>> = (0..items.len()).map(|_| Slot(UnsafeCell::new(None))).collect();
     let job = SharedJob {
         items,
@@ -250,6 +343,7 @@ where
         slots: &slots,
         panic: Mutex::new(None),
         latch: Latch::new(),
+        deadline: crate::cancel::current(),
         _state: PhantomData::<fn() -> S>,
     };
     let jr = JobRef {
@@ -261,7 +355,7 @@ where
     if helpers > 0 {
         let mut q = shared.queue.lock().unwrap();
         for _ in 0..helpers {
-            q.refs.push_back(jr);
+            q.push(att.tenant, att.weight, jr);
         }
         drop(q);
         shared.ready.notify_all();
@@ -273,7 +367,7 @@ where
         // Retract help requests nobody picked up; workers that already
         // popped one counted into the latch under this same lock.
         let mut q = shared.queue.lock().unwrap();
-        q.refs.retain(|r| r.job != jr.job);
+        q.retract(att.tenant, jr.job);
     }
     job.latch.wait_idle();
     if let Some(payload) = job.panic.lock().unwrap().take() {
@@ -285,19 +379,29 @@ where
         .collect()
 }
 
-thread_local! {
-    static CURRENT: RefCell<Option<Arc<PoolShared>>> = const { RefCell::new(None) };
+/// A thread's attachment to a shared pool: which pool, and on whose behalf
+/// (tenant id + scheduling weight) its jobs queue.
+#[derive(Clone)]
+pub(crate) struct Attachment {
+    pub(crate) shared: Arc<PoolShared>,
+    pub(crate) tenant: u64,
+    pub(crate) weight: u32,
 }
 
-/// The pool attached to the current thread by [`MorselPool::attach`], if any.
-pub(crate) fn current() -> Option<Arc<PoolShared>> {
+thread_local! {
+    static CURRENT: RefCell<Option<Attachment>> = const { RefCell::new(None) };
+}
+
+/// The attachment installed on the current thread by [`MorselPool::attach`]
+/// / [`MorselPool::attach_as`], if any.
+pub(crate) fn current() -> Option<Attachment> {
     CURRENT.with(|c| c.borrow().clone())
 }
 
 /// Reverts a [`MorselPool::attach`] when dropped (restoring any previously
 /// attached pool, so attachments nest).
 pub struct PoolGuard {
-    prev: Option<Arc<PoolShared>>,
+    prev: Option<Attachment>,
     // Attachment is a property of the attaching thread; the guard must be
     // dropped there too.
     _not_send: PhantomData<*const ()>,
@@ -346,9 +450,23 @@ impl MorselPool {
 
     /// Attaches the pool to the current thread until the guard drops: every
     /// `run_morsels` call made on this thread while attached submits its
-    /// morsels to the shared pool instead of spawning scoped threads.
+    /// morsels to the shared pool instead of spawning scoped threads. Work
+    /// queues under the anonymous tenant (id 0, weight 1); the query
+    /// service attaches with a per-session identity via
+    /// [`MorselPool::attach_as`].
     pub fn attach(&self) -> PoolGuard {
-        let prev = CURRENT.with(|c| c.replace(Some(Arc::clone(&self.shared))));
+        self.attach_as(0, 1)
+    }
+
+    /// [`MorselPool::attach`] with an explicit tenant identity: help
+    /// requests submitted while attached queue under `tenant` and the
+    /// pool's weighted deficit round-robin grants that tenant `weight`
+    /// consecutive refs per rotation (`weight` is clamped to ≥ 1). Distinct
+    /// tenants share the workers fairly; a tenant only competes with itself
+    /// in FIFO order.
+    pub fn attach_as(&self, tenant: u64, weight: u32) -> PoolGuard {
+        let att = Attachment { shared: Arc::clone(&self.shared), tenant, weight: weight.max(1) };
+        let prev = CURRENT.with(|c| c.replace(Some(att)));
         PoolGuard { prev, _not_send: PhantomData }
     }
 
@@ -419,12 +537,14 @@ mod tests {
             let _ga = a.attach();
             assert!(current().is_some());
             {
-                let _gb = b.attach();
+                let _gb = b.attach_as(7, 3);
                 let inner = current().expect("b attached");
-                assert!(std::ptr::eq(&*inner, &*b.shared as *const PoolShared));
+                assert!(std::ptr::eq(&*inner.shared, &*b.shared as *const PoolShared));
+                assert_eq!((inner.tenant, inner.weight), (7, 3));
             }
             let outer = current().expect("a restored");
-            assert!(std::ptr::eq(&*outer, &*a.shared as *const PoolShared));
+            assert!(std::ptr::eq(&*outer.shared, &*a.shared as *const PoolShared));
+            assert_eq!((outer.tenant, outer.weight), (0, 1));
         }
         assert!(current().is_none());
     }
@@ -480,6 +600,106 @@ mod tests {
                 });
             }
         });
+    }
+
+    /// A queue-level JobRef that is never dereferenced — the WDRR tests
+    /// below exercise scheduling order only.
+    fn dummy_ref(id: usize) -> JobRef {
+        unsafe fn noop(_: *const ()) {}
+        JobRef { job: id as *const (), enter: noop, run: noop }
+    }
+
+    /// A single tenant gets exact FIFO order — the pre-WDRR behavior, and
+    /// the degenerate case the service's default (everyone weight 1, one
+    /// tenant) must preserve.
+    #[test]
+    fn wdrr_single_tenant_is_fifo() {
+        let mut q = Queue::default();
+        for i in 0..100 {
+            q.push(1, 1, dummy_ref(i + 1));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|r| r.job as usize).collect();
+        assert_eq!(order, (1..=100).collect::<Vec<_>>());
+    }
+
+    /// Tenant B's single help request is granted within one rotation even
+    /// when tenant A has a 512-deep backlog queued first — the starvation
+    /// bound of the fairness contract.
+    #[test]
+    fn wdrr_bounds_point_query_delay_under_flood() {
+        let mut q = Queue::default();
+        for i in 0..512 {
+            q.push(1, 1, dummy_ref(i + 1));
+        }
+        q.push(2, 1, dummy_ref(9_999));
+        let pos = std::iter::from_fn(|| q.pop())
+            .position(|r| r.job as usize == 9_999)
+            .expect("tenant B's ref must be granted");
+        assert!(pos <= 1, "granted at position {pos}, expected within one rotation");
+    }
+
+    /// Weights bias the rotation: weight 3 vs 1 grants tenant A three
+    /// consecutive refs per visit.
+    #[test]
+    fn wdrr_weights_bias_grants() {
+        let mut q = Queue::default();
+        for i in 0..9 {
+            q.push(1, 3, dummy_ref(100 + i));
+        }
+        for i in 0..3 {
+            q.push(2, 1, dummy_ref(200 + i));
+        }
+        let tenants: Vec<usize> =
+            std::iter::from_fn(|| q.pop()).map(|r| (r.job as usize) / 100).collect();
+        assert_eq!(tenants, vec![1, 1, 1, 2, 1, 1, 1, 2, 1, 1, 1, 2]);
+    }
+
+    /// Equal weights recover plain round-robin — alternating single-ref
+    /// arrivals drain in arrival order, i.e. FIFO across tenants.
+    #[test]
+    fn wdrr_equal_weights_recover_fifo() {
+        let mut q = Queue::default();
+        for i in 0..10 {
+            q.push((i % 2) as u64, 1, dummy_ref(i + 1));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|r| r.job as usize).collect();
+        assert_eq!(order, (1..=10).collect::<Vec<_>>());
+    }
+
+    /// Retraction removes exactly the named job's refs and cleans up
+    /// emptied tenants; other tenants' refs are untouched.
+    #[test]
+    fn wdrr_retract_is_per_tenant_per_job() {
+        let mut q = Queue::default();
+        for _ in 0..4 {
+            q.push(1, 1, dummy_ref(11));
+        }
+        q.push(1, 1, dummy_ref(12));
+        q.push(2, 1, dummy_ref(21));
+        q.retract(1, 11 as *const ());
+        let rest: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|r| r.job as usize).collect();
+        assert_eq!(rest, vec![12, 21]);
+        q.retract(2, 21 as *const ()); // retracting from a drained tenant is a no-op
+        assert!(q.pop().is_none());
+    }
+
+    /// An armed deadline cancels a shared job at a morsel boundary: the
+    /// `Cancelled` sentinel reaches the submitter, and the pool keeps
+    /// serving the next (undeadlined) job correctly.
+    #[test]
+    fn expired_deadline_cancels_shared_job_and_pool_survives() {
+        let pool = MorselPool::new(2);
+        let ms = morsels(200_000, 100);
+        let _guard = pool.attach_as(3, 1);
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _dl = crate::cancel::deadline_scope(std::time::Instant::now());
+            run_morsels(4, &ms, || (), |(), m| m.len())
+        }));
+        let payload = r.expect_err("expired deadline must cancel the job");
+        assert!(payload.is::<crate::cancel::Cancelled>(), "payload must be the sentinel");
+        let ok = run_morsels(4, &ms, || (), |(), m| m.len());
+        assert_eq!(ok.iter().sum::<usize>(), 200_000);
+        assert!(!pool.is_shut_down());
     }
 
     /// Shutdown joins all workers and never strands an in-flight submitter

@@ -1,0 +1,187 @@
+//! Fair per-tenant scheduling and cooperative deadlines (DESIGN.md §3f).
+//!
+//! The shared morsel pool grants help by weighted deficit round-robin
+//! across tenants, so one tenant's flood cannot monopolize the workers a
+//! point query needs (the drain-order mechanics are pinned by the unit
+//! tests in `engine::pool`; this suite exercises the service-level
+//! contract). Deadlines cancel cooperatively at morsel boundaries and
+//! surface as the typed `QueryError::DeadlineExceeded` — and neither
+//! fairness nor cancellation may ever change result bytes.
+
+use legobase::sql::tpch_sql;
+use legobase::{wire, LegoBase, QueryError, QueryRequest, ServeOptions, Settings};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+const SCALE: f64 = 0.002;
+
+fn par4(sql: &str) -> QueryRequest {
+    QueryRequest::sql(sql).with_settings(Settings::optimized().with_parallelism(4))
+}
+
+/// A 256-query flood from one tenant while another tenant runs a single
+/// point query: the point query must complete while the flood is still in
+/// flight (WDRR interleaves its morsel grants with the flood's instead of
+/// queueing behind all 256 jobs), produce oracle-identical bytes, and every
+/// flood query must still succeed.
+#[test]
+fn flood_of_256_queries_cannot_starve_a_point_tenant() {
+    let oracle = LegoBase::generate(SCALE);
+    let expect =
+        wire::encode_batch(oracle.query(&par4(tpch_sql(6))).expect("oracle Q6").result.rows());
+
+    let service = LegoBase::generate(SCALE).serve_with(ServeOptions::default().with_workers(3));
+    let flood = service.session(); // tenant A: the noisy neighbor
+    let point = service.session().with_weight(4); // tenant B: latency-sensitive
+    assert_ne!(flood.tenant(), point.tenant(), "sessions are distinct tenants");
+
+    let started = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let flood = &flood;
+            let (started, done) = (&started, &done);
+            scope.spawn(move || {
+                for _ in 0..32 {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    flood.query(&par4(tpch_sql(1))).expect("flood query");
+                    done.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        // Let the flood saturate the pool before the point query arrives.
+        while started.load(Ordering::SeqCst) < 8 {
+            std::thread::yield_now();
+        }
+        let resp = point.query(&par4(tpch_sql(6))).expect("point query");
+        let drained = done.load(Ordering::SeqCst);
+        assert!(
+            drained < 256,
+            "point query must not wait out the whole flood (flood had fully drained)"
+        );
+        assert_eq!(
+            wire::encode_batch(resp.result.rows()),
+            expect,
+            "fair scheduling must be invisible in result bytes"
+        );
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.queries_ok, 257, "flood + point query all served");
+    assert_eq!(stats.queries_panicked + stats.queries_expired, 0);
+    service.shutdown();
+}
+
+/// The FIFO-recovery ablation: with every tenant at equal weight (the
+/// default), a single tenant's jobs drain in plain submission order —
+/// WDRR degenerates to exactly the old FIFO pool (pinned at the queue
+/// level by `engine::pool`'s `wdrr_single_tenant_is_fifo` and
+/// `wdrr_equal_weights_recover_fifo` tests). At the service level the
+/// observable contract is: default weights, interleaved tenants, and
+/// results still bit-identical to the serial oracle.
+#[test]
+fn equal_weights_recover_fifo_and_change_nothing_observable() {
+    let oracle = LegoBase::generate(SCALE);
+    let expected: Vec<Vec<u8>> = (1..=22)
+        .map(|n| {
+            wire::encode_batch(oracle.query(&par4(tpch_sql(n))).expect("oracle").result.rows())
+        })
+        .collect();
+
+    let options = ServeOptions::default().with_workers(3);
+    assert_eq!(options.default_weight, 1, "equal weights are the default");
+    let service = LegoBase::generate(SCALE).serve_with(options);
+    std::thread::scope(|scope| {
+        for offset in 0..2usize {
+            let (service, expected) = (&service, &expected);
+            scope.spawn(move || {
+                let session = service.session(); // default weight: 1
+                for k in (offset..22).step_by(2) {
+                    let resp = session.query(&par4(tpch_sql(k + 1))).expect("service query");
+                    assert_eq!(
+                        wire::encode_batch(resp.result.rows()),
+                        expected[k],
+                        "Q{} diverged under equal-weight scheduling",
+                        k + 1
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(service.stats().queries_ok, 22);
+    service.shutdown();
+}
+
+/// Deadlines are typed, counted, and cancel partial work without harming
+/// the service: an impossible deadline yields `DeadlineExceeded` (never a
+/// panic, never a wedged pool), and the very next query on the same
+/// service completes with oracle-identical bytes.
+#[test]
+fn expired_deadline_is_typed_and_the_pool_survives() {
+    let service = LegoBase::generate(SCALE).serve_with(ServeOptions::default().with_workers(2));
+    let session = service.session();
+    match session.query(&par4(tpch_sql(1)).with_deadline(Duration::from_nanos(1))) {
+        Err(QueryError::DeadlineExceeded { query, deadline, .. }) => {
+            assert!(!query.is_empty());
+            assert_eq!(deadline, Duration::from_nanos(1));
+        }
+        Err(other) => panic!("expected DeadlineExceeded, got {other}"),
+        Ok(_) => panic!("a 1ns deadline cannot complete"),
+    }
+    let stats = service.stats();
+    assert_eq!(stats.queries_expired, 1, "expiry is counted, not conflated with panics");
+    assert_eq!(stats.queries_panicked, 0);
+
+    // Same pool, same session: a generous deadline completes identically
+    // to no deadline at all.
+    let with = session
+        .query(&par4(tpch_sql(6)).with_deadline(Duration::from_secs(300)))
+        .expect("generous deadline");
+    let without = session.query(&par4(tpch_sql(6))).expect("no deadline");
+    assert_eq!(
+        wire::encode_batch(with.result.rows()),
+        wire::encode_batch(without.result.rows()),
+        "a deadline that does not fire must be invisible in result bytes"
+    );
+    service.shutdown();
+}
+
+/// Deadline expiry during *admission* (a full service, not a slow query)
+/// is the same typed error: queueing time counts against the deadline, so
+/// a flooded service declines instead of blocking the client forever.
+#[test]
+fn admission_queueing_counts_against_the_deadline() {
+    let service = LegoBase::generate(SCALE)
+        .serve_with(ServeOptions::default().with_workers(2).with_max_in_flight(1));
+    let gate_open = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let service = &service;
+        let gate_open = &gate_open;
+        // Occupy the single in-flight slot with a long-ish query burst.
+        scope.spawn(move || {
+            let session = service.session();
+            gate_open.fetch_add(1, Ordering::SeqCst);
+            for _ in 0..20 {
+                session.query(&par4(tpch_sql(1))).expect("occupier");
+            }
+        });
+        while gate_open.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        let session = service.session();
+        // With the slot held, a tiny deadline expires while queueing.
+        let mut saw_expiry = false;
+        for _ in 0..50 {
+            match session.query(&par4(tpch_sql(6)).with_deadline(Duration::from_micros(50))) {
+                Err(QueryError::DeadlineExceeded { .. }) => {
+                    saw_expiry = true;
+                    break;
+                }
+                Ok(_) => continue, // got the slot before expiry — try again
+                Err(other) => panic!("unexpected error while queueing: {other}"),
+            }
+        }
+        assert!(saw_expiry, "a 50µs deadline must expire in admission at least once");
+    });
+    service.shutdown();
+}

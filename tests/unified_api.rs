@@ -1,0 +1,190 @@
+//! The unified request API (PR 9's api_redesign): one `QueryRequest` in,
+//! one `QueryResponse`/`QueryError` out, on every surface — and the four
+//! legacy entry points reduced to thin wrappers that must stay
+//! behavior-identical. Also pins the lossless error mapping: converting
+//! between `ServiceError` and `QueryError` never collapses a variant to a
+//! string and never drops a field (spans included).
+
+use legobase::sql::tpch_sql;
+use legobase::sql::{Span, SqlError};
+use legobase::{
+    wire, Config, LegoBase, QueryError, QueryRequest, ServeOptions, ServiceError, Settings,
+};
+use std::time::Duration;
+
+const SCALE: f64 = 0.002;
+
+/// `run_sql` / `run_sql_with_settings` / `run_plan` are wrappers over
+/// `query()`: same bytes, same metadata, for a sample of queries.
+#[test]
+fn legacy_facade_wrappers_match_the_unified_path() {
+    let sys = LegoBase::generate(SCALE);
+    for n in [1usize, 6, 19] {
+        let legacy = sys.run_sql(tpch_sql(n), Config::OptC).expect("legacy run_sql");
+        let unified = sys
+            .query(&QueryRequest::sql(tpch_sql(n)).with_config(Config::OptC))
+            .expect("unified query");
+        assert_eq!(
+            wire::encode_batch(unified.result.rows()),
+            wire::encode_batch(legacy.result.rows()),
+            "Q{n}: wrapper and unified path disagree"
+        );
+        assert_eq!(
+            unified.opt.is_some(),
+            legacy.opt.is_some(),
+            "Q{n}: optimizer report presence must match"
+        );
+        let detail = unified.detail.expect("facade responses carry run detail");
+        assert!(detail.memory_bytes > 0 && !detail.compilation.c_source.is_empty());
+
+        let plan = sys.plan(n);
+        let legacy = sys.run_plan(&plan, &Settings::optimized());
+        let unified = sys
+            .query(&QueryRequest::plan(plan).with_settings(Settings::optimized()))
+            .expect("plan requests cannot fail without budget or deadline");
+        assert_eq!(
+            wire::encode_batch(unified.result.rows()),
+            wire::encode_batch(legacy.result.rows()),
+            "Q{n}: plan wrapper and unified path disagree"
+        );
+        assert!(unified.opt.is_none(), "hand plans never carry an optimizer report");
+    }
+}
+
+/// `explain_sql` is a wrapper over `query(..).with_explain(true)`.
+#[test]
+fn explain_wrapper_matches_the_unified_path() {
+    let sys = LegoBase::generate(SCALE);
+    let legacy = sys.explain_sql(tpch_sql(6), Config::OptC).expect("legacy explain");
+    let unified = sys
+        .query(&QueryRequest::sql(tpch_sql(6)).with_config(Config::OptC).with_explain(true))
+        .expect("unified explain");
+    assert_eq!(Some(legacy.sql), unified.explanation);
+    assert_eq!(legacy.report.is_some(), unified.opt.is_some());
+    assert!(unified.result.rows().is_empty(), "explain executes nothing");
+    assert!(unified.plan.is_some(), "in-process explain carries the plan");
+}
+
+/// Session legacy wrappers ride the same unified implementation: identical
+/// bytes and identical typed errors.
+#[test]
+fn legacy_session_wrappers_match_the_unified_path() {
+    let service = LegoBase::generate(SCALE).serve_with(ServeOptions::default().with_workers(2));
+    let session = service.session();
+    let legacy = session.run_sql(tpch_sql(6), Config::OptC).expect("legacy session run_sql");
+    let unified = session
+        .query(&QueryRequest::sql(tpch_sql(6)).with_config(Config::OptC))
+        .expect("unified session query");
+    assert_eq!(wire::encode_batch(unified.result.rows()), wire::encode_batch(legacy.result.rows()));
+    // The wrapper's second run hits the caches populated by the unified
+    // call — one shared implementation, one shared cache path.
+    let again = session.run_sql(tpch_sql(6), Config::OptC).unwrap();
+    assert!(again.plan_cached && again.prepared_cached);
+
+    // Typed errors: the legacy surface reports the ServiceError twin of
+    // the unified QueryError, span intact.
+    let bad = "SELECT count(*) AS n FROM lineitm";
+    let legacy_err = match session.run_sql(bad, Config::OptC) {
+        Err(ServiceError::Sql(e)) => e,
+        other => panic!("expected SQL error, got {:?}", other.map(|_| "ok")),
+    };
+    let unified_err = match session.query(&QueryRequest::sql(bad)) {
+        Err(QueryError::Sql(e)) => e,
+        other => panic!("expected SQL error, got {:?}", other.map(|_| "ok")),
+    };
+    assert_eq!(legacy_err.message, unified_err.message);
+    assert_eq!(legacy_err.span, unified_err.span);
+    service.shutdown();
+}
+
+/// A request-level memory budget overrides the session default (and the
+/// other way around: a session budget applies when the request sets none).
+#[test]
+fn request_budget_overrides_session_budget() {
+    let service = LegoBase::generate(SCALE).serve_with(ServeOptions::default().with_workers(2));
+    let session = service.session().with_memory_budget(1); // reject everything
+    match session.query(&QueryRequest::sql(tpch_sql(6))) {
+        Err(QueryError::OverBudget { budget_bytes: 1, .. }) => {}
+        other => panic!(
+            "session budget must apply: {:?}",
+            other.map(|_| "ok").map_err(|e| e.to_string())
+        ),
+    }
+    // The request's own (generous) budget wins over the session's.
+    session
+        .query(&QueryRequest::sql(tpch_sql(6)).with_memory_budget(usize::MAX))
+        .expect("request budget overrides session budget");
+    service.shutdown();
+}
+
+/// The lossless-conversion satellite: every `ServiceError` variant maps to
+/// its own `QueryError` variant and back with every field preserved — no
+/// variant is ever collapsed into a string, and the SQL span survives.
+#[test]
+fn error_conversions_are_lossless_in_both_directions() {
+    let cases: Vec<ServiceError> = vec![
+        ServiceError::Sql(SqlError {
+            message: "no table `lineitm`".into(),
+            span: Span { start: 26, end: 33 },
+        }),
+        ServiceError::OverBudget { estimated_bytes: 777, budget_bytes: 42, query: "q1".into() },
+        ServiceError::ShuttingDown,
+        ServiceError::QueryPanicked { query: "Q9".into(), message: "kernel boom".into() },
+        ServiceError::DeadlineExceeded {
+            query: "Q4".into(),
+            deadline: Duration::from_millis(3),
+            elapsed: Duration::from_millis(9),
+        },
+    ];
+    for original in cases {
+        let description = original.to_string();
+        let unified: QueryError = original.into();
+        // Forward: the variant is structural, not a stringification.
+        match &unified {
+            QueryError::Sql(e) => {
+                assert_eq!(e.message, "no table `lineitm`");
+                assert_eq!(e.span, Span { start: 26, end: 33 }, "span must survive conversion");
+            }
+            QueryError::OverBudget { estimated_bytes, budget_bytes, query } => {
+                assert_eq!((*estimated_bytes, *budget_bytes, query.as_str()), (777, 42, "q1"));
+            }
+            QueryError::ShuttingDown => {}
+            QueryError::QueryPanicked { query, message } => {
+                assert_eq!((query.as_str(), message.as_str()), ("Q9", "kernel boom"));
+            }
+            QueryError::DeadlineExceeded { query, deadline, elapsed } => {
+                assert_eq!(query, "Q4");
+                assert_eq!(*deadline, Duration::from_millis(3));
+                assert_eq!(*elapsed, Duration::from_millis(9));
+            }
+        }
+        // Round trip: back to ServiceError with the same rendering (the
+        // Display strings agree because the fields all survived).
+        let back: ServiceError = unified.into();
+        assert_eq!(back.to_string(), description);
+        assert!(
+            std::error::Error::source(&back).is_some() == matches!(back, ServiceError::Sql(_)),
+            "the SQL source chain survives the round trip"
+        );
+    }
+}
+
+/// Facade deadline semantics: expiry is typed, completion is byte-stable.
+#[test]
+fn facade_deadlines_are_typed_and_nonintrusive() {
+    let sys = LegoBase::generate(SCALE);
+    match sys.query(&QueryRequest::sql(tpch_sql(1)).with_deadline(Duration::from_nanos(1))) {
+        Err(QueryError::DeadlineExceeded { deadline, .. }) => {
+            assert_eq!(deadline, Duration::from_nanos(1))
+        }
+        other => panic!(
+            "expected DeadlineExceeded: {:?}",
+            other.map(|_| "ok").map_err(|e| e.to_string())
+        ),
+    }
+    let with = sys
+        .query(&QueryRequest::sql(tpch_sql(6)).with_deadline(Duration::from_secs(300)))
+        .expect("generous deadline");
+    let without = sys.query(&QueryRequest::sql(tpch_sql(6))).expect("no deadline");
+    assert_eq!(wire::encode_batch(with.result.rows()), wire::encode_batch(without.result.rows()));
+}
