@@ -105,11 +105,17 @@ impl LegoBase {
         LegoBase { data }
     }
 
-    /// Loads a database from a persistent column archive with a single
-    /// `fs::read` (`tpch archive` writes one; CI caches it between runs so
-    /// the perf baseline never pays for regeneration). The reader verifies
-    /// magic, version, and per-column checksums before any payload is
-    /// trusted.
+    /// Loads a database from a persistent column archive (`tpch archive`
+    /// writes one; CI caches it between runs so the perf baseline never
+    /// pays for regeneration). The reader verifies magic, version, and
+    /// per-column checksums before any payload is trusted.
+    ///
+    /// A v3 archive is `mmap`ed read-only: its bit-packed columns borrow
+    /// their words zero-copy from the page cache, and the encoded-column
+    /// loader adopts them instead of re-encoding — bit-identical results,
+    /// no decode tax on load. Mapping failures and v1/v2 archives fall back
+    /// to the plain read+decode path; set `LEGOBASE_MMAP=0` to force that
+    /// path everywhere (CI runs the equivalence suites once this way).
     ///
     /// ```no_run
     /// use legobase::{Config, LegoBase};
@@ -119,7 +125,15 @@ impl LegoBase {
     pub fn from_archive(
         path: impl AsRef<std::path::Path>,
     ) -> Result<LegoBase, tpch::archive::ArchiveError> {
-        Ok(LegoBase { data: tpch::archive::read(path.as_ref())? })
+        let mmap_off = std::env::var("LEGOBASE_MMAP")
+            .map(|v| matches!(v.as_str(), "0" | "false" | "off"))
+            .unwrap_or(false);
+        let data = if mmap_off {
+            tpch::archive::read(path.as_ref())?
+        } else {
+            tpch::archive::read_mapped(path.as_ref())?
+        };
+        Ok(LegoBase { data })
     }
 
     /// Writes this database to a persistent column archive
@@ -394,6 +408,18 @@ impl LoadedQuery {
         match &self.db {
             Db::Generic(db) => db.report,
             Db::Specialized(db) => db.report,
+        }
+    }
+
+    /// Current resident heap footprint of the loaded database. The
+    /// load-time snapshot in [`LoadedQuery::load_report`] predates
+    /// execution; this recount includes whole-column decode caches that
+    /// runs have materialized since (the space half of the scratch-unpack
+    /// trade), so the memory figure samples it after a warm-up execution.
+    pub fn memory_bytes(&self) -> usize {
+        match &self.db {
+            Db::Generic(db) => db.approx_bytes(),
+            Db::Specialized(db) => db.approx_bytes(),
         }
     }
 }

@@ -6,7 +6,7 @@
 //! memory footprint so the bench harness can regenerate Figs. 20 and 21.
 
 use crate::settings::Settings;
-use crate::spec::Specialization;
+use crate::spec::{Specialization, UnpackStrategy};
 use legobase_storage::column::{ColumnSpec, ColumnTable};
 use legobase_storage::dateindex::DateYearIndex;
 use legobase_storage::partition::{ForeignKeyPartition, PrimaryKeyIndex};
@@ -82,6 +82,15 @@ impl GenericDb {
     pub fn table(&self, name: &str) -> &RowTable {
         self.tables.get(name).unwrap_or_else(|| panic!("unknown table `{name}`"))
     }
+
+    /// Current resident heap footprint. Row tables never materialize decode
+    /// caches, so this always equals the load-time `report.approx_bytes` —
+    /// it exists for parity with [`SpecializedDb::approx_bytes`].
+    pub fn approx_bytes(&self) -> usize {
+        self.tables.values().map(RowTable::approx_bytes).sum::<usize>()
+            + self.fk_partitions.values().map(ForeignKeyPartition::approx_bytes).sum::<usize>()
+            + self.pk_indexes.values().map(PrimaryKeyIndex::approx_bytes).sum::<usize>()
+    }
 }
 
 /// The specialized (columnar) database used by the specialized executor.
@@ -98,6 +107,9 @@ pub struct SpecializedDb {
     pub date_indexes: HashMap<(String, usize), DateYearIndex>,
     /// Per-table statistics collected during loading.
     pub stats: HashMap<String, TableStats>,
+    /// Scan strategy per encoded column, copied from the specialization
+    /// report (PR 10); the executor's fused unpack-filter consults it.
+    pub unpack_strategies: HashMap<(String, usize), UnpackStrategy>,
     /// Load timing and memory accounting.
     pub report: LoadReport,
 }
@@ -180,6 +192,19 @@ impl SpecializedDb {
         if settings.encoding {
             let fallback = legobase_storage::ColumnStats::new(0, None, None);
             for p in &spec.encoded_columns {
+                // Scratch-strategy columns stay plain (PR 10): their uses
+                // (joins, group keys, aggregates, multi-scan predicates)
+                // read decoded values, so packed residency would only buy a
+                // decode cache of the same size back — the compiler prices
+                // that trade as "don't keep packed". Absent strategy means
+                // the conservative default, which is the same answer.
+                let keep_packed = matches!(
+                    spec.unpack_strategy(&p.table, p.column),
+                    Some(UnpackStrategy::WordCompare) | Some(UnpackStrategy::FusedUnpack)
+                );
+                if !keep_packed {
+                    continue;
+                }
                 let Some(t) = tables.get_mut(&p.table) else { continue };
                 let Some(col) = t.columns.get(p.column) else { continue };
                 let cstats = data
@@ -187,7 +212,23 @@ impl SpecializedDb {
                     .stats(&p.table)
                     .and_then(|s| s.column(p.column))
                     .unwrap_or(&fallback);
-                if let Some(enc) = col.encode(cstats) {
+                // Mapped archive loads (PR 10): when the archive already
+                // holds this column frame-of-reference packed at an aligned
+                // offset, adopt the zero-copy words instead of re-encoding.
+                // The writer's `from_values` and `encode` here derive the
+                // same base/max/width/words, so query results are
+                // bit-identical either way.
+                use legobase_storage::Column;
+                let mapped = data.mapped_packed(&p.table, p.column).and_then(|mp| match col {
+                    Column::I64(v) if v.len() == mp.len() => {
+                        Some(Column::I64Packed(std::sync::Arc::clone(mp)))
+                    }
+                    Column::Date(v) if v.len() == mp.len() => {
+                        Some(Column::DatePacked(std::sync::Arc::clone(mp)))
+                    }
+                    _ => None,
+                });
+                if let Some(enc) = mapped.or_else(|| col.encode(cstats)) {
                     t.columns[p.column] = enc;
                 }
             }
@@ -205,6 +246,11 @@ impl SpecializedDb {
             pk_indexes,
             date_indexes,
             stats,
+            unpack_strategies: if settings.encoding {
+                spec.unpack_strategies.clone()
+            } else {
+                HashMap::new()
+            },
             report: LoadReport { duration, approx_bytes },
         }
     }
@@ -212,6 +258,23 @@ impl SpecializedDb {
     /// Looks a loaded relation up by name (panics if absent).
     pub fn table(&self, name: &str) -> &ColumnTable {
         self.tables.get(name).unwrap_or_else(|| panic!("unknown table `{name}`"))
+    }
+
+    /// The scan strategy recorded for an encoded column, if any.
+    pub fn unpack_strategy(&self, table: &str, column: usize) -> Option<UnpackStrategy> {
+        self.unpack_strategies.get(&(table.to_string(), column)).copied()
+    }
+
+    /// Current resident heap footprint. Unlike the load-time
+    /// `report.approx_bytes` snapshot, this counts decode caches that
+    /// executions have materialized since (`PackedInts::decoded` memoizes
+    /// whole-column unpacks for scratch-strategy columns) — sample it after
+    /// a warm-up run for the honest steady-state number.
+    pub fn approx_bytes(&self) -> usize {
+        self.tables.values().map(ColumnTable::approx_bytes).sum::<usize>()
+            + self.fk_partitions.values().map(ForeignKeyPartition::approx_bytes).sum::<usize>()
+            + self.pk_indexes.values().map(PrimaryKeyIndex::approx_bytes).sum::<usize>()
+            + self.date_indexes.values().map(DateYearIndex::approx_bytes).sum::<usize>()
     }
 }
 
@@ -288,16 +351,21 @@ mod tests {
         assert!(pruned.report.approx_bytes < full.report.approx_bytes);
     }
 
-    /// Cleared columns re-encode after the structure builds: packed layout,
-    /// smaller footprint, identical values; floats stay plain; the
+    /// Cleared columns re-encode after the structure builds — but only the
+    /// strategies that scan packed (word-compare, fused) keep packed
+    /// residency; scratch-strategy columns stay plain (their decoded-value
+    /// uses would only buy the bytes back as a decode cache). Packed layout
+    /// means smaller footprint and identical values; floats stay plain; the
     /// `LEGOBASE_ENCODING=0`-style settings ablation keeps everything raw.
     #[test]
     fn encoding_step_packs_cleared_columns() {
+        use crate::spec::UnpackStrategy;
         let d = data();
         let mut spec = sample_spec();
         for c in [0usize, 5, 6, 10, 14] {
-            spec.add_encoded_column("lineitem", c);
+            spec.add_encoded_column_with("lineitem", c, UnpackStrategy::WordCompare);
         }
+        spec.add_encoded_column("orders", 0); // defaults to scratch
         let raw =
             SpecializedDb::load(&d, &spec, &Config::OptC.settings().with(|s| s.encoding = false));
         let enc = SpecializedDb::load(&d, &spec, &Config::OptC.settings());
@@ -308,6 +376,9 @@ mod tests {
         assert!(matches!(et.column(14), legobase_storage::Column::DictPacked(..)));
         assert!(matches!(et.column(5), legobase_storage::Column::F64(_))); // floats stay raw
         assert!(matches!(rt.column(0), legobase_storage::Column::I64(_)));
+        // The scratch-strategy clearance keeps plain residency: decoded
+        // access dominates that column, so packing it buys nothing back.
+        assert!(matches!(enc.table("orders").column(0), legobase_storage::Column::I64(_)));
         for c in [0usize, 10, 14] {
             for r in 0..rt.len {
                 assert_eq!(rt.column(c).value_at(r), et.column(c).value_at(r), "col {c} row {r}");

@@ -167,6 +167,12 @@ fn numeric(e: &Expr, chunk: &Chunk) -> Option<F64K> {
                 Column::F64(v) => Some(Box::new(move |r| v[r])),
                 Column::Date(v) => Some(Box::new(move |r| v[r] as f64)),
                 Column::Bool(v) => Some(Box::new(move |r| v[r] as i64 as f64)),
+                // Packed columns on a per-row path unpack on access (one
+                // shift/mask): heavy decoded consumers stay plain under the
+                // scratch strategy and the hot filters run the fused block
+                // path, so this only covers the residual cases (e.g. a
+                // selection-vector scan) — never worth pinning a
+                // whole-column decode cache for (PR 10).
                 Column::I64Packed(p) => Some(Box::new(move |r| p.get(r) as f64)),
                 Column::DatePacked(p) => Some(Box::new(move |r| p.get(r) as f64)),
                 _ => None,
@@ -555,9 +561,12 @@ pub fn code_kernel(col: usize, chunk: &Chunk) -> Option<I64K> {
         Column::Date(v) => Some(Box::new(move |r| v[r] as i64)),
         Column::Dict(codes, _) => Some(Box::new(move |r| codes[r] as i64)),
         Column::Bool(v) => Some(Box::new(move |r| v[r] as i64)),
-        // Packed columns group on decoded values/codes directly — the key
+        // Packed columns group on unpacked values/codes directly — the key
         // code an aggregation sees is identical to the plain layout's, so
-        // grouped results stay bit-identical.
+        // grouped results stay bit-identical. Group keys are classified as
+        // heavy uses, so the loader keeps those columns plain; this arm only
+        // covers hand-built plans, and a shift/mask per access beats pinning
+        // a whole-column decode cache there too.
         Column::I64Packed(p) => Some(Box::new(move |r| p.get(r))),
         Column::DatePacked(p) => Some(Box::new(move |r| p.get(r))),
         Column::DictPacked(p, _) => Some(Box::new(move |r| p.get(r))),
@@ -602,6 +611,285 @@ pub fn compile_value(e: &Expr, chunk: &Chunk) -> ValK {
             })
         }
     }
+}
+
+// ---- fused unpack-filter (PR 10) ----
+
+/// Per-worker reusable scratch for the fused unpack-filter path: one decode
+/// buffer per fused column plus the survivor mask. Buffers grow to the
+/// morsel size once and are reused for every subsequent morsel, so the hot
+/// filter loop performs no allocations after warm-up.
+pub struct UnpackScratch {
+    bufs: Vec<Vec<i64>>,
+    mask: Vec<bool>,
+}
+
+/// One side of a block-evaluable integer comparison.
+enum IntSrc {
+    /// Packed column: batch-unpacked into scratch slot `slot`, one morsel at
+    /// a time — never materialized whole.
+    Unpack { p: Arc<PackedInts>, slot: usize },
+    /// Plain integer column.
+    I64(Arc<Vec<i64>>),
+    /// Plain date column (day counts widen to `i64`).
+    Date(Arc<Vec<i32>>),
+    /// Integer or date literal.
+    Const(i64),
+}
+
+impl IntSrc {
+    /// Value at physical row `start + i`; `bufs` holds this morsel's fused
+    /// decodes (indexed from 0).
+    #[inline(always)]
+    fn at(&self, bufs: &[Vec<i64>], start: usize, i: usize) -> i64 {
+        match self {
+            IntSrc::Unpack { slot, .. } => bufs[*slot][i],
+            IntSrc::I64(v) => v[start + i],
+            IntSrc::Date(v) => v[start + i] as i64,
+            IntSrc::Const(c) => *c,
+        }
+    }
+}
+
+/// A per-distinct-code test for a dictionary predicate evaluated over
+/// batch-unpacked codes.
+enum CodeTest {
+    /// Equality against one resolved dictionary code.
+    Eq { code: i64, eq: bool },
+    /// Truth table indexed by code (ordering, membership).
+    Flags(Vec<bool>),
+}
+
+/// One conjunct of a fused filter.
+enum Conjunct {
+    /// Integer comparison evaluated block-at-a-time over the morsel.
+    Block { op: CmpOp, a: IntSrc, b: IntSrc },
+    /// Dictionary predicate over packed codes: codes batch-unpack into
+    /// scratch slot `slot`, then the morsel runs through the code test.
+    Code { p: Arc<PackedInts>, slot: usize, test: CodeTest },
+    /// Anything else runs as the ordinary per-row kernel.
+    Row(BoolK),
+}
+
+/// A filter compiled for fused morsel-at-a-time evaluation (PR 10): packed
+/// predicate columns on the fused strategy are batch-unpacked into
+/// per-worker scratch and compared there, so hot pipelines never materialize
+/// a decoded column. Selects exactly the rows the per-row path selects.
+pub struct BlockPred {
+    conjuncts: Vec<Conjunct>,
+    slots: usize,
+}
+
+impl BlockPred {
+    /// Fresh scratch sized for this predicate's fused columns (one per
+    /// worker in the morsel-parallel path).
+    pub fn scratch(&self) -> UnpackScratch {
+        UnpackScratch { bufs: vec![Vec::new(); self.slots], mask: Vec::new() }
+    }
+
+    /// Evaluates physical rows `[start, start + n)` and appends the
+    /// survivors to `out` in row order.
+    pub fn eval(&self, scratch: &mut UnpackScratch, start: usize, n: usize, out: &mut Vec<u32>) {
+        // Batch-decode every fused operand for this morsel (each slot once —
+        // slots are assigned per operand occurrence).
+        let unpack = |p: &PackedInts, slot: usize, bufs: &mut Vec<Vec<i64>>| {
+            let buf = &mut bufs[slot];
+            if buf.len() < n {
+                buf.resize(n, 0);
+            }
+            p.unpack_range(start, &mut buf[..n]);
+        };
+        for c in &self.conjuncts {
+            match c {
+                Conjunct::Block { a, b, .. } => {
+                    for src in [a, b] {
+                        if let IntSrc::Unpack { p, slot } = src {
+                            unpack(p, *slot, &mut scratch.bufs);
+                        }
+                    }
+                }
+                Conjunct::Code { p, slot, .. } => unpack(p, *slot, &mut scratch.bufs),
+                Conjunct::Row(_) => {}
+            }
+        }
+        let UnpackScratch { bufs, mask } = scratch;
+        mask.clear();
+        mask.resize(n, true);
+        for c in &self.conjuncts {
+            match c {
+                Conjunct::Block { op, a, b } => {
+                    // Tight branch-free comparison loop over the decoded
+                    // morsel: no per-row closure dispatch, autovectorizable.
+                    macro_rules! cmp_loop {
+                        ($cmp:expr) => {
+                            for (i, m) in mask.iter_mut().enumerate() {
+                                *m &= $cmp(a.at(bufs, start, i), b.at(bufs, start, i));
+                            }
+                        };
+                    }
+                    match op {
+                        CmpOp::Eq => cmp_loop!(|x, y| x == y),
+                        CmpOp::Ne => cmp_loop!(|x, y| x != y),
+                        CmpOp::Lt => cmp_loop!(|x, y| x < y),
+                        CmpOp::Le => cmp_loop!(|x, y| x <= y),
+                        CmpOp::Gt => cmp_loop!(|x, y| x > y),
+                        CmpOp::Ge => cmp_loop!(|x, y| x >= y),
+                    }
+                }
+                Conjunct::Code { slot, test, .. } => {
+                    let buf = &bufs[*slot][..n];
+                    match test {
+                        CodeTest::Eq { code, eq } => {
+                            for (i, m) in mask.iter_mut().enumerate() {
+                                *m &= (buf[i] == *code) == *eq;
+                            }
+                        }
+                        CodeTest::Flags(flags) => {
+                            for (i, m) in mask.iter_mut().enumerate() {
+                                *m &= flags[buf[i] as usize];
+                            }
+                        }
+                    }
+                }
+                Conjunct::Row(k) => {
+                    for (i, m) in mask.iter_mut().enumerate() {
+                        if *m {
+                            *m = k(start + i);
+                        }
+                    }
+                }
+            }
+        }
+        for (i, keep) in mask.iter().enumerate() {
+            legobase_storage::metrics::branch_eval();
+            if *keep {
+                out.push((start + i) as u32);
+            }
+        }
+    }
+}
+
+fn flatten_and<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::And(a, b) = e {
+        flatten_and(a, out);
+        flatten_and(b, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Compiles one comparison operand for the block path, allocating a scratch
+/// slot when the column is packed: batch-unpacking a morsel is cheaper per
+/// value than any per-row extract, whatever strategy cleared the column.
+fn int_src(e: &Expr, chunk: &Chunk, slots: &mut usize) -> Option<IntSrc> {
+    match e {
+        Expr::Col(i) => {
+            if chunk.nulls[*i].is_some() {
+                return None;
+            }
+            match chunk.cols[*i].clone() {
+                Column::I64(v) => Some(IntSrc::I64(v)),
+                Column::Date(v) => Some(IntSrc::Date(v)),
+                Column::I64Packed(p) | Column::DatePacked(p) => {
+                    let slot = *slots;
+                    *slots += 1;
+                    Some(IntSrc::Unpack { p, slot })
+                }
+                _ => None,
+            }
+        }
+        Expr::Lit(Value::Int(v)) => Some(IntSrc::Const(*v)),
+        Expr::Lit(Value::Date(d)) => Some(IntSrc::Const(d.0 as i64)),
+        _ => None,
+    }
+}
+
+/// Tries to compile one conjunct as a dictionary-code test over packed codes
+/// (`Conjunct::Code`), mirroring the per-row dictionary kernels exactly:
+/// equality pre-resolves the target code, ordering and membership pre-resolve
+/// a per-distinct truth table. Returns `None` for every shape the per-row
+/// path should keep (plain columns, unresolvable literals, non-string
+/// comparisons).
+fn code_conjunct(leaf: &Expr, chunk: &Chunk, slots: &mut usize) -> Option<Conjunct> {
+    let (i, test) = match leaf {
+        Expr::Cmp(op, a, b) => {
+            let (op, i, s) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(i), Expr::Lit(Value::Str(s))) => (*op, *i, s),
+                (Expr::Lit(Value::Str(s)), Expr::Col(i)) => (op.flip(), *i, s),
+                _ => return None,
+            };
+            let Column::DictPacked(_, dict) = &chunk.cols[i] else { return None };
+            let test = if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                // An unresolvable literal makes the conjunct constant; the
+                // per-row path handles that without a scratch slot.
+                let code = dict.code(s)? as i64;
+                CodeTest::Eq { code, eq: op == CmpOp::Eq }
+            } else {
+                let s = s.clone();
+                CodeTest::Flags(dict.matching_flags(|v| str_cmp(op, v, &s)))
+            };
+            (i, test)
+        }
+        Expr::InList(a, vals) => {
+            let Expr::Col(i) = a.as_ref() else { return None };
+            let Column::DictPacked(_, dict) = &chunk.cols[*i] else { return None };
+            let mut flags = vec![false; dict.len()];
+            for v in vals {
+                if let Value::Str(s) = v {
+                    if let Some(c) = dict.code(s) {
+                        flags[c as usize] = true;
+                    }
+                }
+            }
+            (*i, CodeTest::Flags(flags))
+        }
+        _ => return None,
+    };
+    if chunk.nulls[i].is_some() {
+        return None;
+    }
+    let Column::DictPacked(p, _) = chunk.cols[i].clone() else { return None };
+    let slot = *slots;
+    *slots += 1;
+    Some(Conjunct::Code { p, slot, test })
+}
+
+/// Compiles a predicate for fused morsel-at-a-time evaluation. Returns
+/// `None` unless at least one conjunct batch-unpacks a packed column —
+/// when nothing unpacks, the ordinary per-row path is equal or better and
+/// stays in charge. Per-morsel batch unpacking beats both the per-row
+/// word-compare and per-row flag lookups, so every packed operand the block
+/// path understands — int and date comparisons, dictionary equality,
+/// ordering, and membership — takes a scratch slot.
+pub fn compile_block_pred(e: &Expr, chunk: &Chunk) -> Option<BlockPred> {
+    let mut leaves = Vec::new();
+    flatten_and(e, &mut leaves);
+    let mut slots = 0usize;
+    let mut conjuncts = Vec::new();
+    for leaf in leaves {
+        if let Some(c) = code_conjunct(leaf, chunk, &mut slots) {
+            conjuncts.push(c);
+            continue;
+        }
+        let compiled = match leaf {
+            Expr::Cmp(op, a, b) => {
+                let before = slots;
+                match (int_src(a, chunk, &mut slots), int_src(b, chunk, &mut slots)) {
+                    (Some(sa), Some(sb)) => Conjunct::Block { op: *op, a: sa, b: sb },
+                    _ => {
+                        slots = before; // roll back a half-compiled pair
+                        Conjunct::Row(compile_bool(leaf, chunk))
+                    }
+                }
+            }
+            _ => Conjunct::Row(compile_bool(leaf, chunk)),
+        };
+        conjuncts.push(compiled);
+    }
+    if slots == 0 {
+        return None;
+    }
+    Some(BlockPred { conjuncts, slots })
 }
 
 #[cfg(test)]
@@ -765,6 +1053,69 @@ mod tests {
                 assert_eq!(kp(r), ke(r), "col {col} row {r}");
             }
         }
+    }
+
+    /// The fused block path must select exactly the rows the per-row path
+    /// selects, at every morsel split, and must decline when nothing fuses.
+    #[test]
+    fn block_pred_matches_per_row_path() {
+        let ch = encode_chunk(chunk(Some(DictKind::Normal)));
+        assert!(matches!(ch.cols[0], Column::I64Packed(_)));
+        // Each predicate contains at least one packed operand the block path
+        // understands (comparing ints to day counts is semantically
+        // meaningless but exercises the block loop) plus assorted row
+        // conjuncts.
+        let exprs = vec![
+            Expr::lt(Expr::col(0), Expr::col(3)),
+            Expr::and(
+                Expr::ge(Expr::col(0), Expr::lit(1i64)), // packed lit: fuses too
+                Expr::lt(Expr::col(0), Expr::col(3)),
+            ),
+            Expr::and(
+                Expr::lt(Expr::col(0), Expr::col(3)),
+                Expr::eq(Expr::col(2), Expr::lit("SHIP")), // dict eq: Code conjunct
+            ),
+            Expr::and(
+                Expr::lt(Expr::col(1), Expr::lit(2.5)), // float: row conjunct
+                Expr::gt(Expr::col(3), Expr::col(0)),
+            ),
+            // Dict membership and ordering compile as Code conjuncts.
+            Expr::in_list(Expr::col(2), vec![Value::from("SHIP"), Value::from("MAIL")]),
+            Expr::and(
+                Expr::ge(Expr::col(2), Expr::lit("MAIL")),
+                Expr::gt(Expr::col(0), Expr::lit(0i64)),
+            ),
+        ];
+        for e in &exprs {
+            let Some(bp) = compile_block_pred(e, &ch) else {
+                panic!("expr {e} should fuse");
+            };
+            let per_row = compile_bool(e, &ch);
+            let expect: Vec<u32> =
+                (0..ch.total).filter(|&r| per_row(r)).map(|r| r as u32).collect();
+            // Every split of the rows into "morsels" yields the same sel.
+            for step in [1usize, 3, ch.total] {
+                let mut scratch = bp.scratch();
+                let mut got = Vec::new();
+                let mut start = 0;
+                while start < ch.total {
+                    let n = step.min(ch.total - start);
+                    bp.eval(&mut scratch, start, n, &mut got);
+                    start += n;
+                }
+                assert_eq!(got, expect, "expr {e} step {step}");
+            }
+        }
+        // A plain (unencoded) chunk has nothing to batch-unpack, so the
+        // block compiler declines and the per-row path stays in charge.
+        let plain = chunk(None);
+        for e in &exprs {
+            assert!(compile_block_pred(e, &plain).is_none(), "expr {e} on plain chunk");
+        }
+        // An unresolvable dictionary literal makes the conjunct constant;
+        // alone it allocates no slot, so the block compiler declines.
+        let unresolvable = Expr::eq(Expr::col(2), Expr::lit("NO-SUCH-MODE"));
+        assert!(compile_block_pred(&unresolvable, &ch).is_none());
     }
 
     #[test]

@@ -79,4 +79,4 @@ pub use plan::{AggSpec, JoinKind, Plan, QueryPlan, SortOrder};
 pub use pool::MorselPool;
 pub use result::ResultTable;
 pub use settings::{Config, EngineKind, Settings};
-pub use spec::Specialization;
+pub use spec::{Specialization, UnpackStrategy};

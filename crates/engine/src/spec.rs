@@ -31,6 +31,42 @@ pub struct PartitionSpec {
     pub column: usize,
 }
 
+/// How the specialized kernels read one encoded column (PR 10): the
+/// `Encode` transformer prices the scan side of the representation choice
+/// and records the cheapest strategy that covers every use of the column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum UnpackStrategy {
+    /// Every use is a literal comparison or a pre-resolvable dictionary
+    /// test: block filters batch-unpack each morsel and compare against the
+    /// pre-encoded literal (or per-distinct truth table); per-row fallbacks
+    /// compare pre-encoded raw offsets in place. The decoded column is
+    /// never materialized either way.
+    WordCompare,
+    /// Predicate-only uses on a single scan that need decoded values
+    /// (column-vs-column, arithmetic): batch-unpack each morsel into a
+    /// per-worker scratch buffer, fused with the filter — the decoded column
+    /// is never materialized.
+    FusedUnpack,
+    /// The column's decoded values dominate (group keys, aggregates, join
+    /// keys, or predicates across multiple scans of the table): the loader
+    /// keeps the column **plain** — packed residency would only buy back a
+    /// decode cache of the same size and a per-access unpack tax. The safe
+    /// default.
+    #[default]
+    ScratchUnpack,
+}
+
+impl UnpackStrategy {
+    /// Short name used in reports and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnpackStrategy::WordCompare => "word-compare",
+            UnpackStrategy::FusedUnpack => "fused-unpack",
+            UnpackStrategy::ScratchUnpack => "scratch-unpack",
+        }
+    }
+}
+
 /// Everything the loader needs to specialize the physical database for one
 /// query.
 #[derive(Clone, Debug)]
@@ -66,6 +102,10 @@ pub struct Specialization {
     /// the partition/index/dictionary builds; kernels then scan them without
     /// decompressing. Empty = the query runs entirely on plain columns.
     pub encoded_columns: Vec<PartitionSpec>,
+    /// Per-column scan strategy for the cleared columns (PR 10). Columns
+    /// cleared without an explicit strategy default to
+    /// [`UnpackStrategy::ScratchUnpack`], which is always correct.
+    pub unpack_strategies: HashMap<(String, usize), UnpackStrategy>,
 }
 
 impl Default for Specialization {
@@ -80,6 +120,7 @@ impl Default for Specialization {
             parallel_joins: 0,
             parallel_sorts: 0,
             encoded_columns: Vec::new(),
+            unpack_strategies: HashMap::new(),
         }
     }
 }
@@ -126,14 +167,47 @@ impl Specialization {
         Self::push_unique(&mut self.date_indexes, table, column);
     }
 
-    /// Clears `(table, column)` for encoded (packed) storage.
+    /// Clears `(table, column)` for encoded (packed) storage with the
+    /// default (always-correct) scratch-unpack scan strategy.
     pub fn add_encoded_column(&mut self, table: &str, column: usize) {
+        self.add_encoded_column_with(table, column, UnpackStrategy::ScratchUnpack);
+    }
+
+    /// Clears `(table, column)` for encoded storage and records the scan
+    /// strategy the kernels should use for it. Re-clearing an already-cleared
+    /// column *downgrades* toward safety: a column that any use forces to
+    /// scratch-unpack stays scratch-unpack.
+    pub fn add_encoded_column_with(
+        &mut self,
+        table: &str,
+        column: usize,
+        strategy: UnpackStrategy,
+    ) {
         Self::push_unique(&mut self.encoded_columns, table, column);
+        let slot = self.unpack_strategies.entry((table.to_string(), column)).or_insert(strategy);
+        // Safety order: WordCompare < FusedUnpack < ScratchUnpack.
+        let rank = |s: UnpackStrategy| match s {
+            UnpackStrategy::WordCompare => 0,
+            UnpackStrategy::FusedUnpack => 1,
+            UnpackStrategy::ScratchUnpack => 2,
+        };
+        if rank(strategy) > rank(*slot) {
+            *slot = strategy;
+        }
     }
 
     /// True when `(table, column)` was cleared for encoded storage.
     pub fn has_encoded_column(&self, table: &str, column: usize) -> bool {
         self.encoded_columns.iter().any(|p| p.table == table && p.column == column)
+    }
+
+    /// The scan strategy recorded for a cleared column (`None` when the
+    /// column was not cleared at all).
+    pub fn unpack_strategy(&self, table: &str, column: usize) -> Option<UnpackStrategy> {
+        if !self.has_encoded_column(table, column) {
+            return None;
+        }
+        Some(self.unpack_strategies.get(&(table.to_string(), column)).copied().unwrap_or_default())
     }
 
     /// Registers (or upgrades) a dictionary decision. Kind upgrades follow
@@ -172,6 +246,25 @@ mod tests {
         assert_eq!(s.parallelism, 1);
         assert_eq!(s.parallel_joins, 0);
         assert_eq!(s.parallel_sorts, 0);
+    }
+
+    #[test]
+    fn unpack_strategies_record_and_downgrade_toward_safety() {
+        let mut s = Specialization::default();
+        assert_eq!(s.unpack_strategy("lineitem", 10), None);
+        s.add_encoded_column_with("lineitem", 10, UnpackStrategy::WordCompare);
+        assert_eq!(s.unpack_strategy("lineitem", 10), Some(UnpackStrategy::WordCompare));
+        // A second, heavier use downgrades toward the safe strategy…
+        s.add_encoded_column_with("lineitem", 10, UnpackStrategy::ScratchUnpack);
+        assert_eq!(s.unpack_strategy("lineitem", 10), Some(UnpackStrategy::ScratchUnpack));
+        // …and never upgrades back.
+        s.add_encoded_column_with("lineitem", 10, UnpackStrategy::FusedUnpack);
+        assert_eq!(s.unpack_strategy("lineitem", 10), Some(UnpackStrategy::ScratchUnpack));
+        // The plain clearing API defaults to scratch-unpack.
+        s.add_encoded_column("lineitem", 11);
+        assert_eq!(s.unpack_strategy("lineitem", 11), Some(UnpackStrategy::ScratchUnpack));
+        assert_eq!(s.encoded_columns.len(), 2);
+        assert_eq!(UnpackStrategy::FusedUnpack.name(), "fused-unpack");
     }
 
     #[test]

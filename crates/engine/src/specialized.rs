@@ -155,6 +155,14 @@ impl<'a> Exec<'a> {
         self.settings.parallel_sorts && go_parallel(self.settings.parallelism, rows)
     }
 
+    /// Compiles the fused unpack-filter for a base-scan predicate, when at
+    /// least one referenced packed column can batch-unpack per morsel
+    /// (PR 10).
+    fn block_pred(&self, predicate: &Expr, chunk: &Chunk) -> Option<kernel::BlockPred> {
+        chunk.base.as_deref()?;
+        kernel::compile_block_pred(predicate, chunk)
+    }
+
     // ---- operators ----
 
     fn run(&self, plan: &Plan, need: &Need) -> Chunk {
@@ -201,6 +209,41 @@ impl<'a> Exec<'a> {
             }
         }
         let mut chunk = self.run(input, &child_need_select(need, predicate));
+        // Fused unpack-filter (PR 10): on a fresh base scan whose predicate
+        // reads fused-strategy packed columns, batch-unpack each morsel into
+        // per-worker scratch and filter there — the decoded column is never
+        // materialized. Selects exactly the rows the per-row path selects,
+        // so the selection vector (and every downstream result) is
+        // bit-identical at any degree.
+        if self.settings.compiled_exprs && chunk.sel.is_none() {
+            if let Some(bp) = self.block_pred(predicate, &chunk) {
+                let n = chunk.len();
+                if go_parallel(self.settings.parallelism, n) {
+                    let parts: Vec<Vec<u32>> = run_morsels(
+                        self.settings.parallelism,
+                        &row_morsels(n),
+                        || bp.scratch(),
+                        |scratch, m| {
+                            let mut sel = Vec::new();
+                            bp.eval(scratch, m.start, m.len(), &mut sel);
+                            sel
+                        },
+                    );
+                    chunk.sel = Some(Arc::new(parts.concat()));
+                } else {
+                    let mut sel = Vec::new();
+                    if self.settings.code_motion {
+                        sel.reserve(n);
+                    }
+                    let mut scratch = bp.scratch();
+                    for m in row_morsels(n) {
+                        bp.eval(&mut scratch, m.start, m.len(), &mut sel);
+                    }
+                    chunk.sel = Some(Arc::new(sel));
+                }
+                return chunk;
+            }
+        }
         let pred = self.pred(predicate, &chunk);
         if go_parallel(self.settings.parallelism, chunk.len()) {
             // Morsel-driven filter: workers share the compiled predicate

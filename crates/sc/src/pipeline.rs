@@ -287,6 +287,52 @@ mod tests {
         assert!(!off.c_source.contains("encoded column scan"));
     }
 
+    /// The Encode transformer prices each cleared column's scan side
+    /// (PR 10): literal filters stay in the raw word domain, single-scan
+    /// decoded predicates fuse into the filter, and repeated reads fall back
+    /// to the memoized whole-column decode.
+    #[test]
+    fn unpack_strategies_price_the_scan_side() {
+        use legobase_engine::UnpackStrategy;
+        let cat = catalog();
+        let li = |name: &str| cat.table("lineitem").schema.col(name);
+        // Q6: the shipdate filter compares against literals only — raw word
+        // compares, never decoded.
+        let r6 = compile(&legobase_queries::query(&cat, 6), &cat, &Settings::optimized());
+        assert_eq!(
+            r6.spec.unpack_strategy("lineitem", li("l_shipdate")),
+            Some(UnpackStrategy::WordCompare)
+        );
+        // Q1 groups on the dictionary-coded flags: repeated decoded reads.
+        let r1 = compile(&legobase_queries::query(&cat, 1), &cat, &Settings::optimized());
+        assert_eq!(
+            r1.spec.unpack_strategy("lineitem", li("l_returnflag")),
+            Some(UnpackStrategy::ScratchUnpack)
+        );
+        // Q12 compares shipdate/commitdate/receiptdate to each other inside
+        // one lineitem scan: the unpack fuses into the filter.
+        let r12 = compile(&legobase_queries::query(&cat, 12), &cat, &Settings::optimized());
+        for col in ["l_shipdate", "l_commitdate", "l_receiptdate"] {
+            assert_eq!(
+                r12.spec.unpack_strategy("lineitem", li(col)),
+                Some(UnpackStrategy::FusedUnpack),
+                "{col}"
+            );
+        }
+        assert!(r12.c_source.contains("fused-unpack"));
+        // Q21 runs the receiptdate > commitdate filter across several
+        // lineitem scans: one memoized decode shared by all of them instead
+        // of re-unpacking the same packed words per scan.
+        let r21 = compile(&legobase_queries::query(&cat, 21), &cat, &Settings::optimized());
+        for col in ["l_receiptdate", "l_commitdate"] {
+            assert_eq!(
+                r21.spec.unpack_strategy("lineitem", li(col)),
+                Some(UnpackStrategy::ScratchUnpack),
+                "{col}"
+            );
+        }
+    }
+
     #[test]
     fn q12_specialization_matches_paper_narrative() {
         let cat = catalog();

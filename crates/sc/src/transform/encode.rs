@@ -15,7 +15,9 @@ use crate::ir::{Program, Stmt};
 use crate::rules::{TransformCtx, Transformer};
 use legobase_engine::expr::Expr as PExpr;
 use legobase_engine::plan::Plan;
+use legobase_engine::UnpackStrategy;
 use legobase_storage::Type;
+use std::collections::{HashMap, HashSet};
 
 /// Clears touched Int/Date/dictionary base columns for packed storage.
 pub struct Encode;
@@ -27,16 +29,36 @@ impl Transformer for Encode {
 
     fn run(&self, mut prog: Program, ctx: &mut TransformCtx<'_>) -> Program {
         // ---- analysis: every base (table, column) the query reads, via the
-        // same plan-level provenance the other decision passes use.
+        // same plan-level provenance the other decision passes use — split
+        // into the three usage classes that price the scan side of the
+        // representation (PR 10, DESIGN.md §3e):
+        //
+        // * `lit` — literal comparisons in selection predicates: kernels
+        //   compare pre-encoded raw offsets and never decode at all;
+        // * `pred` — predicate uses that need decoded values (column-vs-
+        //   column comparisons, arithmetic, string-flag lookups);
+        // * `heavy` — everything outside selection predicates (projections,
+        //   join keys and residuals, aggregates, group/sort keys): the
+        //   decoded values are read repeatedly downstream.
+        let mut lit: HashSet<(String, usize)> = HashSet::new();
+        let mut pred: HashSet<(String, usize)> = HashSet::new();
+        let mut heavy: HashSet<(String, usize)> = HashSet::new();
         let mut touched: Vec<(String, usize)> = Vec::new();
+        let mut scans: HashMap<String, usize> = HashMap::new();
         walk_plans(ctx, |plan, resolve| match plan {
+            Plan::Scan { table } if !table.starts_with('#') => {
+                *scans.entry(table.clone()).or_insert(0) += 1;
+            }
             Plan::Select { input, predicate } => {
-                collect_col_refs(predicate, &resolve(input), &mut touched)
+                let p = resolve(input);
+                collect_col_refs(predicate, &p, &mut touched);
+                classify_pred(predicate, &p, &mut lit, &mut pred);
             }
             Plan::Project { input, exprs } => {
                 let p = resolve(input);
                 for (e, _) in exprs {
                     collect_col_refs(e, &p, &mut touched);
+                    collect_into(e, &p, &mut heavy);
                 }
             }
             Plan::HashJoin { left, right, left_keys, right_keys, residual, .. } => {
@@ -44,29 +66,35 @@ impl Transformer for Encode {
                 let r = resolve(right);
                 for &k in left_keys {
                     push_prov(&l, k, &mut touched);
+                    insert_prov(&l, k, &mut heavy);
                 }
                 for &k in right_keys {
                     push_prov(&r, k, &mut touched);
+                    insert_prov(&r, k, &mut heavy);
                 }
                 if let Some(res) = residual {
                     let mut p = l;
                     p.extend(r);
                     collect_col_refs(res, &p, &mut touched);
+                    collect_into(res, &p, &mut heavy);
                 }
             }
             Plan::Agg { input, group_by, aggs } => {
                 let p = resolve(input);
                 for a in aggs {
                     collect_col_refs(&a.expr, &p, &mut touched);
+                    collect_into(&a.expr, &p, &mut heavy);
                 }
                 for &g in group_by {
                     push_prov(&p, g, &mut touched);
+                    insert_prov(&p, g, &mut heavy);
                 }
             }
             Plan::Sort { input, keys } => {
                 let p = resolve(input);
                 for (k, _) in keys {
                     push_prov(&p, *k, &mut touched);
+                    insert_prov(&p, *k, &mut heavy);
                 }
             }
             _ => {}
@@ -74,25 +102,110 @@ impl Transformer for Encode {
 
         // ---- decision: ints and dates pack directly; strings pack their
         // codes only when a dictionary decision exists (StringDictionary runs
-        // earlier in the pipeline); everything else stays plain.
+        // earlier in the pipeline); everything else stays plain. Each cleared
+        // column also gets the cheapest scan strategy that covers every one
+        // of its uses (add_encoded_column_with downgrades toward safety when
+        // a column shows up in several classes).
         for (t, c) in touched {
-            match ctx.catalog.table(&t).schema.ty(c) {
-                Type::Int | Type::Date => ctx.spec.add_encoded_column(&t, c),
-                Type::Str if ctx.spec.dict_kind(&t, c).is_some() => {
-                    ctx.spec.add_encoded_column(&t, c)
-                }
-                _ => {}
+            let ty = ctx.catalog.table(&t).schema.ty(c);
+            let encodable = matches!(ty, Type::Int | Type::Date)
+                || (ty == Type::Str && ctx.spec.dict_kind(&t, c).is_some());
+            if !encodable {
+                continue;
             }
+            let key = (t.clone(), c);
+            let multi_scan = scans.get(&t).copied().unwrap_or(0) > 1;
+            let strategy = if heavy.contains(&key) {
+                UnpackStrategy::ScratchUnpack
+            } else if pred.contains(&key) {
+                // Decoded predicate values: dictionary-coded string tests
+                // (ordering flags, LIKE, word sequences) index per-distinct
+                // flags by the code — batch-unpacked per morsel in block
+                // filters, a shift/mask per row elsewhere, never a string
+                // decode — so they stay in the code domain. Int/date
+                // predicates fuse the unpack into the filter on a singly
+                // scanned table; a table scanned several times (Q21's
+                // lineitem passes) keeps the column plain instead — see the
+                // scratch-strategy pricing note below.
+                if ty == Type::Str {
+                    UnpackStrategy::WordCompare
+                } else if multi_scan {
+                    UnpackStrategy::ScratchUnpack
+                } else {
+                    UnpackStrategy::FusedUnpack
+                }
+            } else {
+                UnpackStrategy::WordCompare
+            };
+            ctx.spec.add_encoded_column_with(&t, c, strategy);
         }
 
         let n = ctx.spec.encoded_columns.len();
         if n > 0 {
-            // The banner lands in the generated C, like Parallelize's.
-            prog.stmts
-                .insert(0, Stmt::Comment(format!("encoded column scan: {n} column(s) bit-packed")));
+            // The banner lands in the generated C, like Parallelize's; the
+            // per-strategy split documents the PR 10 scan pricing.
+            let count = |s: UnpackStrategy| {
+                ctx.spec
+                    .encoded_columns
+                    .iter()
+                    .filter(|p| ctx.spec.unpack_strategy(&p.table, p.column) == Some(s))
+                    .count()
+            };
+            prog.stmts.insert(
+                0,
+                Stmt::Comment(format!(
+                    "encoded column scan: {n} column(s) cleared ({} word-compare, {} fused-unpack, {} scratch-unpack/plain)",
+                    count(UnpackStrategy::WordCompare),
+                    count(UnpackStrategy::FusedUnpack),
+                    count(UnpackStrategy::ScratchUnpack),
+                )),
+            );
         }
         prog
     }
+}
+
+/// Classifies the column references of a selection predicate: literal
+/// comparisons (and pre-encodable membership/equality tests) go to `lit`,
+/// everything else that reads a column goes to `pred`.
+fn classify_pred(
+    e: &PExpr,
+    prov: &Prov,
+    lit: &mut HashSet<(String, usize)>,
+    pred: &mut HashSet<(String, usize)>,
+) {
+    match e {
+        PExpr::And(a, b) | PExpr::Or(a, b) => {
+            classify_pred(a, prov, lit, pred);
+            classify_pred(b, prov, lit, pred);
+        }
+        PExpr::Not(a) => classify_pred(a, prov, lit, pred),
+        PExpr::Cmp(_, a, b) => match (a.as_ref(), b.as_ref()) {
+            (PExpr::Col(i), PExpr::Lit(_)) | (PExpr::Lit(_), PExpr::Col(i)) => {
+                insert_prov(prov, *i, lit)
+            }
+            _ => {
+                collect_into(a, prov, pred);
+                collect_into(b, prov, pred);
+            }
+        },
+        // Membership over a bare column pre-encodes the list into the frame
+        // of reference (integers) or dictionary codes — no decode.
+        PExpr::InList(a, _) if matches!(a.as_ref(), PExpr::Col(_)) => collect_into(a, prov, lit),
+        _ => collect_into(e, prov, pred),
+    }
+}
+
+fn insert_prov(prov: &Prov, idx: usize, out: &mut HashSet<(String, usize)>) {
+    if let Some(Some((t, c))) = prov.get(idx) {
+        out.insert((t.clone(), *c));
+    }
+}
+
+fn collect_into(e: &PExpr, prov: &Prov, out: &mut HashSet<(String, usize)>) {
+    let mut v = Vec::new();
+    collect_col_refs(e, prov, &mut v);
+    out.extend(v);
 }
 
 fn push_prov(prov: &Prov, idx: usize, out: &mut Vec<(String, usize)>) {

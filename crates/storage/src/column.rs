@@ -9,7 +9,7 @@
 
 use crate::date::Date;
 use crate::dict::{DictKind, StringDictionary};
-use crate::packed::PackedInts;
+use crate::packed::{PackedCursor, PackedInts};
 use crate::row::RowTable;
 use crate::schema::{Schema, Type};
 use crate::stats::ColumnStats;
@@ -122,8 +122,10 @@ impl I64Reader<'_> {
 pub enum DateReader<'a> {
     /// Uncompressed day counts.
     Plain(&'a [i32]),
-    /// Frame-of-reference packed day counts.
-    Packed(&'a PackedInts),
+    /// Frame-of-reference packed day counts, read through a prepared
+    /// [`PackedCursor`] so scattered probes (date-index candidate filtering)
+    /// pay no per-call setup.
+    Packed(PackedCursor<'a>),
 }
 
 impl DateReader<'_> {
@@ -132,7 +134,7 @@ impl DateReader<'_> {
     pub fn get(&self, row: usize) -> i32 {
         match self {
             DateReader::Plain(v) => v[row],
-            DateReader::Packed(p) => p.get(row) as i32,
+            DateReader::Packed(c) => c.get(row) as i32,
         }
     }
 
@@ -140,7 +142,7 @@ impl DateReader<'_> {
     pub fn len(&self) -> usize {
         match self {
             DateReader::Plain(v) => v.len(),
-            DateReader::Packed(p) => p.len(),
+            DateReader::Packed(c) => c.len(),
         }
     }
 
@@ -285,7 +287,7 @@ impl Column {
     pub fn date_reader(&self) -> Result<DateReader<'_>, ColumnError> {
         match self {
             Column::Date(v) => Ok(DateReader::Plain(v)),
-            Column::DatePacked(p) => Ok(DateReader::Packed(p)),
+            Column::DatePacked(p) => Ok(DateReader::Packed(p.cursor())),
             Column::Absent => Err(ColumnError::Absent),
             other => Err(ColumnError::TypeMismatch { expected: "Date", found: other.kind_name() }),
         }

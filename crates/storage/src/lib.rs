@@ -28,7 +28,10 @@
 //!   is single-threaded; DESIGN.md §3 specifies the determinism contract).
 //! * [`packed`] — frame-of-reference bit-packed integer storage behind the
 //!   encoded column variants (PR 7): kernels scan packed words and
-//!   dictionary codes without decompressing.
+//!   dictionary codes without decompressing, and batch-unpack whole morsels
+//!   word-at-a-time when they need decoded values (PR 10).
+//! * [`mapped`] — a dependency-free read-only `mmap` wrapper so LBCA v3
+//!   archives serve packed payloads zero-copy from the page cache (PR 10).
 //! * [`metrics`] — portable proxy counters standing in for the paper's CPU
 //!   performance counters (Fig. 18).
 //! * [`stats`] — the loading-time statistics LegoBase uses to size
@@ -38,6 +41,7 @@ pub mod column;
 pub mod date;
 pub mod dateindex;
 pub mod dict;
+pub mod mapped;
 pub mod metrics;
 pub mod morsel;
 pub mod packed;
@@ -52,7 +56,8 @@ pub mod value;
 pub use column::{CodeReader, Column, ColumnError, ColumnTable, DateReader, I64Reader};
 pub use date::Date;
 pub use dict::{DictKind, StringDictionary};
-pub use packed::PackedInts;
+pub use mapped::Mapping;
+pub use packed::{PackedCursor, PackedInts};
 pub use row::RowTable;
 pub use schema::{Catalog, Field, ForeignKey, Schema, TableMeta, Type};
 pub use stats::{ColumnStats, DistinctSketch, Histogram, TableStatistics};

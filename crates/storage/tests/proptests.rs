@@ -243,6 +243,45 @@ proptest! {
         prop_assert_eq!(back.as_ref(), Some(&p));
     }
 
+    /// Batch unpacking equals per-element `get` exactly: arbitrary ranges
+    /// (morsel boundaries straddling u64 words, non-multiple-of-64 tails)
+    /// at the ISSUE's edge widths {1, 7, 63, 64}, plus a random width, plus
+    /// width-0 constant columns — and the memoized whole-column decode
+    /// agrees too (PR 10 batch unpack kernels).
+    #[test]
+    fn batch_unpack_equals_per_element_get(
+        width_sel in 0usize..5,
+        rand_width in 1u32..=64,
+        seeds in proptest::collection::vec(any::<u64>(), 1..400),
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..1.0,
+        constant in -5000i64..5000,
+    ) {
+        use legobase_storage::PackedInts;
+        let width = [1u32, 7, 63, 64, rand_width][width_sel];
+        let hi = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let vals: Vec<i64> = seeds.iter().map(|s| (s & hi) as i64).collect();
+        let p = PackedInts::from_values(&vals);
+        let start = (start_frac * vals.len() as f64) as usize;
+        let len = ((len_frac * (vals.len() - start) as f64) as usize).min(vals.len() - start);
+        let mut out = vec![0i64; len];
+        p.unpack_range(start, &mut out);
+        for (k, &got) in out.iter().enumerate() {
+            prop_assert_eq!(got, p.get(start + k), "width {} row {}", width, start + k);
+        }
+        let whole = p.decoded();
+        prop_assert_eq!(whole.len(), vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            prop_assert_eq!(whole[i], v, "decoded row {}", i);
+        }
+        // Width-0 constant columns batch-fill the base.
+        let c = PackedInts::from_values(&vec![constant; seeds.len()]);
+        prop_assert_eq!(c.width(), 0);
+        let mut cout = vec![0i64; len];
+        c.unpack_range(start, &mut cout);
+        prop_assert!(cout.iter().all(|&v| v == constant));
+    }
+
     /// Every encodable column layout (int, date, dictionary codes) survives
     /// encode → read-back and encode → decode bit-identically.
     #[test]

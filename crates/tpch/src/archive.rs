@@ -11,8 +11,9 @@
 //! ```text
 //! magic "LBCA" | version u32 | scale_factor f64 | table_count u32
 //! per table:   name (u16 len + bytes) | row_count u64 | col_count u32
-//! per column:  tag u8 | payload_len u64 | payload | fnv1a(payload) u64
-//! v2 only, after the last table, one stats block per table (TABLES order):
+//! per column:  tag u8 | payload_len u64 | [v3: zero pad to 8-byte file
+//!              offset] | payload | fnv1a(payload) u64
+//! v2+, after the last table, one stats block per table (TABLES order):
 //!              payload_len u64 | payload | fnv1a(payload) u64
 //! ```
 //!
@@ -30,21 +31,33 @@
 //! block) still load; their statistics are re-collected. A corrupt stats
 //! block is a typed [`ArchiveError::Corrupt`], never a panic, and never a
 //! silent fall-back to stale estimates.
+//!
+//! Version 3 (PR 10) aligns every column payload to an 8-byte file offset
+//! with deterministic zero padding (the pad length follows from the cursor
+//! position alone, so writer and reader agree without storing it), and
+//! packed payloads pad their 17-byte header to 24 bytes — the packed words
+//! therefore sit 8-byte aligned in the file. [`read_mapped`] exploits this:
+//! it `mmap`s the archive and hands the engine [`PackedInts`] that borrow
+//! the packed words straight from the page cache (zero copies, zero decode
+//! until a kernel asks). Any mapping failure — and any v1/v2 archive —
+//! falls back to the ordinary read+decode path; misaligned or truncated v3
+//! payloads are typed [`ArchiveError`]s, never panics or unaligned reads.
 
 use crate::gen::TpchData;
 use crate::schema::{catalog, TABLES};
 use legobase_storage::{
-    ColumnStats, Date, DistinctSketch, Histogram, PackedInts, RowTable, TableStatistics, Type,
-    Value,
+    ColumnStats, Date, DistinctSketch, Histogram, Mapping, PackedInts, RowTable, TableStatistics,
+    Type, Value,
 };
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic: "LegoBase Column Archive".
 pub const MAGIC: [u8; 4] = *b"LBCA";
-/// Current format version (v2 = v1 + persisted optimizer statistics).
-pub const VERSION: u32 = 2;
+/// Current format version (v3 = v2 + 8-byte-aligned mappable payloads).
+pub const VERSION: u32 = 3;
 /// Oldest version the reader still accepts.
 pub const MIN_VERSION: u32 = 1;
 
@@ -115,8 +128,8 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 // Writing
 // ---------------------------------------------------------------------------
 
-/// Serializes a database to the current archive byte format (v2: columns
-/// plus the optimizer-statistics block).
+/// Serializes a database to the current archive byte format (v3: columns at
+/// 8-byte-aligned offsets, plus the optimizer-statistics block).
 pub fn to_bytes(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
     serialize(data, VERSION)
 }
@@ -126,6 +139,12 @@ pub fn to_bytes(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
 /// hatch for tooling that still speaks v1.
 pub fn to_bytes_v1(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
     serialize(data, 1)
+}
+
+/// Serializes to the legacy v2 format (statistics block but unaligned
+/// payloads) — same role as [`to_bytes_v1`] for the v2 generation.
+pub fn to_bytes_v2(data: &TpchData) -> Result<Vec<u8>, ArchiveError> {
+    serialize(data, 2)
 }
 
 fn serialize(data: &TpchData, version: u32) -> Result<Vec<u8>, ArchiveError> {
@@ -142,9 +161,18 @@ fn serialize(data: &TpchData, version: u32) -> Result<Vec<u8>, ArchiveError> {
         out.extend_from_slice(&(table.len() as u64).to_le_bytes());
         out.extend_from_slice(&(table.schema.len() as u32).to_le_bytes());
         for c in 0..table.schema.len() {
-            let (tag, payload) = encode_column(name, table, c)?;
+            let (tag, payload) = encode_column(name, table, c, version)?;
             out.push(tag);
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            if version >= 3 {
+                // Zero-pad so every payload starts on an 8-byte file offset
+                // (the pad length is a pure function of the cursor position,
+                // so the reader re-derives it without a stored length; it
+                // verifies the pad bytes are zero for determinism).
+                while out.len() % 8 != 0 {
+                    out.push(0);
+                }
+            }
             let sum = fnv1a(&payload);
             out.extend_from_slice(&payload);
             out.extend_from_slice(&sum.to_le_bytes());
@@ -242,7 +270,12 @@ pub fn write(data: &TpchData, path: &Path) -> Result<(), ArchiveError> {
     Ok(std::fs::write(path, to_bytes(data)?)?)
 }
 
-fn encode_column(name: &str, table: &RowTable, c: usize) -> Result<(u8, Vec<u8>), ArchiveError> {
+fn encode_column(
+    name: &str,
+    table: &RowTable,
+    c: usize,
+    version: u32,
+) -> Result<(u8, Vec<u8>), ArchiveError> {
     let col = || format!("{name}.{}", table.schema.fields[c].name);
     let mismatch = |v: &Value| {
         ArchiveError::Unsupported(format!("{} holds {v:?}, not a {}", col(), table.schema.ty(c)))
@@ -256,7 +289,7 @@ fn encode_column(name: &str, table: &RowTable, c: usize) -> Result<(u8, Vec<u8>)
                     other => return Err(mismatch(other)),
                 }
             }
-            Ok(pack_or_raw(&vals, 8, TAG_I64_PACKED, TAG_I64_RAW, || {
+            Ok(pack_or_raw(version, &vals, 8, TAG_I64_PACKED, TAG_I64_RAW, || {
                 let mut payload = Vec::with_capacity(vals.len() * 8);
                 for v in &vals {
                     payload.extend_from_slice(&v.to_le_bytes());
@@ -272,7 +305,7 @@ fn encode_column(name: &str, table: &RowTable, c: usize) -> Result<(u8, Vec<u8>)
                     other => return Err(mismatch(other)),
                 }
             }
-            Ok(pack_or_raw(&vals, 4, TAG_DATE_PACKED, TAG_DATE_RAW, || {
+            Ok(pack_or_raw(version, &vals, 4, TAG_DATE_PACKED, TAG_DATE_RAW, || {
                 let mut payload = Vec::with_capacity(vals.len() * 4);
                 for v in &vals {
                     payload.extend_from_slice(&(*v as i32).to_le_bytes());
@@ -317,8 +350,12 @@ fn encode_column(name: &str, table: &RowTable, c: usize) -> Result<(u8, Vec<u8>)
 }
 
 /// Packs `vals` frame-of-reference when that beats `raw_width` bytes per
-/// value; otherwise calls `raw` for the plain payload.
+/// value; otherwise calls `raw` for the plain payload. v3 pads the 17-byte
+/// packed header (`base i64 | max i64 | width u8`) with 7 zero bytes so the
+/// words land on an 8-byte file offset relative to the (aligned) payload
+/// start — the property [`read_mapped`] needs to borrow them in place.
 fn pack_or_raw(
+    version: u32,
     vals: &[i64],
     raw_width: usize,
     packed_tag: u8,
@@ -326,11 +363,15 @@ fn pack_or_raw(
     raw: impl FnOnce() -> Vec<u8>,
 ) -> (u8, Vec<u8>) {
     let p = PackedInts::from_values(vals);
-    if !vals.is_empty() && 17 + p.words().len() * 8 < vals.len() * raw_width {
-        let mut payload = Vec::with_capacity(17 + p.words().len() * 8);
+    let header = if version >= 3 { 24 } else { 17 };
+    if !vals.is_empty() && header + p.words().len() * 8 < vals.len() * raw_width {
+        let mut payload = Vec::with_capacity(header + p.words().len() * 8);
         payload.extend_from_slice(&p.base().to_le_bytes());
         payload.extend_from_slice(&p.max().to_le_bytes());
         payload.push(p.width());
+        if version >= 3 {
+            payload.extend_from_slice(&[0u8; 7]);
+        }
         for w in p.words() {
             payload.extend_from_slice(&w.to_le_bytes());
         }
@@ -387,15 +428,46 @@ impl<'a> Cursor<'a> {
 }
 
 /// Reads an archive file back into a database with a single `fs::read`.
-/// A v2 archive serves the statistics it carries (histograms and sketches
+/// A v2+ archive serves the statistics it carries (histograms and sketches
 /// included); a v1 archive re-collects them on load — either way the
 /// catalog matches a freshly generated database bit for bit.
 pub fn read(path: &Path) -> Result<TpchData, ArchiveError> {
     from_bytes(&std::fs::read(path)?)
 }
 
-/// Parses the archive byte format.
+/// Reads an archive by `mmap`ing it read-only: the packed words of a v3
+/// archive's bit-packed columns are *borrowed* from the page cache instead
+/// of copied — [`TpchData::mapped_packed`] serves them to the engine, which
+/// substitutes them for its own re-encode, so a mapped load and a plain
+/// [`read`] produce bit-identical query results.
+///
+/// Fallback discipline (DESIGN.md §3e): any mapping failure — filesystem
+/// without mmap, exotic platform, empty file — silently degrades to the
+/// read+decode path, and v1/v2 archives parse exactly as under [`read`]
+/// (no mapped columns, nothing borrowed). Corruption in a v3 archive —
+/// truncated words, a misaligned payload, nonzero alignment padding — is a
+/// typed [`ArchiveError`], never a panic or an unaligned access.
+pub fn read_mapped(path: &Path) -> Result<TpchData, ArchiveError> {
+    match Mapping::map_file(path) {
+        Ok(map) => {
+            let map = Arc::new(map);
+            from_bytes_impl(map.bytes(), Some(&map))
+        }
+        Err(_) => read(path),
+    }
+}
+
+/// Parses the archive byte format (heap-owned columns, nothing mapped).
 pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
+    from_bytes_impl(bytes, None)
+}
+
+/// The shared parser. When `mapping` is present (and the archive is v3),
+/// every bit-packed column additionally yields a zero-copy [`PackedInts`]
+/// borrowing its words from the mapping at their 8-byte-aligned file
+/// offset; the row values are still decoded eagerly so the row-oriented
+/// loader pipeline is unchanged.
+fn from_bytes_impl(bytes: &[u8], mapping: Option<&Arc<Mapping>>) -> Result<TpchData, ArchiveError> {
     let mut cur = Cursor { bytes, pos: 0 };
     if cur.take(4)? != MAGIC {
         return Err(ArchiveError::BadMagic);
@@ -414,6 +486,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
     }
     let mut cat = catalog();
     let mut tables = HashMap::new();
+    let mut mapped: HashMap<(String, usize), Arc<PackedInts>> = HashMap::new();
     for _ in 0..table_count {
         let name_len = cur.u16()? as usize;
         let name = std::str::from_utf8(cur.take(name_len)?)
@@ -435,6 +508,18 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
         for c in 0..col_count {
             let tag = cur.u8()?;
             let payload_len = cur.u64()? as usize;
+            if version >= 3 {
+                // Deterministic zero pad up to the next 8-byte file offset.
+                // The checksum covers only the payload, so the reader pins
+                // the pad bytes itself: a nonzero pad is corruption.
+                let pad = (8 - cur.pos % 8) % 8;
+                if cur.take(pad)?.iter().any(|&b| b != 0) {
+                    return Err(ArchiveError::Corrupt(format!(
+                        "nonzero alignment pad before `{name}` column {c}"
+                    )));
+                }
+            }
+            let payload_off = cur.pos;
             let payload = cur.take(payload_len)?;
             let sum = cur.u64()?;
             if fnv1a(payload) != sum {
@@ -442,7 +527,15 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
                     "checksum mismatch in `{name}` column {c}"
                 )));
             }
-            columns.push(decode_column(&name, c, schema.ty(c), tag, payload, rows)?);
+            let src = PackedSrc {
+                version,
+                map: if version >= 3 { mapping.map(|m| (m, payload_off)) } else { None },
+            };
+            let (vals, mp) = decode_column(&name, c, schema.ty(c), tag, payload, rows, src)?;
+            if let Some(mp) = mp {
+                mapped.insert((name.clone(), c), mp);
+            }
+            columns.push(vals);
         }
         let mut table = RowTable::with_capacity(schema, rows);
         for r in 0..rows {
@@ -479,7 +572,16 @@ pub fn from_bytes(bytes: &[u8]) -> Result<TpchData, ArchiveError> {
             cat.set_stats(name, TableStatistics::collect(table));
         }
     }
-    Ok(TpchData::from_parts(cat, scale_factor, tables))
+    Ok(TpchData::from_parts(cat, scale_factor, tables).with_mapped(mapped))
+}
+
+/// Where a packed payload may be served from: the archive version (header
+/// layout) plus, for v3, the file mapping and the column payload's byte
+/// offset inside it (so the words can be borrowed zero-copy).
+#[derive(Clone, Copy)]
+struct PackedSrc<'a> {
+    version: u32,
+    map: Option<(&'a Arc<Mapping>, usize)>,
 }
 
 fn decode_column(
@@ -489,10 +591,12 @@ fn decode_column(
     tag: u8,
     payload: &[u8],
     rows: usize,
-) -> Result<Vec<Value>, ArchiveError> {
+    src: PackedSrc<'_>,
+) -> Result<(Vec<Value>, Option<Arc<PackedInts>>), ArchiveError> {
     let corrupt = |m: &str| ArchiveError::Corrupt(format!("`{name}` column {c}: {m}"));
     let wrong_tag = || corrupt(&format!("tag {tag} does not store a {ty} column"));
     let mut cur = Cursor { bytes: payload, pos: 0 };
+    let mut mapped = None;
     let mut out = Vec::with_capacity(rows);
     match (ty, tag) {
         (Type::Int, TAG_I64_RAW) => {
@@ -501,7 +605,9 @@ fn decode_column(
             }
         }
         (Type::Int, TAG_I64_PACKED) => {
-            for v in read_packed(&mut cur, rows, &corrupt)? {
+            let (mp, vals) = read_packed(&mut cur, rows, src, &corrupt)?;
+            mapped = mp;
+            for v in vals {
                 out.push(Value::Int(v));
             }
         }
@@ -511,7 +617,9 @@ fn decode_column(
             }
         }
         (Type::Date, TAG_DATE_PACKED) => {
-            for v in read_packed(&mut cur, rows, &corrupt)? {
+            let (mp, vals) = read_packed(&mut cur, rows, src, &corrupt)?;
+            mapped = mp;
+            for v in vals {
                 let d = i32::try_from(v).map_err(|_| corrupt("day count out of i32 range"))?;
                 out.push(Value::Date(Date(d)));
             }
@@ -543,7 +651,7 @@ fn decode_column(
     if cur.pos != payload.len() {
         return Err(corrupt("payload longer than its row count"));
     }
-    Ok(out)
+    Ok((out, mapped))
 }
 
 fn decode_value(
@@ -640,15 +748,28 @@ fn decode_stats(
 
 /// Reads a frame-of-reference payload, re-validating the header through
 /// [`PackedInts::from_parts`] (which rejects tampered widths and word
-/// counts) before decoding.
+/// counts) before decoding. On a v3 payload with a live mapping, also
+/// constructs the zero-copy [`PackedInts`] whose words live at
+/// `payload_off + 24` in the mapped file — [`PackedInts::from_parts_mapped`]
+/// re-checks bounds and 8-byte alignment, so a file that lies about its
+/// layout is a typed corruption, not undefined behavior.
 fn read_packed(
     cur: &mut Cursor<'_>,
     rows: usize,
+    src: PackedSrc<'_>,
     corrupt: &impl Fn(&str) -> ArchiveError,
-) -> Result<Vec<i64>, ArchiveError> {
+) -> Result<(Option<Arc<PackedInts>>, Vec<i64>), ArchiveError> {
     let base = cur.i64()?;
     let max = cur.i64()?;
     let width = cur.u8()?;
+    if src.version >= 3 {
+        // 7 zero bytes pad the 17-byte header to 24 so the words that
+        // follow stay 8-byte aligned relative to the aligned payload start.
+        if cur.take(7)?.iter().any(|&b| b != 0) {
+            return Err(corrupt("nonzero pad in packed header"));
+        }
+    }
+    let words_pos = cur.pos;
     let n_words = PackedInts::words_for(rows, width);
     let mut words = Vec::with_capacity(n_words);
     for _ in 0..n_words {
@@ -656,11 +777,200 @@ fn read_packed(
     }
     let p = PackedInts::from_parts(base, max, width, rows, words)
         .ok_or_else(|| corrupt("invalid frame-of-reference header"))?;
+    // Eager decode via the iterator, NOT `decoded()`: pre-populating the
+    // memoized cache here would pin a second whole-column copy for columns
+    // the engine may only ever word-compare.
     let vals: Vec<i64> = p.iter().collect();
     if vals.iter().any(|&v| v > p.max()) {
         return Err(corrupt("packed value above declared maximum"));
     }
-    Ok(vals)
+    let mapped = match src.map {
+        Some((m, payload_off)) => Some(Arc::new(
+            PackedInts::from_parts_mapped(
+                base,
+                max,
+                width,
+                rows,
+                Arc::clone(m),
+                payload_off + words_pos,
+            )
+            .ok_or_else(|| corrupt("packed words misaligned or out of mapped bounds"))?,
+        )),
+        None => None,
+    };
+    Ok((mapped, vals))
+}
+
+// ---------------------------------------------------------------------------
+// Inspection (the `tpch info` CLI)
+// ---------------------------------------------------------------------------
+
+/// Per-column metadata reported by [`inspect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnInfo {
+    /// Column name from the compiled-in catalog.
+    pub name: String,
+    /// Human-readable encoding tag (`i64-packed`, `f64`, `str`, ...).
+    pub encoding: &'static str,
+    /// Frame-of-reference bit width — packed columns only.
+    pub bit_width: Option<u8>,
+    /// Bytes the column's payload occupies in the file.
+    pub payload_bytes: usize,
+    /// Bytes a v3 mapped load serves zero-copy from the page cache (the
+    /// packed words); 0 for raw columns and for v1/v2 archives.
+    pub mappable_bytes: usize,
+}
+
+/// Per-table metadata reported by [`inspect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableInfo {
+    /// Table name.
+    pub name: String,
+    /// Row count the archive declares.
+    pub rows: usize,
+    /// Per-column encodings, in schema order.
+    pub columns: Vec<ColumnInfo>,
+}
+
+/// Archive-level metadata reported by [`inspect`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchiveInfo {
+    /// Format version (1–3).
+    pub version: u32,
+    /// TPC-H scale factor the archive was generated at.
+    pub scale_factor: f64,
+    /// Total file size.
+    pub file_bytes: usize,
+    /// Per-table breakdowns, in file order.
+    pub tables: Vec<TableInfo>,
+}
+
+impl ArchiveInfo {
+    /// Total bytes a mapped load serves zero-copy.
+    pub fn mappable_bytes(&self) -> usize {
+        self.tables.iter().flat_map(|t| &t.columns).map(|c| c.mappable_bytes).sum()
+    }
+
+    /// Total bytes a load must materialize on the heap regardless of
+    /// mapping (raw payloads plus packed headers).
+    pub fn resident_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(|t| &t.columns)
+            .map(|c| c.payload_bytes - c.mappable_bytes)
+            .sum()
+    }
+}
+
+/// Reads just the structure of an archive file — versions, encodings, bit
+/// widths, payload sizes — verifying checksums but decoding no values.
+pub fn inspect(path: &Path) -> Result<ArchiveInfo, ArchiveError> {
+    inspect_bytes(&std::fs::read(path)?)
+}
+
+/// [`inspect`] over in-memory bytes.
+pub fn inspect_bytes(bytes: &[u8]) -> Result<ArchiveInfo, ArchiveError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.take(4)? != MAGIC {
+        return Err(ArchiveError::BadMagic);
+    }
+    let version = cur.u32()?;
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(ArchiveError::BadVersion(version));
+    }
+    let scale_factor = cur.f64()?;
+    let table_count = cur.u32()? as usize;
+    let cat = catalog();
+    let mut tables = Vec::with_capacity(table_count);
+    for _ in 0..table_count {
+        let name_len = cur.u16()? as usize;
+        let name = std::str::from_utf8(cur.take(name_len)?)
+            .map_err(|_| ArchiveError::Corrupt("non-UTF-8 table name".into()))?
+            .to_string();
+        if !TABLES.contains(&name.as_str()) {
+            return Err(ArchiveError::SchemaMismatch(format!("unknown table `{name}`")));
+        }
+        let rows = cur.u64()? as usize;
+        let schema = cat.table(&name).schema.clone();
+        let col_count = cur.u32()? as usize;
+        let mut columns = Vec::with_capacity(col_count);
+        for c in 0..col_count {
+            let tag = cur.u8()?;
+            let payload_len = cur.u64()? as usize;
+            if version >= 3 {
+                let pad = (8 - cur.pos % 8) % 8;
+                if cur.take(pad)?.iter().any(|&b| b != 0) {
+                    return Err(ArchiveError::Corrupt(format!(
+                        "nonzero alignment pad before `{name}` column {c}"
+                    )));
+                }
+            }
+            let payload = cur.take(payload_len)?;
+            let sum = cur.u64()?;
+            if fnv1a(payload) != sum {
+                return Err(ArchiveError::Corrupt(format!(
+                    "checksum mismatch in `{name}` column {c}"
+                )));
+            }
+            let packed = tag == TAG_I64_PACKED || tag == TAG_DATE_PACKED;
+            let header = if version >= 3 { 24 } else { 17 };
+            let bit_width = if packed {
+                if payload.len() < header {
+                    return Err(ArchiveError::Corrupt(format!(
+                        "packed payload of `{name}` column {c} shorter than its header"
+                    )));
+                }
+                Some(payload[16])
+            } else {
+                None
+            };
+            let encoding = match tag {
+                TAG_I64_RAW => "i64",
+                TAG_I64_PACKED => "i64-packed",
+                TAG_F64 => "f64",
+                TAG_DATE_RAW => "date",
+                TAG_DATE_PACKED => "date-packed",
+                TAG_STR => "str",
+                TAG_BOOL => "bool",
+                t => {
+                    return Err(ArchiveError::Corrupt(format!(
+                        "unknown encoding tag {t} in `{name}` column {c}"
+                    )))
+                }
+            };
+            let col_name = schema
+                .fields
+                .get(c)
+                .map(|f| f.name.clone())
+                .unwrap_or_else(|| format!("column{c}"));
+            columns.push(ColumnInfo {
+                name: col_name,
+                encoding,
+                bit_width,
+                payload_bytes: payload_len,
+                mappable_bytes: if packed && version >= 3 { payload_len - header } else { 0 },
+            });
+        }
+        tables.push(TableInfo { name, rows, columns });
+    }
+    // Stats blocks (v2+) are skipped but still checksum-verified, so
+    // `inspect` on a corrupt file fails the same way `read` would.
+    if version >= 2 {
+        for &name in &TABLES {
+            let payload_len = cur.u64()? as usize;
+            let payload = cur.take(payload_len)?;
+            let sum = cur.u64()?;
+            if fnv1a(payload) != sum {
+                return Err(ArchiveError::Corrupt(format!(
+                    "checksum mismatch in `{name}` statistics block"
+                )));
+            }
+        }
+    }
+    if cur.pos != bytes.len() {
+        return Err(ArchiveError::Corrupt("trailing bytes after last table".into()));
+    }
+    Ok(ArchiveInfo { version, scale_factor, file_bytes: bytes.len(), tables })
 }
 
 #[cfg(test)]
@@ -748,6 +1058,116 @@ mod tests {
         let back = read(&path).expect("read");
         assert_eq!(back.table("lineitem").rows, data.table("lineitem").rows);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn old_versions_still_load() {
+        let data = tiny();
+        for (v, bytes) in
+            [(1, to_bytes_v1(&data).expect("v1")), (2, to_bytes_v2(&data).expect("v2"))]
+        {
+            let back = from_bytes(&bytes).expect("legacy parse");
+            assert_eq!(back.table("lineitem").rows, data.table("lineitem").rows, "v{v} rows");
+            assert_eq!(back.mapped_bytes(), 0, "legacy archives never map");
+            for &name in &TABLES {
+                assert_eq!(
+                    back.catalog.stats(name),
+                    data.catalog.stats(name),
+                    "v{v} `{name}` statistics survive (v2) or re-collect (v1) identically"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_load_is_bit_identical() {
+        let dir = std::env::temp_dir().join("legobase-archive-mmap-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("tpch-sf0.002.lbca");
+        let data = tiny();
+        write(&data, &path).expect("write");
+        let plain = read(&path).expect("read");
+        let mapped = read_mapped(&path).expect("read_mapped");
+        assert!(mapped.mapped_bytes() > 0, "a v3 load should borrow packed words zero-copy");
+        assert_eq!(plain.mapped_bytes(), 0, "the plain path owns everything");
+        for &name in &TABLES {
+            assert_eq!(plain.table(name).rows, mapped.table(name).rows, "{name} rows");
+            assert_eq!(plain.catalog.stats(name), mapped.catalog.stats(name), "{name} stats");
+        }
+        // The borrowed words decode to exactly the values the eager path
+        // materialized — the substitution the engine performs is lossless.
+        let li = plain.table("lineitem");
+        let mut checked = 0;
+        for c in 0..li.schema.len() {
+            if let Some(p) = mapped.mapped_packed("lineitem", c) {
+                assert!(p.is_mapped());
+                for (r, v) in p.iter().enumerate().take(64) {
+                    match &li.rows[r][c] {
+                        Value::Int(i) => assert_eq!(v, *i),
+                        Value::Date(d) => assert_eq!(v, d.0 as i64),
+                        other => panic!("mapped column {c} holds {other:?}"),
+                    }
+                }
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "lineitem should have at least one mapped packed column");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_read_falls_back_for_legacy_versions() {
+        let dir = std::env::temp_dir().join("legobase-archive-mmap-legacy-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("tpch-v1.lbca");
+        let data = tiny();
+        std::fs::write(&path, to_bytes_v1(&data).expect("v1")).expect("write");
+        let back = read_mapped(&path).expect("read_mapped on v1");
+        assert_eq!(back.mapped_bytes(), 0, "v1 payloads are unaligned — nothing borrowed");
+        assert_eq!(back.table("lineitem").rows, data.table("lineitem").rows);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_nonzero_alignment_pad() {
+        let mut bytes = to_bytes(&tiny()).expect("serialize");
+        // File header (20) + first table record (2 + "region" + 8 + 4) +
+        // first column's tag and payload_len (9) = the pad position.
+        let pos = 20 + 2 + TABLES[0].len() + 12 + 9;
+        assert_ne!(pos % 8, 0, "test assumes the first payload needs padding");
+        assert_eq!(bytes[pos], 0, "writer pads with zeros");
+        bytes[pos] = 1;
+        assert!(matches!(from_bytes(&bytes), Err(ArchiveError::Corrupt(_))));
+        assert!(matches!(inspect_bytes(&bytes), Err(ArchiveError::Corrupt(_))));
+    }
+
+    #[test]
+    fn inspect_reports_structure() {
+        let data = tiny();
+        let bytes = to_bytes(&data).expect("serialize");
+        let info = inspect_bytes(&bytes).expect("inspect");
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.scale_factor, data.scale_factor);
+        assert_eq!(info.file_bytes, bytes.len());
+        assert_eq!(info.tables.len(), TABLES.len());
+        let li = info.tables.iter().find(|t| t.name == "lineitem").expect("lineitem");
+        assert_eq!(li.rows, data.table("lineitem").len());
+        let packed: Vec<_> =
+            li.columns.iter().filter(|c| c.encoding.ends_with("-packed")).collect();
+        assert!(!packed.is_empty(), "lineitem should hold packed columns");
+        for c in &packed {
+            assert!(c.bit_width.is_some(), "{} reports no width", c.name);
+            assert_eq!(c.mappable_bytes, c.payload_bytes - 24, "{} words", c.name);
+        }
+        assert!(info.mappable_bytes() > 0);
+        assert!(info.resident_bytes() > 0);
+        let total: usize =
+            info.tables.iter().flat_map(|t| &t.columns).map(|c| c.payload_bytes).sum();
+        assert_eq!(info.mappable_bytes() + info.resident_bytes(), total);
+        // Legacy archives inspect too, with nothing mappable.
+        let v1 = inspect_bytes(&to_bytes_v1(&data).expect("v1")).expect("inspect v1");
+        assert_eq!(v1.version, 1);
+        assert_eq!(v1.mappable_bytes(), 0);
     }
 
     #[test]

@@ -65,12 +65,9 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        Cmd::Info { path } => match archive::read(&path) {
-            Ok(data) => {
-                println!("{} (sf {})", path.display(), data.scale_factor);
-                for &name in &TABLES {
-                    println!("  {name:<9} {:>9} rows", data.table(name).len());
-                }
+        Cmd::Info { path } => match archive::inspect(&path) {
+            Ok(info) => {
+                print!("{}", render_info(&path.display().to_string(), &info));
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -79,6 +76,38 @@ fn main() -> ExitCode {
             }
         },
     }
+}
+
+/// Renders the `tpch info` report: archive version, scale factor, and per
+/// column the encoding, bit width, and how many bytes a mapped load serves
+/// zero-copy from the page cache vs materializes on the heap.
+fn render_info(path: &str, info: &archive::ArchiveInfo) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{path}: LBCA v{} (sf {}), {} bytes — {} mapped, {} resident",
+        info.version,
+        info.scale_factor,
+        info.file_bytes,
+        info.mappable_bytes(),
+        info.resident_bytes(),
+    );
+    for t in &info.tables {
+        let _ = writeln!(out, "  {:<9} {:>9} rows", t.name, t.rows);
+        for c in &t.columns {
+            let width = match c.bit_width {
+                Some(w) => format!("{w:>2} bits"),
+                None => "       ".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "    {:<16} {:<12} {width} {:>10} bytes ({} mapped)",
+                c.name, c.encoding, c.payload_bytes, c.mappable_bytes,
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -104,5 +133,18 @@ mod tests {
         assert!(parse(&s(&["archive", "nope", "out"])).is_err());
         assert!(parse(&s(&["archive", "-1", "out"])).is_err());
         assert!(parse(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn info_reports_encodings_and_mapped_bytes() {
+        let data = TpchData::generate(0.002);
+        let bytes = archive::to_bytes(&data).expect("serialize");
+        let info = archive::inspect_bytes(&bytes).expect("inspect");
+        let report = render_info("x.lbca", &info);
+        assert!(report.contains("LBCA v3"), "{report}");
+        assert!(report.contains("lineitem"), "{report}");
+        assert!(report.contains("-packed"), "{report}");
+        assert!(report.contains("bits"), "{report}");
+        assert!(report.contains("mapped"), "{report}");
     }
 }

@@ -2,10 +2,11 @@
 
 use crate::schema::catalog;
 use crate::text;
-use legobase_storage::{Catalog, Date, RowTable, Value};
+use legobase_storage::{Catalog, Date, PackedInts, RowTable, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// `dbgen`'s CURRENTDATE constant (Clause 4.2.2.12), used for return flags
 /// and line statuses.
@@ -42,6 +43,13 @@ pub struct TpchData {
     /// Scale factor the data was generated at.
     pub scale_factor: f64,
     tables: HashMap<String, RowTable>,
+    /// Archive-mapped packed payloads per `(table, column)` (PR 10): when a
+    /// v3 archive is loaded through `mmap`, its bit-packed Int/Date columns
+    /// are carried here as zero-copy [`PackedInts`] borrowing the page
+    /// cache, and the specialized loader substitutes them instead of
+    /// re-packing the same values. Empty for generated databases and
+    /// read-decoded archives.
+    mapped: HashMap<(String, usize), Arc<PackedInts>>,
 }
 
 impl TpchData {
@@ -58,7 +66,29 @@ impl TpchData {
         scale_factor: f64,
         tables: HashMap<String, RowTable>,
     ) -> TpchData {
-        TpchData { catalog, scale_factor, tables }
+        TpchData { catalog, scale_factor, tables, mapped: HashMap::new() }
+    }
+
+    /// Attaches archive-mapped packed columns (the `mmap` reader's
+    /// finishing step).
+    pub(crate) fn with_mapped(
+        mut self,
+        mapped: HashMap<(String, usize), Arc<PackedInts>>,
+    ) -> TpchData {
+        self.mapped = mapped;
+        self
+    }
+
+    /// The archive-mapped packed payload for `(table, column)`, when this
+    /// database was loaded zero-copy from a v3 archive.
+    pub fn mapped_packed(&self, table: &str, column: usize) -> Option<&Arc<PackedInts>> {
+        self.mapped.get(&(table.to_string(), column))
+    }
+
+    /// Total bytes served from the mapped archive (page-cache borrowed, not
+    /// resident copies). Zero unless loaded via `mmap`.
+    pub fn mapped_bytes(&self) -> usize {
+        self.mapped.values().map(|p| p.mapped_bytes()).sum()
     }
 
     /// A generated relation by name (panics if absent).
@@ -128,7 +158,7 @@ impl TpchGenerator {
         for (name, table) in &tables {
             cat.set_stats(name, legobase_storage::TableStatistics::collect(table));
         }
-        TpchData { catalog: cat, scale_factor: self.scale_factor, tables }
+        TpchData { catalog: cat, scale_factor: self.scale_factor, tables, mapped: HashMap::new() }
     }
 
     fn gen_region(&self, cat: &Catalog) -> RowTable {
